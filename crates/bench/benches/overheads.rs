@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks backing Table 4's per-mode costs: attack
+//! simulation under Base / CellIFT / diffIFT, instrumentation passes, and
+//! one fuzzing iteration end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dejavuzz::campaign::{Campaign, FuzzerOptions};
+use dejavuzz_ift::IftMode;
+use dejavuzz_rtl::examples::{synthetic_core, CoreScale};
+use dejavuzz_rtl::instrument;
+use dejavuzz_uarch::core::Core;
+use dejavuzz_uarch::{attacks, boom_small};
+
+fn sim_modes(c: &mut Criterion) {
+    let case = attacks::spectre_v1();
+    let mut g = c.benchmark_group("spectre_v1_simulation");
+    for mode in IftMode::ALL {
+        g.bench_function(mode.name(), |b| {
+            b.iter(|| {
+                let mut mem = case.build_mem(&dejavuzz_specdoctor::SECRET);
+                Core::new(boom_small(), mode).run(&mut mem, 20_000)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn instrument_passes(c: &mut Criterion) {
+    let scale = CoreScale {
+        name: "bench",
+        verilog_loc: 0,
+        comb_cells: 2_000,
+        regs: 400,
+        mems: (4, 128),
+    };
+    let netlist = synthetic_core(scale);
+    let mut g = c.benchmark_group("instrumentation");
+    for mode in [IftMode::DiffIft, IftMode::CellIft] {
+        g.bench_function(mode.name(), |b| b.iter(|| instrument(&netlist, mode)));
+    }
+    g.finish();
+}
+
+fn fuzz_iteration(c: &mut Criterion) {
+    c.bench_function("fuzz_iteration", |b| {
+        let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 1);
+        b.iter(|| campaign.iteration())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sim_modes, instrument_passes, fuzz_iteration
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6 (taint sum vs cycle for the 5 attacks under
+//! diffIFT / diffIFT_FN / CellIFT). `--summary` prints peak-taint rows
+//! instead of the full CSV.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--summary") {
+        print!("{}", dejavuzz_bench::figure6_summary());
+    } else {
+        print!("{}", dejavuzz_bench::figure6());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7 (taint coverage over iterations for DejaVuzz,
+//! DejaVuzz- and SpecDoctor). `--iters N --trials T` scale the run
+//! (defaults 300 x 2; the paper used 20,000 x 5); `--summary` prints the
+//! final-coverage factors only.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = dejavuzz_bench::arg_or(&args, "--iters", 300);
+    let trials = dejavuzz_bench::arg_or(&args, "--trials", 2) as u64;
+    if args.iter().any(|a| a == "--summary") {
+        print!("{}", dejavuzz_bench::figure7_summary(iters, trials));
+    } else {
+        print!("{}", dejavuzz_bench::figure7(iters, trials));
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §6.3 liveness evaluation: SpecDoctor phase-3 candidates
+//! classified with taint-liveness annotations. `--candidates N` (default
+//! 75, as in the paper).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let candidates = dejavuzz_bench::arg_or(&args, "--candidates", 75);
+    print!("{}", dejavuzz_bench::liveness_eval(candidates, candidates * 40));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (core configuration summary).
+fn main() {
+    print!("{}", dejavuzz_bench::table2());
+}

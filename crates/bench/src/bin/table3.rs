@@ -1,0 +1,9 @@
+//! Regenerates Table 3 (training overhead per transient-window type).
+//! `--windows N` sets the seeds attempted per type (default 40; the paper
+//! collected 2,500 windows per configuration).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let windows = dejavuzz_bench::arg_or(&args, "--windows", 40);
+    let sd_iters = dejavuzz_bench::arg_or(&args, "--sd-iters", 200);
+    print!("{}", dejavuzz_bench::table3(windows, sd_iters));
+}

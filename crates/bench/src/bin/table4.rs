@@ -1,0 +1,13 @@
+//! Regenerates Table 4 (diffIFT compile + simulation overhead).
+//! `--timeout-ms N` bounds the CellIFT pass on the XiangShan-scale netlist
+//! (the paper's cell reads "Timeout after 8h"); `--scale N` divides the
+//! synthetic netlist sizes for quick runs (default 4; 1 = full scale).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let timeout = dejavuzz_bench::arg_or(&args, "--timeout-ms", 60_000);
+    let scale = dejavuzz_bench::arg_or(&args, "--scale", 4);
+    print!(
+        "{}",
+        dejavuzz_bench::table4(std::time::Duration::from_millis(timeout as u64), scale.max(1))
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 5 (discovered bugs per core) plus the direct B1–B5
+//! detections. `--iters N` sets campaign iterations per core (default 60).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = dejavuzz_bench::arg_or(&args, "--iters", 60);
+    print!("{}", dejavuzz_bench::table5(iters));
+}

@@ -1,0 +1,73 @@
+//! The DejaVuzz command-line fuzzer: the paper's fuzzing-pipeline entry
+//! point (§5), wrapping `campaign::parallel_run`.
+//!
+//! ```sh
+//! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
+//!     --core xiangshan --iters 100 --threads 4 --seed 7
+//! ```
+
+use dejavuzz::campaign::{parallel_run, FuzzerOptions};
+use dejavuzz_uarch::{boom_small, xiangshan_minimal};
+
+fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "dejavuzz-fuzz — transient-execution-bug fuzzing campaign\n\n\
+             --core boom|xiangshan   DUT model (default boom)\n\
+             --iters N               iterations per thread (default 50)\n\
+             --threads N             parallel campaigns (default 1)\n\
+             --seed N                RNG seed (default 42)\n\
+             --variant full|star|minus|noliveness\n"
+        );
+        return;
+    }
+    let core = arg::<String>(&args, "--core", "boom".into());
+    let cfg = match core.as_str() {
+        "xiangshan" => xiangshan_minimal(),
+        _ => boom_small(),
+    };
+    let iters = arg(&args, "--iters", 50usize);
+    let threads = arg(&args, "--threads", 1usize);
+    let seed = arg(&args, "--seed", 42u64);
+    let variant = arg::<String>(&args, "--variant", "full".into());
+    let opts = match variant.as_str() {
+        "star" => FuzzerOptions::dejavuzz_star(),
+        "minus" => FuzzerOptions::dejavuzz_minus(),
+        "noliveness" => FuzzerOptions::no_liveness(),
+        _ => FuzzerOptions::default(),
+    };
+
+    println!("fuzzing {} ({variant}) — {iters} iters x {threads} thread(s), seed {seed}\n", cfg.name);
+    let start = std::time::Instant::now();
+    let stats = parallel_run(cfg, opts, threads, iters, seed);
+    println!("elapsed:          {:.1}s", start.elapsed().as_secs_f64());
+    println!("iterations:       {}", stats.iterations);
+    println!("simulations:      {}", stats.sim_runs);
+    println!("simulated cycles: {}", stats.sim_cycles);
+    println!("coverage points:  {}", stats.coverage());
+    println!("first bug:        {:?}", stats.first_bug_iteration);
+    println!("\nwindows:");
+    for (wt, ws) in &stats.windows {
+        println!(
+            "  {:<28} {:>3}/{:<3}  TO {:>6.1}  ETO {:>5.1}",
+            wt.name(),
+            ws.triggered,
+            ws.attempted,
+            ws.mean_to(),
+            ws.mean_eto()
+        );
+    }
+    println!("\nbugs ({}):", stats.bugs.len());
+    for b in &stats.bugs {
+        println!("  {b}");
+    }
+}

@@ -1,0 +1,359 @@
+//! The fuzzing campaign: corpus, coverage-guided loop, ablation variants
+//! and the multi-threaded manager (§5's "fuzzing pipeline").
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dejavuzz_ift::{CoverageMatrix, IftMode};
+use dejavuzz_uarch::CoreConfig;
+
+use crate::gen::{Seed, WindowType};
+use crate::phases::{phase1, phase2, phase3, PhaseOptions};
+use crate::report::BugReport;
+
+/// Campaign-level configuration. The ablation variants of the evaluation
+/// are spelled as constructors: [`FuzzerOptions::dejavuzz_star`] (random
+/// training, §6.2), [`FuzzerOptions::dejavuzz_minus`] (no coverage
+/// feedback, §6.3) and [`FuzzerOptions::no_liveness`] (§6.3).
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzerOptions {
+    /// Phase tunables.
+    pub phases: PhaseOptions,
+    /// Use taint coverage to guide window mutation (false = DejaVuzz⁻:
+    /// "randomly updates the secret encoding block or regenerates a new
+    /// transient window for each round").
+    pub coverage_feedback: bool,
+    /// Window-mutation attempts per seed before discarding it.
+    pub mutation_attempts: usize,
+}
+
+impl Default for FuzzerOptions {
+    fn default() -> Self {
+        FuzzerOptions {
+            phases: PhaseOptions::default(),
+            coverage_feedback: true,
+            mutation_attempts: 3,
+        }
+    }
+}
+
+impl FuzzerOptions {
+    /// The DejaVuzz* variant: swapMem kept, training derivation replaced by
+    /// random instructions (Table 3's middle rows).
+    pub fn dejavuzz_star() -> Self {
+        FuzzerOptions {
+            phases: PhaseOptions { training_derivation: false, ..PhaseOptions::default() },
+            ..FuzzerOptions::default()
+        }
+    }
+
+    /// The DejaVuzz⁻ variant: no taint-coverage feedback (Figure 7's
+    /// middle curve).
+    pub fn dejavuzz_minus() -> Self {
+        FuzzerOptions { coverage_feedback: false, ..FuzzerOptions::default() }
+    }
+
+    /// The no-liveness variant of §6.3's liveness evaluation.
+    pub fn no_liveness() -> Self {
+        FuzzerOptions {
+            phases: PhaseOptions { liveness_filter: false, ..PhaseOptions::default() },
+            ..FuzzerOptions::default()
+        }
+    }
+
+    /// Overrides the IFT mode (e.g. CellIFT for overhead studies).
+    pub fn with_mode(mut self, mode: IftMode) -> Self {
+        self.phases.mode = mode;
+        self
+    }
+}
+
+/// Per-window-type statistics (Table 3 rows).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Windows of this type successfully triggered.
+    pub triggered: usize,
+    /// Seeds of this type attempted.
+    pub attempted: usize,
+    /// Sum of training overhead over triggered windows.
+    pub to_sum: usize,
+    /// Sum of effective training overhead.
+    pub eto_sum: usize,
+}
+
+impl WindowStats {
+    /// Mean TO per triggered window.
+    pub fn mean_to(&self) -> f64 {
+        if self.triggered == 0 {
+            f64::NAN
+        } else {
+            self.to_sum as f64 / self.triggered as f64
+        }
+    }
+
+    /// Mean ETO per triggered window.
+    pub fn mean_eto(&self) -> f64 {
+        if self.triggered == 0 {
+            f64::NAN
+        } else {
+            self.eto_sum as f64 / self.triggered as f64
+        }
+    }
+}
+
+/// Aggregate results of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Cumulative coverage after each iteration (Figure 7's y series).
+    pub coverage_curve: Vec<usize>,
+    /// Per-window-type triggering and training overhead (Table 3).
+    pub windows: BTreeMap<WindowType, WindowStats>,
+    /// Deduplicated bug reports (Table 5).
+    pub bugs: Vec<BugReport>,
+    /// Iteration of the first bug, if any.
+    pub first_bug_iteration: Option<usize>,
+    /// Total RTL simulations spent.
+    pub sim_runs: usize,
+    /// Total simulated cycles (proxy for simulation wall-clock).
+    pub sim_cycles: u64,
+}
+
+impl CampaignStats {
+    /// Final coverage points.
+    pub fn coverage(&self) -> usize {
+        self.coverage_curve.last().copied().unwrap_or(0)
+    }
+
+    /// Merges another campaign's stats (multi-threaded manager). Coverage
+    /// curves are added pointwise (each thread owns a disjoint coverage
+    /// matrix; the union is approximated by the sum of new points, which is
+    /// exact when threads explore disjoint regions and conservative
+    /// otherwise).
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.iterations += other.iterations;
+        self.sim_runs += other.sim_runs;
+        self.sim_cycles += other.sim_cycles;
+        for (wt, ws) in &other.windows {
+            let e = self.windows.entry(*wt).or_default();
+            e.triggered += ws.triggered;
+            e.attempted += ws.attempted;
+            e.to_sum += ws.to_sum;
+            e.eto_sum += ws.eto_sum;
+        }
+        for b in &other.bugs {
+            if !self.bugs.iter().any(|x| x.dedup_key() == b.dedup_key()) {
+                self.bugs.push(b.clone());
+            }
+        }
+        self.first_bug_iteration = match (self.first_bug_iteration, other.first_bug_iteration) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A fuzzing campaign against one core model.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    cfg: CoreConfig,
+    opts: FuzzerOptions,
+    rng: StdRng,
+    coverage: CoverageMatrix,
+    stats: CampaignStats,
+    /// Running average of coverage gain (the mutation threshold of §4.2.2).
+    avg_gain: f64,
+    gain_samples: usize,
+}
+
+impl Campaign {
+    /// A new campaign with deterministic RNG seeding.
+    pub fn new(cfg: CoreConfig, opts: FuzzerOptions, rng_seed: u64) -> Self {
+        Campaign {
+            cfg,
+            opts,
+            rng: StdRng::seed_from_u64(rng_seed),
+            coverage: CoverageMatrix::new(),
+            stats: CampaignStats::default(),
+            avg_gain: 0.0,
+            gain_samples: 0,
+        }
+    }
+
+    /// The coverage matrix accumulated so far.
+    pub fn coverage(&self) -> &CoverageMatrix {
+        &self.coverage
+    }
+
+    /// The stats accumulated so far.
+    pub fn stats(&self) -> &CampaignStats {
+        &self.stats
+    }
+
+    /// Runs `iterations` fuzzing iterations, returning the final stats.
+    pub fn run(&mut self, iterations: usize) -> CampaignStats {
+        for _ in 0..iterations {
+            self.iteration();
+        }
+        self.stats.clone()
+    }
+
+    /// One fuzzing iteration: Phase 1 → Phase 2 (with coverage-guided
+    /// mutation) → Phase 3.
+    pub fn iteration(&mut self) {
+        let iteration = self.stats.iterations;
+        self.stats.iterations += 1;
+        let window_type = WindowType::ALL[self.rng.gen_range(0..WindowType::ALL.len())];
+        let mut seed = Seed::new(window_type, self.rng.gen());
+        let entry = self.stats.windows.entry(window_type).or_default();
+        entry.attempted += 1;
+
+        let p1 = phase1(&self.cfg, &seed, &self.opts.phases);
+        self.stats.sim_runs += p1.sim_runs;
+        if !p1.triggered {
+            self.stats.coverage_curve.push(self.coverage.points());
+            return;
+        }
+        let entry = self.stats.windows.entry(window_type).or_default();
+        entry.triggered += 1;
+        entry.to_sum += p1.to;
+        entry.eto_sum += p1.eto;
+
+        // Phase 2 with coverage feedback: mutate the window section while
+        // the gain stays below the running average.
+        let mut best = None;
+        for attempt in 0..=self.opts.mutation_attempts {
+            let p2 = phase2(&self.cfg, &seed, &p1, &mut self.coverage, &self.opts.phases);
+            self.stats.sim_runs += 1;
+            self.stats.sim_cycles += p2.run.total_cycles.0;
+            let gain = p2.coverage_gain as f64;
+            let below_avg = gain < self.avg_gain;
+            let propagated = p2.taints_increased;
+            self.gain_samples += 1;
+            self.avg_gain += (gain - self.avg_gain) / self.gain_samples as f64;
+            best = Some(p2);
+            if !self.opts.coverage_feedback {
+                break; // DejaVuzz⁻ takes whatever the first roll produced
+            }
+            if propagated && !below_avg {
+                break;
+            }
+            if attempt < self.opts.mutation_attempts {
+                seed = seed.mutate();
+            }
+        }
+        let p2 = best.expect("at least one phase-2 attempt ran");
+
+        // Phase 3 only for cases that accessed and propagated the secret.
+        if p2.taints_increased || self.opts.phases.mode == IftMode::Base {
+            let p3 = phase3(&self.cfg, &p1, &p2, iteration, &self.opts.phases);
+            self.stats.sim_runs += 1;
+            for leak in p3.leaks {
+                if self.stats.first_bug_iteration.is_none() {
+                    self.stats.first_bug_iteration = Some(iteration);
+                }
+                if !self.stats.bugs.iter().any(|b| b.dedup_key() == leak.dedup_key()) {
+                    self.stats.bugs.push(leak);
+                }
+            }
+        }
+        self.stats.coverage_curve.push(self.coverage.points());
+    }
+}
+
+/// The multi-threaded fuzzing manager ("allowing multiple RTL simulation
+/// instances to run in parallel", §5). Each thread runs an independent
+/// campaign; stats are merged at the end.
+pub fn parallel_run(
+    cfg: CoreConfig,
+    opts: FuzzerOptions,
+    threads: usize,
+    iterations_per_thread: usize,
+    rng_seed: u64,
+) -> CampaignStats {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Campaign::new(cfg, opts, rng_seed.wrapping_add(t as u64 * 7919));
+                c.run(iterations_per_thread)
+            })
+        })
+        .collect();
+    let mut total = CampaignStats::default();
+    for h in handles {
+        let stats = h.join().expect("campaign thread panicked");
+        total.merge(&stats);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavuzz_uarch::boom_small;
+
+    #[test]
+    fn campaign_accumulates_coverage_monotonically() {
+        let mut c = Campaign::new(boom_small(), FuzzerOptions::default(), 1);
+        let stats = c.run(15);
+        assert_eq!(stats.iterations, 15);
+        assert_eq!(stats.coverage_curve.len(), 15);
+        assert!(stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(stats.coverage() > 0);
+    }
+
+    #[test]
+    fn campaign_finds_bugs_on_vulnerable_boom() {
+        let mut c = Campaign::new(boom_small(), FuzzerOptions::default(), 3);
+        let stats = c.run(30);
+        assert!(!stats.bugs.is_empty(), "30 iterations must surface at least one leak");
+        assert!(stats.first_bug_iteration.is_some());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_rng_seed() {
+        let s1 = Campaign::new(boom_small(), FuzzerOptions::default(), 9).run(8);
+        let s2 = Campaign::new(boom_small(), FuzzerOptions::default(), 9).run(8);
+        assert_eq!(s1.coverage_curve, s2.coverage_curve);
+        assert_eq!(s1.bugs, s2.bugs);
+    }
+
+    #[test]
+    fn variants_have_expected_knobs() {
+        assert!(!FuzzerOptions::dejavuzz_star().phases.training_derivation);
+        assert!(!FuzzerOptions::dejavuzz_minus().coverage_feedback);
+        assert!(!FuzzerOptions::no_liveness().phases.liveness_filter);
+        assert_eq!(
+            FuzzerOptions::default().with_mode(IftMode::CellIft).phases.mode,
+            IftMode::CellIft
+        );
+    }
+
+    #[test]
+    fn stats_merge_is_consistent() {
+        let a = Campaign::new(boom_small(), FuzzerOptions::default(), 1).run(5);
+        let b = Campaign::new(boom_small(), FuzzerOptions::default(), 2).run(5);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.iterations, 10);
+        assert!(m.sim_runs >= a.sim_runs + b.sim_runs);
+        assert!(m.bugs.len() <= a.bugs.len() + b.bugs.len(), "dedup applies");
+    }
+
+    #[test]
+    fn parallel_manager_merges_threads() {
+        let stats = parallel_run(boom_small(), FuzzerOptions::default(), 2, 4, 77);
+        assert_eq!(stats.iterations, 8);
+    }
+
+    #[test]
+    fn window_stats_means() {
+        let ws = WindowStats { triggered: 4, attempted: 5, to_sum: 40, eto_sum: 8 };
+        assert_eq!(ws.mean_to(), 10.0);
+        assert_eq!(ws.mean_eto(), 2.0);
+        assert!(WindowStats::default().mean_to().is_nan());
+    }
+}

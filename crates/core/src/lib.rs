@@ -1,0 +1,47 @@
+//! DejaVuzz — a pre-silicon processor fuzzer for transient execution
+//! vulnerabilities (reproduction of Xu et al., ASPLOS 2025).
+//!
+//! The fuzzer drives the out-of-order core models of `dejavuzz-uarch`
+//! through the three-phase workflow of the paper's Figure 5:
+//!
+//! 1. **Phase 1 — Transient window triggering** ([`phases::phase1`]):
+//!    generate a trigger and a dummy window ([`gen`]), *derive* targeted
+//!    trigger-training packets from the transient-execution information
+//!    (§4.1.1), evaluate triggering from the RoB IO trace, and *reduce*
+//!    training by removing one packet at a time (§4.1.2).
+//! 2. **Phase 2 — Transient execution exploration** ([`phases::phase2`]):
+//!    complete the window with a secret-access block (with optional
+//!    MDS-style address masks) and a secret-encoding block, derive window
+//!    training, simulate under diffIFT and measure the taint coverage
+//!    matrix (§4.2.2) to guide mutation.
+//! 3. **Phase 3 — Transient leakage analysis** ([`phases::phase3`]): check
+//!    transient-window constant-time execution, sanitize the encode block
+//!    (nop it out and diff the taint logs) and run the tainted-sink
+//!    liveness analysis (§4.3.2) to report exploitable leakages only.
+//!
+//! [`campaign::Campaign`] wraps the loop with a corpus, coverage-guided
+//! feedback and the ablation variants used in the evaluation: `DejaVuzz*`
+//! (random training, no derivation), `DejaVuzz⁻` (no coverage feedback) and
+//! the no-liveness variant of §6.3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dejavuzz::campaign::{Campaign, FuzzerOptions};
+//! use dejavuzz_uarch::boom_small;
+//!
+//! let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 42);
+//! let stats = campaign.run(25);
+//! assert!(stats.iterations == 25);
+//! // Windows were triggered and coverage accumulated.
+//! assert!(stats.coverage_curve.last().copied().unwrap_or(0) > 0);
+//! ```
+
+pub mod campaign;
+pub mod gen;
+pub mod phases;
+pub mod report;
+
+pub use campaign::{Campaign, CampaignStats, FuzzerOptions};
+pub use gen::{Seed, TransientPlan, WindowType};
+pub use report::{AttackType, BugReport, LeakChannel};

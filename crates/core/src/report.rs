@@ -1,0 +1,125 @@
+//! Bug reports: the classification scheme of Table 5.
+
+use crate::gen::WindowType;
+
+/// Attack family (Table 5's first column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackType {
+    /// The secret is architecturally inaccessible (permission revoked);
+    /// the window leaks it across the privilege boundary.
+    Meltdown,
+    /// The secret is accessible to the victim domain; the window leaks it
+    /// through speculative side effects.
+    Spectre,
+}
+
+impl AttackType {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackType::Meltdown => "Meltdown",
+            AttackType::Spectre => "Spectre",
+        }
+    }
+}
+
+/// Where the leaked secret was observed (Table 5's "Encoded Timing
+/// Component" column).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LeakChannel {
+    /// A live tainted sink in a microarchitectural component
+    /// (dcache/icache/tlb/btb/ras/loop/lfb/…).
+    Encoded {
+        /// Module owning the sink.
+        module: &'static str,
+    },
+    /// A constant-time violation attributed to a contended resource
+    /// (lsu/fpu/icache port contention).
+    Timing {
+        /// The contended resource.
+        resource: &'static str,
+    },
+}
+
+impl LeakChannel {
+    /// The component mnemonic as Table 5 prints it.
+    pub fn component(&self) -> &'static str {
+        match self {
+            LeakChannel::Encoded { module } => module,
+            LeakChannel::Timing { resource } => resource,
+        }
+    }
+}
+
+/// One reported transient-execution vulnerability.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BugReport {
+    /// Core the bug was found on.
+    pub core: &'static str,
+    /// Attack family.
+    pub attack: AttackType,
+    /// The transient-window category that opened the window.
+    pub window_type: WindowType,
+    /// The leaking channel.
+    pub channel: LeakChannel,
+    /// Campaign iteration that found it.
+    pub iteration: usize,
+}
+
+impl BugReport {
+    /// A stable deduplication key: Table 5 aggregates by (attack, window
+    /// class, component).
+    pub fn dedup_key(&self) -> (AttackType, &'static str, &'static str) {
+        (self.attack, self.window_type.table5_class(), self.channel.component())
+    }
+}
+
+impl std::fmt::Display for BugReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} via {} window -> {}",
+            self.core,
+            self.attack.name(),
+            self.window_type.table5_class(),
+            self.channel.component()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_key_aggregates_like_table5() {
+        let a = BugReport {
+            core: "BOOM",
+            attack: AttackType::Meltdown,
+            window_type: WindowType::MemPageFault,
+            channel: LeakChannel::Encoded { module: "dcache" },
+            iteration: 3,
+        };
+        let b = BugReport {
+            core: "BOOM",
+            attack: AttackType::Meltdown,
+            window_type: WindowType::MemMisalign, // same class: mem-excp
+            channel: LeakChannel::Encoded { module: "dcache" },
+            iteration: 9,
+        };
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn display_is_reportable() {
+        let r = BugReport {
+            core: "XiangShan",
+            attack: AttackType::Spectre,
+            window_type: WindowType::BranchMispredict,
+            channel: LeakChannel::Timing { resource: "fpu" },
+            iteration: 1,
+        };
+        let s = r.to_string();
+        assert!(s.contains("XiangShan") && s.contains("Spectre") && s.contains("fpu"));
+    }
+}

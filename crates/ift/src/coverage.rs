@@ -1,0 +1,186 @@
+//! The taint coverage matrix of §4.2.2.
+//!
+//! "The taint coverage treats the total number of taints within a local
+//! range as an independent coverage point. […] DejaVuzz inserts a new
+//! register array bitmap into each RTL module. During each clock cycle,
+//! DejaVuzz uses the number of tainted registers within the module as the
+//! index and writes 1 to the corresponding slot in the bitmap."
+//!
+//! Coverage points are therefore `(module, tainted-register-count)` tuples.
+//! The matrix has the two properties the paper highlights: it is *local*
+//! (module-granular, reflecting propagation across hierarchies) and
+//! *position-insensitive* (which slot of a cache data array holds the secret
+//! does not matter, only how many slots do).
+
+use std::collections::HashSet;
+
+use crate::census::Census;
+
+/// One coverage point: a (module, tainted-count) tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoveragePoint {
+    /// Module instance name.
+    pub module: &'static str,
+    /// Number of simultaneously tainted registers observed in the module.
+    pub index: usize,
+}
+
+/// The accumulated taint coverage of a fuzzing campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageMatrix {
+    points: HashSet<CoveragePoint>,
+}
+
+impl CoverageMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        CoverageMatrix::default()
+    }
+
+    /// Observes one cycle's census, setting the bitmap slot of every module.
+    /// Returns the number of *new* coverage points this census contributed.
+    ///
+    /// A count of zero tainted registers is not a coverage point: the paper
+    /// indexes the bitmap by the number of taints explored, and "no taint"
+    /// carries no information about propagation.
+    pub fn observe(&mut self, census: &Census) -> usize {
+        let mut fresh = 0;
+        for m in census.modules() {
+            if m.tainted == 0 {
+                continue;
+            }
+            if self.points.insert(CoveragePoint { module: m.module, index: m.tainted }) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Observes every cycle of a taint log, returning the new points found.
+    pub fn observe_log(&mut self, log: &crate::census::TaintLog) -> usize {
+        log.iter().map(|(_, c)| self.observe(c)).sum()
+    }
+
+    /// Number of distinct coverage points collected so far — the y-axis of
+    /// Figure 7.
+    pub fn points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the (module, index) slot has been set.
+    pub fn contains(&self, module: &str, index: usize) -> bool {
+        self.points.iter().any(|p| p.module == module && p.index == index)
+    }
+
+    /// How many new points a census *would* add, without committing them.
+    pub fn gain(&self, census: &Census) -> usize {
+        census
+            .modules()
+            .iter()
+            .filter(|m| {
+                m.tainted != 0
+                    && !self.points.contains(&CoveragePoint { module: m.module, index: m.tainted })
+            })
+            .count()
+    }
+
+    /// Merges another matrix into this one (multi-threaded campaigns).
+    pub fn merge(&mut self, other: &CoverageMatrix) {
+        self.points.extend(other.points.iter().copied());
+    }
+
+    /// All points, sorted for deterministic reporting.
+    pub fn sorted_points(&self) -> Vec<CoveragePoint> {
+        let mut v: Vec<_> = self.points.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census(counts: &[(&'static str, usize)]) -> Census {
+        let mut c = Census::new();
+        for &(m, tainted) in counts {
+            c.report_counts(m, tainted, 64);
+        }
+        c
+    }
+
+    #[test]
+    fn observe_inserts_module_count_tuples() {
+        let mut m = CoverageMatrix::new();
+        assert_eq!(m.observe(&census(&[("rob", 3), ("lsu", 1)])), 2);
+        assert!(m.contains("rob", 3));
+        assert!(m.contains("lsu", 1));
+        assert!(!m.contains("rob", 1));
+        assert_eq!(m.points(), 2);
+    }
+
+    #[test]
+    fn repeated_observation_adds_nothing() {
+        let mut m = CoverageMatrix::new();
+        m.observe(&census(&[("rob", 3)]));
+        assert_eq!(m.observe(&census(&[("rob", 3)])), 0);
+        assert_eq!(m.points(), 1);
+    }
+
+    #[test]
+    fn zero_taint_is_not_coverage() {
+        let mut m = CoverageMatrix::new();
+        assert_eq!(m.observe(&census(&[("rob", 0)])), 0);
+        assert_eq!(m.points(), 0);
+    }
+
+    #[test]
+    fn position_insensitivity_is_inherent() {
+        // Secret in cache slot 0 vs slot 7 produces the same tainted count,
+        // hence the same coverage point — the paper's redundancy filter.
+        let mut m = CoverageMatrix::new();
+        m.observe(&census(&[("dcache", 1)])); // slot 0 tainted
+        let gain = m.gain(&census(&[("dcache", 1)])); // slot 7 tainted
+        assert_eq!(gain, 0);
+    }
+
+    #[test]
+    fn gain_previews_without_commit() {
+        let mut m = CoverageMatrix::new();
+        let c = census(&[("rob", 3), ("lsu", 1)]);
+        assert_eq!(m.gain(&c), 2);
+        assert_eq!(m.points(), 0, "gain must not mutate");
+        m.observe(&c);
+        assert_eq!(m.gain(&c), 0);
+    }
+
+    #[test]
+    fn merge_unions_points() {
+        let mut m1 = CoverageMatrix::new();
+        m1.observe(&census(&[("rob", 3)]));
+        let mut m2 = CoverageMatrix::new();
+        m2.observe(&census(&[("rob", 3), ("lsu", 2)]));
+        m1.merge(&m2);
+        assert_eq!(m1.points(), 2);
+    }
+
+    #[test]
+    fn observe_log_sums_new_points() {
+        use crate::census::TaintLog;
+        let mut log = TaintLog::new();
+        log.push(census(&[("rob", 1)]));
+        log.push(census(&[("rob", 2)]));
+        log.push(census(&[("rob", 2)]));
+        let mut m = CoverageMatrix::new();
+        assert_eq!(m.observe_log(&log), 2);
+    }
+
+    #[test]
+    fn sorted_points_are_deterministic() {
+        let mut m = CoverageMatrix::new();
+        m.observe(&census(&[("rob", 3), ("lsu", 1), ("dcache", 2)]));
+        let pts = m.sorted_points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,351 @@
+//! Control-flow cell taint policies: CellIFT's Policy 2 versus the paper's
+//! diffIFT rules (Table 1).
+//!
+//! The difference between the regimes is exactly one gate. For a multiplexer
+//! with selection signal `S`, inputs `A`/`B` and taints `At`/`Bt`/`St`:
+//!
+//! * CellIFT (Policy 2):
+//!   `Ot = (S ? Bt : At) | (St ? (A^B)|(At|Bt) : 0)`
+//! * diffIFT (Table 1):
+//!   `Ot = (S ? Bt : At) | (St & S_diff ? (A^B)|(At|Bt) : 0)`
+//!
+//! where `S_diff` is the cross-instance comparison signal — high only when
+//! the two DUT variants (running with different secrets) disagree on `S`.
+//! If no secret can change a control signal's value, the control taint is
+//! suppressed: "even if it is tainted, it should be ignored, as it cannot
+//! select an alternative path" (§3.3).
+
+use crate::tword::TWord;
+
+/// Which taint regime the control-flow cells apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum IftMode {
+    /// No taint tracking at all: values propagate, shadows stay zero.
+    /// Used for the "Base" rows of Table 4.
+    Base,
+    /// CellIFT policies: control taints propagate whenever the control
+    /// signal is tainted (over-tainting baseline).
+    CellIft,
+    /// diffIFT policies: control taints propagate only when the two DUT
+    /// variants disagree on the control signal (the paper's contribution).
+    #[default]
+    DiffIft,
+}
+
+impl IftMode {
+    /// All modes, in the order Table 4 reports them.
+    pub const ALL: [IftMode; 3] = [IftMode::Base, IftMode::CellIft, IftMode::DiffIft];
+
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            IftMode::Base => "Base",
+            IftMode::CellIft => "CellIFT",
+            IftMode::DiffIft => "diffIFT",
+        }
+    }
+
+    /// True if this mode computes any taints at all.
+    pub fn tracks_taint(self) -> bool {
+        !matches!(self, IftMode::Base)
+    }
+}
+
+/// The control-flow taint policy for one IFT regime.
+///
+/// `Policy` is [`Copy`] and carries no state beyond the mode; cores and
+/// netlist simulators embed one and route every control-flow cell through
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Policy {
+    mode: IftMode,
+}
+
+impl Policy {
+    /// Creates the policy for `mode`.
+    pub const fn new(mode: IftMode) -> Self {
+        Policy { mode }
+    }
+
+    /// The regime this policy implements.
+    pub const fn mode(self) -> IftMode {
+        self.mode
+    }
+
+    /// Whether the control-taint gate fires for a control word `s`.
+    ///
+    /// CellIFT: fires whenever `s` is tainted. diffIFT: fires only when `s`
+    /// is tainted *and* the variants disagree on it.
+    #[inline]
+    pub fn control_gate(self, s: TWord) -> bool {
+        match self.mode {
+            IftMode::Base => false,
+            IftMode::CellIft => s.is_tainted(),
+            IftMode::DiffIft => s.is_tainted() && s.diff(),
+        }
+    }
+
+    /// Multiplexer cell: `S ? then_v : else_v` (row 1 of Table 1).
+    #[inline]
+    pub fn mux(self, s: TWord, then_v: TWord, else_v: TWord) -> TWord {
+        let a = if s.a != 0 { then_v.a } else { else_v.a };
+        let b = if s.b != 0 { then_v.b } else { else_v.b };
+        if self.mode == IftMode::Base {
+            return TWord { a, b, t: 0 };
+        }
+        let data_a = if s.a != 0 { then_v.t } else { else_v.t };
+        let data_b = if s.b != 0 { then_v.t } else { else_v.t };
+        let mut t = data_a | data_b;
+        if self.control_gate(s) {
+            // (A ^ B) | (At | Bt): any bit that could change had the other
+            // branch been selected.
+            t |= (then_v.a ^ else_v.a) | (then_v.b ^ else_v.b) | then_v.t | else_v.t;
+        }
+        TWord { a, b, t }
+    }
+
+    /// Comparison cell producing a 1-bit result (`A == B`); row 2 of
+    /// Table 1: `Ot = O_diff & |(At|Bt)`.
+    #[inline]
+    pub fn eq(self, x: TWord, y: TWord) -> TWord {
+        let a = (x.a == y.a) as u64;
+        let b = (x.b == y.b) as u64;
+        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+    }
+
+    /// Comparison cell for `A != B`.
+    #[inline]
+    pub fn ne(self, x: TWord, y: TWord) -> TWord {
+        let a = (x.a != y.a) as u64;
+        let b = (x.b != y.b) as u64;
+        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+    }
+
+    /// Comparison cell for unsigned `A < B`.
+    #[inline]
+    pub fn lt(self, x: TWord, y: TWord) -> TWord {
+        let a = (x.a < y.a) as u64;
+        let b = (x.b < y.b) as u64;
+        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+    }
+
+    /// Comparison cell for signed `A < B`.
+    #[inline]
+    pub fn lt_signed(self, x: TWord, y: TWord) -> TWord {
+        let a = ((x.a as i64) < (y.a as i64)) as u64;
+        let b = ((x.b as i64) < (y.b as i64)) as u64;
+        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+    }
+
+    /// Comparison cell for unsigned `A >= B`.
+    #[inline]
+    pub fn ge(self, x: TWord, y: TWord) -> TWord {
+        let a = (x.a >= y.a) as u64;
+        let b = (x.b >= y.b) as u64;
+        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+    }
+
+    #[inline]
+    fn cmp_taint(self, out_a: u64, out_b: u64, x: TWord, y: TWord) -> u64 {
+        let any_in_taint = (x.t | y.t) != 0;
+        match self.mode {
+            IftMode::Base => 0,
+            // CellIFT: any tainted input taints the 1-bit output.
+            IftMode::CellIft => any_in_taint as u64,
+            // diffIFT: O_diff & |(At | Bt).
+            IftMode::DiffIft => ((out_a != out_b) && any_in_taint) as u64,
+        }
+    }
+
+    /// Register with enable (row 3 of Table 1): returns the register's next
+    /// value given current value `q`, input `d` and enable `en`.
+    ///
+    /// `En ? Dt : Qt | (En_t & En_diff ? (D^Q)|(Dt|Qt) : 0)` — structurally
+    /// a mux with `q` on the else-branch.
+    #[inline]
+    pub fn reg_en(self, en: TWord, d: TWord, q: TWord) -> TWord {
+        self.mux(en, d, q)
+    }
+
+    /// Boolean AND of two control words (1-bit semantics, planes computed
+    /// independently, data-taint only).
+    #[inline]
+    pub fn bool_and(self, x: TWord, y: TWord) -> TWord {
+        let a = (x.a != 0 && y.a != 0) as u64;
+        let b = (x.b != 0 && y.b != 0) as u64;
+        let t = if self.mode == IftMode::Base {
+            0
+        } else {
+            // Policy 1 on the 1-bit domain.
+            ((x.a != 0 || x.b != 0) as u64 & ((y.t != 0) as u64))
+                | ((y.a != 0 || y.b != 0) as u64 & ((x.t != 0) as u64))
+                | ((x.t != 0 && y.t != 0) as u64)
+        };
+        TWord { a, b, t }
+    }
+
+    /// Boolean OR of two control words.
+    #[inline]
+    pub fn bool_or(self, x: TWord, y: TWord) -> TWord {
+        let a = (x.a != 0 || y.a != 0) as u64;
+        let b = (x.b != 0 || y.b != 0) as u64;
+        let t = if self.mode == IftMode::Base {
+            0
+        } else {
+            ((x.a == 0 || x.b == 0) as u64 & ((y.t != 0) as u64))
+                | ((y.a == 0 || y.b == 0) as u64 & ((x.t != 0) as u64))
+                | ((x.t != 0 && y.t != 0) as u64)
+        };
+        TWord { a, b, t }
+    }
+
+    /// Boolean NOT of a control word.
+    #[inline]
+    pub fn bool_not(self, x: TWord) -> TWord {
+        TWord {
+            a: (x.a == 0) as u64,
+            b: (x.b == 0) as u64,
+            t: if self.mode == IftMode::Base { 0 } else { (x.t != 0) as u64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CELL: Policy = Policy::new(IftMode::CellIft);
+    const DIFF: Policy = Policy::new(IftMode::DiffIft);
+    const BASE: Policy = Policy::new(IftMode::Base);
+
+    #[test]
+    fn mux_selects_per_plane() {
+        let s = TWord::with_taint(1, 0, 0);
+        let then_v = TWord::lit(0xAA);
+        let else_v = TWord::lit(0xBB);
+        let o = DIFF.mux(s, then_v, else_v);
+        assert_eq!(o.a, 0xAA);
+        assert_eq!(o.b, 0xBB);
+    }
+
+    #[test]
+    fn cellift_mux_control_taint_fires_on_tainted_sel() {
+        // Selection tainted but identical in both planes: CellIFT taints the
+        // differing data bits, diffIFT does not (paper §3.3, core insight).
+        let s = TWord::with_taint(1, 1, 1);
+        let then_v = TWord::lit(0xAA);
+        let else_v = TWord::lit(0x55);
+        assert_eq!(CELL.mux(s, then_v, else_v).t, 0xAA ^ 0x55);
+        assert_eq!(DIFF.mux(s, then_v, else_v).t, 0);
+    }
+
+    #[test]
+    fn diffift_mux_control_taint_fires_on_diverged_sel() {
+        // A secret actually flipped the selection between variants.
+        let s = TWord::with_taint(1, 0, 1);
+        let then_v = TWord::lit(0xAA);
+        let else_v = TWord::lit(0x55);
+        let o = DIFF.mux(s, then_v, else_v);
+        assert_eq!(o.t, 0xFF);
+        assert_eq!(o.a, 0xAA);
+        assert_eq!(o.b, 0x55);
+    }
+
+    #[test]
+    fn untainted_diverged_sel_is_not_control_taint() {
+        // Planes may legitimately differ on untainted data (e.g. variant
+        // IDs); without taint there is no information flow from a secret.
+        let s = TWord::with_taint(1, 0, 0);
+        let o = DIFF.mux(s, TWord::lit(1), TWord::lit(2));
+        assert_eq!(o.t, 0);
+    }
+
+    #[test]
+    fn base_mode_never_taints() {
+        let s = TWord::secret(1, 0);
+        let o = BASE.mux(s, TWord::secret(1, 2), TWord::secret(3, 4));
+        assert_eq!(o.t, 0);
+        assert_eq!(BASE.eq(s, s).t, 0);
+    }
+
+    #[test]
+    fn mux_data_taint_follows_selected_branch() {
+        let s = TWord::lit(1);
+        let tainted = TWord::with_taint(5, 5, 0xF);
+        let clean = TWord::lit(9);
+        assert_eq!(DIFF.mux(s, tainted, clean).t, 0xF);
+        assert_eq!(DIFF.mux(TWord::lit(0), tainted, clean).t, 0);
+    }
+
+    #[test]
+    fn comparison_cell_cellift_vs_diffift() {
+        // Tainted inputs, equal outcome in both planes.
+        let x = TWord::with_taint(5, 5, 1);
+        let y = TWord::lit(5);
+        assert_eq!(CELL.eq(x, y).t, 1, "CellIFT taints any tainted comparison");
+        assert_eq!(DIFF.eq(x, y).t, 0, "diffIFT: O_diff is low");
+
+        // Secret flips the comparison outcome between variants.
+        let x2 = TWord::secret(5, 6);
+        let o = DIFF.eq(x2, y);
+        assert_eq!(o.a, 1);
+        assert_eq!(o.b, 0);
+        assert_eq!(o.t, 1, "diffIFT: O_diff high and inputs tainted");
+    }
+
+    #[test]
+    fn comparison_diff_without_taint_is_clean() {
+        let x = TWord::with_taint(5, 6, 0);
+        let y = TWord::lit(5);
+        assert_eq!(DIFF.eq(x, y).t, 0);
+    }
+
+    #[test]
+    fn lt_signed_and_unsigned_disagree() {
+        let x = TWord::lit(u64::MAX); // -1 signed
+        let y = TWord::lit(1);
+        assert_eq!(DIFF.lt(x, y).a, 0);
+        assert_eq!(DIFF.lt_signed(x, y).a, 1);
+    }
+
+    #[test]
+    fn reg_en_is_mux_with_q_fallback() {
+        let q = TWord::lit(7);
+        let d = TWord::lit(8);
+        assert_eq!(DIFF.reg_en(TWord::lit(0), d, q).a, 7);
+        assert_eq!(DIFF.reg_en(TWord::lit(1), d, q).a, 8);
+    }
+
+    #[test]
+    fn reg_en_diverged_enable_taints_update() {
+        // The RoB example of §2.2: a tainted, diverged enable taints the
+        // entry field because the variants disagree on whether it updates.
+        let q = TWord::lit(0x13); // old uopc
+        let d = TWord::lit(0x33); // enq uopc
+        let en = TWord::with_taint(1, 0, 1);
+        let o = DIFF.reg_en(en, d, q);
+        assert_eq!(o.a, 0x33);
+        assert_eq!(o.b, 0x13);
+        assert_eq!(o.t, 0x13 ^ 0x33);
+    }
+
+    #[test]
+    fn bool_ops_track_taint() {
+        let clean_true = TWord::lit(1);
+        let tainted_true = TWord::with_taint(1, 1, 1);
+        assert_eq!(DIFF.bool_and(clean_true, tainted_true).t, 1);
+        assert_eq!(DIFF.bool_and(TWord::lit(0), tainted_true).t, 0, "0 AND x masks taint");
+        assert_eq!(DIFF.bool_or(clean_true, tainted_true).t, 0, "1 OR x masks taint");
+        assert_eq!(DIFF.bool_not(tainted_true).a, 0);
+        assert_eq!(DIFF.bool_not(tainted_true).t, 1);
+    }
+
+    #[test]
+    fn mode_names_match_paper() {
+        assert_eq!(IftMode::Base.name(), "Base");
+        assert_eq!(IftMode::CellIft.name(), "CellIFT");
+        assert_eq!(IftMode::DiffIft.name(), "diffIFT");
+        assert!(!IftMode::Base.tracks_taint());
+        assert!(IftMode::DiffIft.tracks_taint());
+    }
+}

@@ -1,0 +1,485 @@
+//! The two-plane tainted word and its *data-flow* taint operators.
+//!
+//! Plane `a` is the value seen by DUT variant 1, plane `b` the value seen by
+//! DUT variant 2 (the variant whose secret is the bit-flip of variant 1's,
+//! §3.3 of the paper). The shadow mask `t` marks which bits are derived from
+//! sensitive data. Data-flow cells (AND/OR/XOR/ADD/…) propagate taint the
+//! same way under CellIFT and diffIFT, so their policies live here as plain
+//! methods; control-flow cells (MUX, comparison, enabled register, memory
+//! ports) differ between the regimes and live in [`crate::policy::Policy`].
+
+use std::fmt;
+
+/// A 64-bit word carried through both DUT variants plus a shared taint mask.
+///
+/// `t` bit *i* set means bit *i* of the word is influenced by the secret in
+/// at least one of the two variants (the union of the two per-variant shadow
+/// registers the paper instantiates — a conservative approximation that is
+/// exact whenever the variants' shadows agree, which they do for identical
+/// programs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TWord {
+    /// Value plane of DUT variant 1.
+    pub a: u64,
+    /// Value plane of DUT variant 2.
+    pub b: u64,
+    /// Shared taint shadow mask.
+    pub t: u64,
+}
+
+impl TWord {
+    /// An untainted literal, identical in both variants.
+    #[inline]
+    pub const fn lit(v: u64) -> Self {
+        TWord { a: v, b: v, t: 0 }
+    }
+
+    /// An untainted boolean literal (`1` or `0` in both planes).
+    #[inline]
+    pub const fn bool_lit(v: bool) -> Self {
+        TWord::lit(v as u64)
+    }
+
+    /// A fully tainted secret: variant 1 sees `a`, variant 2 sees `b`.
+    ///
+    /// Every bit is marked tainted regardless of whether the two values
+    /// happen to agree on it, mirroring the paper's "mark sensitive state
+    /// elements with taints" at the source.
+    #[inline]
+    pub const fn secret(a: u64, b: u64) -> Self {
+        TWord { a, b, t: u64::MAX }
+    }
+
+    /// A word with explicit planes and taint mask.
+    #[inline]
+    pub const fn with_taint(a: u64, b: u64, t: u64) -> Self {
+        TWord { a, b, t }
+    }
+
+    /// True if any bit of the shadow mask is set.
+    #[inline]
+    pub const fn is_tainted(self) -> bool {
+        self.t != 0
+    }
+
+    /// The cross-instance comparison signal of Table 1: true when the two
+    /// variants disagree on the value.
+    #[inline]
+    pub const fn diff(self) -> bool {
+        self.a != self.b
+    }
+
+    /// XOR of the two planes (the raw `A ^ B` diff vector of Table 1).
+    #[inline]
+    pub const fn plane_xor(self) -> u64 {
+        self.a ^ self.b
+    }
+
+    /// True when plane `a` is non-zero (variant 1's view of a boolean).
+    #[inline]
+    pub const fn truthy_a(self) -> bool {
+        self.a != 0
+    }
+
+    /// True when plane `b` is non-zero (variant 2's view of a boolean).
+    #[inline]
+    pub const fn truthy_b(self) -> bool {
+        self.b != 0
+    }
+
+    /// True when the boolean is set in *both* variants.
+    #[inline]
+    pub const fn both(self) -> bool {
+        self.a != 0 && self.b != 0
+    }
+
+    /// True when the boolean is set in *either* variant.
+    #[inline]
+    pub const fn either(self) -> bool {
+        self.a != 0 || self.b != 0
+    }
+
+    /// The value of the requested plane (0 = variant 1, 1 = variant 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane > 1`.
+    #[inline]
+    pub fn plane(self, plane: usize) -> u64 {
+        match plane {
+            0 => self.a,
+            1 => self.b,
+            _ => panic!("TWord has exactly two planes, got index {plane}"),
+        }
+    }
+
+    /// Replaces the value of one plane, keeping the taint mask.
+    #[inline]
+    pub fn set_plane(&mut self, plane: usize, v: u64) {
+        match plane {
+            0 => self.a = v,
+            1 => self.b = v,
+            _ => panic!("TWord has exactly two planes, got index {plane}"),
+        }
+    }
+
+    /// Applies a pure per-plane function, spreading taint to the whole
+    /// result when any input bit is tainted.
+    ///
+    /// This is the generic data-taint rule for opaque combinational logic
+    /// (e.g. an instruction decoder): any tainted input taints the output.
+    #[inline]
+    pub fn map(self, f: impl Fn(u64) -> u64) -> TWord {
+        TWord {
+            a: f(self.a),
+            b: f(self.b),
+            t: if self.t != 0 { u64::MAX } else { 0 },
+        }
+    }
+
+    /// Returns the word truncated to the low `bits` bits in every plane
+    /// (including the shadow mask). `bits >= 64` is the identity.
+    ///
+    /// This models an RTL wire of narrower width than its driver — the exact
+    /// mechanism behind the paper's B1 MeltDown-Sampling bug, where an
+    /// address mask is implicitly truncated on the way to the load unit.
+    #[inline]
+    pub fn truncate(self, bits: u32) -> TWord {
+        if bits >= 64 {
+            return self;
+        }
+        let m = (1u64 << bits) - 1;
+        TWord { a: self.a & m, b: self.b & m, t: self.t & m }
+    }
+
+    // ---- data-flow cells (identical under CellIFT and diffIFT) ----
+
+    /// Policy 1 of the paper: `Ot = (A & Bt) | (B & At) | (At & Bt)`,
+    /// evaluated in each plane and unioned.
+    #[inline]
+    pub fn and(self, rhs: TWord) -> TWord {
+        let ta = (self.a & rhs.t) | (rhs.a & self.t) | (self.t & rhs.t);
+        let tb = (self.b & rhs.t) | (rhs.b & self.t) | (self.t & rhs.t);
+        TWord { a: self.a & rhs.a, b: self.b & rhs.b, t: ta | tb }
+    }
+
+    /// Dual of Policy 1 for OR: a tainted input bit matters only where the
+    /// other input is 0.
+    #[inline]
+    pub fn or(self, rhs: TWord) -> TWord {
+        let ta = (!self.a & rhs.t) | (!rhs.a & self.t) | (self.t & rhs.t);
+        let tb = (!self.b & rhs.t) | (!rhs.b & self.t) | (self.t & rhs.t);
+        TWord { a: self.a | rhs.a, b: self.b | rhs.b, t: ta | tb }
+    }
+
+    /// XOR propagates taint bit-exactly.
+    #[inline]
+    pub fn xor(self, rhs: TWord) -> TWord {
+        TWord { a: self.a ^ rhs.a, b: self.b ^ rhs.b, t: self.t | rhs.t }
+    }
+
+    /// NOT keeps the shadow mask unchanged.
+    #[inline]
+    pub fn not(self) -> TWord {
+        TWord { a: !self.a, b: !self.b, t: self.t }
+    }
+
+    /// Addition: carries only travel towards the MSB, so the result is
+    /// tainted from the lowest tainted input bit upward.
+    #[inline]
+    pub fn add(self, rhs: TWord) -> TWord {
+        TWord {
+            a: self.a.wrapping_add(rhs.a),
+            b: self.b.wrapping_add(rhs.b),
+            t: smear_up(self.t | rhs.t),
+        }
+    }
+
+    /// Subtraction: same carry direction as addition.
+    #[inline]
+    pub fn sub(self, rhs: TWord) -> TWord {
+        TWord {
+            a: self.a.wrapping_sub(rhs.a),
+            b: self.b.wrapping_sub(rhs.b),
+            t: smear_up(self.t | rhs.t),
+        }
+    }
+
+    /// Multiplication: partial products move taint towards the MSB only.
+    #[inline]
+    pub fn mul(self, rhs: TWord) -> TWord {
+        TWord {
+            a: self.a.wrapping_mul(rhs.a),
+            b: self.b.wrapping_mul(rhs.b),
+            t: smear_up(self.t | rhs.t),
+        }
+    }
+
+    /// Logical left shift by an *untainted, plane-identical* amount.
+    ///
+    /// If the shift amount is tainted or differs between planes, the whole
+    /// result is tainted (a tainted shamt is control-like: every output bit
+    /// could change).
+    #[inline]
+    pub fn shl(self, shamt: TWord) -> TWord {
+        let sa = (shamt.a & 63) as u32;
+        let sb = (shamt.b & 63) as u32;
+        let t = if shamt.t != 0 || sa != sb { u64::MAX } else { self.t << sa };
+        TWord { a: self.a << sa, b: self.b << sb, t }
+    }
+
+    /// Logical right shift; see [`TWord::shl`] for the taint rule.
+    #[inline]
+    pub fn shr(self, shamt: TWord) -> TWord {
+        let sa = (shamt.a & 63) as u32;
+        let sb = (shamt.b & 63) as u32;
+        let t = if shamt.t != 0 || sa != sb { u64::MAX } else { self.t >> sa };
+        TWord { a: self.a >> sa, b: self.b >> sb, t }
+    }
+
+    /// Arithmetic right shift; the sign bit replicates its taint.
+    #[inline]
+    pub fn sra(self, shamt: TWord) -> TWord {
+        let sa = (shamt.a & 63) as u32;
+        let sb = (shamt.b & 63) as u32;
+        let t = if shamt.t != 0 || sa != sb {
+            u64::MAX
+        } else {
+            let sign_taint = if self.t >> 63 != 0 { !(u64::MAX >> sa) } else { 0 };
+            (self.t >> sa) | sign_taint
+        };
+        TWord {
+            a: ((self.a as i64) >> sa) as u64,
+            b: ((self.b as i64) >> sb) as u64,
+            t,
+        }
+    }
+
+    /// Extracts bits `[lo, lo+width)` into the low bits of the result.
+    #[inline]
+    pub fn bits(self, lo: u32, width: u32) -> TWord {
+        let m = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        TWord {
+            a: (self.a >> lo) & m,
+            b: (self.b >> lo) & m,
+            t: (self.t >> lo) & m,
+        }
+    }
+
+    /// The taint union of two words without changing values (used to model
+    /// "this state was computed under the influence of that one").
+    #[inline]
+    pub fn taint_union(self, rhs: TWord) -> TWord {
+        TWord { a: self.a, b: self.b, t: self.t | rhs.t }
+    }
+
+    /// A copy with the shadow mask cleared.
+    #[inline]
+    pub fn untainted(self) -> TWord {
+        TWord { a: self.a, b: self.b, t: 0 }
+    }
+
+    /// A copy with every bit of the shadow mask set.
+    #[inline]
+    pub fn fully_tainted(self) -> TWord {
+        TWord { a: self.a, b: self.b, t: u64::MAX }
+    }
+}
+
+/// Taints every bit at or above the lowest set bit of `t` (the carry-chain
+/// smear used by the ADD/SUB/MUL data policies).
+#[inline]
+pub fn smear_up(t: u64) -> u64 {
+    if t == 0 {
+        0
+    } else {
+        !((1u64 << t.trailing_zeros()) - 1)
+    }
+}
+
+impl fmt::Debug for TWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.a == self.b && self.t == 0 {
+            write!(f, "TWord({:#x})", self.a)
+        } else {
+            write!(f, "TWord(a={:#x}, b={:#x}, t={:#x})", self.a, self.b, self.t)
+        }
+    }
+}
+
+impl fmt::Display for TWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for TWord {
+    fn from(v: u64) -> Self {
+        TWord::lit(v)
+    }
+}
+
+impl From<bool> for TWord {
+    fn from(v: bool) -> Self {
+        TWord::bool_lit(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_is_untainted_and_plane_identical() {
+        let w = TWord::lit(42);
+        assert_eq!(w.a, 42);
+        assert_eq!(w.b, 42);
+        assert!(!w.is_tainted());
+        assert!(!w.diff());
+    }
+
+    #[test]
+    fn secret_is_fully_tainted() {
+        let s = TWord::secret(0x12, !0x12);
+        assert!(s.is_tainted());
+        assert!(s.diff());
+        assert_eq!(s.t, u64::MAX);
+    }
+
+    #[test]
+    fn and_policy1_matches_paper_equation() {
+        // A untainted 1-bits pass the other operand's taint through.
+        let a = TWord::lit(0b1100);
+        let b = TWord::with_taint(0b1010, 0b1010, 0b0010);
+        let o = a.and(b);
+        assert_eq!(o.a, 0b1000);
+        // Ot = (A & Bt) | (B & At) | (At & Bt) = (1100 & 0010) = 0.
+        assert_eq!(o.t, 0);
+
+        // Where A has a 1, a tainted B bit taints the output bit.
+        let b2 = TWord::with_taint(0b1010, 0b1010, 0b1000);
+        assert_eq!(a.and(b2).t, 0b1000);
+    }
+
+    #[test]
+    fn and_with_zero_masks_taint() {
+        // ANDing a fully tainted word with constant 0 yields untainted 0 —
+        // the key precision CellIFT gains over naive OR-of-taints.
+        let secret = TWord::secret(0xff, 0x00);
+        let zero = TWord::lit(0);
+        let o = secret.and(zero);
+        assert_eq!(o.a, 0);
+        assert_eq!(o.t, 0);
+    }
+
+    #[test]
+    fn or_with_ones_masks_taint() {
+        let secret = TWord::secret(0xff, 0x00);
+        let ones = TWord::lit(u64::MAX);
+        let o = secret.or(ones);
+        assert_eq!(o.a, u64::MAX);
+        assert_eq!(o.t, 0);
+    }
+
+    #[test]
+    fn xor_is_bit_exact() {
+        let a = TWord::with_taint(0xf0, 0xf0, 0x10);
+        let b = TWord::with_taint(0x0f, 0x0f, 0x01);
+        assert_eq!(a.xor(b).t, 0x11);
+    }
+
+    #[test]
+    fn add_smears_upward_only() {
+        let a = TWord::with_taint(8, 8, 0b1000);
+        let b = TWord::lit(1);
+        let o = a.add(b);
+        assert_eq!(o.a, 9);
+        // Bits below the lowest tainted bit stay clean.
+        assert_eq!(o.t & 0b0111, 0);
+        assert_ne!(o.t & 0b1000, 0);
+    }
+
+    #[test]
+    fn smear_up_edges() {
+        assert_eq!(smear_up(0), 0);
+        assert_eq!(smear_up(1), u64::MAX);
+        assert_eq!(smear_up(1 << 63), 1 << 63);
+    }
+
+    #[test]
+    fn shl_shifts_taint_with_value() {
+        let a = TWord::with_taint(0b1, 0b1, 0b1);
+        let o = a.shl(TWord::lit(4));
+        assert_eq!(o.a, 0b10000);
+        assert_eq!(o.t, 0b10000);
+    }
+
+    #[test]
+    fn tainted_shamt_taints_everything() {
+        let a = TWord::lit(0b1);
+        let o = a.shl(TWord::with_taint(4, 4, 1));
+        assert_eq!(o.t, u64::MAX);
+    }
+
+    #[test]
+    fn diverged_shamt_taints_everything() {
+        let a = TWord::lit(0b1);
+        let o = a.shl(TWord::with_taint(4, 5, 0));
+        assert_eq!(o.t, u64::MAX);
+        assert_ne!(o.a, o.b);
+    }
+
+    #[test]
+    fn truncate_models_wire_narrowing() {
+        // B1: a 64-bit masked address implicitly truncated to 39 bits drops
+        // the high "illegal" mask bits, aliasing a legal address.
+        let masked = TWord::lit(0x8000_0000_8000_4000);
+        let narrowed = masked.truncate(39);
+        // The illegal high mask bits vanish; the address aliases 0x8000_4000,
+        // exactly the paper's "attackers can sample the secret at 0x80004000".
+        assert_eq!(narrowed.a, 0x8000_4000);
+        assert_eq!(narrowed.a & !((1u64 << 39) - 1), 0);
+    }
+
+    #[test]
+    fn bits_extracts_subfield() {
+        let w = TWord::with_taint(0xABCD, 0xABCD, 0xF0);
+        let f = w.bits(4, 8);
+        assert_eq!(f.a, 0xBC);
+        assert_eq!(f.t, 0x0F);
+    }
+
+    #[test]
+    fn sra_replicates_sign_taint() {
+        let w = TWord::with_taint(0x8000_0000_0000_0000, 0, 0x8000_0000_0000_0000);
+        let o = w.sra(TWord::lit(8));
+        // The replicated sign bits must all be tainted.
+        assert_eq!(o.t & 0xFF80_0000_0000_0000, 0xFF80_0000_0000_0000);
+        assert_eq!(o.a, 0xFF80_0000_0000_0000);
+    }
+
+    #[test]
+    fn plane_accessors_roundtrip() {
+        let mut w = TWord::lit(7);
+        w.set_plane(1, 9);
+        assert_eq!(w.plane(0), 7);
+        assert_eq!(w.plane(1), 9);
+        assert!(w.diff());
+    }
+
+    #[test]
+    #[should_panic(expected = "two planes")]
+    fn plane_out_of_range_panics() {
+        TWord::lit(0).plane(2);
+    }
+
+    #[test]
+    fn map_spreads_taint_conservatively() {
+        let w = TWord::with_taint(3, 3, 1);
+        let o = w.map(|x| x * 10);
+        assert_eq!(o.a, 30);
+        assert_eq!(o.t, u64::MAX);
+        let clean = TWord::lit(3).map(|x| x * 10);
+        assert_eq!(clean.t, 0);
+    }
+}

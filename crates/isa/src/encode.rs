@@ -1,0 +1,526 @@
+//! Real RISC-V 32-bit instruction encodings for the modelled subset.
+//!
+//! Round-tripping through the binary format keeps the fuzzer honest: the
+//! microarchitectural model fetches 32-bit words from memory and decodes
+//! them, exactly like the RTL it stands in for, so stale instruction bytes
+//! (e.g. after a swapMem swap without an icache flush) behave realistically.
+
+use crate::instr::{AluOp, BranchOp, FpOp, Instr, LoadOp, Reg, StoreOp};
+
+const OP_LUI: u32 = 0b0110111;
+const OP_AUIPC: u32 = 0b0010111;
+const OP_JAL: u32 = 0b1101111;
+const OP_JALR: u32 = 0b1100111;
+const OP_BRANCH: u32 = 0b1100011;
+const OP_LOAD: u32 = 0b0000011;
+const OP_STORE: u32 = 0b0100011;
+const OP_IMM: u32 = 0b0010011;
+const OP_IMM32: u32 = 0b0011011;
+const OP_REG: u32 = 0b0110011;
+const OP_REG32: u32 = 0b0111011;
+const OP_FP: u32 = 0b1010011;
+const OP_FLOAD: u32 = 0b0000111;
+const OP_FSTORE: u32 = 0b0100111;
+const OP_MISC_MEM: u32 = 0b0001111;
+const OP_SYSTEM: u32 = 0b1110011;
+
+#[inline]
+fn r_type(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2.0 as u32) << 20)
+        | ((rs1.0 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd.0 as u32) << 7)
+        | opcode
+}
+
+#[inline]
+fn i_type(imm: i64, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (((imm as u32) & 0xFFF) << 20)
+        | ((rs1.0 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd.0 as u32) << 7)
+        | opcode
+}
+
+#[inline]
+fn s_type(imm: i64, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7F) << 25)
+        | ((rs2.0 as u32) << 20)
+        | ((rs1.0 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+#[inline]
+fn b_type(offset: i64, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | ((rs2.0 as u32) << 20)
+        | ((rs1.0 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+#[inline]
+fn u_type(imm: i64, rd: Reg, opcode: u32) -> u32 {
+    ((imm as u32) & 0xFFFF_F000) | ((rd.0 as u32) << 7) | opcode
+}
+
+#[inline]
+fn j_type(offset: i64, rd: Reg, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | ((rd.0 as u32) << 7)
+        | opcode
+}
+
+/// Encodes an instruction into its 32-bit RISC-V representation.
+///
+/// Offsets/immediates are truncated to their field widths exactly like an
+/// assembler would; use the [`crate::asm::ProgramBuilder`] for range-checked
+/// assembly.
+pub fn encode(i: Instr) -> u32 {
+    match i {
+        Instr::Lui { rd, imm } => u_type(imm, rd, OP_LUI),
+        Instr::Auipc { rd, imm } => u_type(imm, rd, OP_AUIPC),
+        Instr::Jal { rd, offset } => j_type(offset, rd, OP_JAL),
+        Instr::Jalr { rd, rs1, offset } => i_type(offset, rs1, 0b000, rd, OP_JALR),
+        Instr::Branch { op, rs1, rs2, offset } => {
+            let f3 = match op {
+                BranchOp::Beq => 0b000,
+                BranchOp::Bne => 0b001,
+                BranchOp::Blt => 0b100,
+                BranchOp::Bge => 0b101,
+                BranchOp::Bltu => 0b110,
+                BranchOp::Bgeu => 0b111,
+            };
+            b_type(offset, rs2, rs1, f3, OP_BRANCH)
+        }
+        Instr::Load { op, rd, rs1, offset } => {
+            let f3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Ld => 0b011,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+                LoadOp::Lwu => 0b110,
+            };
+            i_type(offset, rs1, f3, rd, OP_LOAD)
+        }
+        Instr::Store { op, rs2, rs1, offset } => {
+            let f3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+                StoreOp::Sd => 0b011,
+            };
+            s_type(offset, rs2, rs1, f3, OP_STORE)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => match op {
+            AluOp::Add => i_type(imm, rs1, 0b000, rd, OP_IMM),
+            AluOp::Slt => i_type(imm, rs1, 0b010, rd, OP_IMM),
+            AluOp::Sltu => i_type(imm, rs1, 0b011, rd, OP_IMM),
+            AluOp::Xor => i_type(imm, rs1, 0b100, rd, OP_IMM),
+            AluOp::Or => i_type(imm, rs1, 0b110, rd, OP_IMM),
+            AluOp::And => i_type(imm, rs1, 0b111, rd, OP_IMM),
+            AluOp::Sll => i_type(imm & 0x3F, rs1, 0b001, rd, OP_IMM),
+            AluOp::Srl => i_type(imm & 0x3F, rs1, 0b101, rd, OP_IMM),
+            AluOp::Sra => i_type((imm & 0x3F) | 0x400, rs1, 0b101, rd, OP_IMM),
+            AluOp::AddW => i_type(imm, rs1, 0b000, rd, OP_IMM32),
+            AluOp::SllW => i_type(imm & 0x1F, rs1, 0b001, rd, OP_IMM32),
+            AluOp::SrlW => i_type(imm & 0x1F, rs1, 0b101, rd, OP_IMM32),
+            AluOp::SraW => i_type((imm & 0x1F) | 0x400, rs1, 0b101, rd, OP_IMM32),
+            // Ops without an immediate form encode as an illegal word so the
+            // generator cannot silently emit them.
+            _ => 0,
+        },
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (f7, f3, opc) = match op {
+                AluOp::Add => (0b0000000, 0b000, OP_REG),
+                AluOp::Sub => (0b0100000, 0b000, OP_REG),
+                AluOp::Sll => (0b0000000, 0b001, OP_REG),
+                AluOp::Slt => (0b0000000, 0b010, OP_REG),
+                AluOp::Sltu => (0b0000000, 0b011, OP_REG),
+                AluOp::Xor => (0b0000000, 0b100, OP_REG),
+                AluOp::Srl => (0b0000000, 0b101, OP_REG),
+                AluOp::Sra => (0b0100000, 0b101, OP_REG),
+                AluOp::Or => (0b0000000, 0b110, OP_REG),
+                AluOp::And => (0b0000000, 0b111, OP_REG),
+                AluOp::AddW => (0b0000000, 0b000, OP_REG32),
+                AluOp::SubW => (0b0100000, 0b000, OP_REG32),
+                AluOp::SllW => (0b0000000, 0b001, OP_REG32),
+                AluOp::SrlW => (0b0000000, 0b101, OP_REG32),
+                AluOp::SraW => (0b0100000, 0b101, OP_REG32),
+                AluOp::Mul => (0b0000001, 0b000, OP_REG),
+                AluOp::Mulh => (0b0000001, 0b001, OP_REG),
+                AluOp::Mulhu => (0b0000001, 0b011, OP_REG),
+                AluOp::Div => (0b0000001, 0b100, OP_REG),
+                AluOp::Divu => (0b0000001, 0b101, OP_REG),
+                AluOp::Rem => (0b0000001, 0b110, OP_REG),
+                AluOp::Remu => (0b0000001, 0b111, OP_REG),
+                AluOp::MulW => (0b0000001, 0b000, OP_REG32),
+                AluOp::DivW => (0b0000001, 0b100, OP_REG32),
+                AluOp::DivuW => (0b0000001, 0b101, OP_REG32),
+                AluOp::RemW => (0b0000001, 0b110, OP_REG32),
+                AluOp::RemuW => (0b0000001, 0b111, OP_REG32),
+            };
+            r_type(f7, rs2, rs1, f3, rd, opc)
+        }
+        Instr::FLoad { rd, rs1, offset } => i_type(offset, rs1, 0b011, rd, OP_FLOAD),
+        Instr::FStore { rs2, rs1, offset } => s_type(offset, rs2, rs1, 0b011, OP_FSTORE),
+        Instr::Fp { op, rd, rs1, rs2 } => {
+            let f7 = match op {
+                FpOp::FaddD => 0b0000001,
+                FpOp::FsubD => 0b0000101,
+                FpOp::FmulD => 0b0001001,
+                FpOp::FdivD => 0b0001101,
+            };
+            // rm = 0b111 (dynamic rounding).
+            r_type(f7, rs2, rs1, 0b111, rd, OP_FP)
+        }
+        Instr::FmvDX { rd, rs1 } => r_type(0b1111001, Reg(0), rs1, 0b000, rd, OP_FP),
+        Instr::FmvXD { rd, rs1 } => r_type(0b1110001, Reg(0), rs1, 0b000, rd, OP_FP),
+        Instr::Fence => i_type(0, Reg::ZERO, 0b000, Reg::ZERO, OP_MISC_MEM),
+        Instr::Ecall => i_type(0, Reg::ZERO, 0b000, Reg::ZERO, OP_SYSTEM),
+        Instr::Ebreak => i_type(1, Reg::ZERO, 0b000, Reg::ZERO, OP_SYSTEM),
+        Instr::Illegal(w) => w,
+    }
+}
+
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg(((w >> 7) & 31) as u8)
+}
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg(((w >> 15) & 31) as u8)
+}
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg(((w >> 20) & 31) as u8)
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 7
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+#[inline]
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+#[inline]
+fn imm_b(w: u32) -> i64 {
+    let imm = (((w >> 31) & 1) << 12)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 25) & 0x3F) << 5)
+        | (((w >> 8) & 0xF) << 1);
+    ((imm as i32) << 19 >> 19) as i64
+}
+#[inline]
+fn imm_u(w: u32) -> i64 {
+    ((w & 0xFFFF_F000) as i32) as i64
+}
+#[inline]
+fn imm_j(w: u32) -> i64 {
+    let imm = (((w >> 31) & 1) << 20)
+        | (((w >> 12) & 0xFF) << 12)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 21) & 0x3FF) << 1);
+    ((imm as i32) << 11 >> 11) as i64
+}
+
+/// Decodes a 32-bit word into an instruction; undecodable words become
+/// [`Instr::Illegal`] (which raises an illegal-instruction exception when
+/// executed — the paper's "illegal" transient-window trigger type).
+pub fn decode(w: u32) -> Instr {
+    match w & 0x7F {
+        OP_LUI => Instr::Lui { rd: rd(w), imm: imm_u(w) },
+        OP_AUIPC => Instr::Auipc { rd: rd(w), imm: imm_u(w) },
+        OP_JAL => Instr::Jal { rd: rd(w), offset: imm_j(w) },
+        OP_JALR if funct3(w) == 0 => Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) },
+        OP_BRANCH => {
+            let op = match funct3(w) {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return Instr::Illegal(w),
+            };
+            Instr::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+        }
+        OP_LOAD => {
+            let op = match funct3(w) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b011 => LoadOp::Ld,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                0b110 => LoadOp::Lwu,
+                _ => return Instr::Illegal(w),
+            };
+            Instr::Load { op, rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        OP_STORE => {
+            let op = match funct3(w) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                0b011 => StoreOp::Sd,
+                _ => return Instr::Illegal(w),
+            };
+            Instr::Store { op, rs2: rs2(w), rs1: rs1(w), offset: imm_s_full(w) }
+        }
+        OP_IMM => {
+            let imm = imm_i(w);
+            let op = match funct3(w) {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 if funct7(w) >> 1 == 0 => {
+                    return Instr::OpImm {
+                        op: AluOp::Sll,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: imm & 0x3F,
+                    }
+                }
+                0b101 if funct7(w) >> 1 == 0 => {
+                    return Instr::OpImm {
+                        op: AluOp::Srl,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: imm & 0x3F,
+                    }
+                }
+                0b101 if funct7(w) >> 1 == 0b010000 => {
+                    return Instr::OpImm {
+                        op: AluOp::Sra,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: imm & 0x3F,
+                    }
+                }
+                _ => return Instr::Illegal(w),
+            };
+            Instr::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+        }
+        OP_IMM32 => {
+            let imm = imm_i(w);
+            match funct3(w) {
+                0b000 => Instr::OpImm { op: AluOp::AddW, rd: rd(w), rs1: rs1(w), imm },
+                0b001 if funct7(w) == 0 => {
+                    Instr::OpImm { op: AluOp::SllW, rd: rd(w), rs1: rs1(w), imm: imm & 0x1F }
+                }
+                0b101 if funct7(w) == 0 => {
+                    Instr::OpImm { op: AluOp::SrlW, rd: rd(w), rs1: rs1(w), imm: imm & 0x1F }
+                }
+                0b101 if funct7(w) == 0b0100000 => {
+                    Instr::OpImm { op: AluOp::SraW, rd: rd(w), rs1: rs1(w), imm: imm & 0x1F }
+                }
+                _ => Instr::Illegal(w),
+            }
+        }
+        OP_REG => {
+            let op = match (funct7(w), funct3(w)) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                (0b0000001, 0b000) => AluOp::Mul,
+                (0b0000001, 0b001) => AluOp::Mulh,
+                (0b0000001, 0b011) => AluOp::Mulhu,
+                (0b0000001, 0b100) => AluOp::Div,
+                (0b0000001, 0b101) => AluOp::Divu,
+                (0b0000001, 0b110) => AluOp::Rem,
+                (0b0000001, 0b111) => AluOp::Remu,
+                _ => return Instr::Illegal(w),
+            };
+            Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        OP_REG32 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0b0000000, 0b000) => AluOp::AddW,
+                (0b0100000, 0b000) => AluOp::SubW,
+                (0b0000000, 0b001) => AluOp::SllW,
+                (0b0000000, 0b101) => AluOp::SrlW,
+                (0b0100000, 0b101) => AluOp::SraW,
+                (0b0000001, 0b000) => AluOp::MulW,
+                (0b0000001, 0b100) => AluOp::DivW,
+                (0b0000001, 0b101) => AluOp::DivuW,
+                (0b0000001, 0b110) => AluOp::RemW,
+                (0b0000001, 0b111) => AluOp::RemuW,
+                _ => return Instr::Illegal(w),
+            };
+            Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        OP_FLOAD if funct3(w) == 0b011 => {
+            Instr::FLoad { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        OP_FSTORE if funct3(w) == 0b011 => {
+            Instr::FStore { rs2: rs2(w), rs1: rs1(w), offset: imm_s_full(w) }
+        }
+        OP_FP => match funct7(w) {
+            0b0000001 => Instr::Fp { op: FpOp::FaddD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+            0b0000101 => Instr::Fp { op: FpOp::FsubD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+            0b0001001 => Instr::Fp { op: FpOp::FmulD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+            0b0001101 => Instr::Fp { op: FpOp::FdivD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+            0b1111001 if rs2(w) == Reg(0) => Instr::FmvDX { rd: rd(w), rs1: rs1(w) },
+            0b1110001 if rs2(w) == Reg(0) => Instr::FmvXD { rd: rd(w), rs1: rs1(w) },
+            _ => Instr::Illegal(w),
+        },
+        OP_MISC_MEM => Instr::Fence,
+        OP_SYSTEM if w == encode(Instr::Ecall) => Instr::Ecall,
+        OP_SYSTEM if w == encode(Instr::Ebreak) => Instr::Ebreak,
+        _ => Instr::Illegal(w),
+    }
+}
+
+#[inline]
+fn imm_s_full(w: u32) -> i64 {
+    let imm = ((w >> 25) << 5) | ((w >> 7) & 0x1F);
+    ((imm as i32) << 20 >> 20) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = encode(i);
+        let d = decode(w);
+        assert_eq!(d, i, "round-trip failed for {i} (word {w:#010x})");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(Instr::NOP);
+        roundtrip(Instr::addi(Reg::A0, Reg::A1, -5));
+        roundtrip(Instr::Lui { rd: Reg::T0, imm: 0x12345 << 12 });
+        roundtrip(Instr::Auipc { rd: Reg::T0, imm: -4096 });
+        roundtrip(Instr::Ecall);
+        roundtrip(Instr::Ebreak);
+        roundtrip(Instr::Fence);
+    }
+
+    #[test]
+    fn roundtrip_control() {
+        roundtrip(Instr::Jal { rd: Reg::RA, offset: 2048 });
+        roundtrip(Instr::Jal { rd: Reg::ZERO, offset: -4 });
+        roundtrip(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        roundtrip(Instr::Jalr { rd: Reg::T1, rs1: Reg::A0, offset: -16 });
+        for op in BranchOp::ALL {
+            roundtrip(Instr::Branch { op, rs1: Reg::A0, rs2: Reg::A1, offset: -64 });
+            roundtrip(Instr::Branch { op, rs1: Reg::S0, rs2: Reg::T6, offset: 4094 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        for op in LoadOp::ALL {
+            roundtrip(Instr::Load { op, rd: Reg::S1, rs1: Reg::SP, offset: -2048 });
+            roundtrip(Instr::Load { op, rd: Reg::S1, rs1: Reg::SP, offset: 2047 });
+        }
+        for op in StoreOp::ALL {
+            roundtrip(Instr::Store { op, rs2: Reg::A2, rs1: Reg::GP, offset: -1 });
+            roundtrip(Instr::Store { op, rs2: Reg::A2, rs1: Reg::GP, offset: 8 });
+        }
+        roundtrip(Instr::FLoad { rd: Reg(7), rs1: Reg::SP, offset: 24 });
+        roundtrip(Instr::FStore { rs2: Reg(7), rs1: Reg::SP, offset: -24 });
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        use AluOp::*;
+        for op in [Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And, AddW, SubW, SllW, SrlW,
+            SraW, Mul, Mulh, Mulhu, Div, Divu, Rem, Remu, MulW, DivW, DivuW, RemW, RemuW]
+        {
+            roundtrip(Instr::Op { op, rd: Reg::T3, rs1: Reg::T4, rs2: Reg::T5 });
+        }
+        for op in [Add, Slt, Sltu, Xor, Or, And] {
+            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: 2047 });
+            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: -2048 });
+        }
+        for op in [Sll, Srl, Sra] {
+            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: 63 });
+        }
+        roundtrip(Instr::OpImm { op: AddW, rd: Reg::T3, rs1: Reg::T4, imm: -1 });
+        for op in [SllW, SrlW, SraW] {
+            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: 31 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_fp() {
+        use FpOp::*;
+        for op in [FaddD, FsubD, FmulD, FdivD] {
+            roundtrip(Instr::Fp { op, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) });
+        }
+        roundtrip(Instr::FmvDX { rd: Reg(4), rs1: Reg::A0 });
+        roundtrip(Instr::FmvXD { rd: Reg::A0, rs1: Reg(4) });
+    }
+
+    #[test]
+    fn known_encodings_match_spec() {
+        // Cross-checked against the RISC-V spec / binutils.
+        assert_eq!(encode(Instr::NOP), 0x0000_0013);
+        assert_eq!(encode(Instr::Ecall), 0x0000_0073);
+        assert_eq!(encode(Instr::Ebreak), 0x0010_0073);
+        assert_eq!(encode(Instr::ret()), 0x0000_8067);
+        // addi a0, a0, 1 == 0x00150513
+        assert_eq!(encode(Instr::addi(Reg::A0, Reg::A0, 1)), 0x0015_0513);
+        // ld s0, 0(t0) == 0x0002b403
+        assert_eq!(encode(Instr::ld(Reg::S0, Reg::T0, 0)), 0x0002_b403);
+        // beq a0, a0, +16 == 0x00a50863
+        assert_eq!(
+            encode(Instr::Branch { op: BranchOp::Beq, rs1: Reg::A0, rs2: Reg::A0, offset: 16 }),
+            0x00a5_0863
+        );
+    }
+
+    #[test]
+    fn garbage_decodes_to_illegal() {
+        assert!(matches!(decode(0xFFFF_FFFF), Instr::Illegal(_)));
+        assert!(matches!(decode(0x0000_0000), Instr::Illegal(_)));
+        // An illegal word round-trips as itself.
+        assert_eq!(encode(decode(0xDEAD_BEEF)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn branch_offset_sign_extension() {
+        let i = Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A1, offset: -4096 };
+        assert_eq!(decode(encode(i)), i);
+    }
+
+    #[test]
+    fn jal_offset_extremes() {
+        for off in [-(1i64 << 20), (1i64 << 20) - 2, 0, 2] {
+            let i = Instr::Jal { rd: Reg::RA, offset: off };
+            assert_eq!(decode(encode(i)), i, "offset {off}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! RV64 instruction-set substrate for the DejaVuzz reproduction.
+//!
+//! The paper's stimulus generator "supports the RV64GC instruction set and
+//! covers common transient window types", and Phase 1 "uses an ISA simulator
+//! to compute the operands required to trigger the transient window". This
+//! crate provides both halves:
+//!
+//! * a structured instruction model ([`Instr`]) with *real* RISC-V
+//!   encodings ([`encode`]/[`decode`]) covering RV64IM plus the
+//!   double-precision floating-point operations the port-contention bugs
+//!   need (`fdiv.d` et al.), branches, jumps, loads/stores and the
+//!   exception-raising instructions (illegal opcodes, `ecall`, `ebreak`,
+//!   misaligned/faulting accesses),
+//! * an assembler-style [`asm::ProgramBuilder`] with labels, and
+//! * an architectural golden simulator ([`sim::IsaSim`]) that executes
+//!   committed semantics only — no speculation — and reports architectural
+//!   exceptions precisely.
+//!
+//! # Example
+//!
+//! ```
+//! use dejavuzz_isa::asm::ProgramBuilder;
+//! use dejavuzz_isa::instr::{Instr, Reg};
+//! use dejavuzz_isa::sim::{FlatMem, IsaSim, StepOutcome};
+//!
+//! let mut p = ProgramBuilder::new(0x1000);
+//! p.push(Instr::addi(Reg::A0, Reg::ZERO, 41));
+//! p.push(Instr::addi(Reg::A0, Reg::A0, 1));
+//! p.push(Instr::Ebreak);
+//! let prog = p.assemble();
+//!
+//! let mut mem = FlatMem::new(0x1000, 0x1000);
+//! mem.load_program(&prog);
+//! let mut sim = IsaSim::new(0x1000);
+//! while let dejavuzz_isa::sim::StepOutcome::Retired { .. } = sim.step(&mut mem) {}
+//! assert_eq!(sim.reg(Reg::A0), 42);
+//! # let _ = StepOutcome::Retired { next_pc: 0 };
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod instr;
+pub mod sim;
+
+pub use asm::{Program, ProgramBuilder};
+pub use encode::{decode, encode};
+pub use instr::{AluOp, BranchOp, FpOp, Instr, LoadOp, Reg, StoreOp};
+pub use sim::{Exception, FlatMem, IsaSim, MemoryIf, Perms, StepOutcome};

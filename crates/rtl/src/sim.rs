@@ -1,0 +1,383 @@
+//! Two-phase cycle simulator over (instrumented) netlists.
+//!
+//! Signals carry [`TWord`] two-plane values, so a single simulation run *is*
+//! the paper's differential testbench: plane `a` is DUT variant 1, plane `b`
+//! variant 2, and the policy's control-taint gates see cross-instance
+//! differences immediately.
+
+use dejavuzz_ift::{Census, IftMode, Policy, SinkReport, TMem, TWord};
+
+use crate::ir::{CellKind, Netlist};
+
+/// Simulates a netlist cycle by cycle.
+#[derive(Clone, Debug)]
+pub struct NetlistSim {
+    netlist: Netlist,
+    policy: Policy,
+    values: Vec<TWord>,
+    mems: Vec<TMem>,
+    inputs: Vec<TWord>,
+    cycle: u64,
+}
+
+impl NetlistSim {
+    /// Creates a simulator in the given IFT mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails [`Netlist::validate`].
+    pub fn new(netlist: Netlist, mode: IftMode) -> Self {
+        assert!(netlist.validate().is_ok(), "invalid netlist");
+        let values = netlist
+            .cells
+            .iter()
+            .map(|c| match c.kind {
+                CellKind::Reg { init, .. } => TWord::lit(init),
+                _ => TWord::lit(0),
+            })
+            .collect();
+        let mems = netlist.mems.iter().map(|m| TMem::new(m.words)).collect();
+        let n_inputs = netlist
+            .cells
+            .iter()
+            .filter_map(|c| match c.kind {
+                CellKind::Input(i) => Some(i + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        NetlistSim { netlist, policy: Policy::new(mode), values, mems, inputs: vec![TWord::lit(0); n_inputs], cycle: 0 }
+    }
+
+    /// The IFT mode in force.
+    pub fn mode(&self) -> IftMode {
+        self.policy.mode()
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives input port `index` for subsequent cycles.
+    pub fn set_input(&mut self, index: usize, v: TWord) {
+        if index >= self.inputs.len() {
+            self.inputs.resize(index + 1, TWord::lit(0));
+        }
+        self.inputs[index] = v;
+    }
+
+    /// Reads the current value of a signal.
+    pub fn signal(&self, sig: usize) -> TWord {
+        self.values[sig]
+    }
+
+    /// Reads a named output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not exist.
+    pub fn output(&self, name: &str) -> TWord {
+        let sig = self
+            .netlist
+            .output(name)
+            .unwrap_or_else(|| panic!("no output named {name:?}"));
+        self.values[sig]
+    }
+
+    /// Testbench access to a memory slot.
+    pub fn mem_peek(&self, mem: usize, idx: usize) -> TWord {
+        self.mems[mem].peek(idx)
+    }
+
+    /// Testbench store to a memory slot (image loading, secret planting).
+    pub fn mem_poke(&mut self, mem: usize, idx: usize, w: TWord) {
+        self.mems[mem].poke(idx, w);
+    }
+
+    /// Directly taints a register (marks it as holding sensitive data).
+    pub fn taint_reg(&mut self, sig: usize) {
+        assert!(
+            matches!(self.netlist.cells[sig].kind, CellKind::Reg { .. }),
+            "taint_reg target must be a register"
+        );
+        self.values[sig] = self.values[sig].fully_tainted();
+    }
+
+    /// Evaluates combinational logic, then advances the clock one edge.
+    pub fn step(&mut self) {
+        self.eval_comb();
+        self.clock_edge();
+        self.cycle += 1;
+    }
+
+    /// Evaluates combinational logic without clocking (for inspecting
+    /// same-cycle outputs).
+    pub fn eval_comb(&mut self) {
+        let p = self.policy;
+        for i in 0..self.netlist.cells.len() {
+            let out = match self.netlist.cells[i].kind {
+                CellKind::Const(v) => TWord::lit(v),
+                CellKind::Input(idx) => {
+                    self.inputs.get(idx).copied().unwrap_or(TWord::lit(0))
+                }
+                CellKind::And(a, b) => self.gate(self.values[a].and(self.values[b])),
+                CellKind::Or(a, b) => self.gate(self.values[a].or(self.values[b])),
+                CellKind::Xor(a, b) => self.gate(self.values[a].xor(self.values[b])),
+                CellKind::Not(a) => self.gate(self.values[a].not()),
+                CellKind::Add(a, b) => self.gate(self.values[a].add(self.values[b])),
+                CellKind::Sub(a, b) => self.gate(self.values[a].sub(self.values[b])),
+                CellKind::Eq(a, b) => p.eq(self.values[a], self.values[b]),
+                CellKind::Lt(a, b) => p.lt(self.values[a], self.values[b]),
+                CellKind::Mux { sel, then_v, else_v } => {
+                    p.mux(self.values[sel], self.values[then_v], self.values[else_v])
+                }
+                CellKind::Reg { .. } => continue, // holds Q
+                CellKind::MemRead { mem, addr } => {
+                    self.mems[mem.0].read(p, self.values[addr])
+                }
+            };
+            self.values[i] = out;
+        }
+    }
+
+    /// Strips taints in Base mode (data-flow ops always compute taint).
+    #[inline]
+    fn gate(&self, w: TWord) -> TWord {
+        if self.policy.mode() == IftMode::Base {
+            w.untainted()
+        } else {
+            w
+        }
+    }
+
+    fn clock_edge(&mut self) {
+        let p = self.policy;
+        // Registers: compute all next states, then commit (no intra-cycle
+        // ordering artefacts).
+        let mut next: Vec<(usize, TWord)> = Vec::new();
+        for (i, c) in self.netlist.cells.iter().enumerate() {
+            if let CellKind::Reg { d: Some(d), en, .. } = c.kind {
+                let q = self.values[i];
+                let dv = self.values[d];
+                let nv = match en {
+                    Some(en) => p.reg_en(self.values[en], dv, q),
+                    None => {
+                        if p.mode() == IftMode::Base {
+                            dv.untainted()
+                        } else {
+                            dv
+                        }
+                    }
+                };
+                next.push((i, nv));
+            }
+        }
+        for (i, v) in next {
+            self.values[i] = v;
+        }
+        // Memory write ports.
+        for (mi, m) in self.netlist.mems.iter().enumerate() {
+            if let Some((wen, addr, data)) = m.write_port {
+                let (wen, addr, data) = (self.values[wen], self.values[addr], self.values[data]);
+                self.mems[mi].write(p, wen, addr, data);
+            }
+        }
+    }
+
+    /// Taint census over all registers and memory slots, grouped by module.
+    pub fn census(&self) -> Census {
+        let mut census = Census::new();
+        // Group register taints by module, preserving first-seen order.
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for (i, c) in self.netlist.cells.iter().enumerate() {
+            if !matches!(c.kind, CellKind::Reg { .. }) {
+                continue;
+            }
+            let pos = match order.iter().position(|m| *m == c.module) {
+                Some(p) => p,
+                None => {
+                    order.push(c.module);
+                    counts.push((0, 0));
+                    order.len() - 1
+                }
+            };
+            counts[pos].1 += 1;
+            if self.values[i].is_tainted() {
+                counts[pos].0 += 1;
+            }
+        }
+        for (m, (tainted, total)) in order.iter().zip(&counts) {
+            census.report_counts(m, *tainted, *total);
+        }
+        for (mi, m) in self.netlist.mems.iter().enumerate() {
+            census.report_counts(m.module, self.mems[mi].tainted_slots(), self.mems[mi].len());
+        }
+        census
+    }
+
+    /// Sweeps all `liveness_mask`-annotated memories, producing sink
+    /// reports for tainted slots (§4.3.2). Slots beyond the liveness vector
+    /// are treated as always-live (unannotated sinks stay conservative).
+    pub fn sink_reports(&self) -> Vec<SinkReport> {
+        let mut out = Vec::new();
+        for (mi, m) in self.netlist.mems.iter().enumerate() {
+            let mem = &self.mems[mi];
+            for idx in 0..mem.len() {
+                let t = mem.peek(idx).t;
+                if t == 0 {
+                    continue;
+                }
+                let live = match m.liveness.get(idx) {
+                    Some(&sig) => self.values[sig].either(),
+                    None => true,
+                };
+                out.push(SinkReport {
+                    module: m.module,
+                    array: m.name.clone().unwrap_or_else(|| format!("mem{mi}")),
+                    index: idx,
+                    taint: t,
+                    live,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn counter_counts() {
+        let mut b = NetlistBuilder::new();
+        let r = b.reg(0);
+        let one = b.constant(1);
+        let next = b.add(r, one);
+        b.connect_reg(r, next, None);
+        b.output("count", r);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_eq!(sim.output("count").a, 5);
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn enabled_register_holds_without_enable() {
+        let mut b = NetlistBuilder::new();
+        let r = b.reg(3);
+        let d = b.input(0);
+        let en = b.input(1);
+        b.connect_reg(r, d, Some(en));
+        b.output("q", r);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        sim.set_input(0, TWord::lit(9));
+        sim.set_input(1, TWord::lit(0));
+        sim.step();
+        assert_eq!(sim.output("q").a, 3, "disabled register holds");
+        sim.set_input(1, TWord::lit(1));
+        sim.step();
+        assert_eq!(sim.output("q").a, 9, "enabled register loads");
+    }
+
+    #[test]
+    fn taint_flows_through_comb_logic() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let s = b.xor(x, y);
+        b.output("s", s);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        sim.set_input(0, TWord::secret(1, 2));
+        sim.set_input(1, TWord::lit(4));
+        sim.eval_comb();
+        assert!(sim.output("s").is_tainted());
+        assert_eq!(sim.output("s").a, 5);
+        assert_eq!(sim.output("s").b, 6);
+    }
+
+    #[test]
+    fn base_mode_strips_taint() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let s = b.add(x, y);
+        b.output("s", s);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::Base);
+        sim.set_input(0, TWord::secret(1, 2));
+        sim.set_input(1, TWord::lit(4));
+        sim.eval_comb();
+        assert!(!sim.output("s").is_tainted());
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut b = NetlistBuilder::new();
+        let m = b.mem(8, "buf");
+        let wen = b.input(0);
+        let addr = b.input(1);
+        let data = b.input(2);
+        b.connect_mem_write(m, wen, addr, data);
+        let rd = b.mem_read(m, addr);
+        b.output("rd", rd);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        sim.set_input(0, TWord::lit(1));
+        sim.set_input(1, TWord::lit(5));
+        sim.set_input(2, TWord::lit(77));
+        sim.step(); // write at edge
+        sim.set_input(0, TWord::lit(0));
+        sim.eval_comb();
+        assert_eq!(sim.output("rd").a, 77);
+        assert_eq!(sim.mem_peek(0, 5).a, 77);
+    }
+
+    #[test]
+    fn census_groups_by_module() {
+        let mut b = NetlistBuilder::new();
+        b.module("rob");
+        let r1 = b.reg(0);
+        b.module("lsu");
+        let r2 = b.reg(0);
+        let c = b.constant(0);
+        b.connect_reg(r1, c, None);
+        b.connect_reg(r2, c, None);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        sim.taint_reg(r2);
+        let census = sim.census();
+        assert_eq!(census.module_tainted("rob"), Some(0));
+        assert_eq!(census.module_tainted("lsu"), Some(1));
+        assert_eq!(census.taint_sum(), 1);
+    }
+
+    #[test]
+    fn sink_reports_respect_liveness() {
+        let mut b = NetlistBuilder::new();
+        let m = b.mem(2, "lb");
+        let live0 = b.input(0);
+        let live1 = b.input(1);
+        b.liveness_mask(m, vec![live0, live1]);
+        let mut sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        sim.mem_poke(0, 0, TWord::secret(1, 2));
+        sim.mem_poke(0, 1, TWord::secret(3, 4));
+        sim.set_input(0, TWord::lit(1)); // slot 0 live
+        sim.set_input(1, TWord::lit(0)); // slot 1 dead
+        sim.eval_comb();
+        let reports = sim.sink_reports();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].exploitable());
+        assert!(reports[1].residue());
+    }
+
+    #[test]
+    #[should_panic(expected = "no output named")]
+    fn missing_output_panics() {
+        let b = NetlistBuilder::new();
+        let sim = NetlistSim::new(b.finish(), IftMode::Base);
+        sim.output("nope");
+    }
+}

@@ -1,0 +1,37 @@
+//! Out-of-order processor models for the DejaVuzz reproduction.
+//!
+//! This crate is the stand-in for the BOOM and XiangShan RTL the paper
+//! fuzzes: a cycle-level speculative core ([`core::Core`]) with the full
+//! microarchitectural cast — branch predictors (BHT, BTB, RAS, loop
+//! predictor), I/D caches with MSHR/line-fill buffer, a two-level TLB,
+//! port-contended execution units, a reorder buffer with squash recovery —
+//! all operating on two-plane tainted words so the CellIFT / diffIFT
+//! policies of `dejavuzz-ift` run inline with the simulation.
+//!
+//! Two configurations mirror Table 2: [`config::boom_small`] and
+//! [`config::xiangshan_minimal`]. Each carries the planted bugs the paper
+//! attributes to it (§6.4, B1–B5) plus the classic Meltdown/Spectre
+//! behaviours; see [`config::BugSet`].
+//!
+//! Observation surfaces match the paper's artifacts:
+//!
+//! * the RoB IO **trace log** ([`trace::Trace`]) with transient-window
+//!   detection (enqueued > committed, §4.1.2),
+//! * the per-cycle **taint log** ([`dejavuzz_ift::TaintLog`]) feeding the
+//!   taint coverage matrix (§4.2.2) and Figure 6,
+//! * the final **tainted-sink sweep** with liveness annotations (§4.3.2),
+//! * **timing events** from contended resources (Table 5's encoded timing
+//!   components) and per-variant cycle counts (Phase 3.1 constant-time
+//!   analysis).
+
+pub mod attacks;
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod predict;
+pub mod trace;
+pub mod waveform;
+
+pub use config::{annotations, boom_small, xiangshan_minimal, BugSet, CoreConfig};
+pub use core::{Core, EndReason, RedirectKind, RunResult, TimingEvent, Unit};
+pub use trace::{RobEvent, Trace, WindowInfo};

@@ -1,0 +1,23 @@
+//! Exports a Spectre-V1 run's taint activity as a VCD waveform — the
+//! artifact §7 says developers use to pinpoint bugs.
+//!
+//! ```sh
+//! cargo run --release --example dump_waveform > spectre_v1.vcd
+//! ```
+
+use dejavuzz_ift::IftMode;
+use dejavuzz_uarch::core::Core;
+use dejavuzz_uarch::{attacks, boom_small, waveform};
+
+fn main() {
+    let case = attacks::spectre_v1();
+    let mut mem = case.build_mem(&[0x2A]);
+    let r = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 10_000);
+    print!("{}", waveform::to_vcd(&r.taint_log, &r.trace, "boom_spectre_v1"));
+    eprintln!(
+        "# {} cycles, peak taint {}, window: {:?}",
+        r.total_cycles.0,
+        r.taint_log.peak_taint(),
+        r.window().map(|w| (w.start_cycle, w.end_cycle))
+    );
+}

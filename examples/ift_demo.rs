@@ -1,0 +1,41 @@
+//! The Figure 2 demonstration: the BOOM RoB-entry circuit, instrumented
+//! with CellIFT and diffIFT shadow logic, driven through the §2.2 rollback
+//! scenario that makes CellIFT's control taints explode.
+//!
+//! ```sh
+//! cargo run --release --example ift_demo
+//! ```
+
+use dejavuzz_ift::{IftMode, TWord};
+use dejavuzz_rtl::examples::rob_entry_circuit;
+use dejavuzz_rtl::NetlistSim;
+
+fn run_rollback(mode: IftMode) -> usize {
+    let circuit = rob_entry_circuit(16);
+    let mut sim = NetlistSim::new(circuit.netlist.clone(), mode);
+    // Cycle 1: an instruction carrying a secret writes back into entry 1.
+    sim.set_input(circuit.in_enq_uopc, TWord::secret(0x13, 0x37));
+    sim.set_input(circuit.in_enq_valid, TWord::lit(1));
+    sim.set_input(circuit.in_rob_tail_idx, TWord::lit(1));
+    sim.step();
+    // Cycle 2: the RoB rolls back. The tail pointer and enq_valid are now
+    // tainted, but their *values* are identical in both DUT variants.
+    sim.set_input(circuit.in_enq_uopc, TWord::lit(0x55));
+    sim.set_input(circuit.in_enq_valid, TWord::with_taint(1, 1, 1));
+    sim.set_input(circuit.in_rob_tail_idx, TWord::with_taint(2, 2, u64::MAX));
+    sim.step();
+    sim.census().taint_sum()
+}
+
+fn main() {
+    println!("Figure 2 / §2.2: the RoB rollback taint explosion (16-entry RoB)\n");
+    let cell = run_rollback(IftMode::CellIft);
+    let diff = run_rollback(IftMode::DiffIft);
+    println!("CellIFT: {cell}/16 rob_*_uopc registers tainted after the rollback");
+    println!("diffIFT: {diff}/16 rob_*_uopc registers tainted after the rollback");
+    println!(
+        "\nCellIFT's Policy 2 fires on any tainted selection signal; diffIFT's \
+         cross-instance gate sees that no secret could have selected a different \
+         path (both variants roll back identically) and keeps the entries clean."
+    );
+}

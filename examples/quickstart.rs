@@ -1,0 +1,42 @@
+//! Quickstart: fuzz the BOOM-like core for a handful of iterations and
+//! print what DejaVuzz finds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dejavuzz::campaign::{Campaign, FuzzerOptions};
+use dejavuzz_uarch::boom_small;
+
+fn main() {
+    let iterations = 40;
+    println!("DejaVuzz quickstart: {iterations} iterations on {}\n", boom_small().name);
+
+    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 0xC0FFEE);
+    let stats = campaign.run(iterations);
+
+    println!("iterations:      {}", stats.iterations);
+    println!("simulations:     {}", stats.sim_runs);
+    println!("coverage points: {}", stats.coverage());
+    println!("first bug at:    {:?}", stats.first_bug_iteration);
+    println!("\ntriggered transient windows (TO = training overhead, ETO = effective):");
+    for (wt, ws) in &stats.windows {
+        if ws.triggered > 0 {
+            println!(
+                "  {:<28} {:>2}/{:<2}  TO {:>6.1}  ETO {:>5.1}",
+                wt.name(),
+                ws.triggered,
+                ws.attempted,
+                ws.mean_to(),
+                ws.mean_eto()
+            );
+        }
+    }
+    println!("\nreported leaks:");
+    for bug in &stats.bugs {
+        println!("  {bug}");
+    }
+    if stats.bugs.is_empty() {
+        println!("  (none in this short run — try more iterations)");
+    }
+}

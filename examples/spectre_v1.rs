@@ -1,0 +1,49 @@
+//! Runs the hand-written Spectre-V1 scenario (paper Figure 1/Figure 4) on
+//! the differential testbench and walks through what each analysis layer
+//! sees: the RoB trace, the taint log, and the final sink sweep.
+//!
+//! ```sh
+//! cargo run --release --example spectre_v1
+//! ```
+
+use dejavuzz_ift::IftMode;
+use dejavuzz_uarch::core::Core;
+use dejavuzz_uarch::{attacks, boom_small};
+
+fn main() {
+    let case = attacks::spectre_v1();
+    println!("scenario: {}", case.name);
+    println!("swap schedule:");
+    for (i, p) in case.packets.iter().enumerate() {
+        println!("  [{i}] {:<22} ({:?}, {} instrs)", p.name, p.kind, p.instr_count());
+    }
+
+    let mut mem = case.build_mem(&[0x2A]);
+    let result = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 10_000);
+
+    let window = result.window().expect("the trained branch must mispredict");
+    println!("\ntransient window (packet {}):", window.packet);
+    println!("  cause:     {}", window.cause);
+    println!("  enqueued:  {}", window.enqueued);
+    println!("  committed: {}", window.committed);
+    println!("  squashed:  {}", window.squashed);
+    println!("  cycles:    variant1 {} / variant2 {}", window.cycles_a, window.cycles_b);
+
+    println!("\npeak taint sum: {}", result.taint_log.peak_taint());
+    println!("tainted sinks (liveness-annotated):");
+    for s in &result.sinks {
+        println!(
+            "  {:<8} {:<12} slot {:>3}  {}",
+            s.module,
+            s.array,
+            s.index,
+            if s.exploitable() { "EXPLOITABLE" } else { "residue (dead)" }
+        );
+    }
+    let exploitable = result.exploitable_sinks();
+    println!(
+        "\n=> {} exploitable sink(s): the secret-indexed leak-array line is live in \
+         the data cache — the classic Spectre-V1 leak.",
+        exploitable.len()
+    );
+}

@@ -1,0 +1,5 @@
+//! Umbrella package for the DejaVuzz reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in the `dejavuzz*` crates under `crates/`.

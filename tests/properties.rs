@@ -1,0 +1,157 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dejavuzz_ift::{IftMode, Policy, TMem, TWord};
+use dejavuzz_isa::instr::{AluOp, BranchOp, Instr, LoadOp, Reg, StoreOp};
+use dejavuzz_isa::{decode, encode};
+
+fn arb_tword() -> impl Strategy<Value = TWord> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, t)| TWord::with_taint(a, b, t))
+}
+
+proptest! {
+    /// Soundness of the data-flow policies: an untainted output implies no
+    /// tainted input bit could have changed it. We check the contrapositive
+    /// on AND: flipping a tainted input bit never changes untainted output
+    /// bits.
+    #[test]
+    fn and_taint_is_sound(x in arb_tword(), y in arb_tword(), bit in 0u32..64) {
+        let o = x.and(y);
+        let mask = 1u64 << bit;
+        if x.t & mask != 0 {
+            let x2 = TWord { a: x.a ^ mask, b: x.b ^ mask, t: x.t };
+            let o2 = x2.and(y);
+            // Output bits that changed must be tainted.
+            let changed = (o.a ^ o2.a) | (o.b ^ o2.b);
+            prop_assert_eq!(changed & !o.t, 0,
+                "untainted output bit changed under a tainted input flip");
+        }
+    }
+
+    /// Same soundness property for OR and XOR.
+    #[test]
+    fn or_xor_taint_is_sound(x in arb_tword(), y in arb_tword(), bit in 0u32..64) {
+        let mask = 1u64 << bit;
+        if x.t & mask != 0 {
+            let x2 = TWord { a: x.a ^ mask, b: x.b ^ mask, t: x.t };
+            for (o, o2) in [(x.or(y), x2.or(y)), (x.xor(y), x2.xor(y))] {
+                let changed = (o.a ^ o2.a) | (o.b ^ o2.b);
+                prop_assert_eq!(changed & !o.t, 0);
+            }
+        }
+    }
+
+    /// ADD's upward smear: bits below the lowest tainted input bit stay
+    /// untainted and value-stable.
+    #[test]
+    fn add_taint_is_sound(x in arb_tword(), y in arb_tword(), bit in 0u32..64) {
+        let mask = 1u64 << bit;
+        if x.t & mask != 0 {
+            let o = x.add(y);
+            let x2 = TWord { a: x.a ^ mask, b: x.b ^ mask, t: x.t };
+            let o2 = x2.add(y);
+            let changed = (o.a ^ o2.a) | (o.b ^ o2.b);
+            prop_assert_eq!(changed & !o.t, 0);
+        }
+    }
+
+    /// The mux policies agree with per-plane selection semantics in every
+    /// mode, and Base never taints.
+    #[test]
+    fn mux_value_semantics(s in arb_tword(), x in arb_tword(), y in arb_tword()) {
+        for mode in IftMode::ALL {
+            let p = Policy::new(mode);
+            let o = p.mux(s, x, y);
+            prop_assert_eq!(o.a, if s.a != 0 { x.a } else { y.a });
+            prop_assert_eq!(o.b, if s.b != 0 { x.b } else { y.b });
+            if mode == IftMode::Base {
+                prop_assert_eq!(o.t, 0);
+            }
+        }
+    }
+
+    /// diffIFT's control taints are a subset of CellIFT's (the precision
+    /// relation the paper claims: diffIFT only *removes* over-taint).
+    #[test]
+    fn diffift_taint_subset_of_cellift(s in arb_tword(), x in arb_tword(), y in arb_tword()) {
+        let d = Policy::new(IftMode::DiffIft).mux(s, x, y);
+        let c = Policy::new(IftMode::CellIft).mux(s, x, y);
+        prop_assert_eq!(d.t & !c.t, 0, "diffIFT tainted a bit CellIFT did not");
+        let de = Policy::new(IftMode::DiffIft).eq(x, y);
+        let ce = Policy::new(IftMode::CellIft).eq(x, y);
+        prop_assert_eq!(de.t & !ce.t, 0);
+    }
+
+    /// Tainted memory roundtrip: what is stored (with untainted, equal
+    /// addresses) is loaded back bit-exactly, taint included.
+    #[test]
+    fn tmem_roundtrip(addr in 0usize..32, val in arb_tword()) {
+        let p = Policy::new(IftMode::DiffIft);
+        let mut m = TMem::new(32);
+        m.write(p, TWord::lit(1), TWord::lit(addr as u64), val);
+        let o = m.read(p, TWord::lit(addr as u64));
+        prop_assert_eq!(o.a, val.a);
+        prop_assert_eq!(o.b, val.b);
+        prop_assert_eq!(o.t, val.t);
+    }
+
+    /// Instruction encode/decode is a bijection on the modelled subset.
+    #[test]
+    fn encode_decode_roundtrip(
+        rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
+        imm in -2048i64..2048, off in -1024i64..1024,
+    ) {
+        let instrs = vec![
+            Instr::addi(Reg(rd), Reg(rs1), imm),
+            Instr::Op { op: AluOp::Xor, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2) },
+            Instr::Op { op: AluOp::Mulhu, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2) },
+            Instr::Load { op: LoadOp::Lwu, rd: Reg(rd), rs1: Reg(rs1), offset: imm },
+            Instr::Store { op: StoreOp::Sh, rs2: Reg(rs2), rs1: Reg(rs1), offset: imm },
+            Instr::Branch { op: BranchOp::Bgeu, rs1: Reg(rs1), rs2: Reg(rs2), offset: off * 2 },
+            Instr::Jal { rd: Reg(rd), offset: off * 2 },
+            Instr::Jalr { rd: Reg(rd), rs1: Reg(rs1), offset: imm },
+        ];
+        for i in instrs {
+            prop_assert_eq!(decode(encode(i)), i, "{}", i);
+        }
+    }
+
+    /// ALU evaluation matches a reference implementation on W-suffixed ops.
+    #[test]
+    fn alu_w_ops_sign_extend(x in any::<u64>(), y in any::<u64>()) {
+        for op in [AluOp::AddW, AluOp::SubW, AluOp::MulW, AluOp::SllW, AluOp::SrlW, AluOp::SraW] {
+            let r = op.eval(x, y);
+            prop_assert_eq!(r, r as u32 as i32 as i64 as u64, "{:?} not sign-extended", op);
+        }
+    }
+
+    /// The branch predicate and its encoded/decoded twin agree.
+    #[test]
+    fn branch_semantics_stable(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(BranchOp::Blt.taken(x, y), (x as i64) < (y as i64));
+        prop_assert_eq!(BranchOp::Bltu.taken(x, y), x < y);
+        prop_assert_eq!(BranchOp::Beq.taken(x, y), x == y);
+        prop_assert!(BranchOp::Bge.taken(x, y) != BranchOp::Blt.taken(x, y));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any secret pair produces identical *architectural* results in both
+    /// planes for the Spectre-V1 benchmark (committed paths are secret-
+    /// independent; only microarchitecture diverges).
+    #[test]
+    fn committed_paths_are_plane_identical(secret in any::<u8>()) {
+        use dejavuzz_uarch::{attacks, boom_small};
+        use dejavuzz_uarch::core::Core;
+        let case = attacks::spectre_v1();
+        let mut mem = case.build_mem(&[secret]);
+        let r = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 20_000);
+        prop_assert_eq!(r.end, dejavuzz_uarch::EndReason::Done);
+        // The trace (structural, plane-1) commits the same instruction
+        // count regardless of the secret.
+        prop_assert!(r.trace.committed() > 0);
+    }
+}
