@@ -1,0 +1,48 @@
+//! End-to-end fuzzing throughput: the same iteration budget on a
+//! single-worker pool vs. multi-worker shared-corpus pools. The
+//! acceptance bar for the executor refactor is that N ≥ 2 workers beat
+//! one worker's wall-clock on a multicore host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dejavuzz::campaign::FuzzerOptions;
+use dejavuzz::executor;
+use dejavuzz_uarch::boom_small;
+
+/// Enough work per measurement that thread startup and channel traffic
+/// are noise, small enough to keep the bench quick.
+const ITERATIONS: usize = 24;
+
+fn pool_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_throughput");
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    // Always bench 1 vs 2 so the scaling row exists even on small hosts
+    // (on a single hardware thread the 2-worker pool is work-conserving
+    // and lands within noise of 1 worker); wider pools only where the
+    // cores exist to back them.
+    for workers in [1, 2, 4, 8] {
+        if workers > 2 && workers > available {
+            continue;
+        }
+        g.bench_function(&format!("{ITERATIONS}_iters_{workers}_workers"), |b| {
+            b.iter(|| {
+                executor::run(
+                    boom_small(),
+                    FuzzerOptions::default(),
+                    workers,
+                    ITERATIONS,
+                    7,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pool_scaling
+}
+criterion_main!(benches);

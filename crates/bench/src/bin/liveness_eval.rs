@@ -4,5 +4,8 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let candidates = dejavuzz_bench::arg_or(&args, "--candidates", 75);
-    print!("{}", dejavuzz_bench::liveness_eval(candidates, candidates * 40));
+    print!(
+        "{}",
+        dejavuzz_bench::liveness_eval(candidates, candidates * 40)
+    );
 }

@@ -8,6 +8,9 @@ fn main() {
     let scale = dejavuzz_bench::arg_or(&args, "--scale", 4);
     print!(
         "{}",
-        dejavuzz_bench::table4(std::time::Duration::from_millis(timeout as u64), scale.max(1))
+        dejavuzz_bench::table4(
+            std::time::Duration::from_millis(timeout as u64),
+            scale.max(1)
+        )
     );
 }

@@ -9,7 +9,8 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use dejavuzz::campaign::{Campaign, CampaignStats, FuzzerOptions};
+use dejavuzz::campaign::{CampaignStats, FuzzerOptions};
+use dejavuzz::executor;
 use dejavuzz::gen::WindowType;
 use dejavuzz_ift::{CoverageMatrix, IftMode};
 use dejavuzz_specdoctor::{SpecDoctor, SpecDoctorOptions};
@@ -24,7 +25,10 @@ pub fn table2() -> String {
         "Feature", "BOOM", "XiangShan"
     ));
     let (b, x) = (boom_small(), xiangshan_minimal());
-    out.push_str(&format!("{:<16} {:>14} {:>14}\n", "Configuration", b.configuration, x.configuration));
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14}\n",
+        "Configuration", b.configuration, x.configuration
+    ));
     out.push_str(&format!("{:<16} {:>14} {:>14}\n", "ISA", b.isa, x.isa));
     out.push_str(&format!(
         "{:<16} {:>13}K {:>13}K\n",
@@ -59,16 +63,25 @@ fn t3_cell(stats: &CampaignStats, wt: WindowType, with_eto: bool) -> String {
     }
 }
 
-/// Runs a fixed-seed campaign collecting only Phase-1 statistics, with
-/// enough iterations to attempt ~`windows_per_type` of each type.
+/// Runs a fixed-seed pipeline collecting Phase-1 statistics, with enough
+/// iterations to attempt ~`windows_per_type` of each type. Runs on the
+/// 2-worker executor (deterministic per seed, twice the simulation
+/// throughput on multicore hosts) with corpus exploitation disabled:
+/// Table 3's per-type means require uniform fresh sampling, not
+/// retention-skewed lineages.
 fn training_stats(cfg: CoreConfig, opts: FuzzerOptions, windows_per_type: usize) -> CampaignStats {
-    let mut c = Campaign::new(cfg, opts, 0xDEAD);
-    c.run(windows_per_type * WindowType::ALL.len())
+    dejavuzz::Orchestrator::new(cfg, opts, 2, 0xDEAD)
+        .corpus_exploit_probability(0.0)
+        .run(windows_per_type * WindowType::ALL.len())
+        .stats
 }
 
 /// SpecDoctor's Table-3 row: window types it manages to trigger, with its
 /// per-window training cost.
-fn specdoctor_training_row(cfg: CoreConfig, iterations: usize) -> BTreeMap<&'static str, (usize, usize)> {
+fn specdoctor_training_row(
+    cfg: CoreConfig,
+    iterations: usize,
+) -> BTreeMap<&'static str, (usize, usize)> {
     let mut sd = SpecDoctor::new(cfg, SpecDoctorOptions::default(), 0xBEEF);
     let mut cov = CoverageMatrix::new();
     let mut rows: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
@@ -222,9 +235,11 @@ pub fn figure6_summary() -> String {
     ));
     for case in attacks::all() {
         out.push_str(&format!("{:<16}", case.name));
-        for (mode, identical) in
-            [(IftMode::DiffIft, false), (IftMode::DiffIft, true), (IftMode::CellIft, false)]
-        {
+        for (mode, identical) in [
+            (IftMode::DiffIft, false),
+            (IftMode::DiffIft, true),
+            (IftMode::CellIft, false),
+        ] {
             let mut mem = case.build_mem_with(&dejavuzz_specdoctor::SECRET, identical);
             let r = Core::new(boom_small(), mode).run(&mut mem, 20_000);
             out.push_str(&format!(" {:>10}", r.taint_log.peak_taint()));
@@ -243,8 +258,9 @@ pub fn figure7(iterations: usize, trials: u64) -> String {
             ("DejaVuzz", FuzzerOptions::default()),
             ("DejaVuzz-", FuzzerOptions::dejavuzz_minus()),
         ] {
-            let mut c = Campaign::new(boom_small(), opts, 1000 + trial);
-            let stats = c.run(iterations);
+            // Single-worker pool: the exact per-iteration union curve with
+            // sequential-iteration semantics, comparable to SpecDoctor's.
+            let stats = executor::run(boom_small(), opts, 1, iterations, 1000 + trial).stats;
             for (i, cov) in stats.coverage_curve.iter().enumerate() {
                 out.push_str(&format!("{name},{trial},{i},{cov}\n"));
             }
@@ -271,12 +287,24 @@ pub fn figure7(iterations: usize, trials: u64) -> String {
 pub fn figure7_summary(iterations: usize, trials: u64) -> String {
     let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
     for trial in 0..trials {
-        let dv = Campaign::new(boom_small(), FuzzerOptions::default(), 1000 + trial)
-            .run(iterations)
-            .coverage() as f64;
-        let minus = Campaign::new(boom_small(), FuzzerOptions::dejavuzz_minus(), 1000 + trial)
-            .run(iterations)
-            .coverage() as f64;
+        let dv = executor::run(
+            boom_small(),
+            FuzzerOptions::default(),
+            1,
+            iterations,
+            1000 + trial,
+        )
+        .stats
+        .coverage() as f64;
+        let minus = executor::run(
+            boom_small(),
+            FuzzerOptions::dejavuzz_minus(),
+            1,
+            iterations,
+            1000 + trial,
+        )
+        .stats
+        .coverage() as f64;
         let mut sd = SpecDoctor::new(boom_small(), SpecDoctorOptions::default(), 2000 + trial);
         let mut cov = CoverageMatrix::new();
         for _ in 0..iterations {
@@ -330,9 +358,11 @@ pub fn liveness_eval(candidates: usize, max_iterations: usize) -> String {
         // be encoded into the microarchitecture but still remain in the
         // data cache" (§6.3).
         const TIMING: [&str; 7] = ["dcache", "icache", "tlb", "l2tlb", "btb", "ras", "loop"];
-        let encoded = it.run.sinks.iter().any(|s| {
-            s.exploitable() && s.taint == u64::MAX && TIMING.contains(&s.module)
-        });
+        let encoded = it
+            .run
+            .sinks
+            .iter()
+            .any(|s| s.exploitable() && s.taint == u64::MAX && TIMING.contains(&s.module));
         if encoded {
             real += 1;
         } else {
@@ -355,8 +385,7 @@ pub fn table5(iterations: usize) -> String {
     let mut out = String::from("Table 5: Summary of discovered transient execution bugs\n\n");
     for cfg in [boom_small(), xiangshan_minimal()] {
         let start = Instant::now();
-        let mut campaign = Campaign::new(cfg, FuzzerOptions::default(), 0x7777);
-        let stats = campaign.run(iterations);
+        let stats = executor::run(cfg, FuzzerOptions::default(), 2, iterations, 0x7777).stats;
         out.push_str(&format!(
             "== {} ({} iterations, {:.1}s, first bug at iteration {:?}) ==\n",
             cfg.name,
@@ -373,7 +402,10 @@ pub fn table5(iterations: usize) -> String {
         for ((attack, class), mut comps) in rows {
             comps.sort();
             comps.dedup();
-            out.push_str(&format!("{attack:<10} {class:<12} -> {}\n", comps.join(", ")));
+            out.push_str(&format!(
+                "{attack:<10} {class:<12} -> {}\n",
+                comps.join(", ")
+            ));
         }
         out.push('\n');
     }
@@ -384,35 +416,76 @@ pub fn table5(iterations: usize) -> String {
     let r = Core::new(xiangshan_minimal(), IftMode::DiffIft).run(&mut mem, 10_000);
     out.push_str(&format!(
         "B1 MeltDown-Sampling (XiangShan): {}\n",
-        if r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()) { "DETECTED" } else { "missed" }
+        if r.sinks
+            .iter()
+            .any(|s| s.module == "dcache" && s.exploitable())
+        {
+            "DETECTED"
+        } else {
+            "missed"
+        }
     ));
     let b2 = attacks::phantom_rsb();
     let mut mem = b2.build_mem(&dejavuzz_specdoctor::SECRET);
     let r = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 10_000);
     out.push_str(&format!(
         "B2 Phantom-RSB (BOOM):            {}\n",
-        if r.sinks.iter().any(|s| s.module == "ras" && s.exploitable()) { "DETECTED" } else { "missed" }
+        if r.sinks.iter().any(|s| s.module == "ras" && s.exploitable()) {
+            "DETECTED"
+        } else {
+            "missed"
+        }
     ));
     let b3 = attacks::find_phantom_btb(&boom_small(), 48);
     out.push_str(&format!(
         "B3 Phantom-BTB (BOOM):            {}\n",
-        if let Some((nops, _)) = b3 { format!("DETECTED (race at {nops} pads)") } else { "missed".into() }
+        if let Some((nops, _)) = b3 {
+            format!("DETECTED (race at {nops} pads)")
+        } else {
+            "missed".into()
+        }
     ));
     let b4 = attacks::spectre_refetch();
     let mut mem = b4.build_mem(&dejavuzz_specdoctor::SECRET);
     let r = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 10_000);
     out.push_str(&format!(
         "B4 Spectre-Refetch (BOOM):        {}\n",
-        if r.timing_diverged() { "DETECTED" } else { "missed" }
+        if r.timing_diverged() {
+            "DETECTED"
+        } else {
+            "missed"
+        }
     ));
     let b5 = attacks::spectre_reload();
     let mut mem = b5.build_mem(&dejavuzz_specdoctor::SECRET);
     let r = Core::new(xiangshan_minimal(), IftMode::DiffIft).run(&mut mem, 10_000);
     out.push_str(&format!(
         "B5 Spectre-Reload (XiangShan):    {}\n",
-        if r.timing_diverged() { "DETECTED" } else { "missed" }
+        if r.timing_diverged() {
+            "DETECTED"
+        } else {
+            "missed"
+        }
     ));
     out
+}
+
+/// End-to-end executor throughput: runs `iterations` pipeline iterations
+/// on a `workers`-sized shared-corpus pool and returns `(wall-clock,
+/// seeds/sec)`. Backs the `throughput` Criterion bench and the scaling
+/// rows of EXPERIMENTS.md.
+pub fn throughput(workers: usize, iterations: usize, seed: u64) -> (Duration, f64) {
+    let start = Instant::now();
+    let report = executor::run(
+        boom_small(),
+        FuzzerOptions::default(),
+        workers,
+        iterations,
+        seed,
+    );
+    let elapsed = start.elapsed();
+    assert_eq!(report.stats.iterations, iterations);
+    (elapsed, iterations as f64 / elapsed.as_secs_f64().max(1e-9))
 }
 
 /// Parses a `--flag value` style argument with a default.
@@ -448,7 +521,12 @@ mod tests {
             .filter_map(|t| t.parse().ok())
             .collect();
         assert_eq!(nums.len(), 3, "{row}");
-        assert!(nums[2] > 10 * nums[0], "CellIFT {} vs diffIFT {}", nums[2], nums[0]);
+        assert!(
+            nums[2] > 10 * nums[0],
+            "CellIFT {} vs diffIFT {}",
+            nums[2],
+            nums[0]
+        );
         assert!(nums[1] <= nums[0], "FN variant never exceeds diffIFT");
     }
 
@@ -461,9 +539,18 @@ mod tests {
     }
 
     #[test]
+    fn throughput_measures_a_real_run() {
+        let (elapsed, seeds_per_sec) = throughput(2, 8, 5);
+        assert!(elapsed.as_nanos() > 0);
+        assert!(seeds_per_sec > 0.0);
+    }
+
+    #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["bin", "--windows", "7", "--broken"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["bin", "--windows", "7", "--broken"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_or(&args, "--windows", 3), 7);
         assert_eq!(arg_or(&args, "--missing", 3), 3);
         assert_eq!(arg_or(&args, "--broken", 3), 3, "non-numeric falls back");

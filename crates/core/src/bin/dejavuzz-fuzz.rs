@@ -1,12 +1,13 @@
 //! The DejaVuzz command-line fuzzer: the paper's fuzzing-pipeline entry
-//! point (§5), wrapping `campaign::parallel_run`.
+//! point (§5), wrapping the shared-corpus [`dejavuzz::executor`].
 //!
 //! ```sh
 //! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
-//!     --core xiangshan --iters 100 --threads 4 --seed 7
+//!     --core xiangshan --iters 100 --workers 4 --seed 7
 //! ```
 
-use dejavuzz::campaign::{parallel_run, FuzzerOptions};
+use dejavuzz::campaign::FuzzerOptions;
+use dejavuzz::executor;
 use dejavuzz_uarch::{boom_small, xiangshan_minimal};
 
 fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -23,8 +24,9 @@ fn main() {
         println!(
             "dejavuzz-fuzz — transient-execution-bug fuzzing campaign\n\n\
              --core boom|xiangshan   DUT model (default boom)\n\
-             --iters N               iterations per thread (default 50)\n\
-             --threads N             parallel campaigns (default 1)\n\
+             --iters N               iterations per worker (default 50)\n\
+             --workers N             pipeline workers sharing one corpus (default 1)\n\
+             --threads N             alias for --workers (historical name)\n\
              --seed N                RNG seed (default 42)\n\
              --variant full|star|minus|noliveness\n"
         );
@@ -36,7 +38,7 @@ fn main() {
         _ => boom_small(),
     };
     let iters = arg(&args, "--iters", 50usize);
-    let threads = arg(&args, "--threads", 1usize);
+    let workers = arg(&args, "--workers", arg(&args, "--threads", 1usize)).max(1);
     let seed = arg(&args, "--seed", 42u64);
     let variant = arg::<String>(&args, "--variant", "full".into());
     let opts = match variant.as_str() {
@@ -46,15 +48,37 @@ fn main() {
         _ => FuzzerOptions::default(),
     };
 
-    println!("fuzzing {} ({variant}) — {iters} iters x {threads} thread(s), seed {seed}\n", cfg.name);
+    println!(
+        "fuzzing {} ({variant}) — {iters} iters x {workers} worker(s), shared corpus, seed {seed}\n",
+        cfg.name
+    );
     let start = std::time::Instant::now();
-    let stats = parallel_run(cfg, opts, threads, iters, seed);
-    println!("elapsed:          {:.1}s", start.elapsed().as_secs_f64());
+    let report = executor::run(cfg, opts, workers, iters * workers, seed);
+    let stats = &report.stats;
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("elapsed:          {elapsed:.1}s");
+    println!(
+        "throughput:       {:.1} seeds/sec",
+        stats.iterations as f64 / elapsed.max(1e-9)
+    );
     println!("iterations:       {}", stats.iterations);
     println!("simulations:      {}", stats.sim_runs);
     println!("simulated cycles: {}", stats.sim_cycles);
-    println!("coverage points:  {}", stats.coverage());
+    println!("coverage points:  {} (exact union)", stats.coverage());
+    println!(
+        "corpus retained:  {} (evicted {})",
+        report.corpus_retained, report.corpus_evicted
+    );
     println!("first bug:        {:?}", stats.first_bug_iteration);
+    println!("\nworkers:");
+    for w in &report.workers {
+        println!(
+            "  #{:<3} {:>5} iterations, {:>5} points observed",
+            w.worker,
+            w.iterations,
+            w.observed.points()
+        );
+    }
     println!("\nwindows:");
     for (wt, ws) in &stats.windows {
         println!(

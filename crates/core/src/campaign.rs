@@ -1,16 +1,19 @@
-//! The fuzzing campaign: corpus, coverage-guided loop, ablation variants
-//! and the multi-threaded manager (§5's "fuzzing pipeline").
+//! The fuzzing campaign: the single-worker façade over the pipeline
+//! (corpus scheduling + coverage-guided loop), the ablation variants, and
+//! the parallel entry point (now backed by [`crate::executor`]).
 
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use dejavuzz_ift::{CoverageMatrix, IftMode};
 use dejavuzz_uarch::CoreConfig;
 
-use crate::gen::{Seed, WindowType};
-use crate::phases::{phase1, phase2, phase3, PhaseOptions};
+use crate::corpus::Corpus;
+use crate::executor::{self, GainAverage};
+use crate::gen::WindowType;
+use crate::phases::PhaseOptions;
 use crate::report::BugReport;
 
 /// Campaign-level configuration. The ablation variants of the evaluation
@@ -44,7 +47,10 @@ impl FuzzerOptions {
     /// random instructions (Table 3's middle rows).
     pub fn dejavuzz_star() -> Self {
         FuzzerOptions {
-            phases: PhaseOptions { training_derivation: false, ..PhaseOptions::default() },
+            phases: PhaseOptions {
+                training_derivation: false,
+                ..PhaseOptions::default()
+            },
             ..FuzzerOptions::default()
         }
     }
@@ -52,13 +58,19 @@ impl FuzzerOptions {
     /// The DejaVuzz⁻ variant: no taint-coverage feedback (Figure 7's
     /// middle curve).
     pub fn dejavuzz_minus() -> Self {
-        FuzzerOptions { coverage_feedback: false, ..FuzzerOptions::default() }
+        FuzzerOptions {
+            coverage_feedback: false,
+            ..FuzzerOptions::default()
+        }
     }
 
     /// The no-liveness variant of §6.3's liveness evaluation.
     pub fn no_liveness() -> Self {
         FuzzerOptions {
-            phases: PhaseOptions { liveness_filter: false, ..PhaseOptions::default() },
+            phases: PhaseOptions {
+                liveness_filter: false,
+                ..PhaseOptions::default()
+            },
             ..FuzzerOptions::default()
         }
     }
@@ -128,15 +140,29 @@ impl CampaignStats {
         self.coverage_curve.last().copied().unwrap_or(0)
     }
 
-    /// Merges another campaign's stats (multi-threaded manager). Coverage
-    /// curves are added pointwise (each thread owns a disjoint coverage
-    /// matrix; the union is approximated by the sum of new points, which is
-    /// exact when threads explore disjoint regions and conservative
-    /// otherwise).
+    /// Merges another campaign's stats.
+    ///
+    /// Counters add; bugs deduplicate. Coverage curves merge by pointwise
+    /// **maximum** over the overlap (keeping the longer tail): with
+    /// disjoint matrices the true union curve is unknowable after the
+    /// fact, and the max is the tightest *lower bound* that never
+    /// over-reports. (An earlier revision documented a pointwise *sum*
+    /// but never implemented any curve merge at all, leaving
+    /// `coverage_curve` empty after a parallel merge.) For the **exact**
+    /// union curve, run through [`crate::executor::run`], which maintains
+    /// shared coverage while the workers execute instead of approximating
+    /// afterwards.
     pub fn merge(&mut self, other: &CampaignStats) {
         self.iterations += other.iterations;
         self.sim_runs += other.sim_runs;
         self.sim_cycles += other.sim_cycles;
+        for (i, &c) in other.coverage_curve.iter().enumerate() {
+            if i < self.coverage_curve.len() {
+                self.coverage_curve[i] = self.coverage_curve[i].max(c);
+            } else {
+                self.coverage_curve.push(c);
+            }
+        }
         for (wt, ws) in &other.windows {
             let e = self.windows.entry(*wt).or_default();
             e.triggered += ws.triggered;
@@ -156,30 +182,42 @@ impl CampaignStats {
     }
 }
 
-/// A fuzzing campaign against one core model.
+/// A fuzzing campaign against one core model: the thin single-worker
+/// façade over the pipeline machinery ([`Corpus`] scheduling plus the
+/// shared per-iteration engine of [`crate::executor`]). Multi-worker runs
+/// go through [`crate::executor::run`]; this type exists for the paper's
+/// sequential curves (Figure 7), the ablation variants, and as the
+/// simplest entry point.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     cfg: CoreConfig,
     opts: FuzzerOptions,
     rng: StdRng,
+    corpus: Corpus,
     coverage: CoverageMatrix,
     stats: CampaignStats,
     /// Running average of coverage gain (the mutation threshold of §4.2.2).
-    avg_gain: f64,
-    gain_samples: usize,
+    gain: GainAverage,
 }
 
 impl Campaign {
     /// A new campaign with deterministic RNG seeding.
     pub fn new(cfg: CoreConfig, opts: FuzzerOptions, rng_seed: u64) -> Self {
+        // Corpus retention/scheduling is coverage feedback, so DejaVuzz⁻
+        // runs with the corpus disabled (always explore, never retain).
+        let corpus = if opts.coverage_feedback {
+            Corpus::default()
+        } else {
+            Corpus::default().with_exploit_probability(0.0)
+        };
         Campaign {
             cfg,
             opts,
             rng: StdRng::seed_from_u64(rng_seed),
+            corpus,
             coverage: CoverageMatrix::new(),
             stats: CampaignStats::default(),
-            avg_gain: 0.0,
-            gain_samples: 0,
+            gain: GainAverage::default(),
         }
     }
 
@@ -193,6 +231,11 @@ impl Campaign {
         &self.stats
     }
 
+    /// The seed corpus accumulated so far.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
     /// Runs `iterations` fuzzing iterations, returning the final stats.
     pub fn run(&mut self, iterations: usize) -> CampaignStats {
         for _ in 0..iterations {
@@ -201,72 +244,39 @@ impl Campaign {
         self.stats.clone()
     }
 
-    /// One fuzzing iteration: Phase 1 → Phase 2 (with coverage-guided
-    /// mutation) → Phase 3.
+    /// One fuzzing iteration: corpus scheduling → Phase 1 → Phase 2 (with
+    /// coverage-guided mutation) → Phase 3 → retention.
     pub fn iteration(&mut self) {
-        let iteration = self.stats.iterations;
-        self.stats.iterations += 1;
-        let window_type = WindowType::ALL[self.rng.gen_range(0..WindowType::ALL.len())];
-        let mut seed = Seed::new(window_type, self.rng.gen());
-        let entry = self.stats.windows.entry(window_type).or_default();
-        entry.attempted += 1;
-
-        let p1 = phase1(&self.cfg, &seed, &self.opts.phases);
-        self.stats.sim_runs += p1.sim_runs;
-        if !p1.triggered {
-            self.stats.coverage_curve.push(self.coverage.points());
-            return;
-        }
-        let entry = self.stats.windows.entry(window_type).or_default();
-        entry.triggered += 1;
-        entry.to_sum += p1.to;
-        entry.eto_sum += p1.eto;
-
-        // Phase 2 with coverage feedback: mutate the window section while
-        // the gain stays below the running average.
-        let mut best = None;
-        for attempt in 0..=self.opts.mutation_attempts {
-            let p2 = phase2(&self.cfg, &seed, &p1, &mut self.coverage, &self.opts.phases);
-            self.stats.sim_runs += 1;
-            self.stats.sim_cycles += p2.run.total_cycles.0;
-            let gain = p2.coverage_gain as f64;
-            let below_avg = gain < self.avg_gain;
-            let propagated = p2.taints_increased;
-            self.gain_samples += 1;
-            self.avg_gain += (gain - self.avg_gain) / self.gain_samples as f64;
-            best = Some(p2);
-            if !self.opts.coverage_feedback {
-                break; // DejaVuzz⁻ takes whatever the first roll produced
-            }
-            if propagated && !below_avg {
-                break;
-            }
-            if attempt < self.opts.mutation_attempts {
-                seed = seed.mutate();
-            }
-        }
-        let p2 = best.expect("at least one phase-2 attempt ran");
-
-        // Phase 3 only for cases that accessed and propagated the secret.
-        if p2.taints_increased || self.opts.phases.mode == IftMode::Base {
-            let p3 = phase3(&self.cfg, &p1, &p2, iteration, &self.opts.phases);
-            self.stats.sim_runs += 1;
-            for leak in p3.leaks {
-                if self.stats.first_bug_iteration.is_none() {
-                    self.stats.first_bug_iteration = Some(iteration);
-                }
-                if !self.stats.bugs.iter().any(|b| b.dedup_key() == leak.dedup_key()) {
-                    self.stats.bugs.push(leak);
-                }
-            }
-        }
+        let slot = self.stats.iterations;
+        let scheduled = self.corpus.schedule(&mut self.rng);
+        let outcome = executor::run_iteration(
+            &self.cfg,
+            &self.opts,
+            slot,
+            scheduled,
+            &mut self.rng,
+            &mut self.coverage,
+            None, // the view IS the only matrix — no separate accounting
+            None, // no concurrent union in the single-worker façade
+            &mut self.gain,
+        );
+        executor::fold_outcome(&mut self.stats, &outcome);
         self.stats.coverage_curve.push(self.coverage.points());
+        if self.opts.coverage_feedback {
+            self.corpus.record(&outcome.seed, outcome.final_gain);
+        }
     }
 }
 
-/// The multi-threaded fuzzing manager ("allowing multiple RTL simulation
-/// instances to run in parallel", §5). Each thread runs an independent
-/// campaign; stats are merged at the end.
+/// The parallel fuzzing entry point ("allowing multiple RTL simulation
+/// instances to run in parallel", §5), kept under its historical name.
+///
+/// Formerly each thread ran a fully independent campaign whose disjoint
+/// stats were approximately merged at the end; now this is a thin wrapper
+/// over [`crate::executor::run`]: one shared corpus, one shared gain
+/// threshold, and an exact concurrent coverage union. `iterations_per_
+/// thread` is kept as the unit of work for signature compatibility — the
+/// pool executes `threads * iterations_per_thread` iterations in total.
 pub fn parallel_run(
     cfg: CoreConfig,
     opts: FuzzerOptions,
@@ -274,20 +284,15 @@ pub fn parallel_run(
     iterations_per_thread: usize,
     rng_seed: u64,
 ) -> CampaignStats {
-    let handles: Vec<_> = (0..threads)
-        .map(|t| {
-            std::thread::spawn(move || {
-                let mut c = Campaign::new(cfg, opts, rng_seed.wrapping_add(t as u64 * 7919));
-                c.run(iterations_per_thread)
-            })
-        })
-        .collect();
-    let mut total = CampaignStats::default();
-    for h in handles {
-        let stats = h.join().expect("campaign thread panicked");
-        total.merge(&stats);
-    }
-    total
+    let threads = threads.max(1);
+    executor::run(
+        cfg,
+        opts,
+        threads,
+        threads * iterations_per_thread,
+        rng_seed,
+    )
+    .stats
 }
 
 #[cfg(test)]
@@ -301,7 +306,10 @@ mod tests {
         let stats = c.run(15);
         assert_eq!(stats.iterations, 15);
         assert_eq!(stats.coverage_curve.len(), 15);
-        assert!(stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(
+            stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]),
+            "monotone"
+        );
         assert!(stats.coverage() > 0);
     }
 
@@ -309,7 +317,10 @@ mod tests {
     fn campaign_finds_bugs_on_vulnerable_boom() {
         let mut c = Campaign::new(boom_small(), FuzzerOptions::default(), 3);
         let stats = c.run(30);
-        assert!(!stats.bugs.is_empty(), "30 iterations must surface at least one leak");
+        assert!(
+            !stats.bugs.is_empty(),
+            "30 iterations must surface at least one leak"
+        );
         assert!(stats.first_bug_iteration.is_some());
     }
 
@@ -327,7 +338,10 @@ mod tests {
         assert!(!FuzzerOptions::dejavuzz_minus().coverage_feedback);
         assert!(!FuzzerOptions::no_liveness().phases.liveness_filter);
         assert_eq!(
-            FuzzerOptions::default().with_mode(IftMode::CellIft).phases.mode,
+            FuzzerOptions::default()
+                .with_mode(IftMode::CellIft)
+                .phases
+                .mode,
             IftMode::CellIft
         );
     }
@@ -341,6 +355,24 @@ mod tests {
         assert_eq!(m.iterations, 10);
         assert!(m.sim_runs >= a.sim_runs + b.sim_runs);
         assert!(m.bugs.len() <= a.bugs.len() + b.bugs.len(), "dedup applies");
+        // The curve merge (the old implementation dropped curves entirely,
+        // leaving `parallel_run` with an empty one): pointwise max over
+        // the overlap — never the inflated sum.
+        assert_eq!(m.coverage_curve.len(), 5);
+        for (i, &c) in m.coverage_curve.iter().enumerate() {
+            assert_eq!(c, a.coverage_curve[i].max(b.coverage_curve[i]));
+            assert!(c <= a.coverage_curve[i] + b.coverage_curve[i]);
+        }
+    }
+
+    #[test]
+    fn merge_keeps_longer_curve_tail() {
+        let a = Campaign::new(boom_small(), FuzzerOptions::default(), 1).run(3);
+        let b = Campaign::new(boom_small(), FuzzerOptions::default(), 2).run(6);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.coverage_curve.len(), 6, "longer tail survives");
+        assert_eq!(m.coverage_curve[5], b.coverage_curve[5]);
     }
 
     #[test]
@@ -351,7 +383,12 @@ mod tests {
 
     #[test]
     fn window_stats_means() {
-        let ws = WindowStats { triggered: 4, attempted: 5, to_sum: 40, eto_sum: 8 };
+        let ws = WindowStats {
+            triggered: 4,
+            attempted: 5,
+            to_sum: 40,
+            eto_sum: 8,
+        };
         assert_eq!(ws.mean_to(), 10.0);
         assert_eq!(ws.mean_eto(), 2.0);
         assert!(WindowStats::default().mean_to().is_nan());

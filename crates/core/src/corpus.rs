@@ -1,0 +1,329 @@
+//! The shared seed corpus: interesting-seed retention and energy-based
+//! scheduling for the fuzzing pipeline (§5).
+//!
+//! The seed fuzzer regenerated a fresh random seed every iteration and
+//! threw it away afterwards, so a window that uncovered new taint coverage
+//! contributed nothing beyond its own run. The corpus closes that loop:
+//! seeds whose Phase-2 exploration gained coverage are *retained*, carry
+//! *energy* proportional to their gain, and are rescheduled (as mutations
+//! — same trigger configuration, re-rolled window section) with
+//! probability proportional to their remaining energy. Energy decays with
+//! every reschedule, so a once-interesting seed cannot monopolise the
+//! pipeline; capacity eviction drops the lowest-energy entry first.
+//!
+//! Scheduling draws all randomness from a caller-supplied RNG, so a
+//! single-worker [`crate::Campaign`] and the multi-worker
+//! [`crate::executor`] (which schedules centrally from the orchestrator)
+//! are both exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::gen::Seed;
+
+/// Default number of retained seeds.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Probability of scheduling a retained seed instead of generating a
+/// fresh one. Exploration-heavy on purpose: the window/trigger space is
+/// enormous and retained seeds only re-roll their window section.
+pub const EXPLOIT_PROBABILITY: f64 = 0.35;
+
+/// One retained seed plus its scheduling state.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// The exact seed (including its mutation counter) that produced the
+    /// coverage gain.
+    pub seed: Seed,
+    /// Coverage points the seed gained when it was retained.
+    pub gain: usize,
+    /// Times this entry has been rescheduled since retention.
+    pub schedules: usize,
+}
+
+impl CorpusEntry {
+    /// Scheduling energy: the retention gain, decayed by every reschedule.
+    pub fn energy(&self) -> f64 {
+        self.gain as f64 / (1.0 + self.schedules as f64)
+    }
+}
+
+/// The seed pool. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    capacity: usize,
+    exploit_probability: f64,
+    retained: usize,
+    evicted: usize,
+}
+
+impl Default for Corpus {
+    fn default() -> Self {
+        Corpus::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Corpus {
+    /// An empty corpus holding at most `capacity` seeds.
+    pub fn new(capacity: usize) -> Self {
+        Corpus {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            exploit_probability: EXPLOIT_PROBABILITY,
+            retained: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Overrides the exploit probability (clamped to `[0, 1]`). `0.0`
+    /// makes every [`Corpus::schedule`] call explore — uniform fresh
+    /// sampling, used by measurements that must not be skewed toward
+    /// coverage-gaining lineages (e.g. Table 3's training overheads).
+    pub fn with_exploit_probability(mut self, p: f64) -> Self {
+        self.exploit_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Retained seeds currently in the pool.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total seeds ever retained (monotone; eviction does not decrement).
+    pub fn retained(&self) -> usize {
+        self.retained
+    }
+
+    /// Seeds dropped by capacity eviction.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Sum of entry energies (the scheduling mass).
+    pub fn total_energy(&self) -> f64 {
+        self.entries.iter().map(|e| e.energy()).sum()
+    }
+
+    /// The retained entries, for inspection.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Draws the next seed to run, or `None` when the scheduler chooses
+    /// exploration (the caller then generates a fresh random seed).
+    ///
+    /// A retained pick is returned *mutated*: the trigger configuration
+    /// that proved interesting is kept, the window section re-rolls.
+    pub fn schedule(&mut self, rng: &mut StdRng) -> Option<Seed> {
+        if self.entries.is_empty()
+            || self.exploit_probability <= 0.0
+            || !rng.gen_bool(self.exploit_probability)
+        {
+            return None;
+        }
+        let total = self.total_energy();
+        if total <= 0.0 {
+            return None;
+        }
+        // Energy-weighted roulette pick.
+        let mut roll = (rng.gen::<u64>() as f64 / u64::MAX as f64) * total;
+        let mut pick = self.entries.len() - 1;
+        for (i, e) in self.entries.iter().enumerate() {
+            roll -= e.energy();
+            if roll <= 0.0 {
+                pick = i;
+                break;
+            }
+        }
+        let entry = &mut self.entries[pick];
+        entry.schedules += 1;
+        Some(entry.seed.mutate())
+    }
+
+    /// Reports an executed seed's coverage gain; retains it when the gain
+    /// is positive, evicting the lowest-energy entry on overflow.
+    pub fn record(&mut self, seed: &Seed, gain: usize) {
+        if gain == 0 {
+            return;
+        }
+        // The same lineage scoring again replaces its entry if the new
+        // gain is higher (re-energise), otherwise it is left alone — a
+        // duplicate entry would double its scheduling mass.
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seed.window_type == seed.window_type && e.seed.entropy == seed.entropy)
+        {
+            if gain > existing.gain {
+                existing.seed = seed.clone();
+                existing.gain = gain;
+                existing.schedules = 0;
+            }
+            return;
+        }
+        self.retained += 1;
+        self.entries.push(CorpusEntry {
+            seed: seed.clone(),
+            gain,
+            schedules: 0,
+        });
+        if self.entries.len() > self.capacity {
+            let weakest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.energy()
+                        .partial_cmp(&b.energy())
+                        .expect("energy is finite")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(weakest);
+            self.evicted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WindowType;
+    use rand::SeedableRng;
+
+    fn seed(e: u64) -> Seed {
+        Seed::new(WindowType::BranchMispredict, e)
+    }
+
+    #[test]
+    fn zero_gain_is_not_retained() {
+        let mut c = Corpus::new(8);
+        c.record(&seed(1), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.retained(), 0);
+    }
+
+    #[test]
+    fn empty_corpus_always_explores() {
+        let mut c = Corpus::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| c.schedule(&mut rng).is_none()));
+    }
+
+    #[test]
+    fn zero_exploit_probability_disables_scheduling_without_rng_draws() {
+        let mut c = Corpus::new(8).with_exploit_probability(0.0);
+        c.record(&seed(1), 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..50).all(|_| c.schedule(&mut rng).is_none()));
+        // The disabled scheduler consumes no entropy, so the fresh-seed
+        // stream matches a corpus that never retained anything.
+        assert_eq!(rng, StdRng::seed_from_u64(1), "no rng draws while disabled");
+    }
+
+    #[test]
+    fn retained_seeds_are_scheduled_as_mutations() {
+        let mut c = Corpus::new(8);
+        c.record(&seed(42), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = (0..200)
+            .filter_map(|_| c.schedule(&mut rng))
+            .collect::<Vec<_>>();
+        assert!(
+            !picked.is_empty(),
+            "exploit probability must fire in 200 draws"
+        );
+        for s in &picked {
+            assert_eq!(s.entropy, 42, "trigger configuration preserved");
+            assert!(s.mutation > 0, "window section re-rolled");
+        }
+        // Exploration still dominates (p = 0.35).
+        assert!(
+            picked.len() < 150,
+            "{} exploit draws out of 200",
+            picked.len()
+        );
+    }
+
+    #[test]
+    fn energy_weights_favor_high_gain_seeds() {
+        let mut c = Corpus::new(8);
+        c.record(&seed(1), 1);
+        c.record(&seed(2), 40);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut by_entropy = [0usize; 2];
+        for _ in 0..2000 {
+            if let Some(s) = c.schedule(&mut rng) {
+                by_entropy[(s.entropy - 1) as usize] += 1;
+            }
+        }
+        assert!(
+            by_entropy[1] > 3 * by_entropy[0],
+            "gain-40 seed must dominate gain-1 seed: {by_entropy:?}"
+        );
+    }
+
+    #[test]
+    fn energy_decays_with_reschedules() {
+        let e0 = CorpusEntry {
+            seed: seed(1),
+            gain: 10,
+            schedules: 0,
+        };
+        let e3 = CorpusEntry {
+            seed: seed(1),
+            gain: 10,
+            schedules: 3,
+        };
+        assert!(e0.energy() > e3.energy());
+        assert_eq!(e0.energy(), 10.0);
+        assert_eq!(e3.energy(), 2.5);
+    }
+
+    #[test]
+    fn capacity_evicts_lowest_energy() {
+        let mut c = Corpus::new(2);
+        c.record(&seed(1), 1); // weakest
+        c.record(&seed(2), 10);
+        c.record(&seed(3), 5);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evicted(), 1);
+        assert!(
+            c.entries().iter().all(|e| e.seed.entropy != 1),
+            "weakest evicted"
+        );
+    }
+
+    #[test]
+    fn re_recording_same_lineage_reenergises_instead_of_duplicating() {
+        let mut c = Corpus::new(8);
+        c.record(&seed(5), 3);
+        let mutated = seed(5).mutate();
+        c.record(&mutated, 9);
+        assert_eq!(c.len(), 1, "same lineage keeps one entry");
+        assert_eq!(c.entries()[0].gain, 9, "higher gain re-energises");
+        c.record(&seed(5), 2);
+        assert_eq!(c.entries()[0].gain, 9, "lower gain leaves the entry alone");
+    }
+
+    #[test]
+    fn scheduling_is_deterministic_per_rng_seed() {
+        let mut a = Corpus::new(8);
+        let mut b = Corpus::new(8);
+        for c in [&mut a, &mut b] {
+            c.record(&seed(1), 3);
+            c.record(&seed(2), 7);
+        }
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.schedule(&mut ra), b.schedule(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The shared-corpus pipeline executor: a channel-based worker pool
+//! replacing the old thread-per-campaign manager (§5's "multiple RTL
+//! simulation instances in parallel").
+//!
+//! # Architecture
+//!
+//! An [`Orchestrator`] owns the [`Corpus`], the scheduling RNG, the
+//! running-average mutation-gain threshold and the exact global coverage;
+//! [`Worker`] threads own the simulators. Work flows in *rounds*:
+//!
+//! 1. The orchestrator draws a batch of iteration slots per worker,
+//!    consulting the corpus (energy-weighted retained seeds vs. fresh
+//!    exploration) for each slot, and ships each worker its batch together
+//!    with the current gain threshold and the coverage points discovered
+//!    globally since the worker's last batch.
+//! 2. Each worker folds the broadcast delta into its local *view* of the
+//!    global coverage, then runs the three-phase pipeline for its slots.
+//!    Every observation fans out through [`RecordingCoverage`]: into the
+//!    worker's private `observed` matrix (for the exactness invariant)
+//!    and — when fresh against the view — into the outcome's recorded
+//!    delta and the live [`SharedCoverage`] union (concurrent,
+//!    lock-striped, exact). Mutation-gain feedback reads only the view,
+//!    so worker decisions never race on shared state. The *canonical*
+//!    union is the orchestrator's deterministic replay below; the shared
+//!    union is the live, lock-free-readable view of the same set (progress
+//!    monitoring, future work-stealing donors) and a runtime cross-check
+//!    that the two accounting paths agree.
+//! 3. Workers flush one batched result message per round. The orchestrator
+//!    folds outcomes back in global slot order: stats, the per-iteration
+//!    exact coverage curve, bug dedup, gain-threshold samples and corpus
+//!    retention all replay deterministically.
+//!
+//! The consequence is the property the old end-of-run merge could not
+//! offer: `run(cfg, opts, workers, iters, seed)` is **deterministic for a
+//! fixed worker count** (thread timing only changes who commits a shared
+//! point first, which nothing reads back), and its final coverage is the
+//! **exact union** of what the workers observed — never the pointwise sum
+//! the old `CampaignStats::merge` approximated.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dejavuzz_ift::{CoverageMatrix, CoveragePoint, IftMode, RecordingCoverage, SharedCoverage};
+use dejavuzz_uarch::CoreConfig;
+
+use crate::campaign::{CampaignStats, FuzzerOptions};
+use crate::corpus::Corpus;
+use crate::gen::{Seed, WindowType};
+use crate::phases::{phase1, phase2, phase3};
+
+/// Iteration slots shipped to a worker per round. Large enough to
+/// amortise the channel round-trip, small enough that corpus feedback and
+/// the gain threshold stay fresh.
+pub const DEFAULT_BATCH: usize = 4;
+
+/// The running-average mutation-gain threshold of §4.2.2, shared across
+/// all workers of a pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct GainAverage {
+    pub avg: f64,
+    pub samples: usize,
+}
+
+impl GainAverage {
+    /// Folds one sample into the running average.
+    pub fn push(&mut self, gain: f64) {
+        self.samples += 1;
+        self.avg += (gain - self.avg) / self.samples as f64;
+    }
+}
+
+/// Everything one pipeline iteration produced, flushed to the
+/// orchestrator in per-round batches.
+#[derive(Clone, Debug)]
+pub(crate) struct IterationOutcome {
+    /// Global iteration index.
+    pub slot: usize,
+    /// The executed seed (after fresh generation and window mutations).
+    pub seed: Seed,
+    pub window_type: WindowType,
+    pub triggered: bool,
+    pub to: usize,
+    pub eto: usize,
+    pub sim_runs: usize,
+    pub sim_cycles: u64,
+    /// Per-mutation-attempt coverage gains, in execution order (the
+    /// orchestrator replays these into the global threshold).
+    pub gains: Vec<f64>,
+    /// Coverage gain of the selected attempt (corpus retention energy).
+    pub final_gain: usize,
+    /// Points fresh against the worker's view, in observation order.
+    pub fresh_points: Vec<CoveragePoint>,
+    pub bugs: Vec<crate::report::BugReport>,
+}
+
+/// One three-phase pipeline iteration. Shared by [`Worker`] and the
+/// single-worker [`crate::Campaign`] façade.
+#[allow(clippy::too_many_arguments)] // the iteration's full context, spelled out
+pub(crate) fn run_iteration(
+    cfg: &CoreConfig,
+    opts: &FuzzerOptions,
+    slot: usize,
+    scheduled: Option<Seed>,
+    rng: &mut StdRng,
+    view: &mut CoverageMatrix,
+    mut observed: Option<&mut CoverageMatrix>,
+    shared: Option<&SharedCoverage>,
+    gain: &mut GainAverage,
+) -> IterationOutcome {
+    let mut seed = scheduled.unwrap_or_else(|| {
+        let window_type = WindowType::ALL[rng.gen_range(0..WindowType::ALL.len())];
+        Seed::new(window_type, rng.gen())
+    });
+    let mut out = IterationOutcome {
+        slot,
+        seed: seed.clone(),
+        window_type: seed.window_type,
+        triggered: false,
+        to: 0,
+        eto: 0,
+        sim_runs: 0,
+        sim_cycles: 0,
+        gains: Vec::new(),
+        final_gain: 0,
+        fresh_points: Vec::new(),
+        bugs: Vec::new(),
+    };
+
+    let p1 = phase1(cfg, &seed, &opts.phases);
+    out.sim_runs += p1.sim_runs;
+    if !p1.triggered {
+        return out;
+    }
+    out.triggered = true;
+    out.to = p1.to;
+    out.eto = p1.eto;
+
+    // Phase 2 with coverage feedback: mutate the window section while the
+    // gain stays below the shared running average.
+    let mut best = None;
+    for attempt in 0..=opts.mutation_attempts {
+        let mut sink = RecordingCoverage {
+            view: &mut *view,
+            recorded: &mut out.fresh_points,
+            observed: observed.as_deref_mut(),
+            shared,
+        };
+        let p2 = phase2(cfg, &seed, &p1, &mut sink, &opts.phases);
+        out.sim_runs += 1;
+        out.sim_cycles += p2.run.total_cycles.0;
+        let g = p2.coverage_gain as f64;
+        let below_avg = g < gain.avg;
+        let propagated = p2.taints_increased;
+        gain.push(g);
+        out.gains.push(g);
+        out.final_gain = p2.coverage_gain;
+        best = Some(p2);
+        if !opts.coverage_feedback {
+            break; // DejaVuzz⁻ takes whatever the first roll produced
+        }
+        if propagated && !below_avg {
+            break;
+        }
+        if attempt < opts.mutation_attempts {
+            seed = seed.mutate();
+        }
+    }
+    let p2 = best.expect("at least one phase-2 attempt ran");
+    out.seed = seed;
+
+    // Phase 3 only for cases that accessed and propagated the secret.
+    if p2.taints_increased || opts.phases.mode == IftMode::Base {
+        let p3 = phase3(cfg, &p1, &p2, slot, &opts.phases);
+        out.sim_runs += 1;
+        out.bugs = p3.leaks;
+    }
+    out
+}
+
+/// Folds an outcome's counters into campaign stats (curve, bugs, gain and
+/// corpus handling stay with the caller, which knows the global ordering).
+pub(crate) fn fold_outcome(stats: &mut CampaignStats, o: &IterationOutcome) {
+    stats.iterations += 1;
+    stats.sim_runs += o.sim_runs;
+    stats.sim_cycles += o.sim_cycles;
+    let e = stats.windows.entry(o.window_type).or_default();
+    e.attempted += 1;
+    if o.triggered {
+        e.triggered += 1;
+        e.to_sum += o.to;
+        e.eto_sum += o.eto;
+    }
+    for b in &o.bugs {
+        if stats.first_bug_iteration.is_none() {
+            stats.first_bug_iteration = Some(o.slot);
+        }
+        if !stats.bugs.iter().any(|x| x.dedup_key() == b.dedup_key()) {
+            stats.bugs.push(b.clone());
+        }
+    }
+}
+
+/// One iteration slot of a round.
+struct WorkItem {
+    slot: usize,
+    /// A corpus pick to mutate, or `None` for fresh exploration.
+    scheduled: Option<Seed>,
+}
+
+/// A round's worth of work for one worker.
+struct WorkBatch {
+    items: Vec<WorkItem>,
+    /// Round-start global gain threshold.
+    avg: f64,
+    samples: usize,
+    /// Globally fresh points discovered since this worker's last batch.
+    delta: Vec<CoveragePoint>,
+}
+
+enum ToWorker {
+    Batch(WorkBatch),
+    Stop,
+}
+
+enum FromWorker {
+    Batch(Vec<IterationOutcome>),
+    Summary(WorkerSummary),
+}
+
+/// A worker's end-of-run accounting.
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Iterations this worker executed.
+    pub iterations: usize,
+    /// Every coverage point this worker itself observed (the union of
+    /// these matrices across workers is exactly the pool's final
+    /// coverage — asserted by the pipeline tests).
+    pub observed: CoverageMatrix,
+}
+
+/// A pipeline worker: owns its simulators, its RNG stream and its
+/// deterministic view of the global coverage.
+struct Worker {
+    id: usize,
+    cfg: CoreConfig,
+    opts: FuzzerOptions,
+    rng: StdRng,
+    view: CoverageMatrix,
+    observed: CoverageMatrix,
+    iterations: usize,
+    shared: Arc<SharedCoverage>,
+}
+
+impl Worker {
+    fn run(mut self, rx: mpsc::Receiver<ToWorker>, tx: mpsc::Sender<FromWorker>) {
+        while let Ok(msg) = rx.recv() {
+            let batch = match msg {
+                ToWorker::Stop => break,
+                ToWorker::Batch(b) => b,
+            };
+            for p in &batch.delta {
+                self.view.insert(*p);
+            }
+            // The worker's threshold starts from the global round-start
+            // average and folds in its own in-round samples; the
+            // orchestrator recomputes the exact global sequence afterwards.
+            let mut gain = GainAverage {
+                avg: batch.avg,
+                samples: batch.samples,
+            };
+            let mut outcomes = Vec::with_capacity(batch.items.len());
+            for item in batch.items {
+                self.iterations += 1;
+                outcomes.push(run_iteration(
+                    &self.cfg,
+                    &self.opts,
+                    item.slot,
+                    item.scheduled,
+                    &mut self.rng,
+                    &mut self.view,
+                    Some(&mut self.observed),
+                    Some(&self.shared),
+                    &mut gain,
+                ));
+            }
+            if tx.send(FromWorker::Batch(outcomes)).is_err() {
+                return; // orchestrator went away
+            }
+        }
+        let _ = tx.send(FromWorker::Summary(WorkerSummary {
+            worker: self.id,
+            iterations: self.iterations,
+            observed: self.observed,
+        }));
+    }
+}
+
+/// Results of a pool run.
+#[derive(Clone, Debug)]
+pub struct ExecutorReport {
+    /// Merged campaign stats with the *exact* global coverage curve.
+    pub stats: CampaignStats,
+    /// The final global coverage (union of all observations).
+    pub coverage: CoverageMatrix,
+    /// Final point count of the concurrent [`SharedCoverage`] — always
+    /// equal to `coverage.points()`; reported separately so tests can
+    /// assert the two accounting paths agree.
+    pub shared_points: usize,
+    /// Per-worker accounting.
+    pub workers: Vec<WorkerSummary>,
+    /// Seeds the corpus retained over the run.
+    pub corpus_retained: usize,
+    /// Seeds the corpus evicted for capacity.
+    pub corpus_evicted: usize,
+}
+
+/// The pool coordinator. See the module docs for the round protocol.
+#[derive(Clone, Debug)]
+pub struct Orchestrator {
+    cfg: CoreConfig,
+    opts: FuzzerOptions,
+    workers: usize,
+    seed: u64,
+    batch: usize,
+    corpus_capacity: usize,
+    corpus_exploit: f64,
+}
+
+impl Orchestrator {
+    /// A new pool configuration. `workers` is clamped to at least 1.
+    pub fn new(cfg: CoreConfig, opts: FuzzerOptions, workers: usize, seed: u64) -> Self {
+        Orchestrator {
+            cfg,
+            opts,
+            workers: workers.max(1),
+            seed,
+            batch: DEFAULT_BATCH,
+            corpus_capacity: crate::corpus::DEFAULT_CAPACITY,
+            corpus_exploit: crate::corpus::EXPLOIT_PROBABILITY,
+        }
+    }
+
+    /// Overrides the per-round batch size (clamped to at least 1).
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Overrides the corpus capacity.
+    pub fn corpus_capacity(mut self, capacity: usize) -> Self {
+        self.corpus_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the corpus exploit probability; `0.0` disables corpus
+    /// scheduling so every iteration samples a fresh uniform seed
+    /// (measurements like Table 3 need unskewed per-window-type counts).
+    pub fn corpus_exploit_probability(mut self, p: f64) -> Self {
+        self.corpus_exploit = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// SplitMix64: decorrelates the per-worker and scheduler RNG streams
+    /// from the user seed.
+    fn stream_seed(&self, stream: u64) -> u64 {
+        let mut z = self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs `iterations` pipeline iterations across the pool.
+    pub fn run(&self, iterations: usize) -> ExecutorReport {
+        let shared = Arc::new(SharedCoverage::default());
+        let (from_tx, from_rx) = mpsc::channel();
+        let mut to_workers = Vec::with_capacity(self.workers);
+        let mut handles = Vec::with_capacity(self.workers);
+        for id in 0..self.workers {
+            let (to_tx, to_rx) = mpsc::channel();
+            let worker = Worker {
+                id,
+                cfg: self.cfg,
+                opts: self.opts,
+                rng: StdRng::seed_from_u64(self.stream_seed(1 + id as u64)),
+                view: CoverageMatrix::new(),
+                observed: CoverageMatrix::new(),
+                iterations: 0,
+                shared: Arc::clone(&shared),
+            };
+            let from_tx = from_tx.clone();
+            handles.push(thread::spawn(move || worker.run(to_rx, from_tx)));
+            to_workers.push(to_tx);
+        }
+        drop(from_tx);
+
+        // Corpus retention/scheduling IS coverage feedback: the DejaVuzz⁻
+        // ablation (coverage_feedback = false) must run without any
+        // coverage-driven state, so its corpus explores unconditionally
+        // and retains nothing.
+        let feedback = self.opts.coverage_feedback;
+        let mut corpus = Corpus::new(self.corpus_capacity).with_exploit_probability(if feedback {
+            self.corpus_exploit
+        } else {
+            0.0
+        });
+        let mut sched_rng = StdRng::seed_from_u64(self.stream_seed(0));
+        let mut gain = GainAverage::default();
+        let mut global = CoverageMatrix::new();
+        // Append-only log of globally fresh points; per-worker cursors
+        // into it drive the round-start view broadcasts.
+        let mut point_log: Vec<CoveragePoint> = Vec::new();
+        let mut synced = vec![0usize; self.workers];
+        let mut stats = CampaignStats::default();
+
+        let mut next_slot = 0;
+        while next_slot < iterations {
+            let mut expected = 0;
+            for (w, to_worker) in to_workers.iter().enumerate() {
+                if next_slot == iterations {
+                    break;
+                }
+                let n = (iterations - next_slot).min(self.batch);
+                let items = (0..n)
+                    .map(|_| {
+                        let slot = next_slot;
+                        next_slot += 1;
+                        WorkItem {
+                            slot,
+                            scheduled: corpus.schedule(&mut sched_rng),
+                        }
+                    })
+                    .collect();
+                let delta = point_log[synced[w]..].to_vec();
+                synced[w] = point_log.len();
+                to_worker
+                    .send(ToWorker::Batch(WorkBatch {
+                        items,
+                        avg: gain.avg,
+                        samples: gain.samples,
+                        delta,
+                    }))
+                    .expect("worker hung up mid-run");
+                expected += 1;
+            }
+
+            let mut outcomes = Vec::new();
+            for _ in 0..expected {
+                match from_rx.recv().expect("worker hung up mid-run") {
+                    FromWorker::Batch(o) => outcomes.extend(o),
+                    FromWorker::Summary(_) => unreachable!("summary before Stop"),
+                }
+            }
+            // Replay in global slot order: every piece of feedback state
+            // (threshold, corpus, curve) updates deterministically.
+            outcomes.sort_by_key(|o| o.slot);
+            for o in outcomes {
+                fold_outcome(&mut stats, &o);
+                for g in &o.gains {
+                    gain.push(*g);
+                }
+                for p in &o.fresh_points {
+                    if global.insert(*p) {
+                        point_log.push(*p);
+                    }
+                }
+                stats.coverage_curve.push(global.points());
+                if feedback {
+                    corpus.record(&o.seed, o.final_gain);
+                }
+            }
+        }
+
+        for to_worker in &to_workers {
+            let _ = to_worker.send(ToWorker::Stop);
+        }
+        let mut workers: Vec<WorkerSummary> = from_rx
+            .iter()
+            .filter_map(|m| match m {
+                FromWorker::Summary(s) => Some(s),
+                FromWorker::Batch(_) => None,
+            })
+            .collect();
+        workers.sort_by_key(|s| s.worker);
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+
+        debug_assert_eq!(shared.points(), global.points(), "both unions must agree");
+        ExecutorReport {
+            stats,
+            coverage: global,
+            shared_points: shared.points(),
+            workers,
+            corpus_retained: corpus.retained(),
+            corpus_evicted: corpus.evicted(),
+        }
+    }
+}
+
+/// Runs `iterations` fuzzing iterations on a pool of `workers` threads
+/// sharing one corpus, one gain threshold and one exact coverage union.
+///
+/// Deterministic for a fixed `(workers, seed)` pair; see the module docs.
+pub fn run(
+    cfg: CoreConfig,
+    opts: FuzzerOptions,
+    workers: usize,
+    iterations: usize,
+    seed: u64,
+) -> ExecutorReport {
+    Orchestrator::new(cfg, opts, workers, seed).run(iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavuzz_uarch::boom_small;
+
+    #[test]
+    fn pool_runs_exactly_the_requested_iterations() {
+        let r = run(boom_small(), FuzzerOptions::default(), 3, 10, 7);
+        assert_eq!(r.stats.iterations, 10);
+        assert_eq!(r.stats.coverage_curve.len(), 10);
+        assert_eq!(r.workers.iter().map(|w| w.iterations).sum::<usize>(), 10);
+        assert_eq!(r.workers.len(), 3);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_exact() {
+        let r = run(boom_small(), FuzzerOptions::default(), 2, 12, 3);
+        assert!(r.stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(r.stats.coverage(), r.coverage.points());
+        assert_eq!(r.coverage.points(), r.shared_points);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let r = run(boom_small(), FuzzerOptions::default(), 0, 4, 1);
+        assert_eq!(r.workers.len(), 1);
+        assert_eq!(r.stats.iterations, 4);
+    }
+
+    #[test]
+    fn zero_iterations_is_a_clean_noop() {
+        let r = run(boom_small(), FuzzerOptions::default(), 2, 0, 1);
+        assert_eq!(r.stats.iterations, 0);
+        assert_eq!(r.coverage.points(), 0);
+        assert_eq!(r.workers.len(), 2);
+    }
+
+    #[test]
+    fn gain_average_matches_incremental_mean() {
+        let mut g = GainAverage::default();
+        for (i, x) in [4.0, 0.0, 8.0].iter().enumerate() {
+            g.push(*x);
+            assert_eq!(g.samples, i + 1);
+        }
+        assert!((g.avg - 4.0).abs() < 1e-12);
+    }
+}

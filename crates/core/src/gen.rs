@@ -113,14 +113,22 @@ pub struct Seed {
 impl Seed {
     /// A fresh seed.
     pub fn new(window_type: WindowType, entropy: u64) -> Self {
-        Seed { window_type, entropy, mutation: 0 }
+        Seed {
+            window_type,
+            entropy,
+            mutation: 0,
+        }
     }
 
     /// A mutated copy: same trigger configuration, different window
     /// entropy (Phase 2's "mutate the seed to regenerate the window
     /// section").
     pub fn mutate(&self) -> Seed {
-        Seed { window_type: self.window_type, entropy: self.entropy, mutation: self.mutation + 1 }
+        Seed {
+            window_type: self.window_type,
+            entropy: self.entropy,
+            mutation: self.mutation + 1,
+        }
     }
 
     fn rng(&self) -> StdRng {
@@ -191,7 +199,7 @@ impl WindowBody {
     /// packet with nop instructions and re-runs the simulation").
     pub fn sanitized(&self) -> Vec<Instr> {
         let mut v = self.access.clone();
-        v.extend(std::iter::repeat(Instr::NOP).take(self.encode.len()));
+        v.extend(std::iter::repeat_n(Instr::NOP, self.encode.len()));
         v
     }
 }
@@ -223,13 +231,15 @@ pub fn plan(seed: &Seed) -> TransientPlan {
         // the capability swapMem buys (Figure 4).
         _ => {
             let w = trigger_addr + 8 + 4 * rng.gen_range(2..16) as u64;
-            (w, w + 4 * (window_slots as u64 + 2) + 4 * rng.gen_range(0..8) as u64)
+            (
+                w,
+                w + 4 * (window_slots as u64 + 2) + 4 * rng.gen_range(0..8) as u64,
+            )
         }
     };
     // Masking high address bits turns the access into an *access* fault
     // (the MDS/B1 bait), so only access-fault seeds roll for it.
-    let uses_mask =
-        seed.window_type == WindowType::MemAccessFault && rng.gen_bool(0.5);
+    let uses_mask = seed.window_type == WindowType::MemAccessFault && rng.gen_bool(0.5);
     let secret_policy = match seed.window_type {
         WindowType::MemPageFault => SecretPolicy::ProtectBeforeTransient,
         _ => SecretPolicy::AlwaysReadable,
@@ -258,26 +268,54 @@ pub fn build_transient(plan: &TransientPlan, fill: &WindowFill) -> SwapPacket {
     if plan.uses_mask {
         // The secret-access mask: t0 |= 1 << 63 (illegal high bits; B1 bait).
         b.push(Instr::addi(Reg::T4, Reg::ZERO, 1));
-        b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::T4, rs1: Reg::T4, imm: 63 });
-        b.push(Instr::Op { op: AluOp::Or, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T4 });
+        b.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::T4,
+            rs1: Reg::T4,
+            imm: 63,
+        });
+        b.push(Instr::Op {
+            op: AluOp::Or,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: Reg::T4,
+        });
     }
     match plan.window_type {
         WindowType::MemAccessFault => {
             if !plan.uses_mask {
                 // A plainly unmapped address.
-                b.push(Instr::Lui { rd: Reg::T0, imm: 0x40000 << 12 });
+                b.push(Instr::Lui {
+                    rd: Reg::T0,
+                    imm: 0x40000 << 12,
+                });
             }
             b.pad_to(plan.trigger_addr);
             // The faulting access *is* the secret access when masked.
-            b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
+            b.push(Instr::Load {
+                op: LoadOp::Lb,
+                rd: Reg::S0,
+                rs1: Reg::T0,
+                offset: 0,
+            });
         }
         WindowType::MemPageFault => {
             b.pad_to(plan.trigger_addr);
-            b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
+            b.push(Instr::Load {
+                op: LoadOp::Lb,
+                rd: Reg::S0,
+                rs1: Reg::T0,
+                offset: 0,
+            });
         }
         WindowType::MemMisalign => {
             b.pad_to(plan.trigger_addr);
-            b.push(Instr::Load { op: LoadOp::Lw, rd: Reg::T4, rs1: Reg::T0, offset: 1 });
+            b.push(Instr::Load {
+                op: LoadOp::Lw,
+                rd: Reg::T4,
+                rs1: Reg::T0,
+                offset: 1,
+            });
         }
         WindowType::IllegalInstr => {
             b.pad_to(plan.trigger_addr);
@@ -293,11 +331,26 @@ pub fn build_transient(plan: &TransientPlan, fill: &WindowFill) -> SwapPacket {
             b.pad_to(plan.trigger_addr - 24);
             b.push(Instr::addi(Reg::T5, Reg::ZERO, 0));
             b.push(Instr::addi(Reg::T6, Reg::ZERO, 1));
-            b.push(Instr::Op { op: AluOp::Div, rd: Reg::T4, rs1: Reg::T5, rs2: Reg::T6 });
-            b.push(Instr::Op { op: AluOp::Div, rd: Reg::T4, rs1: Reg::T4, rs2: Reg::T6 });
-            b.push(Instr::Op { op: AluOp::Add, rd: Reg::A1, rs1: Reg::A1, rs2: Reg::T4 });
+            b.push(Instr::Op {
+                op: AluOp::Div,
+                rd: Reg::T4,
+                rs1: Reg::T5,
+                rs2: Reg::T6,
+            });
+            b.push(Instr::Op {
+                op: AluOp::Div,
+                rd: Reg::T4,
+                rs1: Reg::T4,
+                rs2: Reg::T6,
+            });
+            b.push(Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::A1,
+                rs1: Reg::A1,
+                rs2: Reg::T4,
+            });
             b.push(Instr::sd(Reg::A2, Reg::A1, 0)); // late-resolving store
-            // The bypassing load reads the stale secret pointer.
+                                                    // The bypassing load reads the stale secret pointer.
             b.push(Instr::ld(Reg::T0, Reg::A3, 0));
         }
         WindowType::BranchMispredict => {
@@ -308,7 +361,12 @@ pub fn build_transient(plan: &TransientPlan, fill: &WindowFill) -> SwapPacket {
             let off = plan.window_addr as i64 - plan.trigger_addr as i64;
             // Never-taken branch (a6 == 0), trained taken; the slow operand
             // keeps it unresolved while the window executes.
-            b.push(Instr::Branch { op: BranchOp::Bne, rs1: Reg::A6, rs2: Reg::ZERO, offset: off });
+            b.push(Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A6,
+                rs2: Reg::ZERO,
+                offset: off,
+            });
             b.push(Instr::Ecall); // architectural exit (fall-through)
         }
         WindowType::IndirectMispredict => {
@@ -318,15 +376,29 @@ pub fn build_transient(plan: &TransientPlan, fill: &WindowFill) -> SwapPacket {
             emit_slow_zero(&mut b);
             // a0 += a6 (= 0): the target is exit, but its readiness waits
             // on the pointer chase.
-            b.push(Instr::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A6 });
-            b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, offset: 0 });
+            b.push(Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A6,
+            });
+            b.push(Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::A0,
+                offset: 0,
+            });
         }
         WindowType::ReturnMispredict => {
             b.label_at("exit", plan.exit_addr);
             b.la(Reg::RA, "exit");
             b.pad_to(plan.trigger_addr - 28);
             emit_slow_zero(&mut b);
-            b.push(Instr::Op { op: AluOp::Add, rd: Reg::RA, rs1: Reg::RA, rs2: Reg::A6 });
+            b.push(Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::RA,
+                rs1: Reg::RA,
+                rs2: Reg::A6,
+            });
             b.push(Instr::ret());
         }
     }
@@ -387,7 +459,12 @@ fn emit_slow_zero(b: &mut ProgramBuilder) {
     b.push(Instr::ld(Reg::A5, Reg::A5, 0));
     b.push(Instr::ld(Reg::A6, Reg::A5, 0));
     b.push(Instr::addi(Reg::A7, Reg::ZERO, 1));
-    b.push(Instr::Op { op: AluOp::Div, rd: Reg::A6, rs1: Reg::A6, rs2: Reg::A7 });
+    b.push(Instr::Op {
+        op: AluOp::Div,
+        rd: Reg::A6,
+        rs1: Reg::A6,
+        rs2: Reg::A7,
+    });
 }
 
 /// Phase 1.1 training derivation: targeted trigger-training packets built
@@ -428,7 +505,11 @@ pub fn derive_trainings(seed: &Seed, plan: &TransientPlan, decoys: usize) -> Vec
             b.label_at("window", plan.window_addr);
             b.la(Reg::A0, "window");
             b.pad_to(plan.trigger_addr);
-            b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, offset: 0 });
+            b.push(Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::A0,
+                offset: 0,
+            });
             b.pad_to(plan.window_addr);
             b.push(Instr::Ecall);
             out.push(SwapPacket::new(
@@ -455,7 +536,11 @@ pub fn derive_trainings(seed: &Seed, plan: &TransientPlan, decoys: usize) -> Vec
         _ => {}
     }
     for _ in 0..decoys {
-        out.push(random_training_packet(&mut rng, out.len(), plan.trigger_addr));
+        out.push(random_training_packet(
+            &mut rng,
+            out.len(),
+            plan.trigger_addr,
+        ));
     }
     out
 }
@@ -481,15 +566,39 @@ fn random_training_packet(rng: &mut StdRng, index: usize, align_addr: u64) -> Sw
     let rs1 = Reg::from_index(rng.gen_range(0..32));
     let rs2 = Reg::from_index(rng.gen_range(0..32));
     let instr = match rng.gen_range(0..6) {
-        0 => Instr::Op { op: AluOp::Add, rd, rs1, rs2 },
-        1 => Instr::Op { op: AluOp::Xor, rd, rs1, rs2 },
-        2 => Instr::Op { op: AluOp::Mul, rd, rs1, rs2 },
-        3 => Instr::OpImm { op: AluOp::Add, rd, rs1, imm: rng.gen_range(-512..512) },
+        0 => Instr::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        },
+        1 => Instr::Op {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        },
+        2 => Instr::Op {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        },
+        3 => Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm: rng.gen_range(-512..512),
+        },
         // Random control transfers: occasionally they land at the right
         // address with the right shape and train something (the only way
         // DejaVuzz* ever opens a misprediction window).
         4 => Instr::Branch {
-            op: if rng.gen_bool(0.5) { BranchOp::Beq } else { BranchOp::Bne },
+            op: if rng.gen_bool(0.5) {
+                BranchOp::Beq
+            } else {
+                BranchOp::Bne
+            },
             rs1: Reg::A0,
             rs2: Reg::A0,
             offset: 4 * rng.gen_range(1..24),
@@ -498,7 +607,11 @@ fn random_training_packet(rng: &mut StdRng, index: usize, align_addr: u64) -> Sw
     };
     b.push(instr);
     b.push(Instr::Ecall);
-    SwapPacket::new(format!("trigger_train_{index}"), PacketKind::TriggerTraining, b.assemble())
+    SwapPacket::new(
+        format!("trigger_train_{index}"),
+        PacketKind::TriggerTraining,
+        b.assemble(),
+    )
 }
 
 /// Phase 2.1 window completion: generates the secret access block and a
@@ -512,15 +625,24 @@ pub fn complete_window(seed: &Seed, plan: &TransientPlan) -> WindowBody {
         WindowType::MemAccessFault | WindowType::MemPageFault => {}
         WindowType::MemDisambiguation => {
             // t0 was speculatively loaded with &secret by the trigger.
-            access.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
+            access.push(Instr::Load {
+                op: LoadOp::Lb,
+                rd: Reg::S0,
+                rs1: Reg::T0,
+                offset: 0,
+            });
         }
         _ => {
             // The access op is part of the trigger configuration (stable
             // across window mutations); only the encode block re-rolls.
             let mut access_rng = seed.rng();
-            let op = [LoadOp::Lb, LoadOp::Lbu, LoadOp::Lh, LoadOp::Lw]
-                [access_rng.gen_range(0..4)];
-            access.push(Instr::Load { op, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
+            let op = [LoadOp::Lb, LoadOp::Lbu, LoadOp::Lh, LoadOp::Lw][access_rng.gen_range(0..4)];
+            access.push(Instr::Load {
+                op,
+                rd: Reg::S0,
+                rs1: Reg::T0,
+                offset: 0,
+            });
         }
     }
     // The secret encoding block: 2–4 random gadgets that propagate the
@@ -532,21 +654,51 @@ pub fn complete_window(seed: &Seed, plan: &TransientPlan) -> WindowBody {
             // Cache encode: touch a secret-indexed leak line.
             0 => {
                 let sh = rng.gen_range(4..8);
-                encode.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S1, rs1: Reg::S0, imm: sh });
-                encode.push(Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::S1 });
+                encode.push(Instr::OpImm {
+                    op: AluOp::Sll,
+                    rd: Reg::S1,
+                    rs1: Reg::S0,
+                    imm: sh,
+                });
+                encode.push(Instr::Op {
+                    op: AluOp::Add,
+                    rd: Reg::T1,
+                    rs1: Reg::T2,
+                    rs2: Reg::S1,
+                });
                 encode.push(Instr::ld(Reg::T3, Reg::T1, 0));
             }
             // Store encode: write to a secret-indexed slot.
             1 => {
                 let sh = rng.gen_range(4..7);
-                encode.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S1, rs1: Reg::S0, imm: sh });
-                encode.push(Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::S1 });
-                encode.push(Instr::Store { op: StoreOp::Sb, rs2: Reg::S0, rs1: Reg::T1, offset: 0 });
+                encode.push(Instr::OpImm {
+                    op: AluOp::Sll,
+                    rd: Reg::S1,
+                    rs1: Reg::S0,
+                    imm: sh,
+                });
+                encode.push(Instr::Op {
+                    op: AluOp::Add,
+                    rd: Reg::T1,
+                    rs1: Reg::T2,
+                    rs2: Reg::S1,
+                });
+                encode.push(Instr::Store {
+                    op: StoreOp::Sb,
+                    rs2: Reg::S0,
+                    rs1: Reg::T1,
+                    offset: 0,
+                });
             }
             // Control encode: a secret-dependent branch (timing/refetch).
             2 => {
                 let bit = 1 << rng.gen_range(0..3);
-                encode.push(Instr::OpImm { op: AluOp::And, rd: Reg::S1, rs1: Reg::S0, imm: bit });
+                encode.push(Instr::OpImm {
+                    op: AluOp::And,
+                    rd: Reg::S1,
+                    rs1: Reg::S0,
+                    imm: bit,
+                });
                 encode.push(Instr::Branch {
                     op: BranchOp::Bne,
                     rs1: Reg::S1,
@@ -557,18 +709,46 @@ pub fn complete_window(seed: &Seed, plan: &TransientPlan) -> WindowBody {
             }
             // FPU encode: secret-gated long divide (port contention).
             3 => {
-                encode.push(Instr::FmvDX { rd: Reg(1), rs1: Reg::S0 });
-                encode.push(Instr::Fp { op: dejavuzz_isa::FpOp::FdivD, rd: Reg(2), rs1: Reg(1), rs2: Reg(1) });
+                encode.push(Instr::FmvDX {
+                    rd: Reg(1),
+                    rs1: Reg::S0,
+                });
+                encode.push(Instr::Fp {
+                    op: dejavuzz_isa::FpOp::FdivD,
+                    rd: Reg(2),
+                    rs1: Reg(1),
+                    rs2: Reg(1),
+                });
             }
             // Arithmetic propagation chain.
             4 => {
-                encode.push(Instr::Op { op: AluOp::Xor, rd: Reg::S2, rs1: Reg::S0, rs2: Reg::T2 });
-                encode.push(Instr::Op { op: AluOp::Mul, rd: Reg::S3, rs1: Reg::S2, rs2: Reg::S0 });
+                encode.push(Instr::Op {
+                    op: AluOp::Xor,
+                    rd: Reg::S2,
+                    rs1: Reg::S0,
+                    rs2: Reg::T2,
+                });
+                encode.push(Instr::Op {
+                    op: AluOp::Mul,
+                    rd: Reg::S3,
+                    rs1: Reg::S2,
+                    rs2: Reg::S0,
+                });
             }
             // TLB encode: touch a secret-indexed page.
             _ => {
-                encode.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S1, rs1: Reg::S0, imm: 9 });
-                encode.push(Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::S1 });
+                encode.push(Instr::OpImm {
+                    op: AluOp::Sll,
+                    rd: Reg::S1,
+                    rs1: Reg::S0,
+                    imm: 9,
+                });
+                encode.push(Instr::Op {
+                    op: AluOp::Add,
+                    rd: Reg::T1,
+                    rs1: Reg::T2,
+                    rs2: Reg::S1,
+                });
                 encode.push(Instr::Load {
                     op: LoadOp::Lb,
                     rd: Reg::T3,
@@ -691,7 +871,9 @@ mod tests {
         let sanitized = body.sanitized();
         assert_eq!(sanitized.len(), body.full().len());
         assert_eq!(&sanitized[..body.access.len()], &body.access[..]);
-        assert!(sanitized[body.access.len()..].iter().all(|&i| i == Instr::NOP));
+        assert!(sanitized[body.access.len()..]
+            .iter()
+            .all(|&i| i == Instr::NOP));
     }
 
     #[test]
@@ -704,7 +886,11 @@ mod tests {
         let words = &trainings[0].program.words;
         let idx = ((p.trigger_addr - trainings[0].program.base) / 4) as usize;
         match dejavuzz_isa::decode(words[idx]) {
-            Instr::Branch { op: BranchOp::Beq, offset, .. } => {
+            Instr::Branch {
+                op: BranchOp::Beq,
+                offset,
+                ..
+            } => {
                 assert_eq!(
                     offset,
                     p.window_addr as i64 - p.trigger_addr as i64,
@@ -724,7 +910,10 @@ mod tests {
         let words = &trainings[0].program.words;
         let call_idx = ((p.window_addr - 4 - trainings[0].program.base) / 4) as usize;
         assert!(
-            matches!(dejavuzz_isa::decode(words[call_idx]), Instr::Jal { rd: Reg::RA, .. }),
+            matches!(
+                dejavuzz_isa::decode(words[call_idx]),
+                Instr::Jal { rd: Reg::RA, .. }
+            ),
             "caller adjusted so ra == window start"
         );
     }

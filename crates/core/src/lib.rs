@@ -19,10 +19,20 @@
 //!    (nop it out and diff the taint logs) and run the tainted-sink
 //!    liveness analysis (§4.3.2) to report exploitable leakages only.
 //!
-//! [`campaign::Campaign`] wraps the loop with a corpus, coverage-guided
-//! feedback and the ablation variants used in the evaluation: `DejaVuzz*`
-//! (random training, no derivation), `DejaVuzz⁻` (no coverage feedback) and
-//! the no-liveness variant of §6.3.
+//! Around the phases sits the fuzzing pipeline of §5:
+//!
+//! * [`corpus::Corpus`] — interesting-seed retention with energy-based
+//!   scheduling (retained seeds re-roll their window section; energy
+//!   decays per reschedule),
+//! * [`executor`] — the shared-corpus worker pool: an `Orchestrator`
+//!   schedules round batches over channels to `Worker` threads that share
+//!   one exact concurrent coverage union
+//!   ([`dejavuzz_ift::SharedCoverage`]), one global mutation-gain
+//!   threshold, and deterministic per-worker RNG streams,
+//! * [`campaign::Campaign`] — the thin single-worker façade over the same
+//!   per-iteration engine, carrying the ablation variants used in the
+//!   evaluation: `DejaVuzz*` (random training, no derivation), `DejaVuzz⁻`
+//!   (no coverage feedback) and the no-liveness variant of §6.3.
 //!
 //! # Quickstart
 //!
@@ -38,10 +48,14 @@
 //! ```
 
 pub mod campaign;
+pub mod corpus;
+pub mod executor;
 pub mod gen;
 pub mod phases;
 pub mod report;
 
 pub use campaign::{Campaign, CampaignStats, FuzzerOptions};
+pub use corpus::Corpus;
+pub use executor::{ExecutorReport, Orchestrator, WorkerSummary};
 pub use gen::{Seed, TransientPlan, WindowType};
 pub use report::{AttackType, BugReport, LeakChannel};

@@ -1,6 +1,6 @@
 //! The three fuzzing phases of Figure 5.
 
-use dejavuzz_ift::{CoverageMatrix, IftMode};
+use dejavuzz_ift::{IftMode, TaintCoverage};
 use dejavuzz_swapmem::{SwapMem, SwapPacket, DEFAULT_LAYOUT};
 use dejavuzz_uarch::core::{Core, RunResult};
 use dejavuzz_uarch::CoreConfig;
@@ -125,12 +125,15 @@ pub fn phase1(cfg: &CoreConfig, seed: &Seed, opts: &PhaseOptions) -> Phase1Resul
             }
         }
     }
-    let (to, eto) = if triggered {
-        gen::training_overhead(&schedule[..schedule.len() - 1])
-    } else {
-        gen::training_overhead(&schedule[..schedule.len() - 1])
-    };
-    Phase1Result { plan, schedule, triggered, to, eto, sim_runs }
+    let (to, eto) = gen::training_overhead(&schedule[..schedule.len() - 1]);
+    Phase1Result {
+        plan,
+        schedule,
+        triggered,
+        to,
+        eto,
+        sim_runs,
+    }
 }
 
 /// Phase 2 output.
@@ -150,11 +153,16 @@ pub struct Phase2Result {
 }
 
 /// Phase 2: transient execution exploration (§4.2) for one window body.
-pub fn phase2(
+///
+/// Generic over the coverage sink so the same code path serves a private
+/// [`dejavuzz_ift::CoverageMatrix`], the concurrent
+/// [`dejavuzz_ift::SharedCoverage`] union, or the executor's
+/// [`dejavuzz_ift::RecordingCoverage`] fan-out.
+pub fn phase2<C: TaintCoverage + ?Sized>(
     cfg: &CoreConfig,
     seed: &Seed,
     p1: &Phase1Result,
-    coverage: &mut CoverageMatrix,
+    coverage: &mut C,
     opts: &PhaseOptions,
 ) -> Phase2Result {
     let body = gen::complete_window(seed, &p1.plan);
@@ -177,7 +185,13 @@ pub fn phase2(
         })
         .unwrap_or(false);
     let coverage_gain = coverage.observe_log(&run.taint_log);
-    Phase2Result { body, schedule, run, coverage_gain, taints_increased }
+    Phase2Result {
+        body,
+        schedule,
+        run,
+        coverage_gain,
+        taints_increased,
+    }
 }
 
 /// Phase 3 output.
@@ -233,8 +247,7 @@ pub fn phase3(
 
     // Step 3.1 encode sanitization: nop the encode block, re-run, and keep
     // only taints the encoding block caused.
-    let sanitized_pkt =
-        gen::build_transient(&p1.plan, &WindowFill::Sanitized(p2.body.sanitized()));
+    let sanitized_pkt = gen::build_transient(&p1.plan, &WindowFill::Sanitized(p2.body.sanitized()));
     let mut schedule = p2.schedule.clone();
     let last = schedule.len() - 1;
     schedule[last] = sanitized_pkt;
@@ -261,20 +274,28 @@ pub fn phase3(
             core: cfg.name,
             attack,
             window_type: p1.plan.window_type,
-            channel: LeakChannel::Encoded { module: sink.module },
+            channel: LeakChannel::Encoded {
+                module: sink.module,
+            },
             iteration,
         });
     }
     // Deduplicate per Table 5 aggregation key.
     leaks.sort_by_key(|l| l.dedup_key());
     leaks.dedup_by_key(|l| l.dedup_key());
-    Phase3Result { timing_violation, leaks, rejected_residue, rejected_sanitized }
+    Phase3Result {
+        timing_violation,
+        leaks,
+        rejected_residue,
+        rejected_sanitized,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::WindowType;
+    use dejavuzz_ift::CoverageMatrix;
     use dejavuzz_uarch::boom_small;
 
     fn first_triggering_seed(wt: WindowType, opts: &PhaseOptions) -> (Seed, Phase1Result) {
@@ -318,7 +339,11 @@ mod tests {
     #[test]
     fn exception_windows_need_zero_training() {
         let opts = PhaseOptions::default();
-        for wt in [WindowType::MemMisalign, WindowType::IllegalInstr, WindowType::MemPageFault] {
+        for wt in [
+            WindowType::MemMisalign,
+            WindowType::IllegalInstr,
+            WindowType::MemPageFault,
+        ] {
             let (_, p1) = first_triggering_seed(wt, &opts);
             assert_eq!(p1.eto, 0, "{wt:?}: reduction removes all training");
         }
@@ -375,7 +400,10 @@ mod tests {
             &p1,
             &p2,
             0,
-            &PhaseOptions { liveness_filter: false, ..opts },
+            &PhaseOptions {
+                liveness_filter: false,
+                ..opts
+            },
         );
         assert!(
             without.leaks.len() >= with.leaks.len(),
@@ -389,7 +417,10 @@ mod tests {
     fn phase1_no_derivation_struggles_with_mispredicts() {
         // DejaVuzz*: random trainings rarely align with the trigger.
         let cfg = boom_small();
-        let opts = PhaseOptions { training_derivation: false, ..PhaseOptions::default() };
+        let opts = PhaseOptions {
+            training_derivation: false,
+            ..PhaseOptions::default()
+        };
         let derived = PhaseOptions::default();
         let mut star_hits = 0;
         let mut full_hits = 0;
@@ -409,5 +440,3 @@ mod tests {
         assert!(full_hits >= 25, "derived training triggers almost always");
     }
 }
-
-

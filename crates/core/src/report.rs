@@ -70,7 +70,11 @@ impl BugReport {
     /// A stable deduplication key: Table 5 aggregates by (attack, window
     /// class, component).
     pub fn dedup_key(&self) -> (AttackType, &'static str, &'static str) {
-        (self.attack, self.window_type.table5_class(), self.channel.component())
+        (
+            self.attack,
+            self.window_type.table5_class(),
+            self.channel.component(),
+        )
     }
 }
 

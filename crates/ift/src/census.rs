@@ -39,12 +39,20 @@ impl Census {
                 tainted += 1;
             }
         }
-        self.modules.push(ModuleCensus { module, tainted, total });
+        self.modules.push(ModuleCensus {
+            module,
+            tainted,
+            total,
+        });
     }
 
     /// Reports a module with precomputed counts.
     pub fn report_counts(&mut self, module: &'static str, tainted: usize, total: usize) {
-        self.modules.push(ModuleCensus { module, tainted, total });
+        self.modules.push(ModuleCensus {
+            module,
+            tainted,
+            total,
+        });
     }
 
     /// The modules reported this cycle, in report order.
@@ -65,7 +73,10 @@ impl Census {
 
     /// The tainted count for a specific module, if it reported.
     pub fn module_tainted(&self, module: &str) -> Option<usize> {
-        self.modules.iter().find(|m| m.module == module).map(|m| m.tainted)
+        self.modules
+            .iter()
+            .find(|m| m.module == module)
+            .map(|m| m.tainted)
     }
 }
 
@@ -197,7 +208,10 @@ mod tests {
         for s in [0usize, 0, 4, 9, 9] {
             log.push(census(&[("rob", s, 10)]));
         }
-        assert!(log.taint_increased_in(1, 4), "taint rises inside the window");
+        assert!(
+            log.taint_increased_in(1, 4),
+            "taint rises inside the window"
+        );
         assert!(!log.taint_increased_in(4, 5), "flat tail shows no increase");
         assert!(!log.taint_increased_in(4, 4), "empty range");
         assert!(!log.taint_increased_in(10, 20), "out of range");

@@ -25,8 +25,24 @@ pub struct CoveragePoint {
     pub index: usize,
 }
 
+/// Anything that can accumulate taint-coverage observations: the plain
+/// [`CoverageMatrix`], the concurrent [`crate::SharedCoverage`] (through a
+/// shared reference), or composition wrappers like
+/// [`crate::RecordingCoverage`]. Phase 2 of the fuzzing pipeline is generic
+/// over this trait so single-worker and pooled executors share one code
+/// path.
+pub trait TaintCoverage {
+    /// Observes one cycle's census; returns the number of *new* points.
+    fn observe(&mut self, census: &Census) -> usize;
+
+    /// Observes every cycle of a taint log, returning the new points found.
+    fn observe_log(&mut self, log: &crate::census::TaintLog) -> usize {
+        log.iter().map(|(_, c)| self.observe(c)).sum()
+    }
+}
+
 /// The accumulated taint coverage of a fuzzing campaign.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CoverageMatrix {
     points: HashSet<CoveragePoint>,
 }
@@ -35,6 +51,24 @@ impl CoverageMatrix {
     /// An empty matrix.
     pub fn new() -> Self {
         CoverageMatrix::default()
+    }
+
+    /// Inserts one point directly; true if it was new. This is the primitive
+    /// the pipeline's coverage wrappers build on when they route points
+    /// between a worker-local view and the shared union.
+    pub fn insert(&mut self, point: CoveragePoint) -> bool {
+        self.points.insert(point)
+    }
+
+    /// True if `point` has been set (the `(module, index)` overload is
+    /// [`CoverageMatrix::contains`]).
+    pub fn contains_point(&self, point: &CoveragePoint) -> bool {
+        self.points.contains(point)
+    }
+
+    /// Iterates all points in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &CoveragePoint> {
+        self.points.iter()
     }
 
     /// Observes one cycle's census, setting the bitmap slot of every module.
@@ -49,7 +83,10 @@ impl CoverageMatrix {
             if m.tainted == 0 {
                 continue;
             }
-            if self.points.insert(CoveragePoint { module: m.module, index: m.tainted }) {
+            if self.points.insert(CoveragePoint {
+                module: m.module,
+                index: m.tainted,
+            }) {
                 fresh += 1;
             }
         }
@@ -69,7 +106,9 @@ impl CoverageMatrix {
 
     /// True if the (module, index) slot has been set.
     pub fn contains(&self, module: &str, index: usize) -> bool {
-        self.points.iter().any(|p| p.module == module && p.index == index)
+        self.points
+            .iter()
+            .any(|p| p.module == module && p.index == index)
     }
 
     /// How many new points a census *would* add, without committing them.
@@ -79,7 +118,10 @@ impl CoverageMatrix {
             .iter()
             .filter(|m| {
                 m.tainted != 0
-                    && !self.points.contains(&CoveragePoint { module: m.module, index: m.tainted })
+                    && !self.points.contains(&CoveragePoint {
+                        module: m.module,
+                        index: m.tainted,
+                    })
             })
             .count()
     }
@@ -94,6 +136,12 @@ impl CoverageMatrix {
         let mut v: Vec<_> = self.points.iter().copied().collect();
         v.sort();
         v
+    }
+}
+
+impl TaintCoverage for CoverageMatrix {
+    fn observe(&mut self, census: &Census) -> usize {
+        CoverageMatrix::observe(self, census)
     }
 }
 

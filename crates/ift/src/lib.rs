@@ -57,11 +57,13 @@ pub mod coverage;
 pub mod liveness;
 pub mod mem;
 pub mod policy;
+pub mod shared;
 pub mod tword;
 
 pub use census::{Census, ModuleCensus, TaintLog};
-pub use coverage::{CoverageMatrix, CoveragePoint};
+pub use coverage::{CoverageMatrix, CoveragePoint, TaintCoverage};
 pub use liveness::{LivenessMask, SinkReport};
 pub use mem::TMem;
 pub use policy::{IftMode, Policy};
+pub use shared::{RecordingCoverage, SharedCoverage};
 pub use tword::TWord;

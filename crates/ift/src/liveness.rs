@@ -33,7 +33,11 @@ pub struct LivenessMask {
 impl LivenessMask {
     /// Creates an annotation binding `module.array` to `signal`.
     pub const fn new(module: &'static str, array: &'static str, signal: &'static str) -> Self {
-        LivenessMask { module, array, signal }
+        LivenessMask {
+            module,
+            array,
+            signal,
+        }
     }
 }
 
@@ -83,7 +87,13 @@ pub fn sweep_sinks(
     let array = array.into();
     for (index, (taint, live)) in taints.into_iter().zip(live).enumerate() {
         if taint != 0 {
-            out.push(SinkReport { module, array: array.clone(), index, taint, live });
+            out.push(SinkReport {
+                module,
+                array: array.clone(),
+                index,
+                taint,
+                live,
+            });
         }
     }
 }
@@ -107,7 +117,13 @@ mod tests {
     #[test]
     fn sweep_reports_only_tainted_slots() {
         let mut out = Vec::new();
-        sweep_sinks("lfb", "lb", [0u64, 0xFF, 0, 0x1], [true, true, true, false], &mut out);
+        sweep_sinks(
+            "lfb",
+            "lb",
+            [0u64, 0xFF, 0, 0x1],
+            [true, true, true, false],
+            &mut out,
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].index, 1);
         assert_eq!(out[1].index, 3);
@@ -141,9 +157,8 @@ mod tests {
         // concatenation before the sweep.
         let mshrs_0_valid = false;
         let mshrs_1_valid = true;
-        let live_vec: Vec<bool> = std::iter::repeat(mshrs_0_valid)
-            .take(8)
-            .chain(std::iter::repeat(mshrs_1_valid).take(8))
+        let live_vec: Vec<bool> = std::iter::repeat_n(mshrs_0_valid, 8)
+            .chain(std::iter::repeat_n(mshrs_1_valid, 8))
             .collect();
         let taints = vec![0xAAu64; 16];
         let mut out = Vec::new();

@@ -22,7 +22,11 @@ pub struct TMem {
 impl TMem {
     /// An all-zero, untainted memory of `len` words.
     pub fn new(len: usize) -> Self {
-        TMem { a: vec![0; len], b: vec![0; len], t: vec![0; len] }
+        TMem {
+            a: vec![0; len],
+            b: vec![0; len],
+            t: vec![0; len],
+        }
     }
 
     /// Number of words.
@@ -37,7 +41,11 @@ impl TMem {
 
     /// Direct (testbench) access to a slot, bypassing the port policies.
     pub fn peek(&self, idx: usize) -> TWord {
-        TWord { a: self.a[idx], b: self.b[idx], t: self.t[idx] }
+        TWord {
+            a: self.a[idx],
+            b: self.b[idx],
+            t: self.t[idx],
+        }
     }
 
     /// Direct (testbench) store to a slot, bypassing the port policies.
@@ -160,9 +168,16 @@ mod tests {
     fn read_same_address_keeps_data_taint_only() {
         let m = mem_with(3, TWord::with_taint(30, 31, 0xFF));
         let o = m.read(DIFF, TWord::with_taint(3, 3, u64::MAX));
-        assert_eq!(o.t, 0xFF, "tainted-but-equal address: no control taint under diffIFT");
+        assert_eq!(
+            o.t, 0xFF,
+            "tainted-but-equal address: no control taint under diffIFT"
+        );
         let o2 = m.read(CELL, TWord::with_taint(3, 3, u64::MAX));
-        assert_eq!(o2.t, u64::MAX, "CellIFT taints the whole read on a tainted address");
+        assert_eq!(
+            o2.t,
+            u64::MAX,
+            "CellIFT taints the whole read on a tainted address"
+        );
     }
 
     #[test]
@@ -175,7 +190,12 @@ mod tests {
     #[test]
     fn write_stores_per_plane() {
         let mut m = TMem::new(16);
-        m.write(DIFF, TWord::lit(1), TWord::lit(2), TWord::with_taint(7, 9, 0x1));
+        m.write(
+            DIFF,
+            TWord::lit(1),
+            TWord::lit(2),
+            TWord::with_taint(7, 9, 0x1),
+        );
         let s = m.peek(2);
         assert_eq!(s.a, 7);
         assert_eq!(s.b, 9);
@@ -206,7 +226,12 @@ mod tests {
     fn write_diverged_wen_taints_slot() {
         // Only variant A performs the write (secret-dependent enable).
         let mut m = mem_with(2, TWord::lit(5));
-        m.write(DIFF, TWord::with_taint(1, 0, 1), TWord::lit(2), TWord::lit(9));
+        m.write(
+            DIFF,
+            TWord::with_taint(1, 0, 1),
+            TWord::lit(2),
+            TWord::lit(9),
+        );
         let s = m.peek(2);
         assert_eq!(s.a, 9);
         assert_eq!(s.b, 5);
@@ -216,11 +241,25 @@ mod tests {
     #[test]
     fn cellift_write_taints_on_tainted_wen_even_without_diff() {
         let mut m = mem_with(2, TWord::lit(5));
-        m.write(CELL, TWord::with_taint(1, 1, 1), TWord::lit(9), TWord::lit(9));
+        m.write(
+            CELL,
+            TWord::with_taint(1, 1, 1),
+            TWord::lit(9),
+            TWord::lit(9),
+        );
         assert_eq!(m.peek(9).t, u64::MAX);
         let mut m2 = mem_with(2, TWord::lit(5));
-        m2.write(DIFF, TWord::with_taint(1, 1, 1), TWord::lit(9), TWord::lit(9));
-        assert_eq!(m2.peek(9).t, 0, "diffIFT suppresses the equal-enable control taint");
+        m2.write(
+            DIFF,
+            TWord::with_taint(1, 1, 1),
+            TWord::lit(9),
+            TWord::lit(9),
+        );
+        assert_eq!(
+            m2.peek(9).t,
+            0,
+            "diffIFT suppresses the equal-enable control taint"
+        );
     }
 
     #[test]

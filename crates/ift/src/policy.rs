@@ -110,7 +110,11 @@ impl Policy {
     pub fn eq(self, x: TWord, y: TWord) -> TWord {
         let a = (x.a == y.a) as u64;
         let b = (x.b == y.b) as u64;
-        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+        TWord {
+            a,
+            b,
+            t: self.cmp_taint(a, b, x, y),
+        }
     }
 
     /// Comparison cell for `A != B`.
@@ -118,7 +122,11 @@ impl Policy {
     pub fn ne(self, x: TWord, y: TWord) -> TWord {
         let a = (x.a != y.a) as u64;
         let b = (x.b != y.b) as u64;
-        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+        TWord {
+            a,
+            b,
+            t: self.cmp_taint(a, b, x, y),
+        }
     }
 
     /// Comparison cell for unsigned `A < B`.
@@ -126,7 +134,11 @@ impl Policy {
     pub fn lt(self, x: TWord, y: TWord) -> TWord {
         let a = (x.a < y.a) as u64;
         let b = (x.b < y.b) as u64;
-        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+        TWord {
+            a,
+            b,
+            t: self.cmp_taint(a, b, x, y),
+        }
     }
 
     /// Comparison cell for signed `A < B`.
@@ -134,7 +146,11 @@ impl Policy {
     pub fn lt_signed(self, x: TWord, y: TWord) -> TWord {
         let a = ((x.a as i64) < (y.a as i64)) as u64;
         let b = ((x.b as i64) < (y.b as i64)) as u64;
-        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+        TWord {
+            a,
+            b,
+            t: self.cmp_taint(a, b, x, y),
+        }
     }
 
     /// Comparison cell for unsigned `A >= B`.
@@ -142,7 +158,11 @@ impl Policy {
     pub fn ge(self, x: TWord, y: TWord) -> TWord {
         let a = (x.a >= y.a) as u64;
         let b = (x.b >= y.b) as u64;
-        TWord { a, b, t: self.cmp_taint(a, b, x, y) }
+        TWord {
+            a,
+            b,
+            t: self.cmp_taint(a, b, x, y),
+        }
     }
 
     #[inline]
@@ -205,7 +225,11 @@ impl Policy {
         TWord {
             a: (x.a == 0) as u64,
             b: (x.b == 0) as u64,
-            t: if self.mode == IftMode::Base { 0 } else { (x.t != 0) as u64 },
+            t: if self.mode == IftMode::Base {
+                0
+            } else {
+                (x.t != 0) as u64
+            },
         }
     }
 }
@@ -334,8 +358,16 @@ mod tests {
         let clean_true = TWord::lit(1);
         let tainted_true = TWord::with_taint(1, 1, 1);
         assert_eq!(DIFF.bool_and(clean_true, tainted_true).t, 1);
-        assert_eq!(DIFF.bool_and(TWord::lit(0), tainted_true).t, 0, "0 AND x masks taint");
-        assert_eq!(DIFF.bool_or(clean_true, tainted_true).t, 0, "1 OR x masks taint");
+        assert_eq!(
+            DIFF.bool_and(TWord::lit(0), tainted_true).t,
+            0,
+            "0 AND x masks taint"
+        );
+        assert_eq!(
+            DIFF.bool_or(clean_true, tainted_true).t,
+            0,
+            "1 OR x masks taint"
+        );
         assert_eq!(DIFF.bool_not(tainted_true).a, 0);
         assert_eq!(DIFF.bool_not(tainted_true).t, 1);
     }

@@ -1,0 +1,324 @@
+//! Concurrent taint coverage: the shared, exact union of every worker's
+//! observations in a parallel fuzzing campaign.
+//!
+//! The paper's §5 pipeline runs "multiple RTL simulation instances in
+//! parallel". A naive parallelisation gives each worker a private
+//! [`CoverageMatrix`] and sums the point counts at the end — an *inflated*
+//! union whenever two workers discover the same `(module, tainted-count)`
+//! tuple. [`SharedCoverage`] instead stripes the point set over a fixed
+//! array of mutex-guarded shards: workers commit observations as they
+//! happen, duplicates deduplicate under the shard lock, and a relaxed
+//! atomic counter exposes the exact global point count without taking any
+//! lock.
+//!
+//! Striping keys on the hash of the whole `(module, index)` tuple, not the
+//! module alone, so a hot module (the RoB appears in nearly every census)
+//! still spreads its points across shards instead of serialising every
+//! worker behind one mutex.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::census::{Census, TaintLog};
+use crate::coverage::{CoverageMatrix, CoveragePoint, TaintCoverage};
+
+/// Default shard count: enough stripes that 8–16 workers rarely collide,
+/// small enough that a snapshot stays cheap.
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// A sharded, lock-striped concurrent coverage set. See the module docs.
+#[derive(Debug)]
+pub struct SharedCoverage {
+    shards: Box<[Mutex<CoverageMatrix>]>,
+    /// Exact global point count, maintained on successful inserts.
+    points: AtomicUsize,
+}
+
+impl Default for SharedCoverage {
+    fn default() -> Self {
+        SharedCoverage::new(DEFAULT_SHARDS)
+    }
+}
+
+impl SharedCoverage {
+    /// A new empty set striped over `shards` locks (rounded up to a power
+    /// of two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        SharedCoverage {
+            shards: (0..n).map(|_| Mutex::new(CoverageMatrix::new())).collect(),
+            points: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, point: &CoveragePoint) -> usize {
+        // FNV-1a over the module name and index: cheap, deterministic, and
+        // independent of the HashMap hasher so the stripe distribution is
+        // stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in point.module.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h = (h ^ point.index as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        (h as usize) & (self.shards.len() - 1)
+    }
+
+    /// Commits one point; true if it was globally new.
+    pub fn observe_point(&self, point: CoveragePoint) -> bool {
+        let mut shard = self.shards[self.shard_of(&point)]
+            .lock()
+            .expect("shard poisoned");
+        let fresh = shard.insert(point);
+        drop(shard);
+        if fresh {
+            self.points.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Commits one cycle's census; returns the number of globally new
+    /// points this call inserted. Note that under contention another worker
+    /// may commit the same point first — the *union* is exact, the
+    /// attribution of freshness is first-come-first-served.
+    pub fn observe(&self, census: &Census) -> usize {
+        census
+            .modules()
+            .iter()
+            .filter(|m| m.tainted != 0)
+            .filter(|m| {
+                self.observe_point(CoveragePoint {
+                    module: m.module,
+                    index: m.tainted,
+                })
+            })
+            .count()
+    }
+
+    /// Commits every cycle of a taint log.
+    pub fn observe_log(&self, log: &TaintLog) -> usize {
+        log.iter().map(|(_, c)| self.observe(c)).sum()
+    }
+
+    /// Exact global point count (lock-free).
+    pub fn points(&self) -> usize {
+        self.points.load(Ordering::Relaxed)
+    }
+
+    /// True if the `(module, index)` slot has been committed. Requires a
+    /// `'static` module name (all census module names are) so the probe
+    /// hashes straight to its owning shard — one lock, one set probe.
+    pub fn contains(&self, module: &'static str, index: usize) -> bool {
+        let p = CoveragePoint { module, index };
+        self.shards[self.shard_of(&p)]
+            .lock()
+            .expect("shard poisoned")
+            .contains_point(&p)
+    }
+
+    /// A point-in-time union of all shards as a plain matrix.
+    pub fn snapshot(&self) -> CoverageMatrix {
+        let mut out = CoverageMatrix::new();
+        for shard in self.shards.iter() {
+            out.merge(&shard.lock().expect("shard poisoned"));
+        }
+        out
+    }
+}
+
+/// A shared reference observes concurrently, so the `&mut self` of the
+/// trait is trivially satisfiable from many workers at once.
+impl TaintCoverage for &SharedCoverage {
+    fn observe(&mut self, census: &Census) -> usize {
+        SharedCoverage::observe(self, census)
+    }
+}
+
+/// The coverage sink a pipeline worker threads through Phase 2.
+///
+/// One observation fans out three ways:
+///
+/// * `view` — the worker's deterministic local union (round-start global
+///   state plus its own in-round observations). *Freshness against the
+///   view* is what drives mutation-gain feedback, so worker decisions
+///   never race on shared state.
+/// * `observed` — optionally, everything this worker ever saw (the
+///   per-worker matrices whose union the orchestrator's exactness
+///   invariant is stated over).
+/// * `shared` — optionally, the live concurrent union.
+///
+/// Points that are fresh against the view are appended to `recorded`, in
+/// observation order, so the orchestrator can replay them into the global
+/// matrix deterministically.
+pub struct RecordingCoverage<'a> {
+    /// Worker-local deterministic view.
+    pub view: &'a mut CoverageMatrix,
+    /// Fresh-against-view points, in observation order.
+    pub recorded: &'a mut Vec<CoveragePoint>,
+    /// Everything observed (exactness accounting), if tracked.
+    pub observed: Option<&'a mut CoverageMatrix>,
+    /// Live concurrent union, if attached.
+    pub shared: Option<&'a SharedCoverage>,
+}
+
+impl TaintCoverage for RecordingCoverage<'_> {
+    fn observe(&mut self, census: &Census) -> usize {
+        let mut fresh = 0;
+        for m in census.modules() {
+            if m.tainted == 0 {
+                continue;
+            }
+            let p = CoveragePoint {
+                module: m.module,
+                index: m.tainted,
+            };
+            if let Some(observed) = self.observed.as_deref_mut() {
+                observed.insert(p);
+            }
+            if self.view.insert(p) {
+                // Commit to the shared union only on view-freshness: a
+                // point already in the view was committed by whichever
+                // worker first recorded it (own points on their fresh
+                // observation, broadcast points by their discoverer), so
+                // the union stays exact while the phase-2 hot loop skips
+                // a shard lock round-trip per duplicate census point.
+                if let Some(shared) = self.shared {
+                    shared.observe_point(p);
+                }
+                self.recorded.push(p);
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn census(counts: &[(&'static str, usize)]) -> Census {
+        let mut c = Census::new();
+        for &(m, tainted) in counts {
+            c.report_counts(m, tainted, 64);
+        }
+        c
+    }
+
+    #[test]
+    fn observe_point_dedups_and_counts() {
+        let s = SharedCoverage::new(4);
+        assert!(s.observe_point(CoveragePoint {
+            module: "rob",
+            index: 3
+        }));
+        assert!(!s.observe_point(CoveragePoint {
+            module: "rob",
+            index: 3
+        }));
+        assert!(s.observe_point(CoveragePoint {
+            module: "rob",
+            index: 4
+        }));
+        assert_eq!(s.points(), 2);
+        assert!(s.contains("rob", 3));
+        assert!(!s.contains("lsu", 1));
+    }
+
+    #[test]
+    fn snapshot_equals_committed_set() {
+        let s = SharedCoverage::new(8);
+        s.observe(&census(&[("rob", 3), ("lsu", 1), ("dcache", 7)]));
+        let snap = s.snapshot();
+        assert_eq!(snap.points(), 3);
+        assert_eq!(snap.points(), s.points());
+        assert!(snap.contains("dcache", 7));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SharedCoverage::new(0).shards(), 1);
+        assert_eq!(SharedCoverage::new(5).shards(), 8);
+        assert_eq!(SharedCoverage::new(32).shards(), 32);
+    }
+
+    #[test]
+    fn concurrent_union_is_exact_not_summed() {
+        // 8 threads all observe overlapping point sets; the union must be
+        // the distinct count, never the inflated per-thread sum.
+        let s = Arc::new(SharedCoverage::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut mine = 0;
+                    for i in 1..=64 {
+                        // Every thread shares points 1..=32; points above
+                        // are striped per thread.
+                        if i <= 32 || i % 8 == t {
+                            s.observe_point(CoveragePoint {
+                                module: "rob",
+                                index: i,
+                            });
+                            mine += 1;
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let per_thread_sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(s.points(), 64, "exact union of 1..=64");
+        assert_eq!(s.snapshot().points(), 64);
+        assert!(per_thread_sum > s.points(), "the naive sum would inflate");
+    }
+
+    #[test]
+    fn recording_coverage_fans_out() {
+        let shared = SharedCoverage::new(4);
+        let mut view = CoverageMatrix::new();
+        // Pre-populate the view as if another worker had found rob/3.
+        view.insert(CoveragePoint {
+            module: "rob",
+            index: 3,
+        });
+        let mut observed = CoverageMatrix::new();
+        let mut recorded = Vec::new();
+        let mut rec = RecordingCoverage {
+            view: &mut view,
+            recorded: &mut recorded,
+            observed: Some(&mut observed),
+            shared: Some(&shared),
+        };
+        let fresh = rec.observe(&census(&[("rob", 3), ("lsu", 1)]));
+        assert_eq!(fresh, 1, "rob/3 was already in the view");
+        assert_eq!(
+            recorded,
+            vec![CoveragePoint {
+                module: "lsu",
+                index: 1
+            }]
+        );
+        assert_eq!(observed.points(), 2, "observed tracks everything seen");
+        assert_eq!(
+            shared.points(),
+            1,
+            "shared commits only view-fresh points (rob/3's discoverer \
+             already committed it — no duplicate lock traffic)"
+        );
+    }
+
+    #[test]
+    fn trait_impl_through_shared_ref() {
+        let s = SharedCoverage::new(2);
+        let mut sink: &SharedCoverage = &s;
+        let n = TaintCoverage::observe(&mut sink, &census(&[("rob", 2)]));
+        assert_eq!(n, 1);
+        assert_eq!(s.points(), 1);
+    }
+}

@@ -149,7 +149,11 @@ impl TWord {
             return self;
         }
         let m = (1u64 << bits) - 1;
-        TWord { a: self.a & m, b: self.b & m, t: self.t & m }
+        TWord {
+            a: self.a & m,
+            b: self.b & m,
+            t: self.t & m,
+        }
     }
 
     // ---- data-flow cells (identical under CellIFT and diffIFT) ----
@@ -160,7 +164,11 @@ impl TWord {
     pub fn and(self, rhs: TWord) -> TWord {
         let ta = (self.a & rhs.t) | (rhs.a & self.t) | (self.t & rhs.t);
         let tb = (self.b & rhs.t) | (rhs.b & self.t) | (self.t & rhs.t);
-        TWord { a: self.a & rhs.a, b: self.b & rhs.b, t: ta | tb }
+        TWord {
+            a: self.a & rhs.a,
+            b: self.b & rhs.b,
+            t: ta | tb,
+        }
     }
 
     /// Dual of Policy 1 for OR: a tainted input bit matters only where the
@@ -169,24 +177,38 @@ impl TWord {
     pub fn or(self, rhs: TWord) -> TWord {
         let ta = (!self.a & rhs.t) | (!rhs.a & self.t) | (self.t & rhs.t);
         let tb = (!self.b & rhs.t) | (!rhs.b & self.t) | (self.t & rhs.t);
-        TWord { a: self.a | rhs.a, b: self.b | rhs.b, t: ta | tb }
+        TWord {
+            a: self.a | rhs.a,
+            b: self.b | rhs.b,
+            t: ta | tb,
+        }
     }
 
     /// XOR propagates taint bit-exactly.
     #[inline]
     pub fn xor(self, rhs: TWord) -> TWord {
-        TWord { a: self.a ^ rhs.a, b: self.b ^ rhs.b, t: self.t | rhs.t }
+        TWord {
+            a: self.a ^ rhs.a,
+            b: self.b ^ rhs.b,
+            t: self.t | rhs.t,
+        }
     }
 
     /// NOT keeps the shadow mask unchanged.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // ALU mnemonic, not operator sugar
     pub fn not(self) -> TWord {
-        TWord { a: !self.a, b: !self.b, t: self.t }
+        TWord {
+            a: !self.a,
+            b: !self.b,
+            t: self.t,
+        }
     }
 
     /// Addition: carries only travel towards the MSB, so the result is
     /// tainted from the lowest tainted input bit upward.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // ALU mnemonic, not operator sugar
     pub fn add(self, rhs: TWord) -> TWord {
         TWord {
             a: self.a.wrapping_add(rhs.a),
@@ -197,6 +219,7 @@ impl TWord {
 
     /// Subtraction: same carry direction as addition.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // ALU mnemonic, not operator sugar
     pub fn sub(self, rhs: TWord) -> TWord {
         TWord {
             a: self.a.wrapping_sub(rhs.a),
@@ -207,6 +230,7 @@ impl TWord {
 
     /// Multiplication: partial products move taint towards the MSB only.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // ALU mnemonic, not operator sugar
     pub fn mul(self, rhs: TWord) -> TWord {
         TWord {
             a: self.a.wrapping_mul(rhs.a),
@@ -221,20 +245,38 @@ impl TWord {
     /// result is tainted (a tainted shamt is control-like: every output bit
     /// could change).
     #[inline]
+    #[allow(clippy::should_implement_trait)] // ALU mnemonic, not operator sugar
     pub fn shl(self, shamt: TWord) -> TWord {
         let sa = (shamt.a & 63) as u32;
         let sb = (shamt.b & 63) as u32;
-        let t = if shamt.t != 0 || sa != sb { u64::MAX } else { self.t << sa };
-        TWord { a: self.a << sa, b: self.b << sb, t }
+        let t = if shamt.t != 0 || sa != sb {
+            u64::MAX
+        } else {
+            self.t << sa
+        };
+        TWord {
+            a: self.a << sa,
+            b: self.b << sb,
+            t,
+        }
     }
 
     /// Logical right shift; see [`TWord::shl`] for the taint rule.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // ALU mnemonic, not operator sugar
     pub fn shr(self, shamt: TWord) -> TWord {
         let sa = (shamt.a & 63) as u32;
         let sb = (shamt.b & 63) as u32;
-        let t = if shamt.t != 0 || sa != sb { u64::MAX } else { self.t >> sa };
-        TWord { a: self.a >> sa, b: self.b >> sb, t }
+        let t = if shamt.t != 0 || sa != sb {
+            u64::MAX
+        } else {
+            self.t >> sa
+        };
+        TWord {
+            a: self.a >> sa,
+            b: self.b >> sb,
+            t,
+        }
     }
 
     /// Arithmetic right shift; the sign bit replicates its taint.
@@ -245,7 +287,11 @@ impl TWord {
         let t = if shamt.t != 0 || sa != sb {
             u64::MAX
         } else {
-            let sign_taint = if self.t >> 63 != 0 { !(u64::MAX >> sa) } else { 0 };
+            let sign_taint = if self.t >> 63 != 0 {
+                !(u64::MAX >> sa)
+            } else {
+                0
+            };
             (self.t >> sa) | sign_taint
         };
         TWord {
@@ -258,7 +304,11 @@ impl TWord {
     /// Extracts bits `[lo, lo+width)` into the low bits of the result.
     #[inline]
     pub fn bits(self, lo: u32, width: u32) -> TWord {
-        let m = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let m = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         TWord {
             a: (self.a >> lo) & m,
             b: (self.b >> lo) & m,
@@ -270,19 +320,31 @@ impl TWord {
     /// "this state was computed under the influence of that one").
     #[inline]
     pub fn taint_union(self, rhs: TWord) -> TWord {
-        TWord { a: self.a, b: self.b, t: self.t | rhs.t }
+        TWord {
+            a: self.a,
+            b: self.b,
+            t: self.t | rhs.t,
+        }
     }
 
     /// A copy with the shadow mask cleared.
     #[inline]
     pub fn untainted(self) -> TWord {
-        TWord { a: self.a, b: self.b, t: 0 }
+        TWord {
+            a: self.a,
+            b: self.b,
+            t: 0,
+        }
     }
 
     /// A copy with every bit of the shadow mask set.
     #[inline]
     pub fn fully_tainted(self) -> TWord {
-        TWord { a: self.a, b: self.b, t: u64::MAX }
+        TWord {
+            a: self.a,
+            b: self.b,
+            t: u64::MAX,
+        }
     }
 }
 
@@ -302,7 +364,11 @@ impl fmt::Debug for TWord {
         if self.a == self.b && self.t == 0 {
             write!(f, "TWord({:#x})", self.a)
         } else {
-            write!(f, "TWord(a={:#x}, b={:#x}, t={:#x})", self.a, self.b, self.t)
+            write!(
+                f,
+                "TWord(a={:#x}, b={:#x}, t={:#x})",
+                self.a, self.b, self.t
+            )
         }
     }
 }

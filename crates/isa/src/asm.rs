@@ -28,7 +28,10 @@ impl Program {
 
     /// Iterates `(address, word)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.words.iter().enumerate().map(move |(i, &w)| (self.base + 4 * i as u64, w))
+        self.words
+            .iter()
+            .enumerate()
+            .map(move |(i, &w)| (self.base + 4 * i as u64, w))
     }
 
     /// Disassembles for reports.
@@ -47,14 +50,26 @@ impl Program {
 enum Pending {
     Done(Instr),
     /// Branch to a label; patched with the PC-relative offset.
-    BranchTo { template: Instr, label: String },
+    BranchTo {
+        template: Instr,
+        label: String,
+    },
     /// `jal`/`auipc`-style PC-relative reference to a label.
-    JumpTo { template: Instr, label: String },
+    JumpTo {
+        template: Instr,
+        label: String,
+    },
     /// Materialise an absolute 64-bit address into `rd` via `lui`+`addi`
     /// (`la`-lite; occupies two slots, this is the first).
-    LaHigh { rd: Reg, label: String },
+    LaHigh {
+        rd: Reg,
+        label: String,
+    },
     /// Second slot of `la`.
-    LaLow { rd: Reg, label: String },
+    LaLow {
+        rd: Reg,
+        label: String,
+    },
 }
 
 /// Builds a [`Program`] with forward label references.
@@ -78,7 +93,11 @@ impl ProgramBuilder {
     /// Panics if `base` is not 4-byte aligned.
     pub fn new(base: u64) -> Self {
         assert_eq!(base % 4, 0, "program base must be 4-byte aligned");
-        ProgramBuilder { base, items: Vec::new(), labels: HashMap::new() }
+        ProgramBuilder {
+            base,
+            items: Vec::new(),
+            labels: HashMap::new(),
+        }
     }
 
     /// The address the next pushed instruction will occupy.
@@ -117,7 +136,11 @@ impl ProgramBuilder {
     /// Panics if `addr` is behind the current position or misaligned.
     pub fn pad_to(&mut self, addr: u64) -> &mut Self {
         assert_eq!(addr % 4, 0, "pad target must be 4-byte aligned");
-        assert!(addr >= self.here(), "pad_to({addr:#x}) is behind cursor {:#x}", self.here());
+        assert!(
+            addr >= self.here(),
+            "pad_to({addr:#x}) is behind cursor {:#x}",
+            self.here()
+        );
         while self.here() < addr {
             self.push(Instr::NOP);
         }
@@ -145,15 +168,23 @@ impl ProgramBuilder {
 
     /// Emits a branch whose offset is patched to reach `label`.
     pub fn branch_to(&mut self, template: Instr, label: impl Into<String>) -> &mut Self {
-        assert!(matches!(template, Instr::Branch { .. }), "branch_to needs a Branch template");
-        self.items.push(Pending::BranchTo { template, label: label.into() });
+        assert!(
+            matches!(template, Instr::Branch { .. }),
+            "branch_to needs a Branch template"
+        );
+        self.items.push(Pending::BranchTo {
+            template,
+            label: label.into(),
+        });
         self
     }
 
     /// Emits a `jal` whose offset is patched to reach `label`.
     pub fn jal_to(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
-        self.items
-            .push(Pending::JumpTo { template: Instr::Jal { rd, offset: 0 }, label: label.into() });
+        self.items.push(Pending::JumpTo {
+            template: Instr::Jal { rd, offset: 0 },
+            label: label.into(),
+        });
         self
     }
 
@@ -161,7 +192,10 @@ impl ProgramBuilder {
     /// (`lui`+`addi`), resolving to the label's absolute address.
     pub fn la(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
         let label = label.into();
-        self.items.push(Pending::LaHigh { rd, label: label.clone() });
+        self.items.push(Pending::LaHigh {
+            rd,
+            label: label.clone(),
+        });
         self.items.push(Pending::LaLow { rd, label });
         self
     }
@@ -174,7 +208,10 @@ impl ProgramBuilder {
     /// indicate a generator bug rather than an interesting stimulus.
     pub fn assemble(&self) -> Program {
         let resolve = |l: &String| -> u64 {
-            *self.labels.get(l).unwrap_or_else(|| panic!("undefined label {l:?}"))
+            *self
+                .labels
+                .get(l)
+                .unwrap_or_else(|| panic!("undefined label {l:?}"))
         };
         let mut words = Vec::with_capacity(self.items.len());
         for (idx, item) in self.items.iter().enumerate() {
@@ -183,11 +220,17 @@ impl ProgramBuilder {
                 Pending::Done(i) => *i,
                 Pending::BranchTo { template, label } => {
                     let off = resolve(label) as i64 - pc as i64;
-                    assert!((-4096..4096).contains(&off), "branch offset {off} out of range");
+                    assert!(
+                        (-4096..4096).contains(&off),
+                        "branch offset {off} out of range"
+                    );
                     match *template {
-                        Instr::Branch { op, rs1, rs2, .. } => {
-                            Instr::Branch { op, rs1, rs2, offset: off }
-                        }
+                        Instr::Branch { op, rs1, rs2, .. } => Instr::Branch {
+                            op,
+                            rs1,
+                            rs2,
+                            offset: off,
+                        },
                         _ => unreachable!(),
                     }
                 }
@@ -215,7 +258,10 @@ impl ProgramBuilder {
             };
             words.push(encode(instr));
         }
-        Program { base: self.base, words }
+        Program {
+            base: self.base,
+            words,
+        }
     }
 }
 
@@ -223,7 +269,7 @@ impl ProgramBuilder {
 /// sign extension of the 12-bit low part.
 fn la_split(addr: u64) -> (i64, i64) {
     let lo = ((addr & 0xFFF) as i64) << 52 >> 52; // sign-extend 12 bits
-    let hi = (addr as i64).wrapping_sub(lo) & 0xFFFF_F000u64 as i64 as i64;
+    let hi = (addr as i64).wrapping_sub(lo) & 0xFFFF_F000u64 as i64;
     (hi as i32 as i64, lo)
 }
 
@@ -248,7 +294,12 @@ mod tests {
     fn forward_branch_resolution() {
         let mut b = ProgramBuilder::new(0x0);
         b.branch_to(
-            Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A0, offset: 0 },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                offset: 0,
+            },
             "skip",
         );
         b.nops(3);
@@ -276,7 +327,7 @@ mod tests {
 
     #[test]
     fn la_materialises_absolute_addresses() {
-        for addr in [0x2000u64, 0x2FF8, 0x1_2345_678, 0x8000_0800] {
+        for addr in [0x2000u64, 0x2FF8, 0x1234_5678, 0x8000_0800] {
             let mut b = ProgramBuilder::new(0x0);
             b.label_at("sym", addr);
             b.la(Reg::T0, "sym");

@@ -94,7 +94,12 @@ pub fn encode(i: Instr) -> u32 {
         Instr::Auipc { rd, imm } => u_type(imm, rd, OP_AUIPC),
         Instr::Jal { rd, offset } => j_type(offset, rd, OP_JAL),
         Instr::Jalr { rd, rs1, offset } => i_type(offset, rs1, 0b000, rd, OP_JALR),
-        Instr::Branch { op, rs1, rs2, offset } => {
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let f3 = match op {
                 BranchOp::Beq => 0b000,
                 BranchOp::Bne => 0b001,
@@ -105,7 +110,12 @@ pub fn encode(i: Instr) -> u32 {
             };
             b_type(offset, rs2, rs1, f3, OP_BRANCH)
         }
-        Instr::Load { op, rd, rs1, offset } => {
+        Instr::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let f3 = match op {
                 LoadOp::Lb => 0b000,
                 LoadOp::Lh => 0b001,
@@ -117,7 +127,12 @@ pub fn encode(i: Instr) -> u32 {
             };
             i_type(offset, rs1, f3, rd, OP_LOAD)
         }
-        Instr::Store { op, rs2, rs1, offset } => {
+        Instr::Store {
+            op,
+            rs2,
+            rs1,
+            offset,
+        } => {
             let f3 = match op {
                 StoreOp::Sb => 0b000,
                 StoreOp::Sh => 0b001,
@@ -247,10 +262,23 @@ fn imm_j(w: u32) -> i64 {
 /// executed — the paper's "illegal" transient-window trigger type).
 pub fn decode(w: u32) -> Instr {
     match w & 0x7F {
-        OP_LUI => Instr::Lui { rd: rd(w), imm: imm_u(w) },
-        OP_AUIPC => Instr::Auipc { rd: rd(w), imm: imm_u(w) },
-        OP_JAL => Instr::Jal { rd: rd(w), offset: imm_j(w) },
-        OP_JALR if funct3(w) == 0 => Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) },
+        OP_LUI => Instr::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        OP_AUIPC => Instr::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        OP_JAL => Instr::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        },
+        OP_JALR if funct3(w) == 0 => Instr::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        },
         OP_BRANCH => {
             let op = match funct3(w) {
                 0b000 => BranchOp::Beq,
@@ -261,7 +289,12 @@ pub fn decode(w: u32) -> Instr {
                 0b111 => BranchOp::Bgeu,
                 _ => return Instr::Illegal(w),
             };
-            Instr::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+            Instr::Branch {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }
         }
         OP_LOAD => {
             let op = match funct3(w) {
@@ -274,7 +307,12 @@ pub fn decode(w: u32) -> Instr {
                 0b110 => LoadOp::Lwu,
                 _ => return Instr::Illegal(w),
             };
-            Instr::Load { op, rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+            Instr::Load {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }
         }
         OP_STORE => {
             let op = match funct3(w) {
@@ -284,7 +322,12 @@ pub fn decode(w: u32) -> Instr {
                 0b011 => StoreOp::Sd,
                 _ => return Instr::Illegal(w),
             };
-            Instr::Store { op, rs2: rs2(w), rs1: rs1(w), offset: imm_s_full(w) }
+            Instr::Store {
+                op,
+                rs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s_full(w),
+            }
         }
         OP_IMM => {
             let imm = imm_i(w);
@@ -321,21 +364,40 @@ pub fn decode(w: u32) -> Instr {
                 }
                 _ => return Instr::Illegal(w),
             };
-            Instr::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+            Instr::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
         }
         OP_IMM32 => {
             let imm = imm_i(w);
             match funct3(w) {
-                0b000 => Instr::OpImm { op: AluOp::AddW, rd: rd(w), rs1: rs1(w), imm },
-                0b001 if funct7(w) == 0 => {
-                    Instr::OpImm { op: AluOp::SllW, rd: rd(w), rs1: rs1(w), imm: imm & 0x1F }
-                }
-                0b101 if funct7(w) == 0 => {
-                    Instr::OpImm { op: AluOp::SrlW, rd: rd(w), rs1: rs1(w), imm: imm & 0x1F }
-                }
-                0b101 if funct7(w) == 0b0100000 => {
-                    Instr::OpImm { op: AluOp::SraW, rd: rd(w), rs1: rs1(w), imm: imm & 0x1F }
-                }
+                0b000 => Instr::OpImm {
+                    op: AluOp::AddW,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    imm,
+                },
+                0b001 if funct7(w) == 0 => Instr::OpImm {
+                    op: AluOp::SllW,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    imm: imm & 0x1F,
+                },
+                0b101 if funct7(w) == 0 => Instr::OpImm {
+                    op: AluOp::SrlW,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    imm: imm & 0x1F,
+                },
+                0b101 if funct7(w) == 0b0100000 => Instr::OpImm {
+                    op: AluOp::SraW,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    imm: imm & 0x1F,
+                },
                 _ => Instr::Illegal(w),
             }
         }
@@ -360,7 +422,12 @@ pub fn decode(w: u32) -> Instr {
                 (0b0000001, 0b111) => AluOp::Remu,
                 _ => return Instr::Illegal(w),
             };
-            Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            Instr::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
         }
         OP_REG32 => {
             let op = match (funct7(w), funct3(w)) {
@@ -376,21 +443,56 @@ pub fn decode(w: u32) -> Instr {
                 (0b0000001, 0b111) => AluOp::RemuW,
                 _ => return Instr::Illegal(w),
             };
-            Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            Instr::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
         }
-        OP_FLOAD if funct3(w) == 0b011 => {
-            Instr::FLoad { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
-        }
-        OP_FSTORE if funct3(w) == 0b011 => {
-            Instr::FStore { rs2: rs2(w), rs1: rs1(w), offset: imm_s_full(w) }
-        }
+        OP_FLOAD if funct3(w) == 0b011 => Instr::FLoad {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        },
+        OP_FSTORE if funct3(w) == 0b011 => Instr::FStore {
+            rs2: rs2(w),
+            rs1: rs1(w),
+            offset: imm_s_full(w),
+        },
         OP_FP => match funct7(w) {
-            0b0000001 => Instr::Fp { op: FpOp::FaddD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
-            0b0000101 => Instr::Fp { op: FpOp::FsubD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
-            0b0001001 => Instr::Fp { op: FpOp::FmulD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
-            0b0001101 => Instr::Fp { op: FpOp::FdivD, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
-            0b1111001 if rs2(w) == Reg(0) => Instr::FmvDX { rd: rd(w), rs1: rs1(w) },
-            0b1110001 if rs2(w) == Reg(0) => Instr::FmvXD { rd: rd(w), rs1: rs1(w) },
+            0b0000001 => Instr::Fp {
+                op: FpOp::FaddD,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            },
+            0b0000101 => Instr::Fp {
+                op: FpOp::FsubD,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            },
+            0b0001001 => Instr::Fp {
+                op: FpOp::FmulD,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            },
+            0b0001101 => Instr::Fp {
+                op: FpOp::FdivD,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            },
+            0b1111001 if rs2(w) == Reg(0) => Instr::FmvDX {
+                rd: rd(w),
+                rs1: rs1(w),
+            },
+            0b1110001 if rs2(w) == Reg(0) => Instr::FmvXD {
+                rd: rd(w),
+                rs1: rs1(w),
+            },
             _ => Instr::Illegal(w),
         },
         OP_MISC_MEM => Instr::Fence,
@@ -420,8 +522,14 @@ mod tests {
     fn roundtrip_basics() {
         roundtrip(Instr::NOP);
         roundtrip(Instr::addi(Reg::A0, Reg::A1, -5));
-        roundtrip(Instr::Lui { rd: Reg::T0, imm: 0x12345 << 12 });
-        roundtrip(Instr::Auipc { rd: Reg::T0, imm: -4096 });
+        roundtrip(Instr::Lui {
+            rd: Reg::T0,
+            imm: 0x12345 << 12,
+        });
+        roundtrip(Instr::Auipc {
+            rd: Reg::T0,
+            imm: -4096,
+        });
         roundtrip(Instr::Ecall);
         roundtrip(Instr::Ebreak);
         roundtrip(Instr::Fence);
@@ -429,48 +537,131 @@ mod tests {
 
     #[test]
     fn roundtrip_control() {
-        roundtrip(Instr::Jal { rd: Reg::RA, offset: 2048 });
-        roundtrip(Instr::Jal { rd: Reg::ZERO, offset: -4 });
-        roundtrip(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
-        roundtrip(Instr::Jalr { rd: Reg::T1, rs1: Reg::A0, offset: -16 });
+        roundtrip(Instr::Jal {
+            rd: Reg::RA,
+            offset: 2048,
+        });
+        roundtrip(Instr::Jal {
+            rd: Reg::ZERO,
+            offset: -4,
+        });
+        roundtrip(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        });
+        roundtrip(Instr::Jalr {
+            rd: Reg::T1,
+            rs1: Reg::A0,
+            offset: -16,
+        });
         for op in BranchOp::ALL {
-            roundtrip(Instr::Branch { op, rs1: Reg::A0, rs2: Reg::A1, offset: -64 });
-            roundtrip(Instr::Branch { op, rs1: Reg::S0, rs2: Reg::T6, offset: 4094 });
+            roundtrip(Instr::Branch {
+                op,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -64,
+            });
+            roundtrip(Instr::Branch {
+                op,
+                rs1: Reg::S0,
+                rs2: Reg::T6,
+                offset: 4094,
+            });
         }
     }
 
     #[test]
     fn roundtrip_memory() {
         for op in LoadOp::ALL {
-            roundtrip(Instr::Load { op, rd: Reg::S1, rs1: Reg::SP, offset: -2048 });
-            roundtrip(Instr::Load { op, rd: Reg::S1, rs1: Reg::SP, offset: 2047 });
+            roundtrip(Instr::Load {
+                op,
+                rd: Reg::S1,
+                rs1: Reg::SP,
+                offset: -2048,
+            });
+            roundtrip(Instr::Load {
+                op,
+                rd: Reg::S1,
+                rs1: Reg::SP,
+                offset: 2047,
+            });
         }
         for op in StoreOp::ALL {
-            roundtrip(Instr::Store { op, rs2: Reg::A2, rs1: Reg::GP, offset: -1 });
-            roundtrip(Instr::Store { op, rs2: Reg::A2, rs1: Reg::GP, offset: 8 });
+            roundtrip(Instr::Store {
+                op,
+                rs2: Reg::A2,
+                rs1: Reg::GP,
+                offset: -1,
+            });
+            roundtrip(Instr::Store {
+                op,
+                rs2: Reg::A2,
+                rs1: Reg::GP,
+                offset: 8,
+            });
         }
-        roundtrip(Instr::FLoad { rd: Reg(7), rs1: Reg::SP, offset: 24 });
-        roundtrip(Instr::FStore { rs2: Reg(7), rs1: Reg::SP, offset: -24 });
+        roundtrip(Instr::FLoad {
+            rd: Reg(7),
+            rs1: Reg::SP,
+            offset: 24,
+        });
+        roundtrip(Instr::FStore {
+            rs2: Reg(7),
+            rs1: Reg::SP,
+            offset: -24,
+        });
     }
 
     #[test]
     fn roundtrip_alu() {
         use AluOp::*;
-        for op in [Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And, AddW, SubW, SllW, SrlW,
-            SraW, Mul, Mulh, Mulhu, Div, Divu, Rem, Remu, MulW, DivW, DivuW, RemW, RemuW]
-        {
-            roundtrip(Instr::Op { op, rd: Reg::T3, rs1: Reg::T4, rs2: Reg::T5 });
+        for op in [
+            Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And, AddW, SubW, SllW, SrlW, SraW, Mul,
+            Mulh, Mulhu, Div, Divu, Rem, Remu, MulW, DivW, DivuW, RemW, RemuW,
+        ] {
+            roundtrip(Instr::Op {
+                op,
+                rd: Reg::T3,
+                rs1: Reg::T4,
+                rs2: Reg::T5,
+            });
         }
         for op in [Add, Slt, Sltu, Xor, Or, And] {
-            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: 2047 });
-            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: -2048 });
+            roundtrip(Instr::OpImm {
+                op,
+                rd: Reg::T3,
+                rs1: Reg::T4,
+                imm: 2047,
+            });
+            roundtrip(Instr::OpImm {
+                op,
+                rd: Reg::T3,
+                rs1: Reg::T4,
+                imm: -2048,
+            });
         }
         for op in [Sll, Srl, Sra] {
-            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: 63 });
+            roundtrip(Instr::OpImm {
+                op,
+                rd: Reg::T3,
+                rs1: Reg::T4,
+                imm: 63,
+            });
         }
-        roundtrip(Instr::OpImm { op: AddW, rd: Reg::T3, rs1: Reg::T4, imm: -1 });
+        roundtrip(Instr::OpImm {
+            op: AddW,
+            rd: Reg::T3,
+            rs1: Reg::T4,
+            imm: -1,
+        });
         for op in [SllW, SrlW, SraW] {
-            roundtrip(Instr::OpImm { op, rd: Reg::T3, rs1: Reg::T4, imm: 31 });
+            roundtrip(Instr::OpImm {
+                op,
+                rd: Reg::T3,
+                rs1: Reg::T4,
+                imm: 31,
+            });
         }
     }
 
@@ -478,10 +669,21 @@ mod tests {
     fn roundtrip_fp() {
         use FpOp::*;
         for op in [FaddD, FsubD, FmulD, FdivD] {
-            roundtrip(Instr::Fp { op, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) });
+            roundtrip(Instr::Fp {
+                op,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3),
+            });
         }
-        roundtrip(Instr::FmvDX { rd: Reg(4), rs1: Reg::A0 });
-        roundtrip(Instr::FmvXD { rd: Reg::A0, rs1: Reg(4) });
+        roundtrip(Instr::FmvDX {
+            rd: Reg(4),
+            rs1: Reg::A0,
+        });
+        roundtrip(Instr::FmvXD {
+            rd: Reg::A0,
+            rs1: Reg(4),
+        });
     }
 
     #[test]
@@ -497,7 +699,12 @@ mod tests {
         assert_eq!(encode(Instr::ld(Reg::S0, Reg::T0, 0)), 0x0002_b403);
         // beq a0, a0, +16 == 0x00a50863
         assert_eq!(
-            encode(Instr::Branch { op: BranchOp::Beq, rs1: Reg::A0, rs2: Reg::A0, offset: 16 }),
+            encode(Instr::Branch {
+                op: BranchOp::Beq,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                offset: 16
+            }),
             0x00a5_0863
         );
     }
@@ -512,14 +719,22 @@ mod tests {
 
     #[test]
     fn branch_offset_sign_extension() {
-        let i = Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A1, offset: -4096 };
+        let i = Instr::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -4096,
+        };
         assert_eq!(decode(encode(i)), i);
     }
 
     #[test]
     fn jal_offset_extremes() {
         for off in [-(1i64 << 20), (1i64 << 20) - 2, 0, 2] {
-            let i = Instr::Jal { rd: Reg::RA, offset: off };
+            let i = Instr::Jal {
+                rd: Reg::RA,
+                offset: off,
+            };
             assert_eq!(decode(encode(i)), i, "offset {off}");
         }
     }

@@ -137,13 +137,7 @@ impl AluOp {
                     ((x as i64).wrapping_div(y as i64)) as u64
                 }
             }
-            AluOp::Divu => {
-                if y == 0 {
-                    u64::MAX
-                } else {
-                    x / y
-                }
-            }
+            AluOp::Divu => x.checked_div(y).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if y == 0 {
                     x
@@ -153,13 +147,7 @@ impl AluOp {
                     ((x as i64).wrapping_rem(y as i64)) as u64
                 }
             }
-            AluOp::Remu => {
-                if y == 0 {
-                    x
-                } else {
-                    x % y
-                }
-            }
+            AluOp::Remu => x.checked_rem(y).unwrap_or(x),
             AluOp::MulW => sext32((x as u32).wrapping_mul(y as u32) as u64),
             AluOp::DivW => {
                 let (x, y) = (x as i32, y as i32);
@@ -174,7 +162,7 @@ impl AluOp {
             }
             AluOp::DivuW => {
                 let (x, y) = (x as u32, y as u32);
-                let r = if y == 0 { u32::MAX } else { x / y };
+                let r = x.checked_div(y).unwrap_or(u32::MAX);
                 sext32(r as u64)
             }
             AluOp::RemW => {
@@ -294,8 +282,15 @@ impl LoadOp {
     }
 
     /// All load flavours (generator support).
-    pub const ALL: [LoadOp; 7] =
-        [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Ld, LoadOp::Lbu, LoadOp::Lhu, LoadOp::Lwu];
+    pub const ALL: [LoadOp; 7] = [
+        LoadOp::Lb,
+        LoadOp::Lh,
+        LoadOp::Lw,
+        LoadOp::Ld,
+        LoadOp::Lbu,
+        LoadOp::Lhu,
+        LoadOp::Lwu,
+    ];
 }
 
 /// Store widths.
@@ -366,21 +361,51 @@ pub enum Instr {
     /// `jalr rd, offset(rs1)`.
     Jalr { rd: Reg, rs1: Reg, offset: i64 },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i64 },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+    },
     /// Memory load into an integer register.
-    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i64 },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
     /// Memory store from an integer register.
-    Store { op: StoreOp, rs2: Reg, rs1: Reg, offset: i64 },
+    Store {
+        op: StoreOp,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
     /// Register-immediate ALU operation.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+    },
     /// Register-register ALU operation.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `fld rd, offset(rs1)` into an FP register (index via [`Reg`]).
     FLoad { rd: Reg, rs1: Reg, offset: i64 },
     /// `fsd rs2, offset(rs1)` from an FP register.
     FStore { rs2: Reg, rs1: Reg, offset: i64 },
     /// FP arithmetic on FP registers.
-    Fp { op: FpOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Fp {
+        op: FpOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `fmv.d.x rd, rs1` — move integer register bits into an FP register.
     FmvDX { rd: Reg, rs1: Reg },
     /// `fmv.x.d rd, rs1` — move FP register bits into an integer register.
@@ -397,31 +422,58 @@ pub enum Instr {
 
 impl Instr {
     /// `nop` (`addi x0, x0, 0`).
-    pub const NOP: Instr = Instr::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+    pub const NOP: Instr = Instr::OpImm {
+        op: AluOp::Add,
+        rd: Reg::ZERO,
+        rs1: Reg::ZERO,
+        imm: 0,
+    };
 
     /// Convenience constructor for `addi`.
     pub const fn addi(rd: Reg, rs1: Reg, imm: i64) -> Instr {
-        Instr::OpImm { op: AluOp::Add, rd, rs1, imm }
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        }
     }
 
     /// Convenience constructor for `ld rd, offset(rs1)`.
     pub const fn ld(rd: Reg, rs1: Reg, offset: i64) -> Instr {
-        Instr::Load { op: LoadOp::Ld, rd, rs1, offset }
+        Instr::Load {
+            op: LoadOp::Ld,
+            rd,
+            rs1,
+            offset,
+        }
     }
 
     /// Convenience constructor for `sd rs2, offset(rs1)`.
     pub const fn sd(rs2: Reg, rs1: Reg, offset: i64) -> Instr {
-        Instr::Store { op: StoreOp::Sd, rs2, rs1, offset }
+        Instr::Store {
+            op: StoreOp::Sd,
+            rs2,
+            rs1,
+            offset,
+        }
     }
 
     /// Convenience constructor for `ret` (`jalr x0, 0(ra)`).
     pub const fn ret() -> Instr {
-        Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }
+        Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        }
     }
 
     /// Convenience constructor for `call`-style `jal ra, offset`.
     pub const fn call(offset: i64) -> Instr {
-        Instr::Jal { rd: Reg::RA, offset }
+        Instr::Jal {
+            rd: Reg::RA,
+            offset,
+        }
     }
 
     /// True for control-transfer instructions (branches, jumps).
@@ -443,12 +495,22 @@ impl Instr {
     /// True when this is a `ret` (indirect jump through `ra` with `rd=x0`),
     /// the RAS-pop flavour of `jalr`.
     pub fn is_ret(self) -> bool {
-        matches!(self, Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, .. })
+        matches!(
+            self,
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                ..
+            }
+        )
     }
 
     /// True when this `jal`/`jalr` links (pushes a return address).
     pub fn is_call(self) -> bool {
-        matches!(self, Instr::Jal { rd: Reg::RA, .. } | Instr::Jalr { rd: Reg::RA, .. })
+        matches!(
+            self,
+            Instr::Jal { rd: Reg::RA, .. } | Instr::Jalr { rd: Reg::RA, .. }
+        )
     }
 
     /// The destination register written by this instruction, if any.
@@ -520,7 +582,12 @@ impl fmt::Display for Instr {
                     write!(f, "jalr {rd}, {offset}({rs1})")
                 }
             }
-            Instr::Branch { op, rs1, rs2, offset } => {
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let name = match op {
                     BranchOp::Beq => "beq",
                     BranchOp::Bne => "bne",
@@ -531,7 +598,12 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{name} {rs1}, {rs2}, {offset}")
             }
-            Instr::Load { op, rd, rs1, offset } => {
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let name = match op {
                     LoadOp::Lb => "lb",
                     LoadOp::Lh => "lh",
@@ -543,7 +615,12 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{name} {rd}, {offset}({rs1})")
             }
-            Instr::Store { op, rs2, rs1, offset } => {
+            Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let name = match op {
                     StoreOp::Sb => "sb",
                     StoreOp::Sh => "sh",
@@ -636,7 +713,11 @@ mod tests {
         assert_eq!(Reg::A0.to_string(), "a0");
         assert_eq!(Reg::ZERO.to_string(), "zero");
         assert_eq!(Reg::T6.to_string(), "t6");
-        assert_eq!(Reg::from_index(33), Reg::RA, "index wraps like 5-bit decode");
+        assert_eq!(
+            Reg::from_index(33),
+            Reg::RA,
+            "index wraps like 5-bit decode"
+        );
     }
 
     #[test]
@@ -674,7 +755,11 @@ mod tests {
     #[test]
     fn mulh_matches_128bit_reference() {
         assert_eq!(AluOp::Mulhu.eval(u64::MAX, u64::MAX), u64::MAX - 1);
-        assert_eq!(AluOp::Mulh.eval(u64::MAX, u64::MAX), 0, "(-1)*(-1)=1, high half 0");
+        assert_eq!(
+            AluOp::Mulh.eval(u64::MAX, u64::MAX),
+            0,
+            "(-1)*(-1)=1, high half 0"
+        );
     }
 
     #[test]
@@ -708,7 +793,12 @@ mod tests {
 
     #[test]
     fn sources_skip_zero_reg() {
-        let i = Instr::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, rs2: Reg::A1 };
+        let i = Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            rs2: Reg::A1,
+        };
         assert_eq!(i.sources(), vec![Reg::A1]);
     }
 
@@ -718,12 +808,23 @@ mod tests {
         assert_eq!(Instr::ret().to_string(), "ret");
         assert_eq!(Instr::ld(Reg::S0, Reg::T0, 0).to_string(), "ld s0, 0(t0)");
         assert_eq!(
-            Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A0, offset: 16 }
-                .to_string(),
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                offset: 16
+            }
+            .to_string(),
             "bne a0, a0, 16"
         );
         assert_eq!(
-            Instr::Fp { op: FpOp::FdivD, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }.to_string(),
+            Instr::Fp {
+                op: FpOp::FdivD,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3)
+            }
+            .to_string(),
             "fdiv.d f1, f2, f3"
         );
     }

@@ -42,7 +42,10 @@ pub enum Exception {
 impl Exception {
     /// True for the memory-exception family (`mem-excp` in Table 5).
     pub fn is_mem(self) -> bool {
-        !matches!(self, Exception::IllegalInstruction(_) | Exception::Ecall | Exception::Ebreak)
+        !matches!(
+            self,
+            Exception::IllegalInstruction(_) | Exception::Ecall | Exception::Ebreak
+        )
     }
 
     /// A short mnemonic used in reports.
@@ -75,14 +78,30 @@ pub struct Perms {
 
 impl Perms {
     /// Read+write+execute.
-    pub const RWX: Perms = Perms { read: true, write: true, exec: true };
+    pub const RWX: Perms = Perms {
+        read: true,
+        write: true,
+        exec: true,
+    };
     /// Read+write, no execute.
-    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+    pub const RW: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
     /// Read-only.
-    pub const R: Perms = Perms { read: true, write: false, exec: false };
+    pub const R: Perms = Perms {
+        read: true,
+        write: false,
+        exec: false,
+    };
     /// No access — loads raise page faults (the "secret" permission state
     /// swapMem installs before the transient sequence runs).
-    pub const NONE: Perms = Perms { read: false, write: false, exec: false };
+    pub const NONE: Perms = Perms {
+        read: false,
+        write: false,
+        exec: false,
+    };
 }
 
 /// The memory seen by a hart: loads, stores and fetches, each of which may
@@ -108,7 +127,11 @@ pub struct FlatMem {
 impl FlatMem {
     /// A zeroed RWX memory covering `[base, base+len)`.
     pub fn new(base: u64, len: usize) -> Self {
-        FlatMem { base, bytes: vec![0; len], perm_ranges: Vec::new() }
+        FlatMem {
+            base,
+            bytes: vec![0; len],
+            perm_ranges: Vec::new(),
+        }
     }
 
     /// Installs `perms` on `[start, end)`, overriding the RWX default and
@@ -158,7 +181,7 @@ impl FlatMem {
 
 impl MemoryIf for FlatMem {
     fn load(&mut self, addr: u64, size: u64) -> Result<u64, Exception> {
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(Exception::LoadMisaligned(addr));
         }
         if !self.in_range(addr, size) {
@@ -176,7 +199,7 @@ impl MemoryIf for FlatMem {
     }
 
     fn store(&mut self, addr: u64, size: u64, val: u64) -> Result<(), Exception> {
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(Exception::StoreMisaligned(addr));
         }
         if !self.in_range(addr, size) {
@@ -193,7 +216,7 @@ impl MemoryIf for FlatMem {
     }
 
     fn fetch(&mut self, addr: u64) -> Result<u32, Exception> {
-        if !self.in_range(addr, 4) || addr % 4 != 0 {
+        if !self.in_range(addr, 4) || !addr.is_multiple_of(4) {
             return Err(Exception::FetchAccessFault(addr));
         }
         if !self.perms_at(addr).exec {
@@ -232,7 +255,12 @@ pub struct IsaSim {
 impl IsaSim {
     /// A fresh hart with zeroed registers starting at `pc`.
     pub fn new(pc: u64) -> Self {
-        IsaSim { regs: [0; 32], fregs: [0; 32], pc, retired: 0 }
+        IsaSim {
+            regs: [0; 32],
+            fregs: [0; 32],
+            pc,
+            retired: 0,
+        }
     }
 
     /// Current program counter.
@@ -311,20 +339,35 @@ impl IsaSim {
                 self.set_reg(rd, next);
                 Ok(target)
             }
-            Instr::Branch { op, rs1, rs2, offset } => {
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if op.taken(self.reg(rs1), self.reg(rs2)) {
                     Ok(pc.wrapping_add(offset as u64))
                 } else {
                     Ok(next)
                 }
             }
-            Instr::Load { op, rd, rs1, offset } => {
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 let raw = mem.load(addr, op.size())?;
                 self.set_reg(rd, op.extend(raw));
                 Ok(next)
             }
-            Instr::Store { op, rs2, rs1, offset } => {
+            Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 mem.store(addr, op.size(), self.reg(rs2))?;
                 Ok(next)
@@ -402,7 +445,12 @@ mod tests {
         let (sim, _, trap) = run_prog(|b| {
             b.push(Instr::addi(Reg::A0, Reg::ZERO, 20));
             b.push(Instr::addi(Reg::A1, Reg::ZERO, 22));
-            b.push(Instr::Op { op: AluOp::Add, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1 });
+            b.push(Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            });
             b.push(Instr::Ebreak);
         });
         assert_eq!(trap, Some(Exception::Ebreak));
@@ -426,8 +474,18 @@ mod tests {
             b.la(Reg::T0, "data");
             b.push(Instr::addi(Reg::T1, Reg::ZERO, -1));
             b.push(Instr::sd(Reg::T1, Reg::T0, 0));
-            b.push(Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::T0, offset: 0 });
-            b.push(Instr::Load { op: LoadOp::Lbu, rd: Reg::A1, rs1: Reg::T0, offset: 1 });
+            b.push(Instr::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                offset: 0,
+            });
+            b.push(Instr::Load {
+                op: LoadOp::Lbu,
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                offset: 1,
+            });
             b.push(Instr::Ebreak);
         });
         assert_eq!(sim.reg(Reg::A0), u64::MAX, "lw sign-extends");
@@ -444,7 +502,12 @@ mod tests {
             b.push(Instr::addi(Reg::A1, Reg::A1, 3));
             b.push(Instr::addi(Reg::A0, Reg::A0, -1));
             b.branch_to(
-                Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::ZERO, offset: 0 },
+                Instr::Branch {
+                    op: BranchOp::Bne,
+                    rs1: Reg::A0,
+                    rs2: Reg::ZERO,
+                    offset: 0,
+                },
                 "loop",
             );
             b.push(Instr::Ebreak);
@@ -469,7 +532,12 @@ mod tests {
     fn misaligned_load_traps() {
         let (_, _, trap) = run_prog(|b| {
             b.push(Instr::addi(Reg::T0, Reg::ZERO, 0x1));
-            b.push(Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::T0, offset: 0 });
+            b.push(Instr::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                offset: 0,
+            });
         });
         assert_eq!(trap, Some(Exception::LoadMisaligned(1)));
     }
@@ -477,7 +545,10 @@ mod tests {
     #[test]
     fn out_of_range_load_access_faults() {
         let (_, _, trap) = run_prog(|b| {
-            b.push(Instr::Lui { rd: Reg::T0, imm: 0x4000_0000 });
+            b.push(Instr::Lui {
+                rd: Reg::T0,
+                imm: 0x4000_0000,
+            });
             b.push(Instr::ld(Reg::A0, Reg::T0, 0));
         });
         assert_eq!(trap, Some(Exception::LoadAccessFault(0x4000_0000)));
@@ -494,7 +565,10 @@ mod tests {
         mem.load_program(&p);
         mem.set_perms(0x3000, 0x3040, Perms::NONE);
         let mut sim = IsaSim::new(0x1000);
-        assert_eq!(sim.run(&mut mem, 100), Some(Exception::LoadPageFault(0x3000)));
+        assert_eq!(
+            sim.run(&mut mem, 100),
+            Some(Exception::LoadPageFault(0x3000))
+        );
 
         // Store side.
         let mut sim2 = IsaSim::new(0x1000);
@@ -526,11 +600,30 @@ mod tests {
     fn fp_pipeline_roundtrip() {
         let (sim, _, _) = run_prog(|b| {
             // a0 = bits(2.0); f1 = a0; f2 = f1+f1; a1 = bits(f2)
-            b.push(Instr::Lui { rd: Reg::A0, imm: 0x40000 << 12 }); // 2.0f64 high bits
-            b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 32 });
-            b.push(Instr::FmvDX { rd: Reg(1), rs1: Reg::A0 });
-            b.push(Instr::Fp { op: crate::instr::FpOp::FaddD, rd: Reg(2), rs1: Reg(1), rs2: Reg(1) });
-            b.push(Instr::FmvXD { rd: Reg::A1, rs1: Reg(2) });
+            b.push(Instr::Lui {
+                rd: Reg::A0,
+                imm: 0x40000 << 12,
+            }); // 2.0f64 high bits
+            b.push(Instr::OpImm {
+                op: AluOp::Sll,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 32,
+            });
+            b.push(Instr::FmvDX {
+                rd: Reg(1),
+                rs1: Reg::A0,
+            });
+            b.push(Instr::Fp {
+                op: crate::instr::FpOp::FaddD,
+                rd: Reg(2),
+                rs1: Reg(1),
+                rs2: Reg(1),
+            });
+            b.push(Instr::FmvXD {
+                rd: Reg::A1,
+                rs1: Reg(2),
+            });
             b.push(Instr::Ebreak);
         });
         assert_eq!(f64::from_bits(sim.reg(Reg::A1)), 4.0);
@@ -540,7 +633,10 @@ mod tests {
     fn fetch_fault_outside_memory() {
         let mut mem = FlatMem::new(0x1000, 0x100);
         let mut sim = IsaSim::new(0x8000);
-        assert_eq!(sim.run(&mut mem, 1), Some(Exception::FetchAccessFault(0x8000)));
+        assert_eq!(
+            sim.run(&mut mem, 1),
+            Some(Exception::FetchAccessFault(0x8000))
+        );
     }
 
     #[test]
@@ -555,7 +651,14 @@ mod tests {
         let mut mem = FlatMem::new(0x1000, 0x100);
         let mut sim = IsaSim::new(0x1000);
         sim.set_reg(Reg::A0, 0x2001);
-        let next = sim.exec(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, offset: 0 }, &mut mem);
+        let next = sim.exec(
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::A0,
+                offset: 0,
+            },
+            &mut mem,
+        );
         assert_eq!(next, Ok(0x2000));
     }
 }

@@ -172,7 +172,10 @@ mod tests {
         sim.step();
         let reports = sim.sink_reports();
         assert_eq!(reports.len(), 1);
-        assert!(reports[0].residue(), "invalid buffer => residue, not exploitable");
+        assert!(
+            reports[0].residue(),
+            "invalid buffer => residue, not exploitable"
+        );
         // Raise valid: the same taint becomes exploitable.
         sim.set_input(0, TWord::lit(1));
         sim.step();

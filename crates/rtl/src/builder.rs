@@ -26,7 +26,10 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// An empty builder rooted at module `"top"`.
     pub fn new() -> Self {
-        NetlistBuilder { netlist: Netlist::default(), module: "top" }
+        NetlistBuilder {
+            netlist: Netlist::default(),
+            module: "top",
+        }
     }
 
     /// Sets the module path attributed to subsequently created cells.
@@ -36,7 +39,11 @@ impl NetlistBuilder {
     }
 
     fn push(&mut self, kind: CellKind) -> SignalId {
-        self.netlist.cells.push(Cell { kind, name: None, module: self.module });
+        self.netlist.cells.push(Cell {
+            kind,
+            name: None,
+            module: self.module,
+        });
         self.netlist.cells.len() - 1
     }
 
@@ -98,13 +105,21 @@ impl NetlistBuilder {
 
     /// Multiplexer `sel ? then_v : else_v`.
     pub fn mux(&mut self, sel: SignalId, then_v: SignalId, else_v: SignalId) -> SignalId {
-        self.push(CellKind::Mux { sel, then_v, else_v })
+        self.push(CellKind::Mux {
+            sel,
+            then_v,
+            else_v,
+        })
     }
 
     /// Declares a register with an initial value; connect with
     /// [`NetlistBuilder::connect_reg`].
     pub fn reg(&mut self, init: u64) -> SignalId {
-        self.push(CellKind::Reg { d: None, en: None, init })
+        self.push(CellKind::Reg {
+            d: None,
+            en: None,
+            init,
+        })
     }
 
     /// Connects a register's data input and optional enable.
@@ -114,7 +129,11 @@ impl NetlistBuilder {
     /// Panics if `r` is not a register or is already connected.
     pub fn connect_reg(&mut self, r: SignalId, d: SignalId, en: Option<SignalId>) -> &mut Self {
         match &mut self.netlist.cells[r].kind {
-            CellKind::Reg { d: slot_d, en: slot_en, .. } => {
+            CellKind::Reg {
+                d: slot_d,
+                en: slot_en,
+                ..
+            } => {
                 assert!(slot_d.is_none(), "register {r} already connected");
                 *slot_d = Some(d);
                 *slot_en = en;
@@ -149,7 +168,10 @@ impl NetlistBuilder {
         data: SignalId,
     ) -> &mut Self {
         let m = &mut self.netlist.mems[mem.0];
-        assert!(m.write_port.is_none(), "memory {mem:?} already has a write port");
+        assert!(
+            m.write_port.is_none(),
+            "memory {mem:?} already has a write port"
+        );
         m.write_port = Some((wen, addr, data));
         self
     }
@@ -180,7 +202,10 @@ impl NetlistBuilder {
     /// ordering) — the panic message names the offending cell.
     pub fn finish(self) -> Netlist {
         if let Err(i) = self.netlist.validate() {
-            panic!("netlist validation failed at cell {i}: {:?}", self.netlist.cells[i].kind);
+            panic!(
+                "netlist validation failed at cell {i}: {:?}",
+                self.netlist.cells[i].kind
+            );
         }
         self.netlist
     }

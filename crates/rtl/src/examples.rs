@@ -122,7 +122,11 @@ pub fn synthetic_core(scale: CoreScale) -> Netlist {
     }
     for (i, r) in regs.clone().into_iter().enumerate() {
         // Spread register inputs across the combinational cloud.
-        let d = if i % 2 == 0 { prev } else { regs[(i + 1) % scale.regs] };
+        let d = if i % 2 == 0 {
+            prev
+        } else {
+            regs[(i + 1) % scale.regs]
+        };
         b.connect_reg(r, d, None);
     }
     let wen = b.input(2);
@@ -198,7 +202,10 @@ mod tests {
         sim.set_input(c.in_rob_tail_idx, TWord::secret(2, 5));
         sim.step();
         let census = sim.census();
-        assert!(census.taint_sum() >= 2, "both candidate entries become tainted");
+        assert!(
+            census.taint_sum() >= 2,
+            "both candidate entries become tainted"
+        );
     }
 
     #[test]
@@ -221,8 +228,20 @@ mod tests {
     #[test]
     fn synthetic_scales_are_ordered() {
         // Keep the scales tiny here; the bench exercises the real ones.
-        let small = CoreScale { name: "s", verilog_loc: 0, comb_cells: 100, regs: 20, mems: (2, 16) };
-        let big = CoreScale { name: "b", verilog_loc: 0, comb_cells: 400, regs: 60, mems: (4, 64) };
+        let small = CoreScale {
+            name: "s",
+            verilog_loc: 0,
+            comb_cells: 100,
+            regs: 20,
+            mems: (2, 16),
+        };
+        let big = CoreScale {
+            name: "b",
+            verilog_loc: 0,
+            comb_cells: 400,
+            regs: 60,
+            mems: (4, 64),
+        };
         let ns = synthetic_core(small);
         let nb = synthetic_core(big);
         assert!(nb.cell_count() > ns.cell_count());
@@ -237,13 +256,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the subject
     fn scale_constants_reflect_table2() {
         assert_eq!(BOOM_SCALE.verilog_loc, 171_000);
         assert_eq!(XIANGSHAN_SCALE.verilog_loc, 893_000);
         assert!(XIANGSHAN_SCALE.comb_cells > BOOM_SCALE.comb_cells);
         assert!(
-            XIANGSHAN_SCALE.mems.0 * XIANGSHAN_SCALE.mems.1
-                > BOOM_SCALE.mems.0 * BOOM_SCALE.mems.1
+            XIANGSHAN_SCALE.mems.0 * XIANGSHAN_SCALE.mems.1 > BOOM_SCALE.mems.0 * BOOM_SCALE.mems.1
         );
     }
 }

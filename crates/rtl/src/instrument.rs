@@ -64,7 +64,10 @@ pub fn instrument(netlist: &Netlist, mode: IftMode) -> (Netlist, InstrumentRepor
                 shadow += 1;
                 if matches!(
                     c.kind,
-                    CellKind::Mux { .. } | CellKind::Eq(..) | CellKind::Lt(..) | CellKind::Reg { .. }
+                    CellKind::Mux { .. }
+                        | CellKind::Eq(..)
+                        | CellKind::Lt(..)
+                        | CellKind::Reg { .. }
                 ) {
                     shadow += 1; // the S_diff comparator
                 }
@@ -155,7 +158,11 @@ fn flatten_memories(netlist: &Netlist) -> Netlist {
                 let (x, y) = (map[x], map[y]);
                 b.lt(x, y)
             }
-            CellKind::Mux { sel, then_v, else_v } => {
+            CellKind::Mux {
+                sel,
+                then_v,
+                else_v,
+            } => {
                 let (s, t, e) = (map[sel], map[then_v], map[else_v]);
                 b.mux(s, t, e)
             }
@@ -242,7 +249,11 @@ mod tests {
     fn diffift_keeps_memories_unflattened() {
         let n = mem_netlist(1024);
         let (out, report) = instrument(&n, IftMode::DiffIft);
-        assert_eq!(out.mem_count(), 1, "diffIFT supports non-flattened memories");
+        assert_eq!(
+            out.mem_count(),
+            1,
+            "diffIFT supports non-flattened memories"
+        );
         assert_eq!(out.cell_count(), n.cell_count());
         assert!(report.shadow_cells > 0);
     }
@@ -294,7 +305,11 @@ mod tests {
             sim.eval_comb();
         }
         assert_eq!(orig.output("rd").a, 99);
-        assert_eq!(inst.output("rd").a, 99, "flattened read must match array read");
+        assert_eq!(
+            inst.output("rd").a,
+            99,
+            "flattened read must match array read"
+        );
     }
 
     #[test]

@@ -37,10 +37,18 @@ pub enum CellKind {
     /// Unsigned less-than, 1-bit result (taint: comparison cell).
     Lt(SignalId, SignalId),
     /// Multiplexer `sel ? then_v : else_v` (taint: Policy 2 / Table 1).
-    Mux { sel: SignalId, then_v: SignalId, else_v: SignalId },
+    Mux {
+        sel: SignalId,
+        then_v: SignalId,
+        else_v: SignalId,
+    },
     /// A clocked register. `d`/`en` are connected after declaration;
     /// an unconnected register holds its initial value forever.
-    Reg { d: Option<SignalId>, en: Option<SignalId>, init: u64 },
+    Reg {
+        d: Option<SignalId>,
+        en: Option<SignalId>,
+        init: u64,
+    },
     /// Combinational memory read port.
     MemRead { mem: MemId, addr: SignalId },
 }
@@ -114,7 +122,10 @@ impl Netlist {
 
     /// Looks up an output signal by name.
     pub fn output(&self, name: &str) -> Option<SignalId> {
-        self.outputs.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
     }
 
     /// Validates SSA discipline: combinational cells may only reference
@@ -136,9 +147,11 @@ impl Netlist {
                 | CellKind::Sub(a, b)
                 | CellKind::Eq(a, b)
                 | CellKind::Lt(a, b) => ok(i, a) && ok(i, b),
-                CellKind::Mux { sel, then_v, else_v } => {
-                    ok(i, sel) && ok(i, then_v) && ok(i, else_v)
-                }
+                CellKind::Mux {
+                    sel,
+                    then_v,
+                    else_v,
+                } => ok(i, sel) && ok(i, then_v) && ok(i, else_v),
                 CellKind::MemRead { mem, addr } => mem.0 < self.mems.len() && ok(i, addr),
             };
             if !valid {
@@ -154,7 +167,11 @@ mod tests {
     use super::*;
 
     fn cell(kind: CellKind) -> Cell {
-        Cell { kind, name: None, module: "top" }
+        Cell {
+            kind,
+            name: None,
+            module: "top",
+        }
     }
 
     #[test]
@@ -162,7 +179,11 @@ mod tests {
         let n = Netlist {
             cells: vec![
                 cell(CellKind::Const(1)),
-                cell(CellKind::Reg { d: None, en: None, init: 0 }),
+                cell(CellKind::Reg {
+                    d: None,
+                    en: None,
+                    init: 0,
+                }),
                 cell(CellKind::And(0, 1)),
             ],
             mems: vec![MemDecl {
@@ -189,7 +210,11 @@ mod tests {
         let n = Netlist {
             cells: vec![
                 cell(CellKind::Not(1)),
-                cell(CellKind::Reg { d: Some(0), en: None, init: 0 }),
+                cell(CellKind::Reg {
+                    d: Some(0),
+                    en: None,
+                    init: 0,
+                }),
             ],
             mems: vec![],
             outputs: vec![],
@@ -212,7 +237,10 @@ mod tests {
         let n = Netlist {
             cells: vec![
                 cell(CellKind::Const(0)),
-                cell(CellKind::MemRead { mem: MemId(3), addr: 0 }),
+                cell(CellKind::MemRead {
+                    mem: MemId(3),
+                    addr: 0,
+                }),
             ],
             mems: vec![],
             outputs: vec![],

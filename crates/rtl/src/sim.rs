@@ -46,7 +46,14 @@ impl NetlistSim {
             })
             .max()
             .unwrap_or(0);
-        NetlistSim { netlist, policy: Policy::new(mode), values, mems, inputs: vec![TWord::lit(0); n_inputs], cycle: 0 }
+        NetlistSim {
+            netlist,
+            policy: Policy::new(mode),
+            values,
+            mems,
+            inputs: vec![TWord::lit(0); n_inputs],
+            cycle: 0,
+        }
     }
 
     /// The IFT mode in force.
@@ -118,9 +125,7 @@ impl NetlistSim {
         for i in 0..self.netlist.cells.len() {
             let out = match self.netlist.cells[i].kind {
                 CellKind::Const(v) => TWord::lit(v),
-                CellKind::Input(idx) => {
-                    self.inputs.get(idx).copied().unwrap_or(TWord::lit(0))
-                }
+                CellKind::Input(idx) => self.inputs.get(idx).copied().unwrap_or(TWord::lit(0)),
                 CellKind::And(a, b) => self.gate(self.values[a].and(self.values[b])),
                 CellKind::Or(a, b) => self.gate(self.values[a].or(self.values[b])),
                 CellKind::Xor(a, b) => self.gate(self.values[a].xor(self.values[b])),
@@ -129,13 +134,13 @@ impl NetlistSim {
                 CellKind::Sub(a, b) => self.gate(self.values[a].sub(self.values[b])),
                 CellKind::Eq(a, b) => p.eq(self.values[a], self.values[b]),
                 CellKind::Lt(a, b) => p.lt(self.values[a], self.values[b]),
-                CellKind::Mux { sel, then_v, else_v } => {
-                    p.mux(self.values[sel], self.values[then_v], self.values[else_v])
-                }
+                CellKind::Mux {
+                    sel,
+                    then_v,
+                    else_v,
+                } => p.mux(self.values[sel], self.values[then_v], self.values[else_v]),
                 CellKind::Reg { .. } => continue, // holds Q
-                CellKind::MemRead { mem, addr } => {
-                    self.mems[mem.0].read(p, self.values[addr])
-                }
+                CellKind::MemRead { mem, addr } => self.mems[mem.0].read(p, self.values[addr]),
             };
             self.values[i] = out;
         }

@@ -42,7 +42,10 @@ pub struct SpecDoctorOptions {
 
 impl Default for SpecDoctorOptions {
     fn default() -> Self {
-        SpecDoctorOptions { instrs_per_phase: 42, max_cycles: 20_000 }
+        SpecDoctorOptions {
+            instrs_per_phase: 42,
+            max_cycles: 20_000,
+        }
     }
 }
 
@@ -83,7 +86,11 @@ pub struct SpecDoctor {
 impl SpecDoctor {
     /// A new baseline fuzzer.
     pub fn new(cfg: CoreConfig, opts: SpecDoctorOptions, rng_seed: u64) -> Self {
-        SpecDoctor { cfg, opts, rng: StdRng::seed_from_u64(rng_seed) }
+        SpecDoctor {
+            cfg,
+            opts,
+            rng: StdRng::seed_from_u64(rng_seed),
+        }
     }
 
     /// Generates one linear test case: random training/trigger section,
@@ -104,7 +111,12 @@ impl SpecDoctor {
         }
         // Phase: secret-transmit — random instructions around a secret
         // access, hoping differences reach the microarchitecture.
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S0,
+            rs1: Reg::T0,
+            offset: 0,
+        });
         for _ in 0..self.opts.instrs_per_phase / 2 {
             let i = self.random_transmit_instr();
             b.push(i);
@@ -126,7 +138,7 @@ impl SpecDoctor {
         let rs1 = Reg::from_index(self.rng.gen_range(0..18));
         let rs2 = Reg::from_index(self.rng.gen_range(0..18));
         match self.rng.gen_range(0..10) {
-            0 | 1 | 2 => Instr::Op {
+            0..=2 => Instr::Op {
                 op: [AluOp::Add, AluOp::Xor, AluOp::Mul, AluOp::And][self.rng.gen_range(0..4)],
                 rd,
                 rs1,
@@ -155,7 +167,12 @@ impl SpecDoctor {
             },
             // Occasionally a load through a computed register: usually a
             // wild address -> access-fault windows.
-            _ => Instr::Load { op: LoadOp::Ld, rd, rs1, offset: 0 },
+            _ => Instr::Load {
+                op: LoadOp::Ld,
+                rd,
+                rs1,
+                offset: 0,
+            },
         }
     }
 
@@ -167,11 +184,31 @@ impl SpecDoctor {
         let rd = Reg::from_index(self.rng.gen_range(5..18));
         let rs1 = Reg::from_index(self.rng.gen_range(5..18));
         match self.rng.gen_range(0..12) {
-            0 => Instr::OpImm { op: AluOp::Sll, rd: Reg::S1, rs1: Reg::S0, imm: 6 },
-            1 => Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::S1 },
+            0 => Instr::OpImm {
+                op: AluOp::Sll,
+                rd: Reg::S1,
+                rs1: Reg::S0,
+                imm: 6,
+            },
+            1 => Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::T1,
+                rs1: Reg::T2,
+                rs2: Reg::S1,
+            },
             2 => Instr::ld(Reg::T3, Reg::T1, 0),
-            3 | 4 => Instr::Op { op: AluOp::Add, rd, rs1: Reg::S0, rs2: rs1 },
-            5 | 6 => Instr::Op { op: AluOp::Xor, rd, rs1, rs2: Reg::T2 },
+            3 | 4 => Instr::Op {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::S0,
+                rs2: rs1,
+            },
+            5 | 6 => Instr::Op {
+                op: AluOp::Xor,
+                rd,
+                rs1,
+                rs2: Reg::T2,
+            },
             7 => Instr::ld(Reg::T4, Reg::T2, 8 * self.rng.gen_range(0..32)),
             _ => Instr::addi(rd, rs1, self.rng.gen_range(-64..64)),
         }
@@ -258,6 +295,9 @@ mod tests {
             let it = sd.iteration(&mut cov);
             any_hash_diff |= it.hash_diff;
         }
-        assert!(any_hash_diff, "the transmit phase occasionally encodes the secret");
+        assert!(
+            any_hash_diff,
+            "the transmit phase occasionally encodes the secret"
+        );
     }
 }

@@ -122,7 +122,12 @@ impl SwapPacket {
     /// Creates a packet entering at the program's base address.
     pub fn new(name: impl Into<String>, kind: PacketKind, program: Program) -> Self {
         let entry = program.base;
-        SwapPacket { name: name.into(), kind, program, entry }
+        SwapPacket {
+            name: name.into(),
+            kind,
+            program,
+            entry,
+        }
     }
 
     /// Number of emitted instruction slots — the paper's Training Overhead
@@ -294,7 +299,10 @@ impl SwapMem {
     ///
     /// Panics if the schedule is empty.
     pub fn begin(&mut self) -> u64 {
-        assert!(!self.schedule.is_empty(), "cannot begin with an empty swap schedule");
+        assert!(
+            !self.schedule.is_empty(),
+            "cannot begin with an empty swap schedule"
+        );
         self.next_packet = 0;
         match self.swap_in_next() {
             TrapAction::NextPacket { entry, .. } => entry,
@@ -306,7 +314,8 @@ impl SwapMem {
     /// sequence-terminating trap reaches commit. Swaps in the next packet
     /// (or reports completion) and requests an icache flush.
     pub fn handle_trap(&mut self, cause: Exception) -> TrapAction {
-        self.swap_log.push(format!("trap {} -> swap", cause.mnemonic()));
+        self.swap_log
+            .push(format!("trap {} -> swap", cause.mnemonic()));
         self.swap_in_next()
     }
 
@@ -339,8 +348,12 @@ impl SwapMem {
             self.set_perms(self.layout.secret, end, Perms::NONE);
             self.swap_log.push("secret permissions revoked".into());
         }
-        self.swap_log.push(format!("swapped in packet {index} ({})", packet.name));
-        TrapAction::NextPacket { entry: packet.entry, index }
+        self.swap_log
+            .push(format!("swapped in packet {index} ({})", packet.name));
+        TrapAction::NextPacket {
+            entry: packet.entry,
+            index,
+        }
     }
 
     /// True once an icache flush has been requested and not yet consumed;
@@ -384,7 +397,7 @@ impl SwapMem {
     /// Faults are judged on plane `a` (committed paths never diverge
     /// between variants, so the planes agree on every architectural fault).
     pub fn load_t(&self, addr: TWord, size: u64) -> Result<TWord, Exception> {
-        if addr.a % size != 0 {
+        if !addr.a.is_multiple_of(size) {
             return Err(Exception::LoadMisaligned(addr.a));
         }
         if !self.in_range(addr.a, size) || !self.in_range(addr.b, size) {
@@ -407,8 +420,10 @@ impl SwapMem {
     }
 
     fn read_planes(&self, addr: TWord, size: u64) -> TWord {
-        let (oa, ob) =
-            ((addr.a - self.layout.base) as usize, (addr.b - self.layout.base) as usize);
+        let (oa, ob) = (
+            (addr.a - self.layout.base) as usize,
+            (addr.b - self.layout.base) as usize,
+        );
         let mut w = TWord::lit(0);
         for i in (0..size as usize).rev() {
             w.a = (w.a << 8) | self.bytes_a[oa + i] as u64;
@@ -427,7 +442,7 @@ impl SwapMem {
     /// The fault a load at `addr` would raise, without performing it
     /// (execute-stage fault detection in the microarchitectural model).
     pub fn load_fault(&self, addr: TWord, size: u64) -> Option<Exception> {
-        if addr.a % size != 0 {
+        if !addr.a.is_multiple_of(size) {
             return Some(Exception::LoadMisaligned(addr.a));
         }
         if !self.in_range(addr.a, size) || !self.in_range(addr.b, size) {
@@ -441,7 +456,7 @@ impl SwapMem {
 
     /// The fault a store at `addr` would raise, without performing it.
     pub fn store_fault(&self, addr: TWord, size: u64) -> Option<Exception> {
-        if addr.a % size != 0 {
+        if !addr.a.is_multiple_of(size) {
             return Some(Exception::StoreMisaligned(addr.a));
         }
         if !self.in_range(addr.a, size) || !self.in_range(addr.b, size) {
@@ -455,7 +470,7 @@ impl SwapMem {
 
     /// Two-plane store with taint write-through.
     pub fn store_t(&mut self, addr: TWord, size: u64, val: TWord) -> Result<(), Exception> {
-        if addr.a % size != 0 {
+        if !addr.a.is_multiple_of(size) {
             return Err(Exception::StoreMisaligned(addr.a));
         }
         if !self.in_range(addr.a, size) || !self.in_range(addr.b, size) {
@@ -464,8 +479,10 @@ impl SwapMem {
         if !self.perms_at(addr.a).write {
             return Err(Exception::StorePageFault(addr.a));
         }
-        let (oa, ob) =
-            ((addr.a - self.layout.base) as usize, (addr.b - self.layout.base) as usize);
+        let (oa, ob) = (
+            (addr.a - self.layout.base) as usize,
+            (addr.b - self.layout.base) as usize,
+        );
         let addr_ctrl = addr.is_tainted() && addr.diff();
         for i in 0..size as usize {
             self.bytes_a[oa + i] = (val.a >> (8 * i)) as u8;
@@ -482,7 +499,7 @@ impl SwapMem {
     /// Two-plane instruction fetch (plane addresses may diverge
     /// transiently).
     pub fn fetch_t(&self, addr: TWord) -> Result<TWord, Exception> {
-        if addr.a % 4 != 0 || !self.in_range(addr.a, 4) || !self.in_range(addr.b, 4) {
+        if !addr.a.is_multiple_of(4) || !self.in_range(addr.a, 4) || !self.in_range(addr.b, 4) {
             return Err(Exception::FetchAccessFault(addr.a));
         }
         if !self.perms_at(addr.a).exec {
@@ -494,7 +511,10 @@ impl SwapMem {
     /// Taint census over the whole memory: number of 8-byte words with any
     /// tainted byte (feeds the memory-side module census).
     pub fn tainted_words(&self) -> usize {
-        self.taint.chunks(8).filter(|c| c.iter().any(|&t| t != 0)).count()
+        self.taint
+            .chunks(8)
+            .filter(|c| c.iter().any(|&t| t != 0))
+            .count()
     }
 
     /// Clears all taints (between fuzzing iterations).
@@ -559,7 +579,10 @@ mod tests {
         m.plant_secret_identical(&[0xAB]);
         let w = m.load_t(TWord::lit(DEFAULT_LAYOUT.secret), 1).unwrap();
         assert_eq!(w.a, w.b);
-        assert!(w.is_tainted(), "still tainted — only the diff gates go quiet");
+        assert!(
+            w.is_tainted(),
+            "still tainted — only the diff gates go quiet"
+        );
     }
 
     #[test]
@@ -567,8 +590,18 @@ mod tests {
         let l = DEFAULT_LAYOUT;
         let mut m = SwapMem::new(l);
         m.set_schedule(vec![
-            packet("train0", PacketKind::TriggerTraining, l.swappable, &[Instr::NOP]),
-            packet("transient", PacketKind::Transient, l.swappable, &[Instr::NOP, Instr::NOP]),
+            packet(
+                "train0",
+                PacketKind::TriggerTraining,
+                l.swappable,
+                &[Instr::NOP],
+            ),
+            packet(
+                "transient",
+                PacketKind::Transient,
+                l.swappable,
+                &[Instr::NOP, Instr::NOP],
+            ),
         ]);
         let entry = m.begin();
         assert_eq!(entry, l.swappable);
@@ -595,7 +628,12 @@ mod tests {
         let l = DEFAULT_LAYOUT;
         let mut m = SwapMem::new(l);
         m.set_schedule(vec![
-            packet("long", PacketKind::TriggerTraining, l.swappable, &[Instr::NOP; 8]),
+            packet(
+                "long",
+                PacketKind::TriggerTraining,
+                l.swappable,
+                &[Instr::NOP; 8],
+            ),
             packet("short", PacketKind::Transient, l.swappable, &[Instr::NOP]),
         ]);
         m.begin();
@@ -612,15 +650,28 @@ mod tests {
         let mut m = SwapMem::new(l);
         m.plant_secret(&[0x42; 8]);
         m.set_schedule(vec![
-            packet("train", PacketKind::TriggerTraining, l.swappable, &[Instr::NOP]),
-            packet("transient", PacketKind::Transient, l.swappable, &[Instr::NOP]),
+            packet(
+                "train",
+                PacketKind::TriggerTraining,
+                l.swappable,
+                &[Instr::NOP],
+            ),
+            packet(
+                "transient",
+                PacketKind::Transient,
+                l.swappable,
+                &[Instr::NOP],
+            ),
         ]);
         m.begin();
         // During training the secret is readable (warm-up loads).
         assert!(m.load_t(TWord::lit(l.secret), 8).is_ok());
         m.handle_trap(Exception::Ecall);
         // After the transient swap it faults.
-        assert_eq!(m.load_t(TWord::lit(l.secret), 8), Err(Exception::LoadPageFault(l.secret)));
+        assert_eq!(
+            m.load_t(TWord::lit(l.secret), 8),
+            Err(Exception::LoadPageFault(l.secret))
+        );
         // But the forwarding path still sees the bytes (Meltdown).
         let fwd = m.load_t_nocheck(TWord::lit(l.secret), 8).unwrap();
         assert_eq!(fwd.a, 0x4242_4242_4242_4242);
@@ -633,7 +684,12 @@ mod tests {
         let mut m = SwapMem::new(l);
         m.plant_secret(&[1]);
         m.set_secret_policy(SecretPolicy::AlwaysReadable);
-        m.set_schedule(vec![packet("transient", PacketKind::Transient, l.swappable, &[])]);
+        m.set_schedule(vec![packet(
+            "transient",
+            PacketKind::Transient,
+            l.swappable,
+            &[],
+        )]);
         m.begin();
         assert!(m.load_t(TWord::lit(l.secret), 1).is_ok());
     }
@@ -643,8 +699,18 @@ mod tests {
         let l = DEFAULT_LAYOUT;
         let mut m = SwapMem::new(l);
         m.set_schedule(vec![
-            packet("t0", PacketKind::TriggerTraining, l.swappable, &[Instr::NOP]),
-            packet("t1", PacketKind::TriggerTraining, l.swappable, &[Instr::NOP]),
+            packet(
+                "t0",
+                PacketKind::TriggerTraining,
+                l.swappable,
+                &[Instr::NOP],
+            ),
+            packet(
+                "t1",
+                PacketKind::TriggerTraining,
+                l.swappable,
+                &[Instr::NOP],
+            ),
             packet("tr", PacketKind::Transient, l.swappable, &[Instr::NOP]),
         ]);
         let removed = m.remove_packet(1);
@@ -667,7 +733,8 @@ mod tests {
     #[test]
     fn store_t_taints_both_candidate_slots() {
         let mut m = SwapMem::new(DEFAULT_LAYOUT);
-        m.store_t(TWord::secret(0x8000, 0x8100), 8, TWord::lit(1)).unwrap();
+        m.store_t(TWord::secret(0x8000, 0x8100), 8, TWord::lit(1))
+            .unwrap();
         assert!(m.load_t(TWord::lit(0x8000), 8).unwrap().is_tainted());
         assert!(m.load_t(TWord::lit(0x8100), 8).unwrap().is_tainted());
         assert!(m.tainted_words() >= 2);
@@ -686,8 +753,14 @@ mod tests {
     fn misaligned_and_out_of_range_faults() {
         let mut m = SwapMem::new(DEFAULT_LAYOUT);
         assert_eq!(m.load(0x8001, 8), Err(Exception::LoadMisaligned(0x8001)));
-        assert_eq!(m.load(0x9000_0000, 8), Err(Exception::LoadAccessFault(0x9000_0000)));
-        assert_eq!(m.store(0x9000_0000, 8, 0), Err(Exception::StoreAccessFault(0x9000_0000)));
+        assert_eq!(
+            m.load(0x9000_0000, 8),
+            Err(Exception::LoadAccessFault(0x9000_0000))
+        );
+        assert_eq!(
+            m.store(0x9000_0000, 8, 0),
+            Err(Exception::StoreAccessFault(0x9000_0000))
+        );
         assert!(m.fetch(0x9000_0000).is_err());
     }
 
@@ -699,7 +772,11 @@ mod tests {
         let mut b = ProgramBuilder::new(l.swappable);
         b.push(Instr::addi(Reg::A0, Reg::ZERO, 7));
         b.push(Instr::Ecall);
-        m.set_schedule(vec![SwapPacket::new("p", PacketKind::Transient, b.assemble())]);
+        m.set_schedule(vec![SwapPacket::new(
+            "p",
+            PacketKind::Transient,
+            b.assemble(),
+        )]);
         m.set_secret_policy(SecretPolicy::AlwaysReadable);
         let entry = m.begin();
         let mut sim = IsaSim::new(entry);

@@ -62,9 +62,24 @@ impl AttackCase {
 /// allocation): loads one secret byte and touches a secret-indexed cache
 /// line of the leak array.
 fn emit_window_body(b: &mut ProgramBuilder) {
-    b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
-    b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S0, rs1: Reg::S0, imm: 6 });
-    b.push(Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::S0 });
+    b.push(Instr::Load {
+        op: LoadOp::Lb,
+        rd: Reg::S0,
+        rs1: Reg::T0,
+        offset: 0,
+    });
+    b.push(Instr::OpImm {
+        op: AluOp::Sll,
+        rd: Reg::S0,
+        rs1: Reg::S0,
+        imm: 6,
+    });
+    b.push(Instr::Op {
+        op: AluOp::Add,
+        rd: Reg::T1,
+        rs1: Reg::T2,
+        rs2: Reg::S0,
+    });
     b.push(Instr::ld(Reg::T3, Reg::T1, 0));
     b.push(Instr::Ecall);
 }
@@ -87,10 +102,19 @@ pub fn spectre_v1() -> AttackCase {
     let train = {
         let mut b = ProgramBuilder::new(l.swappable);
         b.pad_to(branch_addr);
-        b.push(Instr::Branch { op: BranchOp::Beq, rs1: Reg::A0, rs2: Reg::A0, offset: 8 });
+        b.push(Instr::Branch {
+            op: BranchOp::Beq,
+            rs1: Reg::A0,
+            rs2: Reg::A0,
+            offset: 8,
+        });
         b.push(Instr::NOP);
         b.push(Instr::Ecall); // branch target
-        SwapPacket::new("trigger_train_taken", PacketKind::TriggerTraining, b.assemble())
+        SwapPacket::new(
+            "trigger_train_taken",
+            PacketKind::TriggerTraining,
+            b.assemble(),
+        )
     };
     // Transient packet: `bne a0, a0, win` at the same address — never
     // taken, predicted taken.
@@ -99,7 +123,12 @@ pub fn spectre_v1() -> AttackCase {
         emit_setup(&mut b, l);
         b.pad_to(branch_addr);
         b.branch_to(
-            Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A0, offset: 0 },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                offset: 0,
+            },
             "win",
         );
         b.push(Instr::Ecall); // architectural exit
@@ -128,10 +157,18 @@ pub fn spectre_v2() -> AttackCase {
         b.label_at("window", window_addr);
         b.la(Reg::A0, "window");
         b.pad_to(jump_addr);
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, offset: 0 });
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::A0,
+            offset: 0,
+        });
         b.pad_to(window_addr);
         b.push(Instr::Ecall);
-        SwapPacket::new("trigger_train_btb", PacketKind::TriggerTraining, b.assemble())
+        SwapPacket::new(
+            "trigger_train_btb",
+            PacketKind::TriggerTraining,
+            b.assemble(),
+        )
     };
     let transient = {
         let mut b = ProgramBuilder::new(l.swappable);
@@ -139,7 +176,11 @@ pub fn spectre_v2() -> AttackCase {
         emit_setup(&mut b, l);
         b.la(Reg::A0, "exit");
         b.pad_to(jump_addr);
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, offset: 0 });
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::A0,
+            offset: 0,
+        });
         b.pad_to(window_addr);
         emit_window_body(&mut b);
         b.pad_to(exit_addr);
@@ -171,7 +212,11 @@ pub fn spectre_rsb() -> AttackCase {
         b.push(Instr::call(8)); // jal ra, +8 -> pushes window_addr
         b.pad_to(window_addr + 4);
         b.push(Instr::Ecall); // exit without ret: the RAS entry stays
-        SwapPacket::new("trigger_train_ras", PacketKind::TriggerTraining, b.assemble())
+        SwapPacket::new(
+            "trigger_train_ras",
+            PacketKind::TriggerTraining,
+            b.assemble(),
+        )
     };
     let transient = {
         let mut b = ProgramBuilder::new(l.swappable);
@@ -210,13 +255,38 @@ pub fn spectre_v4() -> AttackCase {
         // Long-latency address computation delays the store's resolution.
         b.push(Instr::addi(Reg::T5, Reg::ZERO, 0));
         b.push(Instr::addi(Reg::T6, Reg::ZERO, 1));
-        b.push(Instr::Op { op: AluOp::Div, rd: Reg::T4, rs1: Reg::T5, rs2: Reg::T6 }); // = 0
-        b.push(Instr::Op { op: AluOp::Add, rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T4 });
+        b.push(Instr::Op {
+            op: AluOp::Div,
+            rd: Reg::T4,
+            rs1: Reg::T5,
+            rs2: Reg::T6,
+        }); // = 0
+        b.push(Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::A1,
+            rs1: Reg::T0,
+            rs2: Reg::T4,
+        });
         b.push(Instr::sd(Reg::A2, Reg::A1, 0)); // resolves late
         b.push(Instr::ld(Reg::A3, Reg::T0, 0)); // bypasses: stale &secret
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::A3, offset: 0 });
-        b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S0, rs1: Reg::S0, imm: 6 });
-        b.push(Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::S0 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S0,
+            rs1: Reg::A3,
+            offset: 0,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 6,
+        });
+        b.push(Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::T1,
+            rs1: Reg::T2,
+            rs2: Reg::S0,
+        });
         b.push(Instr::ld(Reg::T3, Reg::T1, 0));
         b.push(Instr::Ecall);
         SwapPacket::new("transient", PacketKind::Transient, b.assemble())
@@ -244,7 +314,11 @@ pub fn meltdown() -> AttackCase {
         b.la(Reg::T0, "secret");
         b.push(Instr::ld(Reg::S1, Reg::T0, 0));
         b.push(Instr::Ecall);
-        SwapPacket::new("window_train_warm", PacketKind::WindowTraining, b.assemble())
+        SwapPacket::new(
+            "window_train_warm",
+            PacketKind::WindowTraining,
+            b.assemble(),
+        )
     };
     let transient = {
         let mut b = ProgramBuilder::new(l.swappable);
@@ -262,7 +336,13 @@ pub fn meltdown() -> AttackCase {
 
 /// The five benchmark scenarios in Table 4's row order.
 pub fn all() -> Vec<AttackCase> {
-    vec![spectre_v1(), spectre_v2(), meltdown(), spectre_v4(), spectre_rsb()]
+    vec![
+        spectre_v1(),
+        spectre_v2(),
+        meltdown(),
+        spectre_v4(),
+        spectre_rsb(),
+    ]
 }
 
 /// Address of the condition slot loaded (slowly) by the B2 trigger branch.
@@ -282,8 +362,18 @@ pub fn meltdown_sampling() -> AttackCase {
         emit_setup(&mut b, l);
         // t0 |= 1 << 63: an illegal masked address aliasing the secret.
         b.push(Instr::addi(Reg::T4, Reg::ZERO, 1));
-        b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::T4, rs1: Reg::T4, imm: 63 });
-        b.push(Instr::Op { op: AluOp::Or, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T4 });
+        b.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::T4,
+            rs1: Reg::T4,
+            imm: 63,
+        });
+        b.push(Instr::Op {
+            op: AluOp::Or,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: Reg::T4,
+        });
         emit_window_body(&mut b); // lb faults (access fault), samples anyway
         SwapPacket::new("transient", PacketKind::Transient, b.assemble())
     };
@@ -315,7 +405,11 @@ pub fn phantom_rsb() -> AttackCase {
         b.label("start");
         b.jal_to(Reg::RA, "back"); // pushes c1_ret (slot below top)
         b.label_at("back", c2_site);
-        SwapPacket::new("trigger_train_ras", PacketKind::TriggerTraining, b.assemble())
+        SwapPacket::new(
+            "trigger_train_ras",
+            PacketKind::TriggerTraining,
+            b.assemble(),
+        )
     };
     // Window training: warm the secret line so the window body runs far
     // ahead of the (deliberately cold) trigger condition.
@@ -323,9 +417,18 @@ pub fn phantom_rsb() -> AttackCase {
         let mut b = ProgramBuilder::new(s);
         b.label_at("secret", l.secret);
         b.la(Reg::T0, "secret");
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S1, rs1: Reg::T0, offset: 0 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S1,
+            rs1: Reg::T0,
+            offset: 0,
+        });
         b.push(Instr::Ecall);
-        SwapPacket::new("window_train_warm", PacketKind::WindowTraining, b.assemble())
+        SwapPacket::new(
+            "window_train_warm",
+            PacketKind::WindowTraining,
+            b.assemble(),
+        )
     };
     let transient = {
         let mut b = ProgramBuilder::new(s);
@@ -338,25 +441,67 @@ pub fn phantom_rsb() -> AttackCase {
         // branch unresolved while the return chain plays out.
         b.la(Reg::A5, "cond_ptr");
         b.push(Instr::ld(Reg::A5, Reg::A5, 0)); // cold hop 1 -> &cond
-        b.push(Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A5, offset: 0 }); // cold hop 2
-        // Secret-dependent gadget pointer: gadgets + (secret & 1) * 64.
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
-        b.push(Instr::OpImm { op: AluOp::And, rd: Reg::S0, rs1: Reg::S0, imm: 1 });
-        b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S0, rs1: Reg::S0, imm: 6 });
+        b.push(Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::A5,
+            offset: 0,
+        }); // cold hop 2
+            // Secret-dependent gadget pointer: gadgets + (secret & 1) * 64.
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S0,
+            rs1: Reg::T0,
+            offset: 0,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::And,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 1,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 6,
+        });
         b.la(Reg::T5, "gadgets");
-        b.push(Instr::Op { op: AluOp::Add, rd: Reg::T5, rs1: Reg::T5, rs2: Reg::S0 });
+        b.push(Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::T5,
+            rs1: Reg::T5,
+            rs2: Reg::S0,
+        });
         b.la(Reg::RA, "c2ret"); // makes the transient rets "return to next"
-        // The trigger: actually taken (a0 == 0), predicted not-taken.
+                                // The trigger: actually taken (a0 == 0), predicted not-taken.
         b.branch_to(
-            Instr::Branch { op: BranchOp::Beq, rs1: Reg::A0, rs2: Reg::ZERO, offset: 0 },
+            Instr::Branch {
+                op: BranchOp::Beq,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: 0,
+            },
             "exit",
         );
         // ---- transient window (fall-through) ----
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }); // ret #1: pop -> c2ret
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        }); // ret #1: pop -> c2ret
         b.pad_to(c2_site + 4);
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 16 }); // ret #2: pop -> c1_ret
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 16,
+        }); // ret #2: pop -> c1_ret
         b.pad_to(c1_ret);
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::T5, offset: 0 }); // secret-dep jump
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::T5,
+            offset: 0,
+        }); // secret-dep jump
         b.pad_to(exit);
         b.push(Instr::Ecall);
         b.pad_to(gadgets);
@@ -397,18 +542,35 @@ pub fn phantom_btb(nops: usize) -> AttackCase {
         b.label_at("jta", jtarget_a);
         b.la(Reg::T5, "jta");
         b.pad_to(jump_site);
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::T5, offset: 0 });
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::T5,
+            offset: 0,
+        });
         b.pad_to(jtarget_a);
         b.push(Instr::Ecall);
-        SwapPacket::new("trigger_train_btb", PacketKind::TriggerTraining, b.assemble())
+        SwapPacket::new(
+            "trigger_train_btb",
+            PacketKind::TriggerTraining,
+            b.assemble(),
+        )
     };
     let warm = {
         let mut b = ProgramBuilder::new(s);
         b.label_at("secret", l.secret);
         b.la(Reg::T0, "secret");
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S1, rs1: Reg::T0, offset: 0 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S1,
+            rs1: Reg::T0,
+            offset: 0,
+        });
         b.push(Instr::Ecall);
-        SwapPacket::new("window_train_warm", PacketKind::WindowTraining, b.assemble())
+        SwapPacket::new(
+            "window_train_warm",
+            PacketKind::WindowTraining,
+            b.assemble(),
+        )
     };
     let transient = {
         let mut b = ProgramBuilder::new(s);
@@ -417,18 +579,47 @@ pub fn phantom_btb(nops: usize) -> AttackCase {
         emit_setup(&mut b, l);
         // t5 = secret-dependent jump target (jta or jtb); bit 1 of the
         // secret selects, scaled by 32 so the offset lands on jtb.
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
-        b.push(Instr::OpImm { op: AluOp::And, rd: Reg::S0, rs1: Reg::S0, imm: 2 });
-        b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S0, rs1: Reg::S0, imm: 5 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S0,
+            rs1: Reg::T0,
+            offset: 0,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::And,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 2,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 5,
+        });
         b.la(Reg::T5, "jta");
-        b.push(Instr::Op { op: AluOp::Add, rd: Reg::T5, rs1: Reg::T5, rs2: Reg::S0 });
+        b.push(Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::T5,
+            rs1: Reg::T5,
+            rs2: Reg::S0,
+        });
         // The excepting instruction: lw t4, 1(x0) — misaligned.
-        b.push(Instr::Load { op: LoadOp::Lw, rd: Reg::T4, rs1: Reg::ZERO, offset: 1 });
+        b.push(Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::T4,
+            rs1: Reg::ZERO,
+            offset: 1,
+        });
         b.nops(nops);
         b.pad_to(jump_site);
         // Mispredicted (BTB says jta, actual is secret-dependent): the
         // correction races the exception commit.
-        b.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::T5, offset: 0 });
+        b.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::T5,
+            offset: 0,
+        });
         b.pad_to(jtarget_a);
         b.push(Instr::Ecall);
         b.pad_to(jtarget_b);
@@ -458,17 +649,37 @@ pub fn spectre_refetch() -> AttackCase {
         emit_setup(&mut b, l);
         b.pad_to(branch_addr);
         b.branch_to(
-            Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A0, offset: 0 },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                offset: 0,
+            },
             "win",
         );
         b.push(Instr::Ecall);
         b.label("win");
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
-        b.push(Instr::OpImm { op: AluOp::And, rd: Reg::S0, rs1: Reg::S0, imm: 1 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S0,
+            rs1: Reg::T0,
+            offset: 0,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::And,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 1,
+        });
         // Secret-dependent branch: plane divergence lands one variant on a
         // far (cold) icache line.
         b.branch_to(
-            Instr::Branch { op: BranchOp::Bne, rs1: Reg::S0, rs2: Reg::ZERO, offset: 0 },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::S0,
+                rs2: Reg::ZERO,
+                offset: 0,
+            },
             "far",
         );
         b.push(Instr::NOP);
@@ -503,7 +714,12 @@ pub fn spectre_reload() -> AttackCase {
         b.la(Reg::A5, "cold");
         b.pad_to(branch_addr);
         b.branch_to(
-            Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A0, offset: 0 },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                offset: 0,
+            },
             "win",
         );
         b.push(Instr::Ecall);
@@ -512,10 +728,30 @@ pub fn spectre_reload() -> AttackCase {
         b.push(Instr::ld(Reg::A7, Reg::A5, 0));
         // …and a secret-dependent load that hits in one variant only
         // (leak[0] warm, leak[64] cold).
-        b.push(Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 });
-        b.push(Instr::OpImm { op: AluOp::And, rd: Reg::S0, rs1: Reg::S0, imm: 1 });
-        b.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::S0, rs1: Reg::S0, imm: 6 });
-        b.push(Instr::Op { op: AluOp::Add, rd: Reg::T1, rs1: Reg::A4, rs2: Reg::S0 });
+        b.push(Instr::Load {
+            op: LoadOp::Lb,
+            rd: Reg::S0,
+            rs1: Reg::T0,
+            offset: 0,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::And,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 1,
+        });
+        b.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::S0,
+            rs1: Reg::S0,
+            imm: 6,
+        });
+        b.push(Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::T1,
+            rs1: Reg::A4,
+            rs2: Reg::S0,
+        });
         b.push(Instr::ld(Reg::T3, Reg::T1, 0));
         b.push(Instr::Ecall);
         SwapPacket::new("transient", PacketKind::Transient, b.assemble())
@@ -546,7 +782,10 @@ pub fn find_phantom_btb(
         let case = phantom_btb(nops);
         let mut mem = case.build_mem(&[0x2A]);
         let r = Core::new(*cfg, dejavuzz_ift::IftMode::DiffIft).run(&mut mem, 10_000);
-        if r.sinks.iter().any(|s| s.module == "btb" && s.index == index && s.exploitable()) {
+        if r.sinks
+            .iter()
+            .any(|s| s.module == "btb" && s.index == index && s.exploitable())
+        {
             return Some((nops, r));
         }
     }
@@ -574,7 +813,9 @@ mod tests {
         assert!(w.squashed >= 2, "window body executed transiently: {w:?}");
         // Secret-indexed leak-array line: dcache divergence + taint.
         assert!(
-            r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()),
+            r.sinks
+                .iter()
+                .any(|s| s.module == "dcache" && s.exploitable()),
             "dcache must hold a live tainted line: {:?}",
             r.sinks
         );
@@ -586,7 +827,10 @@ mod tests {
         assert_eq!(r.end, crate::core::EndReason::Done);
         let w = r.window().expect("indirect-jump window");
         assert!(w.triggered());
-        assert!(r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()));
+        assert!(r
+            .sinks
+            .iter()
+            .any(|s| s.module == "dcache" && s.exploitable()));
     }
 
     #[test]
@@ -595,7 +839,10 @@ mod tests {
         assert_eq!(r.end, crate::core::EndReason::Done);
         let w = r.window().expect("return-mispredict window");
         assert!(w.triggered());
-        assert!(r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()));
+        assert!(r
+            .sinks
+            .iter()
+            .any(|s| s.module == "dcache" && s.exploitable()));
     }
 
     #[test]
@@ -604,7 +851,10 @@ mod tests {
         assert_eq!(r.end, crate::core::EndReason::Done);
         let w = r.window().expect("disambiguation window");
         assert!(w.triggered());
-        assert!(r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()));
+        assert!(r
+            .sinks
+            .iter()
+            .any(|s| s.module == "dcache" && s.exploitable()));
     }
 
     #[test]
@@ -613,7 +863,10 @@ mod tests {
         assert_eq!(r.end, crate::core::EndReason::Done);
         let w = r.window().expect("exception window");
         assert!(w.triggered());
-        assert!(r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()));
+        assert!(r
+            .sinks
+            .iter()
+            .any(|s| s.module == "dcache" && s.exploitable()));
     }
 
     #[test]
@@ -629,7 +882,10 @@ mod tests {
         // it); what the fixed design must NOT have is the *additional*
         // secret-indexed leak-array lines the forwarded data touches.
         let count = |r: &crate::core::RunResult| {
-            r.sinks.iter().filter(|s| s.module == "dcache" && s.exploitable()).count()
+            r.sinks
+                .iter()
+                .filter(|s| s.module == "dcache" && s.exploitable())
+                .count()
         };
         assert!(
             count(&vulnerable) > count(&fixed),
@@ -637,7 +893,11 @@ mod tests {
             count(&vulnerable),
             count(&fixed)
         );
-        assert_eq!(count(&fixed), 1, "fixed design: only the warmed secret line is tainted");
+        assert_eq!(
+            count(&fixed),
+            1,
+            "fixed design: only the warmed secret line is tainted"
+        );
     }
 
     #[test]
@@ -663,12 +923,17 @@ mod tests {
         let case = meltdown_sampling();
         let xs = run_on(&case, xiangshan_minimal());
         assert!(
-            xs.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()),
+            xs.sinks
+                .iter()
+                .any(|s| s.module == "dcache" && s.exploitable()),
             "B1: truncated illegal address samples the secret on XiangShan"
         );
         let boom = run_on(&case, boom_small());
         assert!(
-            !boom.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()),
+            !boom
+                .sinks
+                .iter()
+                .any(|s| s.module == "dcache" && s.exploitable()),
             "BOOM's full-width wire blocks the illegal address outright"
         );
     }
@@ -677,8 +942,10 @@ mod tests {
     fn b2_phantom_rsb_corrupts_entry_below_tos() {
         let case = phantom_rsb();
         let boom = run_on(&case, boom_small());
-        let ras_leak =
-            boom.sinks.iter().any(|s| s.module == "ras" && s.exploitable());
+        let ras_leak = boom
+            .sinks
+            .iter()
+            .any(|s| s.module == "ras" && s.exploitable());
         assert!(
             ras_leak,
             "B2: BOOM leaves a secret-dependent RAS entry below TOS: {:?}",
@@ -687,7 +954,9 @@ mod tests {
         // XiangShan (full RAS checkpointing) does not exhibit B2.
         let xs = run_on(&case, crate::config::xiangshan_minimal());
         assert!(
-            !xs.sinks.iter().any(|s| s.module == "ras" && s.exploitable()),
+            !xs.sinks
+                .iter()
+                .any(|s| s.module == "ras" && s.exploitable()),
             "full restore must fix B2: {:?}",
             xs.sinks
         );
@@ -697,7 +966,10 @@ mod tests {
     fn b3_phantom_btb_race_found_by_scanning() {
         let cfg = boom_small();
         let found = find_phantom_btb(&cfg, 48);
-        assert!(found.is_some(), "B3: some padding must hit the race on BOOM");
+        assert!(
+            found.is_some(),
+            "B3: some padding must hit the race on BOOM"
+        );
         // The fixed design never exhibits it, at any padding.
         let mut fixed = cfg;
         fixed.bugs.phantom_btb = false;

@@ -86,14 +86,27 @@ impl Cache {
         let hit_b = self.tags_b[ib] == Some(tag_b);
         self.tags_a[ia] = Some(tag_a);
         self.tags_b[ib] = Some(tag_b);
-        let line_taint = data_taint | if addr.is_tainted() && addr.diff() { u64::MAX } else { 0 };
+        let line_taint = data_taint
+            | if addr.is_tainted() && addr.diff() {
+                u64::MAX
+            } else {
+                0
+            };
         self.line_taint[ia] |= line_taint;
         if ib != ia {
             self.line_taint[ib] |= line_taint;
         }
         Probe {
-            lat_a: if hit_a { self.hit_latency } else { self.miss_latency },
-            lat_b: if hit_b { self.hit_latency } else { self.miss_latency },
+            lat_a: if hit_a {
+                self.hit_latency
+            } else {
+                self.miss_latency
+            },
+            lat_b: if hit_b {
+                self.hit_latency
+            } else {
+                self.miss_latency
+            },
             hit_a,
             hit_b,
         }
@@ -106,8 +119,16 @@ impl Cache {
         let hit_a = self.tags_a[ia] == Some(tag_a);
         let hit_b = self.tags_b[ib] == Some(tag_b);
         Probe {
-            lat_a: if hit_a { self.hit_latency } else { self.miss_latency },
-            lat_b: if hit_b { self.hit_latency } else { self.miss_latency },
+            lat_a: if hit_a {
+                self.hit_latency
+            } else {
+                self.miss_latency
+            },
+            lat_b: if hit_b {
+                self.hit_latency
+            } else {
+                self.miss_latency
+            },
             hit_a,
             hit_b,
         }
@@ -145,7 +166,11 @@ impl Cache {
     /// a quick footprint-divergence metric (SpecDoctor's hash differences
     /// boil down to this).
     pub fn divergent_lines(&self) -> usize {
-        self.tags_a.iter().zip(&self.tags_b).filter(|(a, b)| a != b).count()
+        self.tags_a
+            .iter()
+            .zip(&self.tags_b)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Reports into a census sweep.
@@ -156,7 +181,11 @@ impl Cache {
     /// FNV-style hash of one plane's residency state (SpecDoctor's
     /// final-state hashing oracle operates on such per-variant snapshots).
     pub fn hash_plane(&self, plane: usize) -> u64 {
-        let tags = if plane == 0 { &self.tags_a } else { &self.tags_b };
+        let tags = if plane == 0 {
+            &self.tags_a
+        } else {
+            &self.tags_b
+        };
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for t in tags {
             h ^= t.map_or(u64::MAX, |v| v);
@@ -193,7 +222,10 @@ pub struct LineFillBuffer {
 impl LineFillBuffer {
     /// An LFB with `entries` MSHRs.
     pub fn new(entries: usize) -> Self {
-        LineFillBuffer { entries: vec![Mshr::default(); entries], next: 0 }
+        LineFillBuffer {
+            entries: vec![Mshr::default(); entries],
+            next: 0,
+        }
     }
 
     /// Allocates an MSHR for a miss at `addr` filling `data`, completing at
@@ -201,7 +233,12 @@ impl LineFillBuffer {
     pub fn allocate(&mut self, addr: u64, data: TWord, done_at: u64) {
         let slot = self.next;
         self.next = (self.next + 1) % self.entries.len();
-        self.entries[slot] = Mshr { valid: true, addr, data, done_at };
+        self.entries[slot] = Mshr {
+            valid: true,
+            addr,
+            data,
+            done_at,
+        };
     }
 
     /// Retires MSHRs whose refills completed by `cycle`: the state register
@@ -272,12 +309,7 @@ pub struct Tlb {
 
 impl Tlb {
     /// A TLB with `l1_entries`/`l2_entries` page entries.
-    pub fn new(
-        l1_entries: usize,
-        l2_entries: usize,
-        page_bytes: u64,
-        walk_latency: u64,
-    ) -> Self {
+    pub fn new(l1_entries: usize, l2_entries: usize, page_bytes: u64, walk_latency: u64) -> Self {
         Tlb {
             l1: Cache::new("tlb", l1_entries, page_bytes, 0, 1),
             l2: Cache::new("l2tlb", l2_entries, page_bytes, 1, 4),
@@ -384,7 +416,11 @@ mod tests {
         c.access(TWord::lit(0x8000), 0xFF);
         c.flush();
         assert!(c.valid_vec().iter().all(|&v| !v));
-        assert_eq!(c.taints().filter(|&t| t != 0).count(), 1, "residue survives the flush");
+        assert_eq!(
+            c.taints().filter(|&t| t != 0).count(),
+            1,
+            "residue survives the flush"
+        );
         c.reset();
         assert_eq!(c.taints().filter(|&t| t != 0).count(), 0);
     }
@@ -403,10 +439,19 @@ mod tests {
         let mut lfb = LineFillBuffer::new(4);
         lfb.allocate(0x8000, TWord::secret(0xAA, 0x55), 10);
         assert!(lfb.mshr_valid_vec()[0]);
-        assert!(lfb.forward(0x8010, 64).is_some(), "in-flight data forwards within the line");
+        assert!(
+            lfb.forward(0x8010, 64).is_some(),
+            "in-flight data forwards within the line"
+        );
         lfb.tick(10);
-        assert!(!lfb.mshr_valid_vec()[0], "MSHR state register flips to invalid");
-        assert!(lfb.forward(0x8010, 64).is_none(), "retired MSHR no longer forwards");
+        assert!(
+            !lfb.mshr_valid_vec()[0],
+            "MSHR state register flips to invalid"
+        );
+        assert!(
+            lfb.forward(0x8010, 64).is_none(),
+            "retired MSHR no longer forwards"
+        );
         assert_eq!(
             lfb.taints().filter(|&t| t != 0).count(),
             1,
@@ -438,7 +483,11 @@ mod tests {
             tlb.translate(TWord::lit(0x8000 + i * 4096), 0);
         }
         let p3 = tlb.translate(TWord::lit(0x8000), 0);
-        assert!(p3.lat_a > 0 && p3.lat_a < 12, "L2 hit is cheaper than a walk: {}", p3.lat_a);
+        assert!(
+            p3.lat_a > 0 && p3.lat_a < 12,
+            "L2 hit is cheaper than a walk: {}",
+            p3.lat_a
+        );
     }
 
     #[test]

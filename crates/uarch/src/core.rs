@@ -19,7 +19,7 @@
 //! skew traces back to secret-dependent microarchitectural divergence —
 //! which is precisely what Phase 3's constant-time analysis looks for.
 
-use dejavuzz_ift::{Census, IftMode, Policy, SinkReport, TaintLog, TWord};
+use dejavuzz_ift::{Census, IftMode, Policy, SinkReport, TWord, TaintLog};
 use dejavuzz_isa::instr::{AluOp, Instr, Reg};
 use dejavuzz_isa::{decode, Exception};
 use dejavuzz_swapmem::{SwapMem, TrapAction};
@@ -274,7 +274,12 @@ impl Core {
                 cfg.cache_miss_latency,
             ),
             lfb: LineFillBuffer::new(cfg.mshr_entries),
-            tlb: Tlb::new(cfg.tlb_entries, cfg.l2tlb_entries, cfg.page_bytes, cfg.tlb_miss_latency),
+            tlb: Tlb::new(
+                cfg.tlb_entries,
+                cfg.l2tlb_entries,
+                cfg.page_bytes,
+                cfg.tlb_miss_latency,
+            ),
             regs: [TWord::lit(0); 32],
             fregs: [TWord::lit(0); 32],
             reg_ready: [0; 32],
@@ -321,13 +326,20 @@ impl Core {
         while !self.done && self.cycle < max_cycles {
             self.step(mem);
         }
-        let end = if self.done { EndReason::Done } else { EndReason::CycleLimit };
+        let end = if self.done {
+            EndReason::Done
+        } else {
+            EndReason::CycleLimit
+        };
         self.finish(end)
     }
 
     fn finish(self, end: EndReason) -> RunResult {
         let sinks = self.sink_reports();
-        let uarch_hash = (self.hash_timing_components(0), self.hash_timing_components(1));
+        let uarch_hash = (
+            self.hash_timing_components(0),
+            self.hash_timing_components(1),
+        );
         RunResult {
             trace: self.trace,
             taint_log: self.taint_log,
@@ -519,7 +531,11 @@ impl Core {
                 let _ = mem.store_t(st.addr, st.size, st.data);
             }
             self.rob[i].committed = true;
-            self.trace.push(RobEvent::Commit { cycle: self.cycle, skew_b: self.skew_b, idx: i });
+            self.trace.push(RobEvent::Commit {
+                cycle: self.cycle,
+                skew_b: self.skew_b,
+                idx: i,
+            });
             self.head += 1;
         }
     }
@@ -561,7 +577,10 @@ impl Core {
     // ---- fetch + speculative execute ----
 
     fn in_flight(&self) -> usize {
-        self.rob[self.head..].iter().filter(|e| !e.squashed && !e.committed).count()
+        self.rob[self.head..]
+            .iter()
+            .filter(|e| !e.squashed && !e.committed)
+            .count()
     }
 
     fn fetch(&mut self, mem: &mut SwapMem) {
@@ -652,7 +671,12 @@ impl Core {
 
     /// Claims a contended port at the current cycle for `(occ_a, occ_b)`
     /// cycles, returning the per-plane waits.
-    fn claim_port(&mut self, port: fn(&mut Core) -> &mut PortState, occ_a: u64, occ_b: u64) -> (u64, u64) {
+    fn claim_port(
+        &mut self,
+        port: fn(&mut Core) -> &mut PortState,
+        occ_a: u64,
+        occ_b: u64,
+    ) -> (u64, u64) {
         let now_a = self.cycle;
         let now_b = self.cycle as i64 + self.skew_b;
         let p = port(self);
@@ -685,7 +709,9 @@ impl Core {
         }
         match instr {
             Instr::Fp { rs1, rs2, .. } => {
-                t = t.max(self.freg_ready[rs1.index()]).max(self.freg_ready[rs2.index()]);
+                t = t
+                    .max(self.freg_ready[rs1.index()])
+                    .max(self.freg_ready[rs2.index()]);
             }
             Instr::FStore { rs2, .. } => t = t.max(self.freg_ready[rs2.index()]),
             Instr::FmvXD { rs1, .. } => t = t.max(self.freg_ready[rs1.index()]),
@@ -729,7 +755,9 @@ impl Core {
                 self.pc = next_pc;
             }
             Instr::Auipc { rd, imm } => {
-                let v = pc.add(TWord::lit(imm as u64)).taint_union(TWord::with_taint(0, 0, instr_taint));
+                let v = pc
+                    .add(TWord::lit(imm as u64))
+                    .taint_union(TWord::with_taint(0, 0, instr_taint));
                 self.set_reg(rd, v, issue_at + 1);
                 entry.result = v;
                 self.pc = next_pc;
@@ -737,8 +765,16 @@ impl Core {
             Instr::OpImm { op, rd, rs1, imm } => {
                 let v = alu_eval(policy, op, self.reg(rs1), TWord::lit(imm as u64))
                     .taint_union(TWord::with_taint(0, 0, instr_taint));
-                let lat = if op.is_muldiv() { self.cfg.mul_latency } else { 1 };
-                entry.unit = if op.is_muldiv() { Unit::MulDiv } else { Unit::Alu };
+                let lat = if op.is_muldiv() {
+                    self.cfg.mul_latency
+                } else {
+                    1
+                };
+                entry.unit = if op.is_muldiv() {
+                    Unit::MulDiv
+                } else {
+                    Unit::Alu
+                };
                 entry.done_at = issue_at + lat;
                 self.set_reg(rd, v, entry.done_at);
                 entry.result = v;
@@ -748,9 +784,17 @@ impl Core {
                 let v = alu_eval(policy, op, self.reg(rs1), self.reg(rs2))
                     .taint_union(TWord::with_taint(0, 0, instr_taint));
                 let lat = if op.is_muldiv() {
-                    if matches!(op, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
-                        | AluOp::DivW | AluOp::DivuW | AluOp::RemW | AluOp::RemuW)
-                    {
+                    if matches!(
+                        op,
+                        AluOp::Div
+                            | AluOp::Divu
+                            | AluOp::Rem
+                            | AluOp::Remu
+                            | AluOp::DivW
+                            | AluOp::DivuW
+                            | AluOp::RemW
+                            | AluOp::RemuW
+                    ) {
                         self.cfg.div_latency
                     } else {
                         self.cfg.mul_latency
@@ -758,7 +802,11 @@ impl Core {
                 } else {
                     1
                 };
-                entry.unit = if op.is_muldiv() { Unit::MulDiv } else { Unit::Alu };
+                entry.unit = if op.is_muldiv() {
+                    Unit::MulDiv
+                } else {
+                    Unit::Alu
+                };
                 entry.done_at = issue_at + lat;
                 self.set_reg(rd, v, entry.done_at);
                 entry.result = v;
@@ -770,9 +818,17 @@ impl Core {
                 let v = TWord {
                     a: op.eval(x.a, y.a),
                     b: op.eval(x.b, y.b),
-                    t: if (x.t | y.t | instr_taint) != 0 { u64::MAX } else { 0 },
+                    t: if (x.t | y.t | instr_taint) != 0 {
+                        u64::MAX
+                    } else {
+                        0
+                    },
                 };
-                let occ = if op.is_div() { self.cfg.fdiv_latency } else { self.cfg.fpu_latency };
+                let occ = if op.is_div() {
+                    self.cfg.fdiv_latency
+                } else {
+                    self.cfg.fpu_latency
+                };
                 // The FPU has one port: a long divide starves later FP ops
                 // (Spectre-Rewind's contention resource).
                 let (wait_a, wait_b) = self.claim_port(|c| &mut c.fpu_port, occ, occ);
@@ -799,18 +855,46 @@ impl Core {
                 entry.result = v;
                 self.pc = next_pc;
             }
-            Instr::Load { op, rd, rs1, offset } => {
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr_full = self.reg(rs1).add(TWord::lit(offset as u64));
-                self.exec_load(mem, &mut entry, issue_at, addr_full, op, rd, false, instr_taint);
+                self.exec_load(
+                    mem,
+                    &mut entry,
+                    issue_at,
+                    addr_full,
+                    op,
+                    rd,
+                    false,
+                    instr_taint,
+                );
                 self.pc = next_pc;
             }
             Instr::FLoad { rd, rs1, offset } => {
                 let addr_full = self.reg(rs1).add(TWord::lit(offset as u64));
                 let op = dejavuzz_isa::LoadOp::Ld;
-                self.exec_load(mem, &mut entry, issue_at, addr_full, op, rd, true, instr_taint);
+                self.exec_load(
+                    mem,
+                    &mut entry,
+                    issue_at,
+                    addr_full,
+                    op,
+                    rd,
+                    true,
+                    instr_taint,
+                );
                 self.pc = next_pc;
             }
-            Instr::Store { op, rs2, rs1, offset } => {
+            Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).add(TWord::lit(offset as u64));
                 let data = self.reg(rs2);
                 self.exec_store(mem, &mut entry, issue_at, addr, op.size(), data);
@@ -822,7 +906,12 @@ impl Core {
                 self.exec_store(mem, &mut entry, issue_at, addr, 8, data);
                 self.pc = next_pc;
             }
-            Instr::Branch { op, rs1, rs2, offset } => {
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let x = self.reg(rs1);
                 let y = self.reg(rs2);
                 let taken = branch_eval(policy, op, x, y);
@@ -954,7 +1043,9 @@ impl Core {
             }
             // The writeback-to-commit flush depth: younger instructions
             // keep executing transiently until the trap sequence fires.
-            entry.done_at = entry.done_at.max(issue_at + self.cfg.exception_commit_delay);
+            entry.done_at = entry
+                .done_at
+                .max(issue_at + self.cfg.exception_commit_delay);
         }
         self.push_entry(entry);
     }
@@ -1010,10 +1101,20 @@ impl Core {
         // TLB + D-cache timing.
         let tprobe = self.tlb.translate(addr, 0);
         let dprobe = self.dcache.peek(addr);
-        let lat_a = self.cfg.cache_hit_latency + tprobe.lat_a
-            + if dprobe.hit_a { 0 } else { self.cfg.cache_miss_latency };
-        let lat_b = self.cfg.cache_hit_latency + tprobe.lat_b
-            + if dprobe.hit_b { 0 } else { self.cfg.cache_miss_latency };
+        let lat_a = self.cfg.cache_hit_latency
+            + tprobe.lat_a
+            + if dprobe.hit_a {
+                0
+            } else {
+                self.cfg.cache_miss_latency
+            };
+        let lat_b = self.cfg.cache_hit_latency
+            + tprobe.lat_b
+            + if dprobe.hit_b {
+                0
+            } else {
+                self.cfg.cache_miss_latency
+            };
 
         // The architectural fault is raised on the *full* address (the
         // pipeline checks it); the bug is that data flows on the truncated
@@ -1144,7 +1245,12 @@ impl Core {
         entry.done_at = resolve_at;
         entry.exception = fault;
         if fault.is_none() {
-            entry.store = Some(PendingStore { addr, size, data, resolve_at });
+            entry.store = Some(PendingStore {
+                addr,
+                size,
+                data,
+                resolve_at,
+            });
         }
         entry.result = data;
     }
@@ -1189,7 +1295,13 @@ impl Core {
             "rob",
             self.rob[self.head.min(self.rob.len())..]
                 .iter()
-                .map(|e| if e.squashed || e.committed { 0 } else { e.result.t })
+                .map(|e| {
+                    if e.squashed || e.committed {
+                        0
+                    } else {
+                        e.result.t
+                    }
+                })
                 .chain(std::iter::repeat(0))
                 .take(self.cfg.rob_entries),
         );
@@ -1237,7 +1349,9 @@ impl Core {
                 state,
                 e.done_at,
                 e.packet,
-                e.exception.map(|x| format!(" !{}", x.mnemonic())).unwrap_or_default(),
+                e.exception
+                    .map(|x| format!(" !{}", x.mnemonic()))
+                    .unwrap_or_default(),
             );
         }
         out
@@ -1247,24 +1361,87 @@ impl Core {
     pub fn sink_reports(&self) -> Vec<SinkReport> {
         use dejavuzz_ift::liveness::sweep_sinks;
         let mut out = Vec::new();
-        sweep_sinks("lfb", "lb", self.lfb.taints(), self.lfb.mshr_valid_vec(), &mut out);
-        sweep_sinks("dcache", "data_array", self.dcache.taints(), self.dcache.valid_vec(), &mut out);
-        sweep_sinks("icache", "data_array", self.icache.taints(), self.icache.valid_vec(), &mut out);
-        sweep_sinks("ras", "stack", self.ras.taints(), self.ras.in_stack_vec(), &mut out);
-        sweep_sinks("btb", "targets", self.btb.taints(), self.btb.valid_vec(), &mut out);
-        sweep_sinks("bht", "counters", self.bht.taints(), self.bht.trained_vec(), &mut out);
-        sweep_sinks("loop", "entries", self.loopp.taints(), self.loopp.conf_vec(), &mut out);
-        sweep_sinks("tlb", "entries", self.tlb.taints(), self.tlb.valid_vec(), &mut out);
-        sweep_sinks("l2tlb", "entries", self.tlb.l2_taints(), self.tlb.l2_valid_vec(), &mut out);
+        sweep_sinks(
+            "lfb",
+            "lb",
+            self.lfb.taints(),
+            self.lfb.mshr_valid_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "dcache",
+            "data_array",
+            self.dcache.taints(),
+            self.dcache.valid_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "icache",
+            "data_array",
+            self.icache.taints(),
+            self.icache.valid_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "ras",
+            "stack",
+            self.ras.taints(),
+            self.ras.in_stack_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "btb",
+            "targets",
+            self.btb.taints(),
+            self.btb.valid_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "bht",
+            "counters",
+            self.bht.taints(),
+            self.bht.trained_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "loop",
+            "entries",
+            self.loopp.taints(),
+            self.loopp.conf_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "tlb",
+            "entries",
+            self.tlb.taints(),
+            self.tlb.valid_vec(),
+            &mut out,
+        );
+        sweep_sinks(
+            "l2tlb",
+            "entries",
+            self.tlb.l2_taints(),
+            self.tlb.l2_valid_vec(),
+            &mut out,
+        );
         // RoB residue: squashed tainted results are dead; in-flight tainted
         // results are live. ("54 cases are misclassified due to residual
         // invalid taints in physical registers or RoB" without liveness.)
         let rob_taints: Vec<u64> = self.rob.iter().map(|e| e.result.t).collect();
-        let rob_live: Vec<bool> =
-            self.rob.iter().map(|e| !e.squashed && !e.committed).collect();
+        let rob_live: Vec<bool> = self
+            .rob
+            .iter()
+            .map(|e| !e.squashed && !e.committed)
+            .collect();
         sweep_sinks("rob", "results", rob_taints, rob_live, &mut out);
         // Architectural register file: always live.
-        sweep_sinks("regfile", "regs", self.regs.iter().map(|r| r.t), std::iter::repeat(true).take(32), &mut out);
+        sweep_sinks(
+            "regfile",
+            "regs",
+            self.regs.iter().map(|r| r.t),
+            std::iter::repeat_n(true, 32),
+            &mut out,
+        );
         out
     }
 }
@@ -1287,7 +1464,11 @@ fn alu_eval(policy: Policy, op: AluOp, x: TWord, y: TWord) -> TWord {
             // Width-changing and mul/div ops: evaluate per plane, smear
             // taint upward (data rule).
             let t = if (x.t | y.t) != 0 { u64::MAX } else { 0 };
-            TWord { a: op.eval(x.a, y.a), b: op.eval(x.b, y.b), t }
+            TWord {
+                a: op.eval(x.a, y.a),
+                b: op.eval(x.b, y.b),
+                t,
+            }
         }
     }
 }

@@ -16,7 +16,9 @@ pub struct Bht {
 impl Bht {
     /// A table of `entries` counters, initialised weakly-not-taken (01).
     pub fn new(entries: usize) -> Self {
-        Bht { counters: vec![TWord::lit(1); entries] }
+        Bht {
+            counters: vec![TWord::lit(1); entries],
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -38,8 +40,16 @@ impl Bht {
     pub fn update(&mut self, policy: Policy, pc: u64, taken: TWord) {
         let i = self.index(pc);
         let c = self.counters[i];
-        let inc = TWord { a: (c.a + 1).min(3), b: (c.b + 1).min(3), t: c.t };
-        let dec = TWord { a: c.a.saturating_sub(1), b: c.b.saturating_sub(1), t: c.t };
+        let inc = TWord {
+            a: (c.a + 1).min(3),
+            b: (c.b + 1).min(3),
+            t: c.t,
+        };
+        let dec = TWord {
+            a: c.a.saturating_sub(1),
+            b: c.b.saturating_sub(1),
+            t: c.t,
+        };
         self.counters[i] = policy.mux(taken, inc, dec);
     }
 
@@ -75,7 +85,10 @@ pub struct Btb {
 impl Btb {
     /// A BTB of `entries` entries.
     pub fn new(entries: usize) -> Self {
-        Btb { tags: vec![None; entries], targets: vec![TWord::lit(0); entries] }
+        Btb {
+            tags: vec![None; entries],
+            targets: vec![TWord::lit(0); entries],
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -150,7 +163,11 @@ impl Ras {
     /// A RAS of `entries` slots. `full_restore` selects the recovery
     /// behaviour (see [`RasCheckpoint`]).
     pub fn new(entries: usize, full_restore: bool) -> Self {
-        Ras { stack: vec![TWord::lit(0); entries], tos: 0, full_restore }
+        Ras {
+            stack: vec![TWord::lit(0); entries],
+            tos: 0,
+            full_restore,
+        }
     }
 
     /// Pushes a return address (speculative, at fetch of a call).
@@ -182,7 +199,11 @@ impl Ras {
     pub fn checkpoint(&self) -> RasCheckpoint {
         RasCheckpoint {
             tos: self.tos,
-            top_entry: if self.tos > 0 { self.stack[self.tos - 1] } else { TWord::lit(0) },
+            top_entry: if self.tos > 0 {
+                self.stack[self.tos - 1]
+            } else {
+                TWord::lit(0)
+            },
             full_stack: self.full_restore.then(|| self.stack.clone()),
         }
     }
@@ -260,7 +281,9 @@ pub const CONF_THRESHOLD: u8 = 3;
 impl LoopPredictor {
     /// A predictor with `entries` entries.
     pub fn new(entries: usize) -> Self {
-        LoopPredictor { entries: vec![LoopEntry::default(); entries] }
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); entries],
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -284,7 +307,10 @@ impl LoopPredictor {
         let i = self.index(pc);
         let e = &mut self.entries[i];
         if e.tag != Some(pc) {
-            *e = LoopEntry { tag: Some(pc), ..LoopEntry::default() };
+            *e = LoopEntry {
+                tag: Some(pc),
+                ..LoopEntry::default()
+            };
         }
         if taken.a != 0 {
             e.count = e.count.add(TWord::lit(1)).taint_union(taken);
@@ -312,7 +338,9 @@ impl LoopPredictor {
 
     /// Clears the table.
     pub fn reset(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = LoopEntry::default());
+        self.entries
+            .iter_mut()
+            .for_each(|e| *e = LoopEntry::default());
     }
 
     /// Reports into a census sweep.
@@ -331,9 +359,17 @@ mod tests {
     #[test]
     fn bht_trains_towards_taken() {
         let mut bht = Bht::new(16);
-        assert_eq!(bht.predict(0x1010), (false, false), "reset state predicts not-taken");
+        assert_eq!(
+            bht.predict(0x1010),
+            (false, false),
+            "reset state predicts not-taken"
+        );
         bht.update(DIFF, 0x1010, TWord::lit(1));
-        assert_eq!(bht.predict(0x1010), (true, true), "one taken moves 1 -> 2: predict taken");
+        assert_eq!(
+            bht.predict(0x1010),
+            (true, true),
+            "one taken moves 1 -> 2: predict taken"
+        );
         bht.update(DIFF, 0x1010, TWord::lit(0));
         bht.update(DIFF, 0x1010, TWord::lit(0));
         assert_eq!(bht.predict(0x1010), (false, false));
@@ -346,7 +382,11 @@ mod tests {
             bht.update(DIFF, 0x4, TWord::lit(1));
         }
         bht.update(DIFF, 0x4, TWord::lit(0));
-        assert_eq!(bht.predict(0x4), (true, true), "3 -> 2 still predicts taken");
+        assert_eq!(
+            bht.predict(0x4),
+            (true, true),
+            "3 -> 2 still predicts taken"
+        );
     }
 
     #[test]
@@ -370,13 +410,25 @@ mod tests {
         bht.update(DIFF, 0x20, TWord::with_taint(1, 1, 1));
         let mut c = Census::new();
         bht.census(&mut c);
-        assert_eq!(c.module_tainted("bht"), Some(0), "diffIFT: no divergence, no taint");
+        assert_eq!(
+            c.module_tainted("bht"),
+            Some(0),
+            "diffIFT: no divergence, no taint"
+        );
 
         let mut bht2 = Bht::new(16);
-        bht2.update(Policy::new(IftMode::CellIft), 0x20, TWord::with_taint(1, 1, 1));
+        bht2.update(
+            Policy::new(IftMode::CellIft),
+            0x20,
+            TWord::with_taint(1, 1, 1),
+        );
         let mut c2 = Census::new();
         bht2.census(&mut c2);
-        assert_eq!(c2.module_tainted("bht"), Some(1), "CellIFT over-taints the counter");
+        assert_eq!(
+            c2.module_tainted("bht"),
+            Some(1),
+            "CellIFT over-taints the counter"
+        );
     }
 
     #[test]
@@ -445,9 +497,16 @@ mod tests {
         ras.restore(&cp);
         assert_eq!(ras.depth(), 3);
         assert_eq!(ras.slots()[2].a, 0x300, "top entry restored");
-        assert_eq!(ras.slots()[1].a, 0xBAD0, "entry below TOS NOT restored (B2)");
+        assert_eq!(
+            ras.slots()[1].a,
+            0xBAD0,
+            "entry below TOS NOT restored (B2)"
+        );
         assert!(ras.slots()[1].is_tainted());
-        assert!(ras.in_stack_vec()[1], "corrupted entry is live -> exploitable");
+        assert!(
+            ras.in_stack_vec()[1],
+            "corrupted entry is live -> exploitable"
+        );
     }
 
     #[test]
@@ -461,7 +520,11 @@ mod tests {
         ras.pop();
         ras.push(TWord::secret(0xBAD0, 0xBAD8));
         ras.restore(&cp);
-        assert_eq!(ras.slots()[1].a, 0x200, "full checkpoint restores deep entries");
+        assert_eq!(
+            ras.slots()[1].a,
+            0x200,
+            "full checkpoint restores deep entries"
+        );
         assert!(!ras.slots()[1].is_tainted());
     }
 
@@ -481,7 +544,10 @@ mod tests {
         trip(&mut lp);
         trip(&mut lp);
         trip(&mut lp);
-        assert!(lp.predict(pc).is_some(), "consistent trips build confidence");
+        assert!(
+            lp.predict(pc).is_some(),
+            "consistent trips build confidence"
+        );
         assert!(lp.conf_vec()[lp.index(pc)]);
     }
 

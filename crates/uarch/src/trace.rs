@@ -130,19 +130,31 @@ impl Trace {
 
     /// Number of committed instructions.
     pub fn committed(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, RobEvent::Commit { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RobEvent::Commit { .. }))
+            .count()
     }
 
     /// Number of enqueued instructions.
     pub fn enqueued(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, RobEvent::Enq { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RobEvent::Enq { .. }))
+            .count()
     }
 
     /// Total squashed instructions.
     pub fn squashed(&self) -> usize {
         self.events
             .iter()
-            .map(|e| if let RobEvent::Squash { killed, .. } = e { *killed } else { 0 })
+            .map(|e| {
+                if let RobEvent::Squash { killed, .. } = e {
+                    *killed
+                } else {
+                    0
+                }
+            })
             .sum()
     }
 
@@ -164,7 +176,14 @@ impl Trace {
     ) -> Option<WindowInfo> {
         // Find the first squash whose killed range intersects the packet.
         for (i, e) in self.events.iter().enumerate() {
-            let RobEvent::Squash { cycle, skew_b, after_idx, killed, cause: c } = *e else {
+            let RobEvent::Squash {
+                cycle,
+                skew_b,
+                after_idx,
+                killed,
+                cause: c,
+            } = *e
+            else {
                 continue;
             };
             if cause.is_some_and(|want| want != c) {
@@ -181,9 +200,13 @@ impl Trace {
             let mut in_packet = false;
             for prev in &self.events[..i] {
                 match *prev {
-                    RobEvent::Enq { cycle: c, skew_b: s, idx, pc: _, packet: p }
-                        if idx > after_idx =>
-                    {
+                    RobEvent::Enq {
+                        cycle: c,
+                        skew_b: s,
+                        idx,
+                        pc: _,
+                        packet: p,
+                    } if idx > after_idx => {
                         if enqueued == 0 {
                             start_cycle = c;
                             start_skew = s;
@@ -226,7 +249,9 @@ impl Trace {
                 m
             }
         });
-        (0..=max_packet).rev().find_map(|p| self.window_in_packet(p))
+        (0..=max_packet)
+            .rev()
+            .find_map(|p| self.window_in_packet(p))
     }
 }
 
@@ -235,20 +260,41 @@ mod tests {
     use super::*;
 
     fn enq(cycle: u64, idx: usize, packet: usize) -> RobEvent {
-        RobEvent::Enq { cycle, skew_b: 0, idx, pc: 0x1000 + 4 * idx as u64, packet }
+        RobEvent::Enq {
+            cycle,
+            skew_b: 0,
+            idx,
+            pc: 0x1000 + 4 * idx as u64,
+            packet,
+        }
     }
 
     #[test]
     fn window_detection_from_squash() {
         let mut t = Trace::new();
         t.push(enq(1, 0, 1));
-        t.push(RobEvent::Commit { cycle: 3, skew_b: 0, idx: 0 });
+        t.push(RobEvent::Commit {
+            cycle: 3,
+            skew_b: 0,
+            idx: 0,
+        });
         t.push(enq(4, 1, 1)); // the trigger
         t.push(enq(5, 2, 1)); // transient
         t.push(enq(6, 3, 1)); // transient
-        t.push(RobEvent::Squash { cycle: 10, skew_b: 4, after_idx: 1, killed: 2, cause: "branch-mispredict" });
+        t.push(RobEvent::Squash {
+            cycle: 10,
+            skew_b: 4,
+            after_idx: 1,
+            killed: 2,
+            cause: "branch-mispredict",
+        });
         let w = t.window_in_packet(1).expect("window detected");
-        assert!(w.triggered(), "enqueued {} > committed {}", w.enqueued, w.committed);
+        assert!(
+            w.triggered(),
+            "enqueued {} > committed {}",
+            w.enqueued,
+            w.committed
+        );
         assert_eq!(w.enqueued, 2);
         assert_eq!(w.committed, 0);
         assert_eq!(w.squashed, 2);
@@ -263,7 +309,11 @@ mod tests {
     fn no_squash_means_no_window() {
         let mut t = Trace::new();
         t.push(enq(1, 0, 0));
-        t.push(RobEvent::Commit { cycle: 2, skew_b: 0, idx: 0 });
+        t.push(RobEvent::Commit {
+            cycle: 2,
+            skew_b: 0,
+            idx: 0,
+        });
         assert!(t.window_in_packet(0).is_none());
         assert!(t.last_window().is_none());
     }
@@ -272,7 +322,13 @@ mod tests {
     fn empty_squash_is_ignored() {
         let mut t = Trace::new();
         t.push(enq(1, 0, 0));
-        t.push(RobEvent::Squash { cycle: 2, skew_b: 0, after_idx: 0, killed: 0, cause: "trap" });
+        t.push(RobEvent::Squash {
+            cycle: 2,
+            skew_b: 0,
+            after_idx: 0,
+            killed: 0,
+            cause: "trap",
+        });
         assert!(t.window_in_packet(0).is_none());
     }
 
@@ -281,9 +337,23 @@ mod tests {
         let mut t = Trace::new();
         t.push(enq(1, 0, 0));
         t.push(enq(2, 1, 0));
-        t.push(RobEvent::Commit { cycle: 3, skew_b: 0, idx: 0 });
-        t.push(RobEvent::Squash { cycle: 4, skew_b: 0, after_idx: 0, killed: 1, cause: "trap" });
-        t.push(RobEvent::Trap { cycle: 5, skew_b: 0, cause: "ecall" });
+        t.push(RobEvent::Commit {
+            cycle: 3,
+            skew_b: 0,
+            idx: 0,
+        });
+        t.push(RobEvent::Squash {
+            cycle: 4,
+            skew_b: 0,
+            after_idx: 0,
+            killed: 1,
+            cause: "trap",
+        });
+        t.push(RobEvent::Trap {
+            cycle: 5,
+            skew_b: 0,
+            cause: "ecall",
+        });
         assert_eq!(t.enqueued(), 2);
         assert_eq!(t.committed(), 1);
         assert_eq!(t.squashed(), 1);
@@ -296,8 +366,16 @@ mod tests {
         let mut t = Trace::new();
         t.push(enq(1, 0, 0));
         t.push(enq(2, 1, 0));
-        t.push(RobEvent::Squash { cycle: 3, skew_b: 0, after_idx: 0, killed: 1, cause: "ecall" });
-        assert!(t.window_in_packet_caused(0, Some("branch-mispredict")).is_none());
+        t.push(RobEvent::Squash {
+            cycle: 3,
+            skew_b: 0,
+            after_idx: 0,
+            killed: 1,
+            cause: "ecall",
+        });
+        assert!(t
+            .window_in_packet_caused(0, Some("branch-mispredict"))
+            .is_none());
         assert!(t.window_in_packet_caused(0, Some("ecall")).is_some());
         assert_eq!(t.window_in_packet(0).unwrap().cause, "ecall");
     }
@@ -308,11 +386,23 @@ mod tests {
         // Packet 0 window.
         t.push(enq(1, 0, 0));
         t.push(enq(2, 1, 0));
-        t.push(RobEvent::Squash { cycle: 3, skew_b: 0, after_idx: 0, killed: 1, cause: "branch-mispredict" });
+        t.push(RobEvent::Squash {
+            cycle: 3,
+            skew_b: 0,
+            after_idx: 0,
+            killed: 1,
+            cause: "branch-mispredict",
+        });
         // Packet 2 window.
         t.push(enq(10, 2, 2));
         t.push(enq(11, 3, 2));
-        t.push(RobEvent::Squash { cycle: 12, skew_b: 0, after_idx: 2, killed: 1, cause: "trap" });
+        t.push(RobEvent::Squash {
+            cycle: 12,
+            skew_b: 0,
+            after_idx: 2,
+            killed: 1,
+            cause: "trap",
+        });
         let w = t.last_window().expect("window");
         assert_eq!(w.packet, 2);
     }

@@ -129,7 +129,10 @@ mod tests {
         let timestamps = vcd.lines().filter(|l| l.starts_with('#')).count();
         assert!(timestamps > 5, "value changes over time: {timestamps}");
         // The squash pulse from the mispredict must appear.
-        assert!(vcd.contains("1\"") || vcd.contains("0\""), "squash signal toggles");
+        assert!(
+            vcd.contains("1\"") || vcd.contains("0\""),
+            "squash signal toggles"
+        );
     }
 
     #[test]
@@ -141,7 +144,11 @@ mod tests {
         let lines = vcd.lines().count();
         let cycles = log.len();
         let signals = 3 + log.cycle(0).map(|c| c.modules().len()).unwrap_or(0);
-        assert!(lines < cycles * signals, "{lines} lines vs {} worst case", cycles * signals);
+        assert!(
+            lines < cycles * signals,
+            "{lines} lines vs {} worst case",
+            cycles * signals
+        );
     }
 
     #[test]

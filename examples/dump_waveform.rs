@@ -13,7 +13,10 @@ fn main() {
     let case = attacks::spectre_v1();
     let mut mem = case.build_mem(&[0x2A]);
     let r = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 10_000);
-    print!("{}", waveform::to_vcd(&r.taint_log, &r.trace, "boom_spectre_v1"));
+    print!(
+        "{}",
+        waveform::to_vcd(&r.taint_log, &r.trace, "boom_spectre_v1")
+    );
     eprintln!(
         "# {} cycles, peak taint {}, window: {:?}",
         r.total_cycles.0,

@@ -17,8 +17,11 @@ fn main() {
     for cfg in [boom_small(), xiangshan_minimal()] {
         let mut mem = case.build_mem(&[0x2A]);
         let r = Core::new(cfg, IftMode::DiffIft).run(&mut mem, 10_000);
-        let ras_leaks: Vec<_> =
-            r.sinks.iter().filter(|s| s.module == "ras" && s.exploitable()).collect();
+        let ras_leaks: Vec<_> = r
+            .sinks
+            .iter()
+            .filter(|s| s.module == "ras" && s.exploitable())
+            .collect();
         println!("{}:", cfg.name);
         match ras_leaks.first() {
             Some(s) => println!(
@@ -26,9 +29,7 @@ fn main() {
                  return address (squash recovery restored only TOS + the top entry)",
                 s.index
             ),
-            None => println!(
-                "  not vulnerable — full RAS checkpointing restored every entry"
-            ),
+            None => println!("  not vulnerable — full RAS checkpointing restored every entry"),
         }
     }
     println!(

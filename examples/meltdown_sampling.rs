@@ -23,7 +23,10 @@ fn main() {
     for cfg in [xiangshan_minimal(), boom_small()] {
         let mut mem = case.build_mem(&[0x2A]);
         let r = Core::new(cfg, IftMode::DiffIft).run(&mut mem, 10_000);
-        let leaked = r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable());
+        let leaked = r
+            .sinks
+            .iter()
+            .any(|s| s.module == "dcache" && s.exploitable());
         println!(
             "{:<10} (paddr {} bits): {}",
             cfg.name,

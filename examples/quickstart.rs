@@ -1,24 +1,47 @@
-//! Quickstart: fuzz the BOOM-like core for a handful of iterations and
-//! print what DejaVuzz finds.
+//! Quickstart: fuzz the BOOM-like core for a handful of iterations on
+//! the shared-corpus pipeline executor and print what DejaVuzz finds.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use dejavuzz::campaign::{Campaign, FuzzerOptions};
+use dejavuzz::campaign::FuzzerOptions;
+use dejavuzz::executor;
 use dejavuzz_uarch::boom_small;
 
 fn main() {
     let iterations = 40;
-    println!("DejaVuzz quickstart: {iterations} iterations on {}\n", boom_small().name);
+    let workers = 2;
+    println!(
+        "DejaVuzz quickstart: {iterations} iterations on {}, {workers} workers, shared corpus\n",
+        boom_small().name
+    );
 
-    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 0xC0FFEE);
-    let stats = campaign.run(iterations);
+    let report = executor::run(
+        boom_small(),
+        FuzzerOptions::default(),
+        workers,
+        iterations,
+        0xC0FFEE,
+    );
+    let stats = &report.stats;
 
     println!("iterations:      {}", stats.iterations);
     println!("simulations:     {}", stats.sim_runs);
-    println!("coverage points: {}", stats.coverage());
+    println!(
+        "coverage points: {} (exact union across workers)",
+        stats.coverage()
+    );
+    println!("corpus retained: {}", report.corpus_retained);
     println!("first bug at:    {:?}", stats.first_bug_iteration);
+    for w in &report.workers {
+        println!(
+            "worker #{}:       {} iterations, {} points observed",
+            w.worker,
+            w.iterations,
+            w.observed.points()
+        );
+    }
     println!("\ntriggered transient windows (TO = training overhead, ETO = effective):");
     for (wt, ws) in &stats.windows {
         if ws.triggered > 0 {

@@ -15,7 +15,12 @@ fn main() {
     println!("scenario: {}", case.name);
     println!("swap schedule:");
     for (i, p) in case.packets.iter().enumerate() {
-        println!("  [{i}] {:<22} ({:?}, {} instrs)", p.name, p.kind, p.instr_count());
+        println!(
+            "  [{i}] {:<22} ({:?}, {} instrs)",
+            p.name,
+            p.kind,
+            p.instr_count()
+        );
     }
 
     let mut mem = case.build_mem(&[0x2A]);
@@ -27,7 +32,10 @@ fn main() {
     println!("  enqueued:  {}", window.enqueued);
     println!("  committed: {}", window.committed);
     println!("  squashed:  {}", window.squashed);
-    println!("  cycles:    variant1 {} / variant2 {}", window.cycles_a, window.cycles_b);
+    println!(
+        "  cycles:    variant1 {} / variant2 {}",
+        window.cycles_a, window.cycles_b
+    );
 
     println!("\npeak taint sum: {}", result.taint_log.peak_taint());
     println!("tainted sinks (liveness-annotated):");
@@ -37,7 +45,11 @@ fn main() {
             s.module,
             s.array,
             s.index,
-            if s.exploitable() { "EXPLOITABLE" } else { "residue (dead)" }
+            if s.exploitable() {
+                "EXPLOITABLE"
+            } else {
+                "residue (dead)"
+            }
         );
     }
     let exploitable = result.exploitable_sinks();

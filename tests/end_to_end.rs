@@ -16,7 +16,9 @@ fn all_five_attack_benchmarks_leak_on_boom() {
         let r = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 20_000);
         assert!(r.window().is_some(), "{}: window must trigger", case.name);
         assert!(
-            r.sinks.iter().any(|s| s.module == "dcache" && s.exploitable()),
+            r.sinks
+                .iter()
+                .any(|s| s.module == "dcache" && s.exploitable()),
             "{}: dcache leak expected",
             case.name
         );
@@ -58,7 +60,10 @@ fn diffift_fn_variant_suppresses_control_taints() {
     let mut mem = case.build_mem(&[0x5A]);
     let full = Core::new(boom_small(), IftMode::DiffIft).run(&mut mem, 20_000);
     assert!(fnr.taint_log.peak_taint() < full.taint_log.peak_taint());
-    assert!(fnr.taint_log.peak_taint() > 0, "data taints still propagate");
+    assert!(
+        fnr.taint_log.peak_taint() > 0,
+        "data taints still propagate"
+    );
 }
 
 #[test]
@@ -135,13 +140,28 @@ fn golden_and_uarch_architectural_state_agree() {
     b.push(Instr::addi(Reg::A0, Reg::ZERO, 5));
     b.push(Instr::addi(Reg::A1, Reg::ZERO, 0));
     b.label("loop");
-    b.push(Instr::Op { op: AluOp::Add, rd: Reg::A1, rs1: Reg::A1, rs2: Reg::A0 });
+    b.push(Instr::Op {
+        op: AluOp::Add,
+        rd: Reg::A1,
+        rs1: Reg::A1,
+        rs2: Reg::A0,
+    });
     b.push(Instr::addi(Reg::A0, Reg::A0, -1));
     b.branch_to(
-        Instr::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::ZERO, offset: 0 },
+        Instr::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::A0,
+            rs2: Reg::ZERO,
+            offset: 0,
+        },
         "loop",
     );
-    b.push(Instr::Op { op: AluOp::Mul, rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A1 });
+    b.push(Instr::Op {
+        op: AluOp::Mul,
+        rd: Reg::A2,
+        rs1: Reg::A1,
+        rs2: Reg::A1,
+    });
     b.push(Instr::sd(Reg::A2, Reg::GP, 0));
     b.push(Instr::Ecall);
     let program = b.assemble();
@@ -158,21 +178,37 @@ fn golden_and_uarch_architectural_state_agree() {
     // core starts with zeroed registers, so pre-set GP via an addi chain
     // instead: rebuild with GP setup inline.
     let mut b2 = ProgramBuilder::new(l.swappable);
-    b2.push(Instr::Lui { rd: Reg::GP, imm: 0x8000 });
+    b2.push(Instr::Lui {
+        rd: Reg::GP,
+        imm: 0x8000,
+    });
     for (_, w) in program.iter() {
         b2.push(dejavuzz_isa::decode(w));
     }
     let mut mem = SwapMem::new(l);
     mem.set_secret_policy(SecretPolicy::AlwaysReadable);
-    mem.set_schedule(vec![SwapPacket::new("cosim", PacketKind::Transient, b2.assemble())]);
+    mem.set_schedule(vec![SwapPacket::new(
+        "cosim",
+        PacketKind::Transient,
+        b2.assemble(),
+    )]);
     let r = Core::new(boom_small(), IftMode::Base).run(&mut mem, 10_000);
     assert_eq!(r.end, dejavuzz_uarch::EndReason::Done);
 
     // a1 = 5+4+3+2+1 = 15, a2 = 225; the store writes 225 to 0x8000.
     assert_eq!(golden.reg(Reg::A1), 15);
     assert_eq!(golden.reg(Reg::A2), 225);
-    assert_eq!(golden_mem.load_t(dejavuzz_ift::TWord::lit(0x8000), 8).unwrap().a, 225);
-    assert_eq!(mem.load_t(dejavuzz_ift::TWord::lit(0x8000), 8).unwrap().a, 225);
+    assert_eq!(
+        golden_mem
+            .load_t(dejavuzz_ift::TWord::lit(0x8000), 8)
+            .unwrap()
+            .a,
+        225
+    );
+    assert_eq!(
+        mem.load_t(dejavuzz_ift::TWord::lit(0x8000), 8).unwrap().a,
+        225
+    );
 }
 
 #[test]

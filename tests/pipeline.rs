@@ -1,0 +1,142 @@
+//! Integration tests for the shared-corpus pipeline executor: the
+//! determinism, exact-union and façade-compatibility guarantees the
+//! refactor is specified against.
+
+use dejavuzz::campaign::{parallel_run, Campaign, FuzzerOptions};
+use dejavuzz::executor;
+use dejavuzz_ift::CoverageMatrix;
+use dejavuzz_uarch::boom_small;
+
+/// Same seed + same worker count ⇒ identical bug set (and identical
+/// everything else that feeds it). Thread timing must not leak into
+/// results.
+#[test]
+fn executor_is_deterministic_per_seed_and_worker_count() {
+    let a = executor::run(boom_small(), FuzzerOptions::default(), 2, 20, 0xD15C0);
+    let b = executor::run(boom_small(), FuzzerOptions::default(), 2, 20, 0xD15C0);
+    assert_eq!(a.stats.bugs, b.stats.bugs, "identical bug set");
+    assert_eq!(
+        a.stats.coverage_curve, b.stats.coverage_curve,
+        "identical exact curve"
+    );
+    assert_eq!(a.stats.first_bug_iteration, b.stats.first_bug_iteration);
+    assert_eq!(a.coverage.sorted_points(), b.coverage.sorted_points());
+    assert_eq!(a.stats.sim_runs, b.stats.sim_runs);
+    assert_eq!(a.corpus_retained, b.corpus_retained);
+    for (wa, wb) in a.workers.iter().zip(&b.workers) {
+        assert_eq!(wa.iterations, wb.iterations);
+        assert_eq!(wa.observed.sorted_points(), wb.observed.sorted_points());
+    }
+}
+
+/// The parallel final coverage is the *exact union* of what the workers
+/// observed — never the inflated pointwise sum the old end-of-run merge
+/// approximated.
+#[test]
+fn parallel_coverage_is_exact_union_of_worker_observations() {
+    let report = executor::run(boom_small(), FuzzerOptions::default(), 3, 24, 42);
+
+    let mut union = CoverageMatrix::new();
+    let mut inflated_sum = 0;
+    for w in &report.workers {
+        union.merge(&w.observed);
+        inflated_sum += w.observed.points();
+    }
+
+    assert_eq!(
+        report.coverage.sorted_points(),
+        union.sorted_points(),
+        "final coverage == union of per-worker observations"
+    );
+    assert_eq!(
+        report.shared_points,
+        union.points(),
+        "concurrent union agrees"
+    );
+    assert_eq!(report.stats.coverage(), union.points(), "curve tail agrees");
+    assert!(
+        inflated_sum > union.points(),
+        "workers overlap ({inflated_sum} summed vs {} distinct), so a pointwise \
+         sum would have over-reported",
+        union.points()
+    );
+}
+
+/// More workers on the same total budget keep finding the bugs the
+/// single-worker pipeline finds (the pool changes scheduling, not the
+/// oracle).
+#[test]
+fn pool_still_finds_bugs_on_vulnerable_boom() {
+    let report = executor::run(boom_small(), FuzzerOptions::default(), 4, 40, 3);
+    assert!(
+        !report.stats.bugs.is_empty(),
+        "40 pooled iterations must surface a leak"
+    );
+    assert!(report.stats.first_bug_iteration.is_some());
+}
+
+/// The historical `parallel_run` signature survives as a façade over the
+/// executor: `threads * iterations_per_thread` total iterations, exact
+/// curve included (the old implementation returned an *empty* curve).
+#[test]
+fn parallel_run_facade_matches_executor() {
+    let stats = parallel_run(boom_small(), FuzzerOptions::default(), 2, 5, 77);
+    assert_eq!(stats.iterations, 10);
+    assert_eq!(
+        stats.coverage_curve.len(),
+        10,
+        "exact curve, one point per iteration"
+    );
+    assert!(
+        stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]),
+        "monotone"
+    );
+    let direct = executor::run(boom_small(), FuzzerOptions::default(), 2, 10, 77);
+    assert_eq!(stats.bugs, direct.stats.bugs);
+    assert_eq!(stats.coverage_curve, direct.stats.coverage_curve);
+}
+
+/// The single-worker `Campaign` façade and the ablation constructors keep
+/// their public behaviour on top of the new pipeline internals.
+#[test]
+fn campaign_facade_keeps_public_behaviour() {
+    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 9);
+    let stats = campaign.run(12);
+    assert_eq!(stats.iterations, 12);
+    assert_eq!(stats.coverage_curve.len(), 12);
+    assert_eq!(stats.coverage(), campaign.coverage().points());
+
+    for opts in [
+        FuzzerOptions::dejavuzz_star(),
+        FuzzerOptions::dejavuzz_minus(),
+        FuzzerOptions::no_liveness(),
+    ] {
+        let stats = Campaign::new(boom_small(), opts, 9).run(6);
+        assert_eq!(stats.iterations, 6, "ablation variants run unchanged");
+    }
+}
+
+/// DejaVuzz⁻ means *no* coverage feedback — including through the corpus:
+/// the ablation must not retain or reschedule gain-keyed seeds, or
+/// Figure 7's middle curve stops isolating the mutation feedback.
+#[test]
+fn dejavuzz_minus_runs_without_coverage_driven_scheduling() {
+    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::dejavuzz_minus(), 5);
+    campaign.run(20);
+    assert!(campaign.corpus().is_empty(), "the ablation retains nothing");
+
+    let report = executor::run(boom_small(), FuzzerOptions::dejavuzz_minus(), 2, 16, 5);
+    assert_eq!(report.corpus_retained, 0, "pooled ablation retains nothing");
+}
+
+/// The corpus visibly feeds back into the campaign: interesting seeds are
+/// retained and rescheduled.
+#[test]
+fn campaign_retains_interesting_seeds() {
+    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 5);
+    campaign.run(25);
+    assert!(
+        !campaign.corpus().is_empty(),
+        "25 iterations on vulnerable BOOM must retain at least one gaining seed"
+    );
+}

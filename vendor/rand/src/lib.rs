@@ -1,0 +1,205 @@
+//! A minimal, deterministic stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the subset of the
+//! `rand 0.8` API the workspace uses is vendored here: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] sampling methods
+//! (`gen`, `gen_range`, `gen_bool`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but the workspace only relies
+//! on *determinism per seed*, never on a specific stream. Range sampling
+//! uses simple modulo reduction; the bias is negligible for the small
+//! spans used by the stimulus generators and keeps the sampler branch-free
+//! and reproducible.
+
+pub mod rngs {
+    /// A deterministic 64-bit PRNG (xoshiro256++).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(mut seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut next = || {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng::from_state(state)
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples from `[low, high)`; `high` must be strictly greater.
+    fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                let span = (high - low) as u64;
+                low + (rng() % span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u64;
+                (low as i128 + (rng() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+/// Types samplable from the generator's full output (`Rng::gen`).
+pub trait Standard {
+    /// One uniformly random value.
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() as u32
+    }
+}
+
+impl Standard for u8 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+/// The sampling interface, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(&mut || self.next_u64())
+    }
+
+    /// A uniform sample from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(&mut || self.next_u64(), range.start, range.end)
+    }
+
+    /// A Bernoulli draw with probability `p` (53-bit resolution).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-512..512);
+            assert!((-512..512).contains(&v));
+            let u: usize = r.gen_range(8..16);
+            assert!((8..16).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn all_range_types_sample() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _: u8 = r.gen_range(0..32);
+        let _: i32 = r.gen_range(-4..4);
+        let _: u64 = r.gen_range(0..1 << 40);
+        let _: bool = r.gen();
+        let _: u64 = r.gen();
+    }
+}
