@@ -2,10 +2,22 @@
 //! single-worker pool vs. multi-worker shared-corpus pools. The
 //! acceptance bar for the executor refactor is that N ≥ 2 workers beat
 //! one worker's wall-clock on a multicore host.
+//!
+//! The `backends` group measures the `SimBackend` seam itself: the same
+//! phase-1 workload statically dispatched on `BehaviouralBackend` vs.
+//! dyn-dispatched through `Box<dyn SimBackend>` (the acceptance bar for
+//! the seam is <2% overhead on the behavioural path — one virtual call
+//! per simulation is noise against the simulation), plus one
+//! netlist-backend campaign round for the CI smoke.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dejavuzz::backend::{BackendSpec, BehaviouralBackend, SimBackend};
 use dejavuzz::campaign::FuzzerOptions;
 use dejavuzz::executor;
+use dejavuzz::gen::WindowType;
+use dejavuzz::phases::{phase1, PhaseOptions};
+use dejavuzz::Seed;
+use dejavuzz_rtl::examples::SMALL_SCALE;
 use dejavuzz_uarch::boom_small;
 
 /// Enough work per measurement that thread startup and channel traffic
@@ -40,9 +52,40 @@ fn pool_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backends");
+    let seed = Seed::new(WindowType::BranchMispredict, 7);
+    let opts = PhaseOptions::default();
+
+    // Static dispatch: the monomorphised generic call, equivalent to the
+    // old direct phases-on-Core path.
+    g.bench_function("phase1_behavioural_static", |b| {
+        let mut backend = BehaviouralBackend::new(boom_small());
+        b.iter(|| phase1(&mut backend, &seed, &opts).unwrap())
+    });
+    // Dyn dispatch: what Campaign/Worker actually do.
+    g.bench_function("phase1_behavioural_dyn", |b| {
+        let mut backend: Box<dyn SimBackend> = BackendSpec::default().build();
+        b.iter(|| phase1(backend.as_mut(), &seed, &opts).unwrap())
+    });
+    // One netlist-backend campaign round (the CI bench-smoke netlist run).
+    g.bench_function("campaign_netlist_small", |b| {
+        b.iter(|| {
+            executor::run_with_backend(
+                BackendSpec::netlist(SMALL_SCALE),
+                FuzzerOptions::default(),
+                1,
+                8,
+                7,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = pool_scaling
+    targets = pool_scaling, backends
 }
 criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Behavioural-vs-netlist backend throughput: the measured rows of the
+//! EXPERIMENTS.md "Backends" section.
+//!
+//! ```sh
+//! cargo run --release -p dejavuzz-bench --bin backends -- --iters 40 --workers 2
+//! cargo run --release -p dejavuzz-bench --bin backends -- --backend netlist:boom
+//! ```
+//!
+//! Without `--backend` it sweeps the standard comparison set
+//! (behavioural BOOM, `netlist:small`, `netlist:boom`); with it, only the
+//! requested backend runs.
+
+use dejavuzz::BackendSpec;
+use dejavuzz_bench::{arg_or, backend_arg, throughput_with};
+use dejavuzz_rtl::examples::{BOOM_SCALE, SMALL_SCALE};
+use dejavuzz_uarch::boom_small;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = arg_or(&args, "--iters", 24);
+    let workers = arg_or(&args, "--workers", 1);
+    let specs: Vec<BackendSpec> = if args.iter().any(|a| a == "--backend") {
+        vec![backend_arg(&args)]
+    } else {
+        vec![
+            BackendSpec::behavioural(boom_small()),
+            BackendSpec::netlist(SMALL_SCALE),
+            BackendSpec::netlist(BOOM_SCALE),
+        ]
+    };
+    println!("Backend throughput ({iters} iterations, {workers} worker(s), seed 7)\n");
+    println!("{:<24} {:>12} {:>14}", "backend", "wall-clock", "seeds/sec");
+    for spec in specs {
+        let (elapsed, rate) = throughput_with(&spec, workers, iters, 7);
+        println!(
+            "{:<24} {:>10.1}ms {:>14.1}",
+            spec.label(),
+            elapsed.as_secs_f64() * 1e3,
+            rate
+        );
+    }
+}

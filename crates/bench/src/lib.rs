@@ -475,9 +475,26 @@ pub fn table5(iterations: usize) -> String {
 /// seeds/sec)`. Backs the `throughput` Criterion bench and the scaling
 /// rows of EXPERIMENTS.md.
 pub fn throughput(workers: usize, iterations: usize, seed: u64) -> (Duration, f64) {
+    throughput_with(
+        &dejavuzz::BackendSpec::behavioural(boom_small()),
+        workers,
+        iterations,
+        seed,
+    )
+}
+
+/// [`throughput`], generalised over the simulation backend — the
+/// behavioural-vs-netlist comparison rows of EXPERIMENTS.md come from
+/// here (and the `backends` binary).
+pub fn throughput_with(
+    backend: &dejavuzz::BackendSpec,
+    workers: usize,
+    iterations: usize,
+    seed: u64,
+) -> (Duration, f64) {
     let start = Instant::now();
-    let report = executor::run(
-        boom_small(),
+    let report = executor::run_with_backend(
+        backend.clone(),
         FuzzerOptions::default(),
         workers,
         iterations,
@@ -486,6 +503,23 @@ pub fn throughput(workers: usize, iterations: usize, seed: u64) -> (Duration, f6
     let elapsed = start.elapsed();
     assert_eq!(report.stats.iterations, iterations);
     (elapsed, iterations as f64 / elapsed.as_secs_f64().max(1e-9))
+}
+
+/// Parses a `--backend <value>` argument into a [`dejavuzz::BackendSpec`]
+/// (behavioural SmallBOOM when absent), exiting with a usage message on
+/// an unknown value — shared by the bench binaries.
+pub fn backend_arg(args: &[String]) -> dejavuzz::BackendSpec {
+    let Some(flag) = args.iter().position(|a| a == "--backend") else {
+        return dejavuzz::BackendSpec::default();
+    };
+    let value = args.get(flag + 1).map(String::as_str).unwrap_or("");
+    match dejavuzz::BackendSpec::parse(value, boom_small()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("--backend: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parses a `--flag value` style argument with a default.
@@ -543,6 +577,29 @@ mod tests {
         let (elapsed, seeds_per_sec) = throughput(2, 8, 5);
         assert!(elapsed.as_nanos() > 0);
         assert!(seeds_per_sec > 0.0);
+    }
+
+    #[test]
+    fn throughput_runs_on_the_netlist_backend() {
+        use dejavuzz_rtl::examples::SMALL_SCALE;
+        let spec = dejavuzz::BackendSpec::netlist(SMALL_SCALE);
+        let (elapsed, seeds_per_sec) = throughput_with(&spec, 1, 6, 5);
+        assert!(elapsed.as_nanos() > 0);
+        assert!(seeds_per_sec > 0.0);
+    }
+
+    #[test]
+    fn backend_arg_defaults_and_parses() {
+        let none: Vec<String> = vec!["bin".into()];
+        assert_eq!(backend_arg(&none), dejavuzz::BackendSpec::default());
+        let some: Vec<String> = ["bin", "--backend", "netlist:small"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            backend_arg(&some),
+            dejavuzz::BackendSpec::netlist(dejavuzz_rtl::examples::SMALL_SCALE)
+        );
     }
 
     #[test]

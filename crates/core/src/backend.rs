@@ -1,0 +1,802 @@
+//! Pluggable simulation backends: the seam between the three-phase
+//! pipeline and whatever actually simulates a stimulus.
+//!
+//! The paper's pipeline (Figure 5) is backend-agnostic in principle —
+//! DejaVuzz drives RTL simulation of real cores — but the reproduction
+//! historically hardwired the phases to the behavioural
+//! [`dejavuzz_uarch::core::Core`]. [`SimBackend`] makes the seam a
+//! first-class API:
+//!
+//! * [`BehaviouralBackend`] wraps the out-of-order core models,
+//!   bit-for-bit identical to the old direct call (the pipeline
+//!   determinism tests of `tests/pipeline.rs` hold unchanged);
+//! * [`NetlistBackend`] drives the DIFT-instrumented netlist interpreter
+//!   [`dejavuzz_rtl::sim::NetlistSim`] over the `synthetic_core` scales
+//!   (or any custom netlist, e.g. the Figure 2 RoB-entry circuit),
+//!   mapping [`SwapPacket`] stimulus onto netlist input ports and the
+//!   per-cycle [`dejavuzz_ift::Census`] / final
+//!   [`dejavuzz_ift::SinkReport`] sweep onto the shared
+//!   [`dejavuzz_ift::TaintCoverage`] machinery.
+//!
+//! Both lower their observations into the backend-neutral [`RunOutcome`],
+//! which is all `phases::{phase1, phase2, phase3}` consume. Backends are
+//! selected by a cloneable [`BackendSpec`] so the executor can build one
+//! simulator instance per worker thread; a misconfigured backend returns
+//! a [`BackendError`] from [`SimBackend::run`], which fails that *run*
+//! (counted in `CampaignStats::failed_runs`), never the whole campaign.
+//!
+//! A future external-RTL-simulator-process backend only has to implement
+//! [`SimBackend`]; no further pipeline refactor is needed.
+
+use std::fmt;
+
+use dejavuzz_ift::{IftMode, SinkReport, TWord, TaintLog};
+use dejavuzz_isa::decode;
+use dejavuzz_isa::instr::{Instr, Reg};
+use dejavuzz_rtl::examples::{
+    rob_entry_circuit, synthetic_core, CoreScale, BOOM_SCALE, SMALL_SCALE, XIANGSHAN_SCALE,
+};
+use dejavuzz_rtl::ir::Netlist;
+use dejavuzz_rtl::sim::NetlistSim;
+use dejavuzz_swapmem::{PacketKind, SwapPacket};
+use dejavuzz_uarch::core::{Core, RunResult, TimingEvent};
+use dejavuzz_uarch::trace::{RobEvent, Trace, WindowInfo};
+use dejavuzz_uarch::{boom_small, CoreConfig};
+
+use crate::gen::{TransientPlan, WindowType};
+use crate::phases::{build_mem, DEFAULT_SECRET};
+
+/// Why a backend could not simulate a run.
+///
+/// Errors are *per-run*: the executor records them on the iteration
+/// outcome and keeps fuzzing, so one bad configuration (or a transiently
+/// broken external simulator, once one exists) cannot take down a
+/// campaign. Variants are added as backends need them — an external
+/// simulator backend will bring process/protocol errors of its own.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// The netlist failed SSA validation; carries the offending cell.
+    InvalidNetlist {
+        /// Index of the first invalid cell.
+        cell: usize,
+    },
+    /// An I/O mapping names an input port the netlist does not have.
+    NoSuchInput {
+        /// Which stimulus role was mapped onto the missing port.
+        role: &'static str,
+        /// The mapped input index.
+        index: usize,
+        /// Number of input ports the netlist declares.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::InvalidNetlist { cell } => {
+                write!(f, "netlist fails SSA validation at cell {cell}")
+            }
+            BackendError::NoSuchInput {
+                role,
+                index,
+                inputs,
+            } => write!(
+                f,
+                "stimulus role {role:?} mapped to input {index}, but the netlist has {inputs} input port(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Backend-neutral result of one simulation: everything the three phases
+/// consume, with no reference to which simulator produced it.
+///
+/// The behavioural [`RunResult`] lowers losslessly (the conversion is a
+/// field move, keeping the old direct-call path bit-for-bit identical);
+/// the netlist backend synthesises the trace from its stimulus protocol
+/// and takes the taint log / sink sweep straight off the netlist state.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutcome {
+    /// RoB IO trace (window detection, Phase 1 trigger evaluation).
+    pub trace: Trace,
+    /// Per-cycle taint census (empty in [`IftMode::Base`]).
+    pub taint_log: TaintLog,
+    /// Final-state tainted-sink sweep with liveness bits.
+    pub sinks: Vec<SinkReport>,
+    /// Divergent contention observations (empty for backends without a
+    /// two-plane timing model).
+    pub timing_events: Vec<TimingEvent>,
+    /// Total cycles, per plane.
+    pub total_cycles: (u64, u64),
+    /// Number of packets that ran.
+    pub packets_run: usize,
+}
+
+impl RunOutcome {
+    /// The transient window of the last packet that produced one.
+    pub fn window(&self) -> Option<WindowInfo> {
+        self.trace.last_window()
+    }
+
+    /// The transient window inside a specific packet.
+    pub fn window_in_packet(&self, packet: usize) -> Option<WindowInfo> {
+        self.trace.window_in_packet(packet)
+    }
+
+    /// Phase 3.1: did the variants take different time overall?
+    pub fn timing_diverged(&self) -> bool {
+        self.total_cycles.0 != self.total_cycles.1
+    }
+
+    /// Sinks that are tainted *and* live (§4.3.2 exploitable leakages).
+    pub fn exploitable_sinks(&self) -> Vec<&SinkReport> {
+        self.sinks.iter().filter(|s| s.exploitable()).collect()
+    }
+
+    /// Tainted-but-dead residue (the false-positive class liveness rejects).
+    pub fn residue_sinks(&self) -> Vec<&SinkReport> {
+        self.sinks.iter().filter(|s| s.residue()).collect()
+    }
+}
+
+impl From<RunResult> for RunOutcome {
+    fn from(r: RunResult) -> Self {
+        RunOutcome {
+            trace: r.trace,
+            taint_log: r.taint_log,
+            sinks: r.sinks,
+            timing_events: r.timing_events,
+            total_cycles: r.total_cycles,
+            packets_run: r.packets_run,
+        }
+    }
+}
+
+/// A simulation backend the phase pipeline can drive.
+///
+/// `Send` because the executor builds one backend per worker thread;
+/// `Debug` so campaign types holding a boxed backend stay debuggable.
+pub trait SimBackend: Send + fmt::Debug {
+    /// Backend family name (`"behavioural"`, `"netlist"`).
+    fn name(&self) -> &'static str;
+
+    /// Name of the simulated design, used to attribute
+    /// [`crate::report::BugReport`]s.
+    fn dut_name(&self) -> &'static str;
+
+    /// Whether non-[`IftMode::Base`] modes produce a meaningful taint log
+    /// (all in-tree backends do; an external trace-replay backend might
+    /// not).
+    fn supports_taint(&self) -> bool;
+
+    /// Simulates one schedule under `mode` with a `max_cycles` budget.
+    fn run(
+        &mut self,
+        plan: &TransientPlan,
+        schedule: &[SwapPacket],
+        mode: IftMode,
+        max_cycles: u64,
+    ) -> Result<RunOutcome, BackendError>;
+}
+
+/// The behavioural backend: the out-of-order core models of
+/// `dejavuzz-uarch`, exactly as the phases called them before the seam
+/// existed.
+#[derive(Clone, Debug)]
+pub struct BehaviouralBackend {
+    cfg: CoreConfig,
+}
+
+impl BehaviouralBackend {
+    /// A backend over one core configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        BehaviouralBackend { cfg }
+    }
+
+    /// The wrapped core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+}
+
+impl SimBackend for BehaviouralBackend {
+    fn name(&self) -> &'static str {
+        "behavioural"
+    }
+
+    fn dut_name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    fn supports_taint(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &mut self,
+        plan: &TransientPlan,
+        schedule: &[SwapPacket],
+        mode: IftMode,
+        max_cycles: u64,
+    ) -> Result<RunOutcome, BackendError> {
+        let mut mem = build_mem(plan, schedule, &DEFAULT_SECRET);
+        Ok(Core::new(self.cfg, mode).run(&mut mem, max_cycles).into())
+    }
+}
+
+/// Maps the stimulus protocol's roles onto a netlist's input ports.
+///
+/// The netlist backend reduces every instruction to three driven roles —
+/// a *data* word (secret values enter here), a *control* bit (register /
+/// memory write enable, e.g. `enq_valid` or `wen`) and an *index* word
+/// (entry selector / write address, e.g. `rob_tail_idx` or `waddr`) —
+/// plus auxiliary ports fed derived background words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistIo {
+    /// Data input (secret enqueue / write data).
+    pub data: usize,
+    /// Control / write-enable input.
+    pub control: usize,
+    /// Index / address input.
+    pub index: usize,
+    /// Other inputs, driven with derived (untainted) words.
+    pub aux: Vec<usize>,
+}
+
+/// Variant-1 plane of the planted secret.
+fn secret_a() -> u64 {
+    u64::from_le_bytes(DEFAULT_SECRET)
+}
+
+/// SplitMix64-style derivation of a deterministic stimulus word from an
+/// instruction encoding. No RNG: the executor's determinism guarantee
+/// (`same (seed, workers) ⇒ same results`) must hold for every backend.
+fn mix(word: u32, salt: u64) -> u64 {
+    let mut z = (word as u64 ^ salt).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The netlist backend: drives a [`NetlistSim`] with a stimulus protocol
+/// derived from the swap schedule.
+///
+/// # Stimulus protocol
+///
+/// The netlist has no instruction decoder, so the backend *interprets*
+/// the schedule at the harness level, one cycle per (non-padding)
+/// instruction, and synthesises the RoB IO trace the phases analyse:
+///
+/// * Training packets and the transient packet's prologue drive derived,
+///   untainted words (enqueue + commit events).
+/// * Whether the transient window triggers is decided from the schedule
+///   the way Phase 1 derives it: exception-class windows always trigger;
+///   misprediction windows trigger only when a trigger-training packet
+///   places the matching control-transfer instruction at the trained
+///   address (so training reduction and the DejaVuzz* ablation keep their
+///   semantics on this backend).
+/// * Inside a triggered window the secret enters: the first load drives
+///   `data` with the two-plane secret into index 0 (the access block);
+///   stores drive secret-derived tainted data into index 1 (the encode
+///   block — a sanitized re-run, whose encode block is `nop`s, leaves
+///   index 1 clean, which is exactly what Phase 3's sanitization diff
+///   needs). Window instructions enqueue without committing.
+/// * The window closes with one *rollback* cycle reproducing Figure 2:
+///   `control` and `index` go tainted-but-equal while `data` carries a
+///   fresh untainted word — CellIFT's Policy 2 taints every selected
+///   register, diffIFT's cross-instance gate keeps them clean — followed
+///   by a squash event with the window type's expected cause.
+///
+/// The per-cycle [`NetlistSim::census`] forms the taint log (coverage),
+/// and the final [`NetlistSim::sink_reports`] sweep forms the sinks. The
+/// netlist simulator has no two-plane timing model, so `total_cycles` is
+/// equal per plane and `timing_events` stays empty (no Phase 3 timing
+/// violations — leakage on this backend is found through encoded sinks).
+#[derive(Clone, Debug)]
+pub struct NetlistBackend {
+    dut: &'static str,
+    netlist: Netlist,
+    io: NetlistIo,
+}
+
+impl NetlistBackend {
+    /// A backend over an arbitrary netlist with an explicit I/O mapping.
+    ///
+    /// The mapping is validated lazily at [`SimBackend::run`], so a
+    /// misconfiguration fails runs (reported per-iteration) rather than
+    /// construction.
+    pub fn new(dut: &'static str, netlist: Netlist, io: NetlistIo) -> Self {
+        NetlistBackend { dut, netlist, io }
+    }
+
+    /// A backend over a [`synthetic_core`] scale: `data`→`wdata`,
+    /// `control`→`wen`, `index`→`waddr`, aux→the comb-cloud inputs.
+    pub fn synthetic(scale: CoreScale) -> Self {
+        NetlistBackend::new(
+            scale.name,
+            synthetic_core(scale),
+            NetlistIo {
+                data: 4,
+                control: 2,
+                index: 3,
+                aux: vec![0, 1],
+            },
+        )
+    }
+
+    /// A backend over the Figure 2 RoB-entry circuit: `data`→`enq_uopc`,
+    /// `control`→`enq_valid`, `index`→`rob_tail_idx`.
+    pub fn rob_entry(entries: usize) -> Self {
+        NetlistBackend::new(
+            "rob-entry",
+            rob_entry_circuit(entries).netlist,
+            NetlistIo {
+                data: 0,
+                control: 1,
+                index: 2,
+                aux: vec![],
+            },
+        )
+    }
+
+    /// The wrapped netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Decodes the instruction at `addr` in a packet, if it is in range.
+    fn instr_at(p: &SwapPacket, addr: u64) -> Option<Instr> {
+        if addr < p.program.base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((addr - p.program.base) / 4) as usize;
+        p.program.words.get(i).map(|&w| decode(w))
+    }
+
+    /// Whether a training packet trains this plan's trigger: the matching
+    /// control-transfer instruction sits at the trained address (derived
+    /// trainings always do; DejaVuzz*'s random packets only by luck).
+    fn trains(plan: &TransientPlan, p: &SwapPacket) -> bool {
+        match plan.window_type {
+            WindowType::BranchMispredict => {
+                matches!(
+                    Self::instr_at(p, plan.trigger_addr),
+                    Some(Instr::Branch { .. })
+                )
+            }
+            WindowType::IndirectMispredict => {
+                matches!(
+                    Self::instr_at(p, plan.trigger_addr),
+                    Some(Instr::Jalr { .. })
+                )
+            }
+            WindowType::ReturnMispredict => matches!(
+                Self::instr_at(p, plan.window_addr - 4),
+                Some(Instr::Jal { rd: Reg::RA, .. })
+            ),
+            _ => true,
+        }
+    }
+
+    /// Phase-1 semantics of the protocol: does this schedule open the
+    /// transient window?
+    fn schedule_triggers(plan: &TransientPlan, schedule: &[SwapPacket]) -> bool {
+        if !plan.window_type.is_mispredict() {
+            return true; // exceptions/disambiguation need no training
+        }
+        schedule
+            .iter()
+            .any(|p| p.kind == PacketKind::TriggerTraining && Self::trains(plan, p))
+    }
+
+    /// Drives derived, untainted background stimulus for one instruction.
+    fn drive_background(&self, sim: &mut NetlistSim, word: u32, cycle: u64) {
+        for (k, &a) in self.io.aux.iter().enumerate() {
+            sim.set_input(a, TWord::lit(mix(word, cycle ^ ((k as u64) << 8))));
+        }
+        sim.set_input(self.io.data, TWord::lit(mix(word, 0xDA7A)));
+        sim.set_input(self.io.control, TWord::lit(0));
+        sim.set_input(self.io.index, TWord::lit(mix(word, 0x1D) % 8));
+    }
+
+    /// Drives one speculative window instruction. Returns whether this
+    /// instruction injected the secret (the access block).
+    fn drive_window(&self, sim: &mut NetlistSim, instr: Instr, word: u32, injected: &mut bool) {
+        for &a in &self.io.aux {
+            sim.set_input(a, TWord::lit(mix(word, 0x77)));
+        }
+        let (sa, sb) = (secret_a(), !secret_a());
+        match instr {
+            // The first load of the window is the secret access: the
+            // two-plane secret enters the design at index 0.
+            Instr::Load { .. } | Instr::FLoad { .. } if !*injected => {
+                *injected = true;
+                sim.set_input(self.io.data, TWord::secret(sa, sb));
+                sim.set_input(self.io.control, TWord::lit(1));
+                sim.set_input(self.io.index, TWord::lit(0));
+            }
+            // Encode stores persist secret-derived data at index 1 (kept
+            // distinct from the access slot so sanitization can tell the
+            // two apart).
+            Instr::Store { .. } | Instr::FStore { .. } => {
+                let m = mix(word, 0xEC0D);
+                sim.set_input(self.io.data, TWord::with_taint(sa ^ m, sb ^ m, u64::MAX));
+                sim.set_input(self.io.control, TWord::lit(1));
+                sim.set_input(self.io.index, TWord::lit(1));
+            }
+            _ => {
+                sim.set_input(self.io.data, TWord::lit(mix(word, 0xDA7A)));
+                sim.set_input(self.io.control, TWord::lit(0));
+                sim.set_input(self.io.index, TWord::lit(mix(word, 0x1D) % 8));
+            }
+        }
+    }
+
+    /// Drives the Figure 2 rollback cycle: control signals tainted but
+    /// equal across variants, fresh untainted data.
+    fn drive_rollback(&self, sim: &mut NetlistSim) {
+        for &a in &self.io.aux {
+            sim.set_input(a, TWord::lit(0));
+        }
+        sim.set_input(self.io.data, TWord::lit(0x55));
+        sim.set_input(self.io.control, TWord::with_taint(1, 1, 1));
+        sim.set_input(self.io.index, TWord::with_taint(2, 2, u64::MAX));
+    }
+}
+
+impl SimBackend for NetlistBackend {
+    fn name(&self) -> &'static str {
+        "netlist"
+    }
+
+    fn dut_name(&self) -> &'static str {
+        self.dut
+    }
+
+    fn supports_taint(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &mut self,
+        plan: &TransientPlan,
+        schedule: &[SwapPacket],
+        mode: IftMode,
+        max_cycles: u64,
+    ) -> Result<RunOutcome, BackendError> {
+        // Fail a misconfigured backend per-run, not per-campaign.
+        let inputs = self.netlist.input_count();
+        for (role, index) in [
+            ("data", self.io.data),
+            ("control", self.io.control),
+            ("index", self.io.index),
+        ]
+        .into_iter()
+        .chain(self.io.aux.iter().map(|&a| ("aux", a)))
+        {
+            if index >= inputs {
+                return Err(BackendError::NoSuchInput {
+                    role,
+                    index,
+                    inputs,
+                });
+            }
+        }
+        let mut sim = NetlistSim::try_new(self.netlist.clone(), mode)
+            .map_err(|cell| BackendError::InvalidNetlist { cell })?;
+
+        let mut trace = Trace::new();
+        let mut taint_log = TaintLog::new();
+        let mut cycle: u64 = 0;
+        let mut idx: usize = 0;
+        let mut packets_run = 0;
+        let triggered = Self::schedule_triggers(plan, schedule);
+        let win_lo = plan.window_addr;
+        let win_hi = plan.window_addr + 4 * plan.window_slots as u64;
+        let cause = plan.window_type.expected_cause();
+
+        'packets: for (pi, packet) in schedule.iter().enumerate() {
+            packets_run += 1;
+            let transient = packet.kind == PacketKind::Transient;
+            let mut injected = false;
+            let mut window_after_idx = None;
+            let mut window_enqueued = 0usize;
+            for (wi, &word) in packet.program.words.iter().enumerate() {
+                let addr = packet.program.base + 4 * wi as u64;
+                let instr = decode(word);
+                let in_window = transient && (win_lo..win_hi).contains(&addr);
+                // Compress alignment padding outside the window; inside it
+                // every slot is a (possibly dummy) speculative instruction.
+                if !in_window && instr == Instr::NOP {
+                    continue;
+                }
+                if transient && !triggered && addr >= win_lo {
+                    break; // the untrained trigger falls through; the
+                           // window body is never fetched
+                }
+                if cycle >= max_cycles {
+                    break 'packets; // budget exhausted: no squash, so the
+                                    // run reads as untriggered
+                }
+                if in_window {
+                    if window_after_idx.is_none() {
+                        window_after_idx = Some(idx.saturating_sub(1));
+                    }
+                    self.drive_window(&mut sim, instr, word, &mut injected);
+                    trace.push(RobEvent::Enq {
+                        cycle,
+                        skew_b: 0,
+                        idx,
+                        pc: addr,
+                        packet: pi,
+                    });
+                    window_enqueued += 1;
+                } else {
+                    self.drive_background(&mut sim, word, cycle);
+                    trace.push(RobEvent::Enq {
+                        cycle,
+                        skew_b: 0,
+                        idx,
+                        pc: addr,
+                        packet: pi,
+                    });
+                    trace.push(RobEvent::Commit {
+                        cycle,
+                        skew_b: 0,
+                        idx,
+                    });
+                }
+                idx += 1;
+                sim.step();
+                if mode != IftMode::Base {
+                    taint_log.push(sim.census());
+                }
+                cycle += 1;
+            }
+            // Close a triggered window with the rollback + squash.
+            if let Some(after_idx) = window_after_idx {
+                if window_enqueued > 0 && cycle < max_cycles {
+                    self.drive_rollback(&mut sim);
+                    sim.step();
+                    if mode != IftMode::Base {
+                        taint_log.push(sim.census());
+                    }
+                    trace.push(RobEvent::Squash {
+                        cycle,
+                        skew_b: 0,
+                        after_idx,
+                        killed: window_enqueued,
+                        cause,
+                    });
+                    cycle += 1;
+                }
+            }
+        }
+
+        Ok(RunOutcome {
+            trace,
+            taint_log,
+            sinks: sim.sink_reports(),
+            timing_events: Vec::new(),
+            total_cycles: (cycle, cycle),
+            packets_run,
+        })
+    }
+}
+
+/// Cloneable backend configuration: what campaign/executor constructors
+/// accept, and what each worker thread builds its own simulator from.
+///
+/// `Default` is the behavioural SmallBOOM model, so existing
+/// `CoreConfig`-positional call sites keep their behaviour through the
+/// thin compatibility constructors.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // a handful of specs per campaign; boxing buys nothing
+pub enum BackendSpec {
+    /// Behavioural out-of-order core model.
+    Behavioural(CoreConfig),
+    /// DIFT-instrumented netlist interpreter over a synthetic core scale.
+    Netlist(CoreScale),
+}
+
+impl Default for BackendSpec {
+    fn default() -> Self {
+        BackendSpec::Behavioural(boom_small())
+    }
+}
+
+impl BackendSpec {
+    /// A behavioural spec.
+    pub fn behavioural(cfg: CoreConfig) -> Self {
+        BackendSpec::Behavioural(cfg)
+    }
+
+    /// A netlist spec over a synthetic core scale.
+    pub fn netlist(scale: CoreScale) -> Self {
+        BackendSpec::Netlist(scale)
+    }
+
+    /// Parses a `--backend` CLI value: `behavioural` (using
+    /// `behavioural_cfg`) or `netlist[:small|boom|xiangshan]`.
+    pub fn parse(s: &str, behavioural_cfg: CoreConfig) -> Result<Self, String> {
+        match s {
+            "behavioural" | "behavioral" => Ok(BackendSpec::Behavioural(behavioural_cfg)),
+            "netlist" => Ok(BackendSpec::Netlist(SMALL_SCALE)),
+            _ => match s.strip_prefix("netlist:") {
+                Some("small") => Ok(BackendSpec::Netlist(SMALL_SCALE)),
+                Some("boom") => Ok(BackendSpec::Netlist(BOOM_SCALE)),
+                Some("xiangshan") => Ok(BackendSpec::Netlist(XIANGSHAN_SCALE)),
+                Some(other) => Err(format!(
+                    "unknown netlist scale {other:?} (expected small|boom|xiangshan)"
+                )),
+                None => Err(format!(
+                    "unknown backend {s:?} (expected behavioural or netlist:<scale>)"
+                )),
+            },
+        }
+    }
+
+    /// Human-readable label (`behavioural:BOOM`, `netlist:SynthSmall`).
+    pub fn label(&self) -> String {
+        match self {
+            BackendSpec::Behavioural(cfg) => format!("behavioural:{}", cfg.name),
+            BackendSpec::Netlist(scale) => format!("netlist:{}", scale.name),
+        }
+    }
+
+    /// Builds a fresh backend instance (one per worker thread).
+    pub fn build(&self) -> Box<dyn SimBackend> {
+        match self {
+            BackendSpec::Behavioural(cfg) => Box::new(BehaviouralBackend::new(*cfg)),
+            BackendSpec::Netlist(scale) => Box::new(NetlistBackend::synthetic(*scale)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, Seed, WindowFill};
+    use crate::phases::PhaseOptions;
+
+    fn schedule_for(seed: &Seed) -> (TransientPlan, Vec<SwapPacket>) {
+        let plan = gen::plan(seed);
+        let mut schedule = gen::derive_trainings(seed, &plan, 1);
+        schedule.push(gen::build_transient(&plan, &WindowFill::Dummy));
+        (plan, schedule)
+    }
+
+    #[test]
+    fn behavioural_backend_matches_direct_core_run() {
+        let seed = Seed::new(WindowType::MemPageFault, 3);
+        let (plan, schedule) = schedule_for(&seed);
+        let opts = PhaseOptions::default();
+        let mut backend = BehaviouralBackend::new(boom_small());
+        let out = backend
+            .run(&plan, &schedule, IftMode::DiffIft, opts.max_cycles)
+            .unwrap();
+        let mut mem = build_mem(&plan, &schedule, &DEFAULT_SECRET);
+        let direct: RunOutcome = Core::new(boom_small(), IftMode::DiffIft)
+            .run(&mut mem, opts.max_cycles)
+            .into();
+        assert_eq!(out.total_cycles, direct.total_cycles);
+        assert_eq!(out.trace.events(), direct.trace.events());
+        assert_eq!(out.taint_log.taint_sums(), direct.taint_log.taint_sums());
+        assert_eq!(backend.name(), "behavioural");
+        assert_eq!(backend.dut_name(), "BOOM");
+        assert!(backend.supports_taint());
+    }
+
+    #[test]
+    fn netlist_backend_triggers_exception_windows_untrained() {
+        let seed = Seed::new(WindowType::MemPageFault, 1);
+        let plan = gen::plan(&seed);
+        let schedule = vec![gen::build_transient(&plan, &WindowFill::Dummy)];
+        let mut backend = NetlistBackend::synthetic(SMALL_SCALE);
+        let out = backend
+            .run(&plan, &schedule, IftMode::Base, 20_000)
+            .unwrap();
+        let w = out
+            .trace
+            .window_in_packet_caused(0, Some(plan.window_type.expected_cause()))
+            .expect("window detected");
+        assert!(w.triggered());
+        assert!(out.taint_log.is_empty(), "Base mode logs no census");
+    }
+
+    #[test]
+    fn netlist_backend_mispredict_needs_matching_training() {
+        let seed = Seed::new(WindowType::BranchMispredict, 5);
+        let (plan, schedule) = schedule_for(&seed);
+        let mut backend = NetlistBackend::synthetic(SMALL_SCALE);
+        let trained = backend
+            .run(&plan, &schedule, IftMode::Base, 20_000)
+            .unwrap();
+        assert!(trained
+            .trace
+            .window_in_packet_caused(schedule.len() - 1, Some("branch-mispredict"))
+            .is_some_and(|w| w.triggered()));
+        // Remove every targeted training packet: the window must close.
+        let untrained: Vec<SwapPacket> = schedule
+            .iter()
+            .filter(|p| !NetlistBackend::trains(&plan, p))
+            .cloned()
+            .collect();
+        let out = backend
+            .run(&plan, &untrained, IftMode::Base, 20_000)
+            .unwrap();
+        assert!(out
+            .trace
+            .window_in_packet_caused(untrained.len() - 1, Some("branch-mispredict"))
+            .is_none());
+    }
+
+    #[test]
+    fn netlist_backend_window_taints_and_sinks() {
+        let seed = Seed::new(WindowType::MemPageFault, 2);
+        let plan = gen::plan(&seed);
+        let body = gen::complete_window(&seed, &plan);
+        let schedule = vec![gen::build_transient(&plan, &WindowFill::Body(body.full()))];
+        let mut backend = NetlistBackend::synthetic(SMALL_SCALE);
+        let out = backend
+            .run(&plan, &schedule, IftMode::DiffIft, 20_000)
+            .unwrap();
+        let w = out.window_in_packet(0).expect("window");
+        assert!(out
+            .taint_log
+            .taint_increased_in(w.start_cycle as usize, w.end_cycle as usize + 1));
+        assert!(!out.timing_diverged(), "no two-plane timing model");
+    }
+
+    #[test]
+    fn misconfigured_io_fails_the_run_not_the_process() {
+        let seed = Seed::new(WindowType::IllegalInstr, 0);
+        let (plan, schedule) = schedule_for(&seed);
+        let mut backend = NetlistBackend::new(
+            "broken",
+            synthetic_core(SMALL_SCALE),
+            NetlistIo {
+                data: 99,
+                control: 2,
+                index: 3,
+                aux: vec![],
+            },
+        );
+        let err = backend
+            .run(&plan, &schedule, IftMode::Base, 1_000)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BackendError::NoSuchInput { role: "data", .. }
+        ));
+        assert!(err.to_string().contains("input 99"));
+    }
+
+    #[test]
+    fn backend_spec_parses_and_builds() {
+        let cfg = boom_small();
+        assert_eq!(
+            BackendSpec::parse("behavioural", cfg).unwrap(),
+            BackendSpec::Behavioural(cfg)
+        );
+        assert_eq!(
+            BackendSpec::parse("netlist:small", cfg).unwrap(),
+            BackendSpec::Netlist(SMALL_SCALE)
+        );
+        assert_eq!(
+            BackendSpec::parse("netlist:xiangshan", cfg).unwrap(),
+            BackendSpec::Netlist(XIANGSHAN_SCALE)
+        );
+        assert!(BackendSpec::parse("netlist:huge", cfg).is_err());
+        assert!(BackendSpec::parse("verilator", cfg).is_err());
+        assert_eq!(BackendSpec::default().build().name(), "behavioural");
+        assert_eq!(BackendSpec::netlist(BOOM_SCALE).build().dut_name(), "BOOM");
+        assert_eq!(
+            BackendSpec::netlist(SMALL_SCALE).label(),
+            "netlist:SynthSmall"
+        );
+    }
+}

@@ -4,8 +4,11 @@
 //! ```sh
 //! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
 //!     --core xiangshan --iters 100 --workers 4 --seed 7
+//! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
+//!     --backend netlist:small --iters 20
 //! ```
 
+use dejavuzz::backend::BackendSpec;
 use dejavuzz::campaign::FuzzerOptions;
 use dejavuzz::executor;
 use dejavuzz_uarch::{boom_small, xiangshan_minimal};
@@ -23,7 +26,9 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "dejavuzz-fuzz — transient-execution-bug fuzzing campaign\n\n\
-             --core boom|xiangshan   DUT model (default boom)\n\
+             --core boom|xiangshan   behavioural DUT model (default boom)\n\
+             --backend behavioural|netlist[:small|boom|xiangshan]\n\
+             \u{20}                        simulation backend (default behavioural)\n\
              --iters N               iterations per worker (default 50)\n\
              --workers N             pipeline workers sharing one corpus (default 1)\n\
              --threads N             alias for --workers (historical name)\n\
@@ -37,6 +42,14 @@ fn main() {
         "xiangshan" => xiangshan_minimal(),
         _ => boom_small(),
     };
+    let backend = arg::<String>(&args, "--backend", "behavioural".into());
+    let backend = match BackendSpec::parse(&backend, cfg) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("dejavuzz-fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
     let iters = arg(&args, "--iters", 50usize);
     let workers = arg(&args, "--workers", arg(&args, "--threads", 1usize)).max(1);
     let seed = arg(&args, "--seed", 42u64);
@@ -48,12 +61,17 @@ fn main() {
         _ => FuzzerOptions::default(),
     };
 
+    // The behavioural banner keeps its historical form so default-path
+    // output stays byte-identical across the backend refactor.
+    let banner = match &backend {
+        BackendSpec::Behavioural(cfg) => cfg.name.to_string(),
+        other => other.label(),
+    };
     println!(
-        "fuzzing {} ({variant}) — {iters} iters x {workers} worker(s), shared corpus, seed {seed}\n",
-        cfg.name
+        "fuzzing {banner} ({variant}) — {iters} iters x {workers} worker(s), shared corpus, seed {seed}\n"
     );
     let start = std::time::Instant::now();
-    let report = executor::run(cfg, opts, workers, iters * workers, seed);
+    let report = executor::run_with_backend(backend, opts, workers, iters * workers, seed);
     let stats = &report.stats;
     let elapsed = start.elapsed().as_secs_f64();
     println!("elapsed:          {elapsed:.1}s");
@@ -62,6 +80,9 @@ fn main() {
         stats.iterations as f64 / elapsed.max(1e-9)
     );
     println!("iterations:       {}", stats.iterations);
+    if stats.failed_runs > 0 {
+        println!("failed runs:      {} (backend errors)", stats.failed_runs);
+    }
     println!("simulations:      {}", stats.sim_runs);
     println!("simulated cycles: {}", stats.sim_cycles);
     println!("coverage points:  {} (exact union)", stats.coverage());

@@ -10,6 +10,7 @@ use rand::SeedableRng;
 use dejavuzz_ift::{CoverageMatrix, IftMode};
 use dejavuzz_uarch::CoreConfig;
 
+use crate::backend::{BackendSpec, SimBackend};
 use crate::corpus::Corpus;
 use crate::executor::{self, GainAverage};
 use crate::gen::WindowType;
@@ -20,6 +21,14 @@ use crate::report::BugReport;
 /// are spelled as constructors: [`FuzzerOptions::dejavuzz_star`] (random
 /// training, §6.2), [`FuzzerOptions::dejavuzz_minus`] (no coverage
 /// feedback, §6.3) and [`FuzzerOptions::no_liveness`] (§6.3).
+///
+/// The system under test is *not* part of these options: pass a
+/// [`BackendSpec`] to [`Campaign::with_backend`] /
+/// [`crate::executor::Orchestrator::with_backend`]. (Historically a
+/// `CoreConfig` was plumbed positionally next to `FuzzerOptions`
+/// everywhere; that path survives only as thin behavioural-backend
+/// compatibility constructors and is deprecated in favour of
+/// `BackendSpec`.)
 #[derive(Clone, Copy, Debug)]
 pub struct FuzzerOptions {
     /// Phase tunables.
@@ -132,6 +141,10 @@ pub struct CampaignStats {
     pub sim_runs: usize,
     /// Total simulated cycles (proxy for simulation wall-clock).
     pub sim_cycles: u64,
+    /// Iterations aborted by a backend failure
+    /// ([`crate::backend::BackendError`]); always 0 on the in-tree
+    /// backends when correctly configured.
+    pub failed_runs: usize,
 }
 
 impl CampaignStats {
@@ -156,6 +169,7 @@ impl CampaignStats {
         self.iterations += other.iterations;
         self.sim_runs += other.sim_runs;
         self.sim_cycles += other.sim_cycles;
+        self.failed_runs += other.failed_runs;
         for (i, &c) in other.coverage_curve.iter().enumerate() {
             if i < self.coverage_curve.len() {
                 self.coverage_curve[i] = self.coverage_curve[i].max(c);
@@ -182,15 +196,16 @@ impl CampaignStats {
     }
 }
 
-/// A fuzzing campaign against one core model: the thin single-worker
-/// façade over the pipeline machinery ([`Corpus`] scheduling plus the
-/// shared per-iteration engine of [`crate::executor`]). Multi-worker runs
-/// go through [`crate::executor::run`]; this type exists for the paper's
-/// sequential curves (Figure 7), the ablation variants, and as the
-/// simplest entry point.
-#[derive(Clone, Debug)]
+/// A fuzzing campaign against one system under test: the thin
+/// single-worker façade over the pipeline machinery ([`Corpus`]
+/// scheduling plus the shared per-iteration engine of
+/// [`crate::executor`]). Multi-worker runs go through
+/// [`crate::executor::run`]; this type exists for the paper's sequential
+/// curves (Figure 7), the ablation variants, and as the simplest entry
+/// point.
+#[derive(Debug)]
 pub struct Campaign {
-    cfg: CoreConfig,
+    backend: Box<dyn SimBackend>,
     opts: FuzzerOptions,
     rng: StdRng,
     corpus: Corpus,
@@ -201,8 +216,26 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// A new campaign with deterministic RNG seeding.
+    /// A new campaign over the behavioural backend — the thin
+    /// compatibility constructor for `CoreConfig`-positional call sites;
+    /// prefer [`Campaign::with_backend`].
     pub fn new(cfg: CoreConfig, opts: FuzzerOptions, rng_seed: u64) -> Self {
+        Self::with_backend(BackendSpec::Behavioural(cfg), opts, rng_seed)
+    }
+
+    /// A new campaign over any backend spec with deterministic RNG
+    /// seeding.
+    pub fn with_backend(backend: BackendSpec, opts: FuzzerOptions, rng_seed: u64) -> Self {
+        Self::with_boxed_backend(backend.build(), opts, rng_seed)
+    }
+
+    /// A new campaign over a caller-constructed backend instance (custom
+    /// netlists, future external simulators).
+    pub fn with_boxed_backend(
+        backend: Box<dyn SimBackend>,
+        opts: FuzzerOptions,
+        rng_seed: u64,
+    ) -> Self {
         // Corpus retention/scheduling is coverage feedback, so DejaVuzz⁻
         // runs with the corpus disabled (always explore, never retain).
         let corpus = if opts.coverage_feedback {
@@ -211,7 +244,7 @@ impl Campaign {
             Corpus::default().with_exploit_probability(0.0)
         };
         Campaign {
-            cfg,
+            backend,
             opts,
             rng: StdRng::seed_from_u64(rng_seed),
             corpus,
@@ -219,6 +252,11 @@ impl Campaign {
             stats: CampaignStats::default(),
             gain: GainAverage::default(),
         }
+    }
+
+    /// The simulation backend driving this campaign.
+    pub fn backend(&self) -> &dyn SimBackend {
+        self.backend.as_ref()
     }
 
     /// The coverage matrix accumulated so far.
@@ -250,7 +288,7 @@ impl Campaign {
         let slot = self.stats.iterations;
         let scheduled = self.corpus.schedule(&mut self.rng);
         let outcome = executor::run_iteration(
-            &self.cfg,
+            self.backend.as_mut(),
             &self.opts,
             slot,
             scheduled,

@@ -47,6 +47,7 @@ use rand::{Rng, SeedableRng};
 use dejavuzz_ift::{CoverageMatrix, CoveragePoint, IftMode, RecordingCoverage, SharedCoverage};
 use dejavuzz_uarch::CoreConfig;
 
+use crate::backend::{BackendSpec, SimBackend};
 use crate::campaign::{CampaignStats, FuzzerOptions};
 use crate::corpus::Corpus;
 use crate::gen::{Seed, WindowType};
@@ -95,13 +96,19 @@ pub(crate) struct IterationOutcome {
     /// Points fresh against the worker's view, in observation order.
     pub fresh_points: Vec<CoveragePoint>,
     pub bugs: Vec<crate::report::BugReport>,
+    /// A backend failure that aborted this iteration
+    /// ([`crate::backend::BackendError`], stringified for the channel).
+    /// The iteration still counts; the campaign keeps running.
+    pub error: Option<String>,
 }
 
 /// One three-phase pipeline iteration. Shared by [`Worker`] and the
-/// single-worker [`crate::Campaign`] façade.
+/// single-worker [`crate::Campaign`] façade. Dyn-dispatched on the
+/// backend: one virtual call per *simulation*, noise against the
+/// simulation itself (measured by the `backends` Criterion group).
 #[allow(clippy::too_many_arguments)] // the iteration's full context, spelled out
 pub(crate) fn run_iteration(
-    cfg: &CoreConfig,
+    backend: &mut dyn SimBackend,
     opts: &FuzzerOptions,
     slot: usize,
     scheduled: Option<Seed>,
@@ -128,9 +135,16 @@ pub(crate) fn run_iteration(
         final_gain: 0,
         fresh_points: Vec::new(),
         bugs: Vec::new(),
+        error: None,
     };
 
-    let p1 = phase1(cfg, &seed, &opts.phases);
+    let p1 = match phase1(backend, &seed, &opts.phases) {
+        Ok(p1) => p1,
+        Err(e) => {
+            out.error = Some(e.to_string());
+            return out;
+        }
+    };
     out.sim_runs += p1.sim_runs;
     if !p1.triggered {
         return out;
@@ -149,7 +163,13 @@ pub(crate) fn run_iteration(
             observed: observed.as_deref_mut(),
             shared,
         };
-        let p2 = phase2(cfg, &seed, &p1, &mut sink, &opts.phases);
+        let p2 = match phase2(backend, &seed, &p1, &mut sink, &opts.phases) {
+            Ok(p2) => p2,
+            Err(e) => {
+                out.error = Some(e.to_string());
+                return out;
+            }
+        };
         out.sim_runs += 1;
         out.sim_cycles += p2.run.total_cycles.0;
         let g = p2.coverage_gain as f64;
@@ -174,9 +194,13 @@ pub(crate) fn run_iteration(
 
     // Phase 3 only for cases that accessed and propagated the secret.
     if p2.taints_increased || opts.phases.mode == IftMode::Base {
-        let p3 = phase3(cfg, &p1, &p2, slot, &opts.phases);
-        out.sim_runs += 1;
-        out.bugs = p3.leaks;
+        match phase3(backend, &p1, &p2, slot, &opts.phases) {
+            Ok(p3) => {
+                out.sim_runs += 1;
+                out.bugs = p3.leaks;
+            }
+            Err(e) => out.error = Some(e.to_string()),
+        }
     }
     out
 }
@@ -187,6 +211,9 @@ pub(crate) fn fold_outcome(stats: &mut CampaignStats, o: &IterationOutcome) {
     stats.iterations += 1;
     stats.sim_runs += o.sim_runs;
     stats.sim_cycles += o.sim_cycles;
+    if o.error.is_some() {
+        stats.failed_runs += 1;
+    }
     let e = stats.windows.entry(o.window_type).or_default();
     e.attempted += 1;
     if o.triggered {
@@ -244,11 +271,11 @@ pub struct WorkerSummary {
     pub observed: CoverageMatrix,
 }
 
-/// A pipeline worker: owns its simulators, its RNG stream and its
+/// A pipeline worker: owns its simulator backend, its RNG stream and its
 /// deterministic view of the global coverage.
 struct Worker {
     id: usize,
-    cfg: CoreConfig,
+    backend: Box<dyn SimBackend>,
     opts: FuzzerOptions,
     rng: StdRng,
     view: CoverageMatrix,
@@ -278,7 +305,7 @@ impl Worker {
             for item in batch.items {
                 self.iterations += 1;
                 outcomes.push(run_iteration(
-                    &self.cfg,
+                    self.backend.as_mut(),
                     &self.opts,
                     item.slot,
                     item.scheduled,
@@ -323,7 +350,7 @@ pub struct ExecutorReport {
 /// The pool coordinator. See the module docs for the round protocol.
 #[derive(Clone, Debug)]
 pub struct Orchestrator {
-    cfg: CoreConfig,
+    backend: BackendSpec,
     opts: FuzzerOptions,
     workers: usize,
     seed: u64,
@@ -333,10 +360,25 @@ pub struct Orchestrator {
 }
 
 impl Orchestrator {
-    /// A new pool configuration. `workers` is clamped to at least 1.
+    /// A new pool over the behavioural backend — the thin compatibility
+    /// constructor for `CoreConfig`-positional call sites; prefer
+    /// [`Orchestrator::with_backend`]. `workers` is clamped to at
+    /// least 1.
     pub fn new(cfg: CoreConfig, opts: FuzzerOptions, workers: usize, seed: u64) -> Self {
+        Self::with_backend(BackendSpec::Behavioural(cfg), opts, workers, seed)
+    }
+
+    /// A new pool configuration over any backend; each worker thread
+    /// builds its own simulator from the spec. `workers` is clamped to at
+    /// least 1.
+    pub fn with_backend(
+        backend: BackendSpec,
+        opts: FuzzerOptions,
+        workers: usize,
+        seed: u64,
+    ) -> Self {
         Orchestrator {
-            cfg,
+            backend,
             opts,
             workers: workers.max(1),
             seed,
@@ -385,7 +427,7 @@ impl Orchestrator {
             let (to_tx, to_rx) = mpsc::channel();
             let worker = Worker {
                 id,
-                cfg: self.cfg,
+                backend: self.backend.build(),
                 opts: self.opts,
                 rng: StdRng::seed_from_u64(self.stream_seed(1 + id as u64)),
                 view: CoverageMatrix::new(),
@@ -504,7 +546,8 @@ impl Orchestrator {
 }
 
 /// Runs `iterations` fuzzing iterations on a pool of `workers` threads
-/// sharing one corpus, one gain threshold and one exact coverage union.
+/// sharing one corpus, one gain threshold and one exact coverage union,
+/// over the behavioural backend for `cfg`.
 ///
 /// Deterministic for a fixed `(workers, seed)` pair; see the module docs.
 pub fn run(
@@ -515,6 +558,17 @@ pub fn run(
     seed: u64,
 ) -> ExecutorReport {
     Orchestrator::new(cfg, opts, workers, seed).run(iterations)
+}
+
+/// [`run`], generalised over the simulation backend.
+pub fn run_with_backend(
+    backend: BackendSpec,
+    opts: FuzzerOptions,
+    workers: usize,
+    iterations: usize,
+    seed: u64,
+) -> ExecutorReport {
+    Orchestrator::with_backend(backend, opts, workers, seed).run(iterations)
 }
 
 #[cfg(test)]

@@ -19,7 +19,12 @@
 //!    (nop it out and diff the taint logs) and run the tainted-sink
 //!    liveness analysis (§4.3.2) to report exploitable leakages only.
 //!
-//! Around the phases sits the fuzzing pipeline of §5:
+//! The phases are generic over a pluggable simulation backend
+//! ([`backend::SimBackend`]): the behavioural out-of-order cores
+//! ([`backend::BehaviouralBackend`]) or the DIFT-instrumented netlist
+//! interpreter ([`backend::NetlistBackend`] over `dejavuzz-rtl`), selected
+//! by a cloneable [`backend::BackendSpec`]. Around the phases sits the
+//! fuzzing pipeline of §5:
 //!
 //! * [`corpus::Corpus`] — interesting-seed retention with energy-based
 //!   scheduling (retained seeds re-roll their window section; energy
@@ -47,6 +52,7 @@
 //! assert!(stats.coverage_curve.last().copied().unwrap_or(0) > 0);
 //! ```
 
+pub mod backend;
 pub mod campaign;
 pub mod corpus;
 pub mod executor;
@@ -54,6 +60,9 @@ pub mod gen;
 pub mod phases;
 pub mod report;
 
+pub use backend::{
+    BackendError, BackendSpec, BehaviouralBackend, NetlistBackend, RunOutcome, SimBackend,
+};
 pub use campaign::{Campaign, CampaignStats, FuzzerOptions};
 pub use corpus::Corpus;
 pub use executor::{ExecutorReport, Orchestrator, WorkerSummary};

@@ -1,10 +1,15 @@
-//! The three fuzzing phases of Figure 5.
+//! The three fuzzing phases of Figure 5, generic over the simulation
+//! backend ([`crate::backend::SimBackend`]).
+//!
+//! Every phase drives the backend through [`simulate`] and analyses the
+//! backend-neutral [`RunOutcome`]; backend failures propagate as
+//! [`BackendError`] so a misconfigured backend fails the *run* (the
+//! executor records it and keeps fuzzing), never the campaign.
 
 use dejavuzz_ift::{IftMode, TaintCoverage};
 use dejavuzz_swapmem::{SwapMem, SwapPacket, DEFAULT_LAYOUT};
-use dejavuzz_uarch::core::{Core, RunResult};
-use dejavuzz_uarch::CoreConfig;
 
+use crate::backend::{BackendError, RunOutcome, SimBackend};
 use crate::gen::{self, Seed, TransientPlan, WindowBody, WindowFill};
 use crate::report::{AttackType, BugReport, LeakChannel};
 
@@ -58,16 +63,15 @@ pub fn build_mem(plan: &TransientPlan, schedule: &[SwapPacket], secret: &[u8]) -
     mem
 }
 
-/// Runs one simulation of a schedule.
-pub fn simulate(
-    cfg: &CoreConfig,
+/// Runs one simulation of a schedule on the given backend.
+pub fn simulate<B: SimBackend + ?Sized>(
+    backend: &mut B,
     plan: &TransientPlan,
     schedule: &[SwapPacket],
     mode: IftMode,
     max_cycles: u64,
-) -> RunResult {
-    let mut mem = build_mem(plan, schedule, &DEFAULT_SECRET);
-    Core::new(*cfg, mode).run(&mut mem, max_cycles)
+) -> Result<RunOutcome, BackendError> {
+    backend.run(plan, schedule, mode, max_cycles)
 }
 
 /// Phase 1 output.
@@ -89,7 +93,11 @@ pub struct Phase1Result {
 }
 
 /// Phase 1: transient window triggering (§4.1).
-pub fn phase1(cfg: &CoreConfig, seed: &Seed, opts: &PhaseOptions) -> Phase1Result {
+pub fn phase1<B: SimBackend + ?Sized>(
+    backend: &mut B,
+    seed: &Seed,
+    opts: &PhaseOptions,
+) -> Result<Phase1Result, BackendError> {
     let plan = gen::plan(seed);
     let trainings = if opts.training_derivation {
         gen::derive_trainings(seed, &plan, opts.decoy_trainings)
@@ -102,15 +110,16 @@ pub fn phase1(cfg: &CoreConfig, seed: &Seed, opts: &PhaseOptions) -> Phase1Resul
     let mut sim_runs = 0;
 
     let expected = plan.window_type.expected_cause();
-    let triggers = |schedule: &[SwapPacket], sim_runs: &mut usize| -> bool {
-        *sim_runs += 1;
-        let r = simulate(cfg, &plan, schedule, IftMode::Base, opts.max_cycles);
-        r.trace
-            .window_in_packet_caused(schedule.len() - 1, Some(expected))
-            .is_some_and(|w| w.triggered())
-    };
+    let mut triggers =
+        |schedule: &[SwapPacket], sim_runs: &mut usize| -> Result<bool, BackendError> {
+            *sim_runs += 1;
+            let r = simulate(backend, &plan, schedule, IftMode::Base, opts.max_cycles)?;
+            Ok(r.trace
+                .window_in_packet_caused(schedule.len() - 1, Some(expected))
+                .is_some_and(|w| w.triggered()))
+        };
 
-    let triggered = triggers(&schedule, &mut sim_runs);
+    let triggered = triggers(&schedule, &mut sim_runs)?;
     if triggered && opts.training_reduction {
         // Step 1.2 training reduction: remove one packet at a time and
         // re-simulate; discard packets whose removal keeps the window.
@@ -118,7 +127,7 @@ pub fn phase1(cfg: &CoreConfig, seed: &Seed, opts: &PhaseOptions) -> Phase1Resul
         while i + 1 < schedule.len() {
             let mut trial = schedule.clone();
             trial.remove(i);
-            if triggers(&trial, &mut sim_runs) {
+            if triggers(&trial, &mut sim_runs)? {
                 schedule = trial;
             } else {
                 i += 1;
@@ -126,14 +135,14 @@ pub fn phase1(cfg: &CoreConfig, seed: &Seed, opts: &PhaseOptions) -> Phase1Resul
         }
     }
     let (to, eto) = gen::training_overhead(&schedule[..schedule.len() - 1]);
-    Phase1Result {
+    Ok(Phase1Result {
         plan,
         schedule,
         triggered,
         to,
         eto,
         sim_runs,
-    }
+    })
 }
 
 /// Phase 2 output.
@@ -144,7 +153,7 @@ pub struct Phase2Result {
     /// Full schedule (window training + trigger trainings + transient).
     pub schedule: Vec<SwapPacket>,
     /// The diffIFT simulation.
-    pub run: RunResult,
+    pub run: RunOutcome,
     /// New coverage points this run contributed.
     pub coverage_gain: usize,
     /// Whether taints increased inside the transient window (Phase 2's
@@ -157,14 +166,16 @@ pub struct Phase2Result {
 /// Generic over the coverage sink so the same code path serves a private
 /// [`dejavuzz_ift::CoverageMatrix`], the concurrent
 /// [`dejavuzz_ift::SharedCoverage`] union, or the executor's
-/// [`dejavuzz_ift::RecordingCoverage`] fan-out.
-pub fn phase2<C: TaintCoverage + ?Sized>(
-    cfg: &CoreConfig,
+/// [`dejavuzz_ift::RecordingCoverage`] fan-out — and over the simulation
+/// backend, so the behavioural cores and the netlist simulator share one
+/// exploration path.
+pub fn phase2<B: SimBackend + ?Sized, C: TaintCoverage + ?Sized>(
+    backend: &mut B,
     seed: &Seed,
     p1: &Phase1Result,
     coverage: &mut C,
     opts: &PhaseOptions,
-) -> Phase2Result {
+) -> Result<Phase2Result, BackendError> {
     let body = gen::complete_window(seed, &p1.plan);
     let transient = gen::build_transient(&p1.plan, &WindowFill::Body(body.full()));
     // Window training packets are scheduled *before* the trigger trainings
@@ -176,7 +187,7 @@ pub fn phase2<C: TaintCoverage + ?Sized>(
     schedule.extend_from_slice(&p1.schedule[..p1.schedule.len() - 1]);
     schedule.push(transient);
 
-    let run = simulate(cfg, &p1.plan, &schedule, opts.mode, opts.max_cycles);
+    let run = simulate(backend, &p1.plan, &schedule, opts.mode, opts.max_cycles)?;
     let window = run.window_in_packet(schedule.len() - 1);
     let taints_increased = window
         .map(|w| {
@@ -185,13 +196,13 @@ pub fn phase2<C: TaintCoverage + ?Sized>(
         })
         .unwrap_or(false);
     let coverage_gain = coverage.observe_log(&run.taint_log);
-    Phase2Result {
+    Ok(Phase2Result {
         body,
         schedule,
         run,
         coverage_gain,
         taints_increased,
-    }
+    })
 }
 
 /// Phase 3 output.
@@ -209,17 +220,18 @@ pub struct Phase3Result {
 }
 
 /// Phase 3: transient leakage analysis (§4.3).
-pub fn phase3(
-    cfg: &CoreConfig,
+pub fn phase3<B: SimBackend + ?Sized>(
+    backend: &mut B,
     p1: &Phase1Result,
     p2: &Phase2Result,
     iteration: usize,
     opts: &PhaseOptions,
-) -> Phase3Result {
+) -> Result<Phase3Result, BackendError> {
     let attack = match p1.plan.secret_policy {
         dejavuzz_swapmem::SecretPolicy::ProtectBeforeTransient => AttackType::Meltdown,
         dejavuzz_swapmem::SecretPolicy::AlwaysReadable => AttackType::Spectre,
     };
+    let core = backend.dut_name();
     let mut leaks = Vec::new();
 
     // Step 3.1: constant-time execution analysis — window timing first,
@@ -237,7 +249,7 @@ pub fn phase3(
             .map(|t| t.resource)
             .unwrap_or("pipeline");
         leaks.push(BugReport {
-            core: cfg.name,
+            core,
             attack,
             window_type: p1.plan.window_type,
             channel: LeakChannel::Timing { resource },
@@ -251,7 +263,7 @@ pub fn phase3(
     let mut schedule = p2.schedule.clone();
     let last = schedule.len() - 1;
     schedule[last] = sanitized_pkt;
-    let sanitized = simulate(cfg, &p1.plan, &schedule, opts.mode, opts.max_cycles);
+    let sanitized = simulate(backend, &p1.plan, &schedule, opts.mode, opts.max_cycles)?;
     let sanitized_tainted: std::collections::HashSet<(&'static str, String, usize)> = sanitized
         .sinks
         .iter()
@@ -271,7 +283,7 @@ pub fn phase3(
             continue;
         }
         leaks.push(BugReport {
-            core: cfg.name,
+            core,
             attack,
             window_type: p1.plan.window_type,
             channel: LeakChannel::Encoded {
@@ -283,26 +295,30 @@ pub fn phase3(
     // Deduplicate per Table 5 aggregation key.
     leaks.sort_by_key(|l| l.dedup_key());
     leaks.dedup_by_key(|l| l.dedup_key());
-    Phase3Result {
+    Ok(Phase3Result {
         timing_violation,
         leaks,
         rejected_residue,
         rejected_sanitized,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BehaviouralBackend;
     use crate::gen::WindowType;
     use dejavuzz_ift::CoverageMatrix;
     use dejavuzz_uarch::boom_small;
 
-    fn first_triggering_seed(wt: WindowType, opts: &PhaseOptions) -> (Seed, Phase1Result) {
-        let cfg = boom_small();
+    fn first_triggering_seed(
+        backend: &mut BehaviouralBackend,
+        wt: WindowType,
+        opts: &PhaseOptions,
+    ) -> (Seed, Phase1Result) {
         for e in 0..50 {
             let seed = Seed::new(wt, e);
-            let p1 = phase1(&cfg, &seed, opts);
+            let p1 = phase1(backend, &seed, opts).unwrap();
             if p1.triggered {
                 return (seed, p1);
             }
@@ -312,17 +328,19 @@ mod tests {
 
     #[test]
     fn phase1_triggers_every_window_type() {
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions::default();
         for wt in WindowType::ALL {
-            let (_, p1) = first_triggering_seed(wt, &opts);
+            let (_, p1) = first_triggering_seed(&mut backend, wt, &opts);
             assert!(p1.triggered, "{wt:?}");
         }
     }
 
     #[test]
     fn training_reduction_eliminates_decoys() {
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions::default();
-        let (_, p1) = first_triggering_seed(WindowType::BranchMispredict, &opts);
+        let (_, p1) = first_triggering_seed(&mut backend, WindowType::BranchMispredict, &opts);
         // Decoy arithmetic packets never survive reduction; at least one
         // targeted branch-training packet must remain.
         assert!(p1.schedule.len() >= 2, "training + transient");
@@ -338,24 +356,25 @@ mod tests {
 
     #[test]
     fn exception_windows_need_zero_training() {
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions::default();
         for wt in [
             WindowType::MemMisalign,
             WindowType::IllegalInstr,
             WindowType::MemPageFault,
         ] {
-            let (_, p1) = first_triggering_seed(wt, &opts);
+            let (_, p1) = first_triggering_seed(&mut backend, wt, &opts);
             assert_eq!(p1.eto, 0, "{wt:?}: reduction removes all training");
         }
     }
 
     #[test]
     fn phase2_propagates_taints_and_gains_coverage() {
-        let cfg = boom_small();
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions::default();
-        let (seed, p1) = first_triggering_seed(WindowType::BranchMispredict, &opts);
+        let (seed, p1) = first_triggering_seed(&mut backend, WindowType::BranchMispredict, &opts);
         let mut cov = CoverageMatrix::new();
-        let p2 = phase2(&cfg, &seed, &p1, &mut cov, &opts);
+        let p2 = phase2(&mut backend, &seed, &p1, &mut cov, &opts).unwrap();
         assert!(p2.coverage_gain > 0, "fresh coverage from the first run");
         assert!(p2.taints_increased, "the window must propagate the secret");
         assert!(cov.points() > 0);
@@ -366,18 +385,18 @@ mod tests {
         // Not every window body contains a persistent-sink encode gadget
         // (an arithmetic-only body leaks nothing) — scan a few seeds, as
         // the fuzzer would, and require a Meltdown-classified leak.
-        let cfg = boom_small();
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions::default();
         let mut cov = CoverageMatrix::new();
         let mut found = None;
         for e in 0..30 {
             let seed = Seed::new(WindowType::MemPageFault, e);
-            let p1 = phase1(&cfg, &seed, &opts);
+            let p1 = phase1(&mut backend, &seed, &opts).unwrap();
             if !p1.triggered {
                 continue;
             }
-            let p2 = phase2(&cfg, &seed, &p1, &mut cov, &opts);
-            let p3 = phase3(&cfg, &p1, &p2, 0, &opts);
+            let p2 = phase2(&mut backend, &seed, &p1, &mut cov, &opts).unwrap();
+            let p3 = phase3(&mut backend, &p1, &p2, 0, &opts).unwrap();
             if let Some(l) = p3.leaks.first() {
                 found = Some(l.clone());
                 break;
@@ -389,14 +408,14 @@ mod tests {
 
     #[test]
     fn phase3_liveness_filter_rejects_residue() {
-        let cfg = boom_small();
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions::default();
-        let (seed, p1) = first_triggering_seed(WindowType::BranchMispredict, &opts);
+        let (seed, p1) = first_triggering_seed(&mut backend, WindowType::BranchMispredict, &opts);
         let mut cov = CoverageMatrix::new();
-        let p2 = phase2(&cfg, &seed, &p1, &mut cov, &opts);
-        let with = phase3(&cfg, &p1, &p2, 0, &opts);
+        let p2 = phase2(&mut backend, &seed, &p1, &mut cov, &opts).unwrap();
+        let with = phase3(&mut backend, &p1, &p2, 0, &opts).unwrap();
         let without = phase3(
-            &cfg,
+            &mut backend,
             &p1,
             &p2,
             0,
@@ -404,7 +423,8 @@ mod tests {
                 liveness_filter: false,
                 ..opts
             },
-        );
+        )
+        .unwrap();
         assert!(
             without.leaks.len() >= with.leaks.len(),
             "disabling liveness can only add (mis)classifications"
@@ -416,7 +436,7 @@ mod tests {
     #[test]
     fn phase1_no_derivation_struggles_with_mispredicts() {
         // DejaVuzz*: random trainings rarely align with the trigger.
-        let cfg = boom_small();
+        let mut backend = BehaviouralBackend::new(boom_small());
         let opts = PhaseOptions {
             training_derivation: false,
             ..PhaseOptions::default()
@@ -426,10 +446,10 @@ mod tests {
         let mut full_hits = 0;
         for e in 0..30 {
             let seed = Seed::new(WindowType::IndirectMispredict, e);
-            if phase1(&cfg, &seed, &opts).triggered {
+            if phase1(&mut backend, &seed, &opts).unwrap().triggered {
                 star_hits += 1;
             }
-            if phase1(&cfg, &seed, &derived).triggered {
+            if phase1(&mut backend, &seed, &derived).unwrap().triggered {
                 full_hits += 1;
             }
         }

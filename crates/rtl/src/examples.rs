@@ -72,6 +72,18 @@ pub struct CoreScale {
     pub mems: (usize, usize),
 }
 
+/// A deliberately small synthetic scale: big enough to exercise every
+/// cell kind and carry taint through registers and memories, small
+/// enough that a fuzzing campaign driving it cycle-by-cycle (the
+/// `netlist:small` backend, CI smoke runs) stays fast.
+pub const SMALL_SCALE: CoreScale = CoreScale {
+    name: "SynthSmall",
+    verilog_loc: 0,
+    comb_cells: 600,
+    regs: 96,
+    mems: (4, 64),
+};
+
 /// A SmallBOOM-scale workload (Table 2: 171K Verilog LoC).
 pub const BOOM_SCALE: CoreScale = CoreScale {
     name: "BOOM",
@@ -100,12 +112,28 @@ pub fn synthetic_core(scale: CoreScale) -> Netlist {
     b.module("core");
     let x = b.input(0);
     let y = b.input(1);
-    let mut prev = b.xor(x, y);
+    let wen = b.input(2);
+    let waddr = b.input(3);
+    let wdata = b.input(4);
     let mut regs = Vec::new();
     for i in 0..scale.regs {
         let r = b.reg(i as u64);
         regs.push(r);
     }
+    // One combinational chain with the memory read ports interleaved
+    // through it and register taps sampled along it: taint entering at an
+    // SRAM surfaces at a chain depth, reaches the registers tapping
+    // deeper points first, and circulates back through the `other`
+    // operands cycle by cycle — so the per-cycle tainted-register count
+    // (the coverage matrix index) moves through many distinct values
+    // instead of jumping straight to saturation.
+    let mem_every = (scale.comb_cells / scale.mems.0.max(1)).max(1);
+    let tap_every = (scale.comb_cells / scale.regs.max(1)).max(1);
+    let mut mems_made = 0;
+    let mut prev = b.xor(x, y);
+    // Seed the taps with the chain head so degenerate scales (zero comb
+    // cells) still connect every register.
+    let mut taps = vec![prev];
     for i in 0..scale.comb_cells {
         let other = regs[i % regs.len()];
         prev = match i % 6 {
@@ -119,24 +147,35 @@ pub fn synthetic_core(scale: CoreScale) -> Netlist {
             }
             _ => b.sub(prev, other),
         };
+        if i % mem_every == 0 && mems_made < scale.mems.0 {
+            let mem = b.mem(scale.mems.1, format!("sram_{mems_made}"));
+            b.connect_mem_write(mem, wen, waddr, wdata);
+            let rd = b.mem_read(mem, waddr);
+            prev = b.xor(prev, rd);
+            mems_made += 1;
+        }
+        if i % tap_every == 0 {
+            taps.push(prev);
+        }
+    }
+    while mems_made < scale.mems.0 {
+        // Degenerate scales (fewer comb cells than memories) append the
+        // remaining SRAMs at the end of the chain.
+        let mem = b.mem(scale.mems.1, format!("sram_{mems_made}"));
+        b.connect_mem_write(mem, wen, waddr, wdata);
+        let rd = b.mem_read(mem, waddr);
+        prev = b.xor(prev, rd);
+        mems_made += 1;
     }
     for (i, r) in regs.clone().into_iter().enumerate() {
-        // Spread register inputs across the combinational cloud.
+        // Even registers sample the chain at spread depths; odd registers
+        // shift their neighbour, giving taint a second, slower route.
         let d = if i % 2 == 0 {
-            prev
+            taps[(i / 2) % taps.len()]
         } else {
             regs[(i + 1) % scale.regs]
         };
         b.connect_reg(r, d, None);
-    }
-    let wen = b.input(2);
-    let waddr = b.input(3);
-    let wdata = b.input(4);
-    for m in 0..scale.mems.0 {
-        let mem = b.mem(scale.mems.1, format!("sram_{m}"));
-        b.connect_mem_write(mem, wen, waddr, wdata);
-        let rd = b.mem_read(mem, waddr);
-        prev = b.xor(prev, rd);
     }
     b.output("tap", prev);
     b.finish()
@@ -251,6 +290,17 @@ mod tests {
             let (inst, _) = instrument(&ns, mode);
             let mut sim = NetlistSim::new(inst, mode);
             sim.set_input(0, TWord::lit(1));
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn small_scale_simulates_all_modes() {
+        let n = synthetic_core(SMALL_SCALE);
+        assert!(n.cell_count() < synthetic_core(BOOM_SCALE).cell_count() / 10);
+        for mode in [IftMode::Base, IftMode::DiffIft, IftMode::CellIft] {
+            let mut sim = NetlistSim::new(n.clone(), mode);
+            sim.set_input(0, TWord::lit(3));
             sim.step();
         }
     }

@@ -120,6 +120,19 @@ impl Netlist {
         self.mems.iter().map(|m| m.words).sum()
     }
 
+    /// Number of input ports (one past the highest [`CellKind::Input`]
+    /// index), i.e. the length of the stimulus vector a simulator needs.
+    pub fn input_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter_map(|c| match c.kind {
+                CellKind::Input(i) => Some(i + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Looks up an output signal by name.
     pub fn output(&self, name: &str) -> Option<SignalId> {
         self.outputs

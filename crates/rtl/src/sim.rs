@@ -25,9 +25,17 @@ impl NetlistSim {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist fails [`Netlist::validate`].
+    /// Panics if the netlist fails [`Netlist::validate`]. Backend-style
+    /// callers that must survive a bad netlist use
+    /// [`NetlistSim::try_new`].
     pub fn new(netlist: Netlist, mode: IftMode) -> Self {
-        assert!(netlist.validate().is_ok(), "invalid netlist");
+        Self::try_new(netlist, mode).unwrap_or_else(|cell| panic!("invalid netlist (cell {cell})"))
+    }
+
+    /// Creates a simulator, returning the offending cell index instead of
+    /// panicking when the netlist fails [`Netlist::validate`].
+    pub fn try_new(netlist: Netlist, mode: IftMode) -> Result<Self, usize> {
+        netlist.validate()?;
         let values = netlist
             .cells
             .iter()
@@ -37,23 +45,15 @@ impl NetlistSim {
             })
             .collect();
         let mems = netlist.mems.iter().map(|m| TMem::new(m.words)).collect();
-        let n_inputs = netlist
-            .cells
-            .iter()
-            .filter_map(|c| match c.kind {
-                CellKind::Input(i) => Some(i + 1),
-                _ => None,
-            })
-            .max()
-            .unwrap_or(0);
-        NetlistSim {
+        let n_inputs = netlist.input_count();
+        Ok(NetlistSim {
             netlist,
             policy: Policy::new(mode),
             values,
             mems,
             inputs: vec![TWord::lit(0); n_inputs],
             cycle: 0,
-        }
+        })
     }
 
     /// The IFT mode in force.
@@ -75,26 +75,57 @@ impl NetlistSim {
     }
 
     /// Reads the current value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range signal; see [`NetlistSim::try_signal`].
     pub fn signal(&self, sig: usize) -> TWord {
         self.values[sig]
+    }
+
+    /// Reads the current value of a signal, or `None` if it is out of
+    /// range — the non-panicking accessor backend boundaries use.
+    pub fn try_signal(&self, sig: usize) -> Option<TWord> {
+        self.values.get(sig).copied()
     }
 
     /// Reads a named output.
     ///
     /// # Panics
     ///
-    /// Panics if the output does not exist.
+    /// Panics if the output does not exist; see
+    /// [`NetlistSim::try_output`].
     pub fn output(&self, name: &str) -> TWord {
-        let sig = self
-            .netlist
+        self.try_output(name)
+            .unwrap_or_else(|| panic!("no output named {name:?}"))
+    }
+
+    /// Reads a named output, or `None` if no such output exists.
+    pub fn try_output(&self, name: &str) -> Option<TWord> {
+        self.netlist
             .output(name)
-            .unwrap_or_else(|| panic!("no output named {name:?}"));
-        self.values[sig]
+            .and_then(|sig| self.try_signal(sig))
     }
 
     /// Testbench access to a memory slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad memory index or slot; see
+    /// [`NetlistSim::try_mem_peek`].
     pub fn mem_peek(&self, mem: usize, idx: usize) -> TWord {
         self.mems[mem].peek(idx)
+    }
+
+    /// Testbench access to a memory slot, or `None` when either index is
+    /// out of range.
+    pub fn try_mem_peek(&self, mem: usize, idx: usize) -> Option<TWord> {
+        let m = self.mems.get(mem)?;
+        if idx < m.len() {
+            Some(m.peek(idx))
+        } else {
+            None
+        }
     }
 
     /// Testbench store to a memory slot (image loading, secret planting).
@@ -384,5 +415,46 @@ mod tests {
         let b = NetlistBuilder::new();
         let sim = NetlistSim::new(b.finish(), IftMode::Base);
         sim.output("nope");
+    }
+
+    #[test]
+    fn try_accessors_return_none_instead_of_panicking() {
+        let mut b = NetlistBuilder::new();
+        let m = b.mem(4, "buf");
+        let r = b.reg(7);
+        let c = b.constant(0);
+        b.connect_reg(r, c, None);
+        b.output("q", r);
+        let _ = m;
+        let sim = NetlistSim::new(b.finish(), IftMode::DiffIft);
+        assert_eq!(sim.try_output("q").map(|w| w.a), Some(7));
+        assert!(sim.try_output("nope").is_none());
+        assert!(sim.try_signal(0).is_some());
+        assert!(sim.try_signal(999).is_none());
+        assert!(sim.try_mem_peek(0, 3).is_some());
+        assert!(sim.try_mem_peek(0, 4).is_none(), "slot out of range");
+        assert!(sim.try_mem_peek(5, 0).is_none(), "mem out of range");
+    }
+
+    #[test]
+    fn try_new_reports_offending_cell() {
+        use crate::ir::{Cell, CellKind, Netlist};
+        let bad = Netlist {
+            cells: vec![
+                Cell {
+                    kind: CellKind::Not(1),
+                    name: None,
+                    module: "top",
+                },
+                Cell {
+                    kind: CellKind::Const(0),
+                    name: None,
+                    module: "top",
+                },
+            ],
+            mems: vec![],
+            outputs: vec![],
+        };
+        assert_eq!(NetlistSim::try_new(bad, IftMode::Base).err(), Some(0));
     }
 }

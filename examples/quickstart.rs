@@ -62,4 +62,20 @@ fn main() {
     if stats.bugs.is_empty() {
         println!("  (none in this short run — try more iterations)");
     }
+
+    // The same pipeline over a different system under test: swap the
+    // simulation backend, keep everything else (see `dejavuzz::backend`).
+    let netlist = executor::run_with_backend(
+        dejavuzz::BackendSpec::netlist(dejavuzz_rtl::examples::SMALL_SCALE),
+        FuzzerOptions::default(),
+        workers,
+        iterations,
+        0xC0FFEE,
+    );
+    println!(
+        "\nsame campaign on the netlist backend (netlist:SynthSmall): \
+         {} coverage points, {} bug(s)",
+        netlist.stats.coverage(),
+        netlist.stats.bugs.len()
+    );
 }

@@ -68,18 +68,18 @@ fn diffift_fn_variant_suppresses_control_taints() {
 
 #[test]
 fn pipeline_finds_meltdown_leak_end_to_end() {
-    let cfg = boom_small();
+    let mut backend = dejavuzz::BehaviouralBackend::new(boom_small());
     let opts = PhaseOptions::default();
     let mut cov = CoverageMatrix::new();
     let mut leaked = false;
     for e in 0..40 {
         let seed = Seed::new(WindowType::MemPageFault, e);
-        let p1 = phase1(&cfg, &seed, &opts);
+        let p1 = phase1(&mut backend, &seed, &opts).unwrap();
         if !p1.triggered {
             continue;
         }
-        let p2 = phase2(&cfg, &seed, &p1, &mut cov, &opts);
-        let p3 = phase3(&cfg, &p1, &p2, 0, &opts);
+        let p2 = phase2(&mut backend, &seed, &p1, &mut cov, &opts).unwrap();
+        let p3 = phase3(&mut backend, &p1, &p2, 0, &opts).unwrap();
         if !p3.leaks.is_empty() {
             leaked = true;
             assert_eq!(p3.leaks[0].attack, dejavuzz::AttackType::Meltdown);
