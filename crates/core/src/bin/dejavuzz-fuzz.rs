@@ -6,19 +6,48 @@
 //!     --core xiangshan --iters 100 --workers 4 --seed 7
 //! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
 //!     --backend netlist:small --iters 20
+//! # Checkpointed campaign, halted early, then resumed to completion:
+//! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
+//!     --iters 50 --workers 4 --snapshot camp.snap --snapshot-every 1 --halt-after 80
+//! cargo run --release -p dejavuzz --bin dejavuzz-fuzz -- \
+//!     --resume camp.snap --iters 50
 //! ```
+//!
+//! All persistence chatter (checkpoint/resume notes) goes to stderr;
+//! stdout carries only the campaign report, so a resumed run's stdout is
+//! byte-identical to an uninterrupted one (the CI resume smoke diffs
+//! exactly this).
 
 use dejavuzz::backend::BackendSpec;
 use dejavuzz::campaign::FuzzerOptions;
-use dejavuzz::executor;
+use dejavuzz::executor::Orchestrator;
+use dejavuzz::snapshot::CampaignSnapshot;
 use dejavuzz_uarch::{boom_small, xiangshan_minimal};
 
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("dejavuzz-fuzz: {msg}");
+    eprintln!("dejavuzz-fuzz: run with --help for usage");
+    std::process::exit(2);
+}
+
+/// Strict optional flag lookup: a present flag must have a parseable
+/// value — `--iters abc` is an error naming the flag, never a silent
+/// fall-through to the default. A following `--flag` token is a missing
+/// value, not a value: `--snapshot --halt-after 80` must not write a
+/// snapshot to a file literally named "--halt-after".
+fn opt_arg<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(v) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
+        die(format_args!("{flag} requires a value"));
+    };
+    match v.parse() {
+        Ok(v) => Some(v),
+        Err(_) => die(format_args!("invalid value {v:?} for {flag}")),
+    }
+}
+
 fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    opt_arg(args, flag).unwrap_or(default)
 }
 
 fn main() {
@@ -33,33 +62,90 @@ fn main() {
              --workers N             pipeline workers sharing one corpus (default 1)\n\
              --threads N             alias for --workers (historical name)\n\
              --seed N                RNG seed (default 42)\n\
-             --variant full|star|minus|noliveness\n"
+             --variant full|star|minus|noliveness\n\n\
+             checkpointing & sharding (see EXPERIMENTS.md):\n\
+             --snapshot PATH         write campaign checkpoints to PATH (atomic\n\
+             \u{20}                        write-rename; always written at run end)\n\
+             --snapshot-every N      also checkpoint every N scheduler rounds (0 = off)\n\
+             --halt-after N          stop gracefully at the first round boundary with\n\
+             \u{20}                        >= N iterations done (pairs with --snapshot to\n\
+             \u{20}                        emulate an interruption; resume finishes the run)\n\
+             --resume PATH           continue a snapshot; adopts its workers/seed/batch,\n\
+             \u{20}                        validates backend+variant, and reproduces the\n\
+             \u{20}                        uninterrupted run bit-identically\n\
+             --shard N               tag snapshots with a shard id for dejavuzz-merge\n\
+             \u{20}                        (default 0)\n\n\
+             Flag values that fail to parse are an error (exit 2), never a\n\
+             silent fallback to the default.\n"
         );
         return;
     }
     let core = arg::<String>(&args, "--core", "boom".into());
     let cfg = match core.as_str() {
         "xiangshan" => xiangshan_minimal(),
-        _ => boom_small(),
+        "boom" => boom_small(),
+        other => die(format_args!(
+            "unknown core {other:?} (expected boom|xiangshan)"
+        )),
     };
     let backend = arg::<String>(&args, "--backend", "behavioural".into());
     let backend = match BackendSpec::parse(&backend, cfg) {
         Ok(spec) => spec,
-        Err(e) => {
-            eprintln!("dejavuzz-fuzz: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => die(format_args!("{e}")),
     };
-    let iters = arg(&args, "--iters", 50usize);
-    let workers = arg(&args, "--workers", arg(&args, "--threads", 1usize)).max(1);
-    let seed = arg(&args, "--seed", 42u64);
     let variant = arg::<String>(&args, "--variant", "full".into());
     let opts = match variant.as_str() {
+        "full" => FuzzerOptions::default(),
         "star" => FuzzerOptions::dejavuzz_star(),
         "minus" => FuzzerOptions::dejavuzz_minus(),
         "noliveness" => FuzzerOptions::no_liveness(),
-        _ => FuzzerOptions::default(),
+        other => die(format_args!(
+            "unknown variant {other:?} (expected full|star|minus|noliveness)"
+        )),
     };
+    let iters = arg(&args, "--iters", 50usize);
+    let mut workers = arg(&args, "--workers", arg(&args, "--threads", 1usize)).max(1);
+    let mut seed = arg(&args, "--seed", 42u64);
+    let shard = arg(&args, "--shard", 0u32);
+    let snapshot_path = opt_arg::<String>(&args, "--snapshot");
+    let snapshot_every = arg(&args, "--snapshot-every", 0usize);
+    let halt_after = opt_arg::<usize>(&args, "--halt-after");
+    let resume_path = opt_arg::<String>(&args, "--resume");
+
+    // A resumed campaign's geometry comes from the snapshot: the worker
+    // count, seed and batch size are part of its identity.
+    let resume = resume_path.map(|p| {
+        let path = std::path::Path::new(&p);
+        match CampaignSnapshot::load(path) {
+            Ok(snap) => {
+                eprintln!(
+                    "dejavuzz-fuzz: resuming shard {} at iteration {} from {p} \
+                     ({} worker(s), seed {})",
+                    snap.shard_id, snap.completed, snap.workers, snap.seed
+                );
+                workers = snap.workers;
+                seed = snap.seed;
+                snap
+            }
+            Err(e) => die(format_args!("cannot resume from {p}: {e}")),
+        }
+    });
+
+    let mut orch = Orchestrator::with_backend(backend.clone(), opts, workers, seed)
+        .shard_id(shard)
+        .snapshot_every(snapshot_every);
+    if let Some(path) = &snapshot_path {
+        orch = orch.snapshot_path(path);
+    }
+    if let Some(halt) = halt_after {
+        orch = orch.halt_after(halt);
+    }
+    if let Some(snap) = resume {
+        orch = match orch.resume_from(snap) {
+            Ok(o) => o,
+            Err(e) => die(format_args!("cannot resume: {e}")),
+        };
+    }
 
     // The behavioural banner keeps its historical form so default-path
     // output stays byte-identical across the backend refactor.
@@ -71,7 +157,7 @@ fn main() {
         "fuzzing {banner} ({variant}) — {iters} iters x {workers} worker(s), shared corpus, seed {seed}\n"
     );
     let start = std::time::Instant::now();
-    let report = executor::run_with_backend(backend, opts, workers, iters * workers, seed);
+    let report = orch.run(iters * workers);
     let stats = &report.stats;
     let elapsed = start.elapsed().as_secs_f64();
     println!("elapsed:          {elapsed:.1}s");
@@ -114,5 +200,22 @@ fn main() {
     println!("\nbugs ({}):", stats.bugs.len());
     for b in &stats.bugs {
         println!("  {b}");
+    }
+    // Report what is actually on disk, not what we hoped to write: a
+    // failed checkpoint (disk full, unwritable path) already warned on
+    // stderr mid-run, and claiming success here would contradict it.
+    if let Some(path) = &snapshot_path {
+        match CampaignSnapshot::load(std::path::Path::new(path)) {
+            Ok(s) if s.completed == stats.iterations => eprintln!(
+                "dejavuzz-fuzz: snapshot at iteration {} written to {path}",
+                s.completed
+            ),
+            Ok(s) => eprintln!(
+                "dejavuzz-fuzz: warning: snapshot at {path} is stale (iteration {} of {}) — \
+                 the final checkpoint write failed",
+                s.completed, stats.iterations
+            ),
+            Err(e) => eprintln!("dejavuzz-fuzz: warning: snapshot at {path} is unusable: {e}"),
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! `dejavuzz-merge` — unions shard snapshots from a multi-machine
+//! campaign into one report.
+//!
+//! Each machine runs `dejavuzz-fuzz --shard N --seed <distinct> --snapshot
+//! shardN.snap`; this tool merges the snapshot files: coverage is the
+//! **exact union** of per-shard observations (`SharedCoverage` semantics,
+//! never a pointwise sum), bug reports deduplicate by `dedup_key()`, and
+//! plain counters (iterations, simulations, cycles) sum.
+//!
+//! ```sh
+//! cargo run --release -p dejavuzz --bin dejavuzz-merge -- shard0.snap shard1.snap
+//! ```
+
+use dejavuzz::snapshot::{merge_snapshots, CampaignSnapshot};
+
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("dejavuzz-merge: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "dejavuzz-merge — merge shard snapshots into one campaign report\n\n\
+             usage: dejavuzz-merge SNAPSHOT [SNAPSHOT ...]\n\n\
+             Coverage merges as the exact union of per-shard points (never a\n\
+             pointwise sum), bugs deduplicate by (attack, window class,\n\
+             component), counters sum, and the coverage curve is the pointwise\n\
+             max over shards (a lower bound; the union curve is unknowable\n\
+             after the fact). Decode failures (truncated, corrupted or\n\
+             wrong-version snapshots) exit non-zero naming the file.\n"
+        );
+        return;
+    }
+    if let Some(unknown) = args.iter().find(|a| a.starts_with("--")) {
+        die(format_args!("unknown flag {unknown:?}"));
+    }
+    if args.is_empty() {
+        die(format_args!("no snapshot files given"));
+    }
+
+    let mut snaps = Vec::with_capacity(args.len());
+    for p in &args {
+        match CampaignSnapshot::load(std::path::Path::new(p)) {
+            Ok(s) => snaps.push(s),
+            Err(e) => die(format_args!("cannot load {p}: {e}")),
+        }
+    }
+    let backend = snaps[0].backend.clone();
+    let mut seen_shards = std::collections::HashSet::new();
+    for (p, s) in args.iter().zip(&snaps) {
+        if s.backend != backend {
+            eprintln!(
+                "dejavuzz-merge: warning: {p} was fuzzed on {} (first shard on {backend}) — \
+                 merging coverage across different DUTs",
+                s.backend
+            );
+        }
+        if !seen_shards.insert(s.shard_id) {
+            eprintln!(
+                "dejavuzz-merge: warning: duplicate shard id {} ({p}) — summed counters \
+                 (iterations, simulations, windows) will double-count",
+                s.shard_id
+            );
+        }
+    }
+
+    println!("merging {} shard snapshot(s)\n", snaps.len());
+    for (p, s) in args.iter().zip(&snaps) {
+        println!(
+            "  shard {:<3} {p}: {} iterations, {} points, {} bug(s) ({}, seed {}, {} worker(s))",
+            s.shard_id,
+            s.stats.iterations,
+            s.coverage.points(),
+            s.stats.bugs.len(),
+            s.backend,
+            s.seed,
+            s.workers
+        );
+    }
+
+    let merged = merge_snapshots(&snaps);
+    let stats = &merged.stats;
+    println!("\nmerged:");
+    println!("iterations:       {}", stats.iterations);
+    if stats.failed_runs > 0 {
+        println!("failed runs:      {} (backend errors)", stats.failed_runs);
+    }
+    println!("simulations:      {}", stats.sim_runs);
+    println!("simulated cycles: {}", stats.sim_cycles);
+    println!(
+        "coverage points:  {} (exact union; per-shard counts sum to {})",
+        merged.coverage.points(),
+        merged.summed_points
+    );
+    println!("\nwindows:");
+    for (wt, ws) in &stats.windows {
+        println!(
+            "  {:<28} {:>3}/{:<3}  TO {:>6.1}  ETO {:>5.1}",
+            wt.name(),
+            ws.triggered,
+            ws.attempted,
+            ws.mean_to(),
+            ws.mean_eto()
+        );
+    }
+    println!("\nbugs ({}, deduplicated across shards):", stats.bugs.len());
+    for b in &stats.bugs {
+        println!("  {b}");
+    }
+}

@@ -29,7 +29,7 @@ use crate::report::BugReport;
 /// everywhere; that path survives only as thin behavioural-backend
 /// compatibility constructors and is deprecated in favour of
 /// `BackendSpec`.)
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FuzzerOptions {
     /// Phase tunables.
     pub phases: PhaseOptions,
@@ -125,7 +125,7 @@ impl WindowStats {
 }
 
 /// Aggregate results of a campaign.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Iterations executed.
     pub iterations: usize,

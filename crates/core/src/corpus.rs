@@ -30,7 +30,7 @@ pub const DEFAULT_CAPACITY: usize = 256;
 pub const EXPLOIT_PROBABILITY: f64 = 0.35;
 
 /// One retained seed plus its scheduling state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CorpusEntry {
     /// The exact seed (including its mutation counter) that produced the
     /// coverage gain.
@@ -49,7 +49,7 @@ impl CorpusEntry {
 }
 
 /// The seed pool. See the module docs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Corpus {
     entries: Vec<CorpusEntry>,
     capacity: usize,
@@ -76,13 +76,53 @@ impl Corpus {
         }
     }
 
-    /// Overrides the exploit probability (clamped to `[0, 1]`). `0.0`
-    /// makes every [`Corpus::schedule`] call explore — uniform fresh
-    /// sampling, used by measurements that must not be skewed toward
-    /// coverage-gaining lineages (e.g. Table 3's training overheads).
+    /// Overrides the exploit probability. `0.0` makes every
+    /// [`Corpus::schedule`] call explore — uniform fresh sampling, used by
+    /// measurements that must not be skewed toward coverage-gaining
+    /// lineages (e.g. Table 3's training overheads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`. A probability outside the
+    /// unit interval has no meaning for [`Corpus::schedule`]'s Bernoulli
+    /// draw, and silently clamping it (as an earlier revision did) hides
+    /// the caller's bug.
     pub fn with_exploit_probability(mut self, p: f64) -> Self {
-        self.exploit_probability = p.clamp(0.0, 1.0);
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "exploit probability must be in [0, 1], got {p}"
+        );
+        self.exploit_probability = p;
         self
+    }
+
+    /// The configured capacity (maximum retained seeds).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured exploit probability.
+    pub fn exploit_probability(&self) -> f64 {
+        self.exploit_probability
+    }
+
+    /// Rebuilds a corpus from snapshot state, entry order preserved
+    /// (scheduling iterates entries in order, so order is part of the
+    /// resume-equivalence contract).
+    pub(crate) fn restore(
+        entries: Vec<CorpusEntry>,
+        capacity: usize,
+        exploit_probability: f64,
+        retained: usize,
+        evicted: usize,
+    ) -> Self {
+        Corpus {
+            entries,
+            capacity: capacity.max(1),
+            exploit_probability,
+            retained,
+            evicted,
+        }
     }
 
     /// Retained seeds currently in the pool.
@@ -310,6 +350,56 @@ mod tests {
         assert_eq!(c.entries()[0].gain, 9, "higher gain re-energises");
         c.record(&seed(5), 2);
         assert_eq!(c.entries()[0].gain, 9, "lower gain leaves the entry alone");
+    }
+
+    #[test]
+    #[should_panic(expected = "exploit probability must be in [0, 1]")]
+    fn out_of_range_exploit_probability_panics() {
+        let _ = Corpus::new(8).with_exploit_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploit probability must be in [0, 1]")]
+    fn negative_exploit_probability_panics() {
+        let _ = Corpus::new(8).with_exploit_probability(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploit probability must be in [0, 1]")]
+    fn nan_exploit_probability_panics() {
+        let _ = Corpus::new(8).with_exploit_probability(f64::NAN);
+    }
+
+    /// Eviction order is load-bearing for resume equivalence: `record`
+    /// uses `swap_remove`, so *which* entry is weakest and *where* the
+    /// last entry lands must replay identically from equal inputs —
+    /// otherwise a resumed corpus's roulette iteration order diverges.
+    #[test]
+    fn eviction_order_is_deterministic_under_fixed_seed() {
+        let run = || {
+            let mut c = Corpus::new(4);
+            let mut rng = StdRng::seed_from_u64(0xE71C);
+            for e in 0..32u64 {
+                let gain = rng.gen_range(1..20usize);
+                c.record(&seed(e), gain);
+                // Interleave scheduling so energies decay mid-stream.
+                let _ = c.schedule(&mut rng);
+            }
+            (
+                c.entries()
+                    .iter()
+                    .map(|e| (e.seed.clone(), e.gain, e.schedules))
+                    .collect::<Vec<_>>(),
+                c.retained(),
+                c.evicted(),
+            )
+        };
+        let (entries_a, retained_a, evicted_a) = run();
+        let (entries_b, retained_b, evicted_b) = run();
+        assert_eq!(entries_a, entries_b, "entry order must replay exactly");
+        assert_eq!(retained_a, retained_b);
+        assert_eq!(evicted_a, evicted_b);
+        assert!(evicted_a > 0, "the scenario must actually evict");
     }
 
     #[test]

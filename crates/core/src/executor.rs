@@ -25,10 +25,12 @@
 //!    union is the live, lock-free-readable view of the same set (progress
 //!    monitoring, future work-stealing donors) and a runtime cross-check
 //!    that the two accounting paths agree.
-//! 3. Workers flush one batched result message per round. The orchestrator
-//!    folds outcomes back in global slot order: stats, the per-iteration
-//!    exact coverage curve, bug dedup, gain-threshold samples and corpus
-//!    retention all replay deterministically.
+//! 3. Workers flush one batched result message per round — outcomes plus
+//!    their post-round RNG stream position and observed-matrix delta, so
+//!    the orchestrator mirrors every worker's full stream state. The
+//!    orchestrator folds outcomes back in global slot order: stats, the
+//!    per-iteration exact coverage curve, bug dedup, gain-threshold
+//!    samples and corpus retention all replay deterministically.
 //!
 //! The consequence is the property the old end-of-run merge could not
 //! offer: `run(cfg, opts, workers, iters, seed)` is **deterministic for a
@@ -36,7 +38,25 @@
 //! point first, which nothing reads back), and its final coverage is the
 //! **exact union** of what the workers observed — never the pointwise sum
 //! the old `CampaignStats::merge` approximated.
+//!
+//! # Checkpointing and resume
+//!
+//! Because the orchestrator mirrors every piece of worker state, the
+//! campaign serialises at any round boundary into a
+//! [`CampaignSnapshot`]: corpus, global coverage, gain threshold,
+//! scheduler RNG position and per-worker `(RNG position, iteration
+//! count, observed matrix)`. At a round boundary each worker's coverage
+//! view coincides with the global union (the round-start delta broadcast
+//! converges them), so restoring `view = global` is exact, and a run
+//! resumed via [`Orchestrator::resume_from`] replays the remaining
+//! rounds **bit-identically** to one that never stopped — same curve,
+//! same bugs, same corpus, same per-worker accounting (asserted by
+//! `tests/persist.rs` and the CI resume smoke). [`Orchestrator::
+//! snapshot_every`] + [`Orchestrator::snapshot_path`] write periodic
+//! atomic checkpoints; [`Orchestrator::halt_after`] stops gracefully at
+//! the next round boundary, emulating a planned interruption.
 
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -52,6 +72,7 @@ use crate::campaign::{CampaignStats, FuzzerOptions};
 use crate::corpus::Corpus;
 use crate::gen::{Seed, WindowType};
 use crate::phases::{phase1, phase2, phase3};
+use crate::snapshot::{CampaignSnapshot, ResumeError, WorkerState};
 
 /// Iteration slots shipped to a worker per round. Large enough to
 /// amortise the channel round-trip, small enough that corpus feedback and
@@ -95,6 +116,10 @@ pub(crate) struct IterationOutcome {
     pub final_gain: usize,
     /// Points fresh against the worker's view, in observation order.
     pub fresh_points: Vec<CoveragePoint>,
+    /// Points fresh against the worker's lifetime `observed` matrix: the
+    /// delta the orchestrator replays into its per-worker mirror (which
+    /// is what snapshots persist).
+    pub observed_fresh: Vec<CoveragePoint>,
     pub bugs: Vec<crate::report::BugReport>,
     /// A backend failure that aborted this iteration
     /// ([`crate::backend::BackendError`], stringified for the channel).
@@ -134,6 +159,7 @@ pub(crate) fn run_iteration(
         gains: Vec::new(),
         final_gain: 0,
         fresh_points: Vec::new(),
+        observed_fresh: Vec::new(),
         bugs: Vec::new(),
         error: None,
     };
@@ -155,12 +181,14 @@ pub(crate) fn run_iteration(
 
     // Phase 2 with coverage feedback: mutate the window section while the
     // gain stays below the shared running average.
+    let track_observed = observed.is_some();
     let mut best = None;
     for attempt in 0..=opts.mutation_attempts {
         let mut sink = RecordingCoverage {
             view: &mut *view,
             recorded: &mut out.fresh_points,
             observed: observed.as_deref_mut(),
+            observed_recorded: track_observed.then_some(&mut out.observed_fresh),
             shared,
         };
         let p2 = match phase2(backend, &seed, &p1, &mut sink, &opts.phases) {
@@ -253,9 +281,13 @@ enum ToWorker {
     Stop,
 }
 
-enum FromWorker {
-    Batch(Vec<IterationOutcome>),
-    Summary(WorkerSummary),
+/// One round's results from one worker: the outcomes plus the stream
+/// state the orchestrator mirrors for snapshots.
+struct RoundReply {
+    worker: usize,
+    outcomes: Vec<IterationOutcome>,
+    /// The worker's RNG position after finishing the round.
+    rng: [u64; 4],
 }
 
 /// A worker's end-of-run accounting.
@@ -263,7 +295,8 @@ enum FromWorker {
 pub struct WorkerSummary {
     /// Worker index within the pool.
     pub worker: usize,
-    /// Iterations this worker executed.
+    /// Iterations this worker executed (including, on resumed runs, the
+    /// iterations it executed before the snapshot).
     pub iterations: usize,
     /// Every coverage point this worker itself observed (the union of
     /// these matrices across workers is exactly the pool's final
@@ -280,15 +313,14 @@ struct Worker {
     rng: StdRng,
     view: CoverageMatrix,
     observed: CoverageMatrix,
-    iterations: usize,
     shared: Arc<SharedCoverage>,
 }
 
 impl Worker {
-    fn run(mut self, rx: mpsc::Receiver<ToWorker>, tx: mpsc::Sender<FromWorker>) {
+    fn run(mut self, rx: mpsc::Receiver<ToWorker>, tx: mpsc::Sender<RoundReply>) {
         while let Ok(msg) = rx.recv() {
             let batch = match msg {
-                ToWorker::Stop => break,
+                ToWorker::Stop => return,
                 ToWorker::Batch(b) => b,
             };
             for p in &batch.delta {
@@ -303,7 +335,6 @@ impl Worker {
             };
             let mut outcomes = Vec::with_capacity(batch.items.len());
             for item in batch.items {
-                self.iterations += 1;
                 outcomes.push(run_iteration(
                     self.backend.as_mut(),
                     &self.opts,
@@ -316,15 +347,15 @@ impl Worker {
                     &mut gain,
                 ));
             }
-            if tx.send(FromWorker::Batch(outcomes)).is_err() {
+            let reply = RoundReply {
+                worker: self.id,
+                outcomes,
+                rng: self.rng.state(),
+            };
+            if tx.send(reply).is_err() {
                 return; // orchestrator went away
             }
         }
-        let _ = tx.send(FromWorker::Summary(WorkerSummary {
-            worker: self.id,
-            iterations: self.iterations,
-            observed: self.observed,
-        }));
     }
 }
 
@@ -347,6 +378,19 @@ pub struct ExecutorReport {
     pub corpus_evicted: usize,
 }
 
+/// The orchestrator's mutable mid-run state: everything a
+/// [`CampaignSnapshot`] captures and a resume restores.
+struct Session {
+    corpus: Corpus,
+    sched_rng: StdRng,
+    gain: GainAverage,
+    global: CoverageMatrix,
+    stats: CampaignStats,
+    worker_rngs: Vec<[u64; 4]>,
+    worker_iterations: Vec<usize>,
+    worker_observed: Vec<CoverageMatrix>,
+}
+
 /// The pool coordinator. See the module docs for the round protocol.
 #[derive(Clone, Debug)]
 pub struct Orchestrator {
@@ -357,6 +401,11 @@ pub struct Orchestrator {
     batch: usize,
     corpus_capacity: usize,
     corpus_exploit: f64,
+    shard_id: u32,
+    snapshot_every: usize,
+    snapshot_path: Option<PathBuf>,
+    halt_after: Option<usize>,
+    resume: Option<Box<CampaignSnapshot>>,
 }
 
 impl Orchestrator {
@@ -385,6 +434,11 @@ impl Orchestrator {
             batch: DEFAULT_BATCH,
             corpus_capacity: crate::corpus::DEFAULT_CAPACITY,
             corpus_exploit: crate::corpus::EXPLOIT_PROBABILITY,
+            shard_id: 0,
+            snapshot_every: 0,
+            snapshot_path: None,
+            halt_after: None,
+            resume: None,
         }
     }
 
@@ -403,9 +457,82 @@ impl Orchestrator {
     /// Overrides the corpus exploit probability; `0.0` disables corpus
     /// scheduling so every iteration samples a fresh uniform seed
     /// (measurements like Table 3 need unskewed per-window-type counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]` (same contract as
+    /// [`Corpus::with_exploit_probability`]) — an out-of-range
+    /// probability would silently skew `schedule()` instead of failing
+    /// the misconfiguration loudly.
     pub fn corpus_exploit_probability(mut self, p: f64) -> Self {
-        self.corpus_exploit = p.clamp(0.0, 1.0);
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "exploit probability must be in [0, 1], got {p}"
+        );
+        self.corpus_exploit = p;
         self
+    }
+
+    /// Tags snapshots from this campaign with a shard id (multi-machine
+    /// campaigns give each machine a distinct id; `dejavuzz-merge` keys
+    /// reports by it).
+    pub fn shard_id(mut self, shard: u32) -> Self {
+        self.shard_id = shard;
+        self
+    }
+
+    /// Writes a checkpoint every `rounds` rounds (0 disables periodic
+    /// checkpoints; the end-of-run snapshot is still written when a
+    /// [`Orchestrator::snapshot_path`] is set).
+    pub fn snapshot_every(mut self, rounds: usize) -> Self {
+        self.snapshot_every = rounds;
+        self
+    }
+
+    /// Checkpoint destination. Each write is atomic (write-rename), so a
+    /// crash mid-checkpoint leaves the previous snapshot intact.
+    pub fn snapshot_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Halts the run gracefully at the first round boundary where at
+    /// least `iterations` iterations have completed — the controlled
+    /// form of an interruption, used with checkpointing to exercise
+    /// stop/resume workflows. The run's total-iteration target is
+    /// unchanged, so slot scheduling (and therefore the resumed
+    /// continuation) stays bit-identical to an uninterrupted run.
+    pub fn halt_after(mut self, iterations: usize) -> Self {
+        self.halt_after = Some(iterations);
+        self
+    }
+
+    /// Restores a campaign from a snapshot: the next
+    /// [`Orchestrator::run`] continues where the snapshot stopped,
+    /// bit-identically to a run that was never interrupted.
+    ///
+    /// The snapshot's geometry (`workers`, `seed`, `batch`, `shard_id`)
+    /// is *adopted* — it is part of the campaign's identity. The backend
+    /// label and campaign options must match what this orchestrator was
+    /// constructed with; mismatches return a [`ResumeError`] instead of
+    /// silently mixing two different experiments.
+    pub fn resume_from(mut self, snapshot: CampaignSnapshot) -> Result<Self, ResumeError> {
+        let current = self.backend.label();
+        if snapshot.backend != current {
+            return Err(ResumeError::BackendMismatch {
+                snapshot: snapshot.backend,
+                current,
+            });
+        }
+        if snapshot.opts != self.opts {
+            return Err(ResumeError::OptionsMismatch);
+        }
+        self.workers = snapshot.workers;
+        self.seed = snapshot.seed;
+        self.batch = snapshot.batch;
+        self.shard_id = snapshot.shard_id;
+        self.resume = Some(Box::new(snapshot));
+        Ok(self)
     }
 
     /// SplitMix64: decorrelates the per-worker and scheduler RNG streams
@@ -417,9 +544,115 @@ impl Orchestrator {
         z ^ (z >> 31)
     }
 
-    /// Runs `iterations` pipeline iterations across the pool.
+    /// Fresh session state, or the snapshot's if this is a resume.
+    fn session(&self) -> (Session, usize) {
+        if let Some(snap) = &self.resume {
+            let s = Session {
+                corpus: snap.corpus.clone(),
+                sched_rng: StdRng::from_raw_state(snap.sched_rng),
+                gain: GainAverage {
+                    avg: snap.gain_avg,
+                    samples: snap.gain_samples,
+                },
+                global: snap.coverage.clone(),
+                stats: snap.stats.clone(),
+                worker_rngs: snap.worker_states.iter().map(|w| w.rng).collect(),
+                worker_iterations: snap.worker_states.iter().map(|w| w.iterations).collect(),
+                worker_observed: snap
+                    .worker_states
+                    .iter()
+                    .map(|w| w.observed.clone())
+                    .collect(),
+            };
+            (s, snap.completed)
+        } else {
+            // Corpus retention/scheduling IS coverage feedback: the
+            // DejaVuzz⁻ ablation (coverage_feedback = false) must run
+            // without any coverage-driven state, so its corpus explores
+            // unconditionally and retains nothing.
+            let exploit = if self.opts.coverage_feedback {
+                self.corpus_exploit
+            } else {
+                0.0
+            };
+            let s = Session {
+                corpus: Corpus::new(self.corpus_capacity).with_exploit_probability(exploit),
+                sched_rng: StdRng::seed_from_u64(self.stream_seed(0)),
+                gain: GainAverage::default(),
+                global: CoverageMatrix::new(),
+                stats: CampaignStats::default(),
+                worker_rngs: (0..self.workers)
+                    .map(|id| StdRng::seed_from_u64(self.stream_seed(1 + id as u64)).state())
+                    .collect(),
+                worker_iterations: vec![0; self.workers],
+                worker_observed: vec![CoverageMatrix::new(); self.workers],
+            };
+            (s, 0)
+        }
+    }
+
+    /// Captures the session at a round boundary.
+    fn snapshot_of(&self, s: &Session) -> CampaignSnapshot {
+        CampaignSnapshot {
+            shard_id: self.shard_id,
+            backend: self.backend.label(),
+            workers: self.workers,
+            seed: self.seed,
+            batch: self.batch,
+            opts: self.opts,
+            completed: s.stats.iterations,
+            gain_avg: s.gain.avg,
+            gain_samples: s.gain.samples,
+            sched_rng: s.sched_rng.state(),
+            corpus: s.corpus.clone(),
+            coverage: s.global.clone(),
+            stats: s.stats.clone(),
+            worker_states: (0..self.workers)
+                .map(|i| WorkerState {
+                    rng: s.worker_rngs[i],
+                    iterations: s.worker_iterations[i],
+                    observed: s.worker_observed[i].clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn write_checkpoint(&self, s: &Session) {
+        if let Some(path) = &self.snapshot_path {
+            if let Err(e) = self.snapshot_of(s).save(path) {
+                // A failed checkpoint must not kill a running campaign:
+                // warn and fuzz on; the next interval retries.
+                eprintln!(
+                    "dejavuzz: checkpoint write to {} failed: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Runs the pool until `iterations` total campaign iterations have
+    /// completed (on resumed runs that *includes* the snapshot's
+    /// iterations), returning the report. See the module docs for the
+    /// determinism and resume-equivalence contracts.
     pub fn run(&self, iterations: usize) -> ExecutorReport {
+        self.run_snapshotting(iterations).0
+    }
+
+    /// [`Orchestrator::run`], also returning the end-of-run
+    /// [`CampaignSnapshot`] (the state a later [`Orchestrator::
+    /// resume_from`] continues from). This is the in-memory
+    /// checkpointing path; file-based checkpointing goes through
+    /// [`Orchestrator::snapshot_path`].
+    pub fn run_snapshotting(&self, iterations: usize) -> (ExecutorReport, CampaignSnapshot) {
+        let (mut s, start) = self.session();
+
+        // The live concurrent union starts from the restored global so
+        // the cross-check invariant (shared == canonical) spans resumes.
         let shared = Arc::new(SharedCoverage::default());
+        for p in s.global.iter() {
+            shared.observe_point(*p);
+        }
+
         let (from_tx, from_rx) = mpsc::channel();
         let mut to_workers = Vec::with_capacity(self.workers);
         let mut handles = Vec::with_capacity(self.workers);
@@ -429,10 +662,12 @@ impl Orchestrator {
                 id,
                 backend: self.backend.build(),
                 opts: self.opts,
-                rng: StdRng::seed_from_u64(self.stream_seed(1 + id as u64)),
-                view: CoverageMatrix::new(),
-                observed: CoverageMatrix::new(),
-                iterations: 0,
+                rng: StdRng::from_raw_state(s.worker_rngs[id]),
+                // At a round boundary every worker's view equals the
+                // global union (see the module docs), so seeding the view
+                // with it restores the exact mid-campaign state.
+                view: s.global.clone(),
+                observed: s.worker_observed[id].clone(),
                 shared: Arc::clone(&shared),
             };
             let from_tx = from_tx.clone();
@@ -441,27 +676,18 @@ impl Orchestrator {
         }
         drop(from_tx);
 
-        // Corpus retention/scheduling IS coverage feedback: the DejaVuzz⁻
-        // ablation (coverage_feedback = false) must run without any
-        // coverage-driven state, so its corpus explores unconditionally
-        // and retains nothing.
-        let feedback = self.opts.coverage_feedback;
-        let mut corpus = Corpus::new(self.corpus_capacity).with_exploit_probability(if feedback {
-            self.corpus_exploit
-        } else {
-            0.0
-        });
-        let mut sched_rng = StdRng::seed_from_u64(self.stream_seed(0));
-        let mut gain = GainAverage::default();
-        let mut global = CoverageMatrix::new();
         // Append-only log of globally fresh points; per-worker cursors
-        // into it drive the round-start view broadcasts.
+        // into it drive the round-start view broadcasts. On resume it
+        // starts empty: every worker's view already holds the full
+        // restored union, so only post-resume points need broadcasting.
         let mut point_log: Vec<CoveragePoint> = Vec::new();
         let mut synced = vec![0usize; self.workers];
-        let mut stats = CampaignStats::default();
+        let halt = self.halt_after.unwrap_or(usize::MAX);
+        let feedback = self.opts.coverage_feedback;
 
-        let mut next_slot = 0;
-        while next_slot < iterations {
+        let mut next_slot = start;
+        let mut rounds = 0usize;
+        while next_slot < iterations && s.stats.iterations < halt {
             let mut expected = 0;
             for (w, to_worker) in to_workers.iter().enumerate() {
                 if next_slot == iterations {
@@ -474,7 +700,7 @@ impl Orchestrator {
                         next_slot += 1;
                         WorkItem {
                             slot,
-                            scheduled: corpus.schedule(&mut sched_rng),
+                            scheduled: s.corpus.schedule(&mut s.sched_rng),
                         }
                     })
                     .collect();
@@ -483,8 +709,8 @@ impl Orchestrator {
                 to_worker
                     .send(ToWorker::Batch(WorkBatch {
                         items,
-                        avg: gain.avg,
-                        samples: gain.samples,
+                        avg: s.gain.avg,
+                        samples: s.gain.samples,
                         delta,
                     }))
                     .expect("worker hung up mid-run");
@@ -493,55 +719,70 @@ impl Orchestrator {
 
             let mut outcomes = Vec::new();
             for _ in 0..expected {
-                match from_rx.recv().expect("worker hung up mid-run") {
-                    FromWorker::Batch(o) => outcomes.extend(o),
-                    FromWorker::Summary(_) => unreachable!("summary before Stop"),
+                let reply: RoundReply = from_rx.recv().expect("worker hung up mid-run");
+                s.worker_rngs[reply.worker] = reply.rng;
+                s.worker_iterations[reply.worker] += reply.outcomes.len();
+                for o in &reply.outcomes {
+                    for p in &o.observed_fresh {
+                        s.worker_observed[reply.worker].insert(*p);
+                    }
                 }
+                outcomes.extend(reply.outcomes);
             }
             // Replay in global slot order: every piece of feedback state
             // (threshold, corpus, curve) updates deterministically.
             outcomes.sort_by_key(|o| o.slot);
             for o in outcomes {
-                fold_outcome(&mut stats, &o);
+                fold_outcome(&mut s.stats, &o);
                 for g in &o.gains {
-                    gain.push(*g);
+                    s.gain.push(*g);
                 }
                 for p in &o.fresh_points {
-                    if global.insert(*p) {
+                    if s.global.insert(*p) {
                         point_log.push(*p);
                     }
                 }
-                stats.coverage_curve.push(global.points());
+                s.stats.coverage_curve.push(s.global.points());
                 if feedback {
-                    corpus.record(&o.seed, o.final_gain);
+                    s.corpus.record(&o.seed, o.final_gain);
                 }
+            }
+
+            rounds += 1;
+            if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
+                self.write_checkpoint(&s);
             }
         }
 
         for to_worker in &to_workers {
             let _ = to_worker.send(ToWorker::Stop);
         }
-        let mut workers: Vec<WorkerSummary> = from_rx
-            .iter()
-            .filter_map(|m| match m {
-                FromWorker::Summary(s) => Some(s),
-                FromWorker::Batch(_) => None,
-            })
-            .collect();
-        workers.sort_by_key(|s| s.worker);
         for h in handles {
             h.join().expect("worker panicked");
         }
 
-        debug_assert_eq!(shared.points(), global.points(), "both unions must agree");
-        ExecutorReport {
-            stats,
-            coverage: global,
+        // Always leave a final checkpoint behind: a halted run's snapshot
+        // is exactly what `--resume` continues from.
+        self.write_checkpoint(&s);
+        let snapshot = self.snapshot_of(&s);
+
+        debug_assert_eq!(shared.points(), s.global.points(), "both unions must agree");
+        let workers = (0..self.workers)
+            .map(|i| WorkerSummary {
+                worker: i,
+                iterations: s.worker_iterations[i],
+                observed: s.worker_observed[i].clone(),
+            })
+            .collect();
+        let report = ExecutorReport {
+            stats: s.stats,
+            coverage: s.global,
             shared_points: shared.points(),
             workers,
-            corpus_retained: corpus.retained(),
-            corpus_evicted: corpus.evicted(),
-        }
+            corpus_retained: s.corpus.retained(),
+            corpus_evicted: s.corpus.evicted(),
+        };
+        (report, snapshot)
     }
 }
 
@@ -616,5 +857,46 @@ mod tests {
             assert_eq!(g.samples, i + 1);
         }
         assert!((g.avg - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploit probability must be in [0, 1]")]
+    fn orchestrator_rejects_out_of_range_exploit_probability() {
+        let _ = Orchestrator::new(boom_small(), FuzzerOptions::default(), 1, 1)
+            .corpus_exploit_probability(1.01);
+    }
+
+    #[test]
+    fn halt_after_stops_at_a_round_boundary() {
+        let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 5).halt_after(3);
+        let (report, snap) = orch.run_snapshotting(24);
+        // 2 workers x batch 4 = 8 slots per round; the first boundary at
+        // or past 3 completed iterations is 8.
+        assert_eq!(report.stats.iterations, 8);
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.worker_states.len(), 2);
+    }
+
+    #[test]
+    fn resume_rejects_backend_and_options_mismatches() {
+        let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 5);
+        let (_, snap) = orch.run_snapshotting(8);
+
+        let other_backend = Orchestrator::with_backend(
+            BackendSpec::parse("netlist:small", boom_small()).unwrap(),
+            FuzzerOptions::default(),
+            2,
+            5,
+        );
+        assert!(matches!(
+            other_backend.resume_from(snap.clone()),
+            Err(ResumeError::BackendMismatch { .. })
+        ));
+
+        let other_opts = Orchestrator::new(boom_small(), FuzzerOptions::dejavuzz_minus(), 2, 5);
+        assert_eq!(
+            other_opts.resume_from(snap).unwrap_err(),
+            ResumeError::OptionsMismatch
+        );
     }
 }

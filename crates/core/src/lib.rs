@@ -37,7 +37,13 @@
 //! * [`campaign::Campaign`] — the thin single-worker façade over the same
 //!   per-iteration engine, carrying the ablation variants used in the
 //!   evaluation: `DejaVuzz*` (random training, no derivation), `DejaVuzz⁻`
-//!   (no coverage feedback) and the no-liveness variant of §6.3.
+//!   (no coverage feedback) and the no-liveness variant of §6.3,
+//! * [`snapshot`] — campaign persistence over the `dejavuzz-persist`
+//!   codec: [`snapshot::CampaignSnapshot`] checkpoints a run at any round
+//!   boundary (corpus, exact coverage, gain threshold, every RNG stream
+//!   position), `Orchestrator::resume_from` continues it bit-identically,
+//!   and [`snapshot::merge_snapshots`] / the `dejavuzz-merge` binary
+//!   union shard snapshots from independent machines into one report.
 //!
 //! # Quickstart
 //!
@@ -59,6 +65,7 @@ pub mod executor;
 pub mod gen;
 pub mod phases;
 pub mod report;
+pub mod snapshot;
 
 pub use backend::{
     BackendError, BackendSpec, BehaviouralBackend, NetlistBackend, RunOutcome, SimBackend,
@@ -68,3 +75,4 @@ pub use corpus::Corpus;
 pub use executor::{ExecutorReport, Orchestrator, WorkerSummary};
 pub use gen::{Seed, TransientPlan, WindowType};
 pub use report::{AttackType, BugReport, LeakChannel};
+pub use snapshot::{merge_snapshots, CampaignSnapshot, MergeReport, ResumeError, WorkerState};

@@ -15,7 +15,7 @@ use crate::report::{AttackType, BugReport, LeakChannel};
 
 /// Tunables shared by the phases (a subset of
 /// [`crate::campaign::FuzzerOptions`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PhaseOptions {
     /// IFT mode for Phase 2/3 simulations (Phase 1 always runs without
     /// taint tracking — triggering is a value-domain question).

@@ -1,0 +1,752 @@
+//! Campaign snapshots: the persisted form of everything the
+//! [`crate::executor::Orchestrator`] needs to continue a run as if it had
+//! never stopped, plus the cross-machine shard merge.
+//!
+//! A [`CampaignSnapshot`] is taken at a *round boundary* of the executor,
+//! where every worker's deterministic coverage view coincides with the
+//! global union (the round-start delta broadcast guarantees it — see the
+//! executor module docs). That alignment is what makes the restored state
+//! small and the resume *exact*: the snapshot stores one global coverage
+//! matrix, the corpus, the running gain threshold, the scheduler RNG
+//! position and per-worker `(rng position, iteration count, observed
+//! matrix)` triples — and a resumed run replays the remaining rounds
+//! bit-identically to an uninterrupted one (asserted by
+//! `tests/persist.rs`).
+//!
+//! On disk a snapshot is a [`dejavuzz_persist::frame`] envelope
+//! ([`SNAPSHOT_MAGIC`], [`SNAPSHOT_VERSION`], FNV-1a checksum) around the
+//! [`Persist`]-encoded state; truncated, corrupted or wrong-version files
+//! fail decoding with a structured [`DecodeError`], never a panic.
+//!
+//! [`merge_snapshots`] is the multi-machine story: shards run
+//! independently with disjoint seeds, snapshot locally, and merge into
+//! one report whose coverage is the **exact union** of per-shard
+//! observations (`SharedCoverage` semantics — never a pointwise sum) and
+//! whose bug list deduplicates by [`BugReport::dedup_key`].
+
+use std::path::Path;
+
+use dejavuzz_ift::{CoverageMatrix, IftMode};
+use dejavuzz_persist::{frame, intern, DecodeError, Decoder, Encoder, LoadError, Persist};
+
+use crate::campaign::{CampaignStats, FuzzerOptions, WindowStats};
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::gen::{Seed, WindowType};
+use crate::phases::PhaseOptions;
+use crate::report::{AttackType, BugReport, LeakChannel};
+
+/// Snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DJVZSNAP";
+
+/// Snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl Persist for WindowType {
+    fn encode(&self, enc: &mut Encoder) {
+        let tag = WindowType::ALL
+            .iter()
+            .position(|w| w == self)
+            .expect("every WindowType is in ALL") as u32;
+        enc.u32(tag);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let tag = dec.u32()?;
+        WindowType::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(DecodeError::InvalidTag {
+                what: "WindowType",
+                tag,
+            })
+    }
+}
+
+impl Persist for Seed {
+    fn encode(&self, enc: &mut Encoder) {
+        self.window_type.encode(enc);
+        enc.u64(self.entropy);
+        enc.u64(self.mutation);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Seed {
+            window_type: WindowType::decode(dec)?,
+            entropy: dec.u64()?,
+            mutation: dec.u64()?,
+        })
+    }
+}
+
+impl Persist for CorpusEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.seed.encode(enc);
+        enc.usize(self.gain);
+        enc.usize(self.schedules);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(CorpusEntry {
+            seed: Seed::decode(dec)?,
+            gain: dec.usize()?,
+            schedules: dec.usize()?,
+        })
+    }
+}
+
+impl Persist for Corpus {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.capacity());
+        enc.f64(self.exploit_probability());
+        enc.usize(self.retained());
+        enc.usize(self.evicted());
+        self.entries().to_vec().encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let capacity = dec.usize()?;
+        let exploit = dec.f64()?;
+        if !(0.0..=1.0).contains(&exploit) {
+            return Err(DecodeError::InvalidValue {
+                what: "Corpus::exploit_probability",
+                detail: format!("{exploit} is outside [0, 1]"),
+            });
+        }
+        let retained = dec.usize()?;
+        let evicted = dec.usize()?;
+        let entries = Vec::<CorpusEntry>::decode(dec)?;
+        Ok(Corpus::restore(
+            entries, capacity, exploit, retained, evicted,
+        ))
+    }
+}
+
+impl Persist for AttackType {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(match self {
+            AttackType::Meltdown => 0,
+            AttackType::Spectre => 1,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u32()? {
+            0 => Ok(AttackType::Meltdown),
+            1 => Ok(AttackType::Spectre),
+            tag => Err(DecodeError::InvalidTag {
+                what: "AttackType",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for LeakChannel {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            LeakChannel::Encoded { module } => {
+                enc.u32(0);
+                enc.str(module);
+            }
+            LeakChannel::Timing { resource } => {
+                enc.u32(1);
+                enc.str(resource);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u32()? {
+            0 => Ok(LeakChannel::Encoded {
+                module: intern(&dec.string()?),
+            }),
+            1 => Ok(LeakChannel::Timing {
+                resource: intern(&dec.string()?),
+            }),
+            tag => Err(DecodeError::InvalidTag {
+                what: "LeakChannel",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for BugReport {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.str(self.core);
+        self.attack.encode(enc);
+        self.window_type.encode(enc);
+        self.channel.encode(enc);
+        enc.usize(self.iteration);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BugReport {
+            core: intern(&dec.string()?),
+            attack: AttackType::decode(dec)?,
+            window_type: WindowType::decode(dec)?,
+            channel: LeakChannel::decode(dec)?,
+            iteration: dec.usize()?,
+        })
+    }
+}
+
+impl Persist for WindowStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.triggered);
+        enc.usize(self.attempted);
+        enc.usize(self.to_sum);
+        enc.usize(self.eto_sum);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(WindowStats {
+            triggered: dec.usize()?,
+            attempted: dec.usize()?,
+            to_sum: dec.usize()?,
+            eto_sum: dec.usize()?,
+        })
+    }
+}
+
+impl Persist for CampaignStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.iterations);
+        self.coverage_curve.encode(enc);
+        // BTreeMap iterates sorted, so the encoding is canonical.
+        let windows: Vec<(WindowType, WindowStats)> =
+            self.windows.iter().map(|(k, v)| (*k, *v)).collect();
+        windows.encode(enc);
+        self.bugs.encode(enc);
+        self.first_bug_iteration.encode(enc);
+        enc.usize(self.sim_runs);
+        enc.u64(self.sim_cycles);
+        enc.usize(self.failed_runs);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(CampaignStats {
+            iterations: dec.usize()?,
+            coverage_curve: Vec::<usize>::decode(dec)?,
+            windows: Vec::<(WindowType, WindowStats)>::decode(dec)?
+                .into_iter()
+                .collect(),
+            bugs: Vec::<BugReport>::decode(dec)?,
+            first_bug_iteration: Option::<usize>::decode(dec)?,
+            sim_runs: dec.usize()?,
+            sim_cycles: dec.u64()?,
+            failed_runs: dec.usize()?,
+        })
+    }
+}
+
+impl Persist for PhaseOptions {
+    fn encode(&self, enc: &mut Encoder) {
+        self.mode.encode(enc);
+        enc.bool(self.training_derivation);
+        enc.bool(self.training_reduction);
+        enc.bool(self.liveness_filter);
+        enc.usize(self.decoy_trainings);
+        enc.u64(self.max_cycles);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PhaseOptions {
+            mode: IftMode::decode(dec)?,
+            training_derivation: dec.bool()?,
+            training_reduction: dec.bool()?,
+            liveness_filter: dec.bool()?,
+            decoy_trainings: dec.usize()?,
+            max_cycles: dec.u64()?,
+        })
+    }
+}
+
+impl Persist for FuzzerOptions {
+    fn encode(&self, enc: &mut Encoder) {
+        self.phases.encode(enc);
+        enc.bool(self.coverage_feedback);
+        enc.usize(self.mutation_attempts);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(FuzzerOptions {
+            phases: PhaseOptions::decode(dec)?,
+            coverage_feedback: dec.bool()?,
+            mutation_attempts: dec.usize()?,
+        })
+    }
+}
+
+/// One worker's persisted stream state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerState {
+    /// Raw RNG stream position (xoshiro state, see the vendored `rand`).
+    pub rng: [u64; 4],
+    /// Iterations this worker has executed so far.
+    pub iterations: usize,
+    /// Everything this worker ever observed (the exactness-invariant
+    /// matrices of [`crate::executor::WorkerSummary`]).
+    pub observed: CoverageMatrix,
+}
+
+impl Persist for WorkerState {
+    fn encode(&self, enc: &mut Encoder) {
+        self.rng.encode(enc);
+        enc.usize(self.iterations);
+        self.observed.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerState {
+            rng: <[u64; 4]>::decode(dec)?,
+            iterations: dec.usize()?,
+            observed: CoverageMatrix::decode(dec)?,
+        })
+    }
+}
+
+/// The complete persisted state of a fuzzing campaign at a round
+/// boundary. See the module docs for the resume-equivalence contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSnapshot {
+    /// Which shard of a multi-machine campaign this is (0 for unsharded
+    /// runs; merge keys reports by it).
+    pub shard_id: u32,
+    /// Backend label echo ([`crate::backend::BackendSpec::label`]) —
+    /// resume validates it so a snapshot taken against one DUT is never
+    /// silently continued against another.
+    pub backend: String,
+    /// Worker count the campaign was (and must be resumed) running with.
+    pub workers: usize,
+    /// The user seed.
+    pub seed: u64,
+    /// Per-round batch size.
+    pub batch: usize,
+    /// Campaign options echo — resume validates equality.
+    pub opts: FuzzerOptions,
+    /// Iterations completed when the snapshot was taken.
+    pub completed: usize,
+    /// Running-average mutation-gain threshold (§4.2.2): (average,
+    /// sample count). The average restores bit-identically.
+    pub gain_avg: f64,
+    /// Samples folded into `gain_avg`.
+    pub gain_samples: usize,
+    /// Scheduler RNG stream position.
+    pub sched_rng: [u64; 4],
+    /// The seed corpus.
+    pub corpus: Corpus,
+    /// The exact global coverage union.
+    pub coverage: CoverageMatrix,
+    /// Campaign statistics, including the exact coverage curve and
+    /// deduplicated bug reports.
+    pub stats: CampaignStats,
+    /// Per-worker stream state, indexed by worker id.
+    pub worker_states: Vec<WorkerState>,
+}
+
+impl Persist for CampaignSnapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.shard_id);
+        enc.str(&self.backend);
+        enc.usize(self.workers);
+        enc.u64(self.seed);
+        enc.usize(self.batch);
+        self.opts.encode(enc);
+        enc.usize(self.completed);
+        enc.f64(self.gain_avg);
+        enc.usize(self.gain_samples);
+        self.sched_rng.encode(enc);
+        self.corpus.encode(enc);
+        self.coverage.encode(enc);
+        self.stats.encode(enc);
+        self.worker_states.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let snap = CampaignSnapshot {
+            shard_id: dec.u32()?,
+            backend: dec.string()?,
+            workers: dec.usize()?,
+            seed: dec.u64()?,
+            batch: dec.usize()?,
+            opts: FuzzerOptions::decode(dec)?,
+            completed: dec.usize()?,
+            gain_avg: dec.f64()?,
+            gain_samples: dec.usize()?,
+            sched_rng: <[u64; 4]>::decode(dec)?,
+            corpus: Corpus::decode(dec)?,
+            coverage: CoverageMatrix::decode(dec)?,
+            stats: CampaignStats::decode(dec)?,
+            worker_states: Vec::<WorkerState>::decode(dec)?,
+        };
+        if snap.workers == 0 {
+            return Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::workers",
+                detail: "zero workers".into(),
+            });
+        }
+        if snap.worker_states.len() != snap.workers {
+            return Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::worker_states",
+                detail: format!(
+                    "{} states for {} workers",
+                    snap.worker_states.len(),
+                    snap.workers
+                ),
+            });
+        }
+        if snap.completed != snap.stats.iterations {
+            return Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::completed",
+                detail: format!(
+                    "completed {} != stats.iterations {}",
+                    snap.completed, snap.stats.iterations
+                ),
+            });
+        }
+        Ok(snap)
+    }
+}
+
+impl CampaignSnapshot {
+    /// Serialises to the framed on-disk format (magic + version +
+    /// checksum around the encoded state).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame::seal(
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+            &dejavuzz_persist::to_bytes(self),
+        )
+    }
+
+    /// Decodes a framed snapshot, validating magic, version and checksum
+    /// before any state decoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let payload = frame::open(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, bytes)?;
+        dejavuzz_persist::from_bytes(payload)
+    }
+
+    /// Writes the snapshot to `path` atomically (write-rename).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        dejavuzz_persist::save_atomic(path, &self.to_bytes())
+    }
+
+    /// Loads and validates a snapshot file.
+    pub fn load(path: &Path) -> Result<Self, LoadError> {
+        Ok(Self::from_bytes(&dejavuzz_persist::load_bytes(path)?)?)
+    }
+}
+
+/// Why [`crate::executor::Orchestrator::resume_from`] refused a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The snapshot was taken against a different DUT/backend.
+    BackendMismatch {
+        /// Backend label recorded in the snapshot.
+        snapshot: String,
+        /// Backend label of the resuming orchestrator.
+        current: String,
+    },
+    /// The snapshot was taken with different campaign options (variant,
+    /// IFT mode, mutation budget, …) — continuing would silently mix two
+    /// different experiments.
+    OptionsMismatch,
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::BackendMismatch { snapshot, current } => write!(
+                f,
+                "snapshot was taken on backend {snapshot:?} but this campaign runs {current:?}"
+            ),
+            ResumeError::OptionsMismatch => {
+                write!(f, "snapshot was taken with different campaign options")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// The result of merging shard snapshots: exact coverage union plus
+/// summed/deduplicated stats.
+#[derive(Clone, Debug)]
+pub struct MergeReport {
+    /// Shard ids in input order.
+    pub shards: Vec<u32>,
+    /// Merged stats: counters summed, bugs deduplicated by
+    /// [`BugReport::dedup_key`], curve merged by pointwise max (the
+    /// tightest after-the-fact lower bound — see
+    /// [`CampaignStats::merge`]).
+    pub stats: CampaignStats,
+    /// The **exact union** of per-shard coverage (`SharedCoverage`
+    /// semantics): distinct points, never a pointwise sum.
+    pub coverage: CoverageMatrix,
+    /// Sum of per-shard point counts — the figure a naive merge would
+    /// have (over-)reported; kept so reports can show the delta.
+    pub summed_points: usize,
+}
+
+/// Merges shard snapshots into one report. Shards are typically runs
+/// with disjoint seeds on different machines; the union is exact because
+/// coverage points are value-equal across processes (module name +
+/// count), not pointer- or process-local.
+pub fn merge_snapshots(snaps: &[CampaignSnapshot]) -> MergeReport {
+    let mut stats = CampaignStats::default();
+    let mut coverage = CoverageMatrix::new();
+    let mut summed_points = 0;
+    let mut shards = Vec::with_capacity(snaps.len());
+    for s in snaps {
+        shards.push(s.shard_id);
+        stats.merge(&s.stats);
+        summed_points += s.coverage.points();
+        coverage.merge(&s.coverage);
+    }
+    MergeReport {
+        shards,
+        stats,
+        coverage,
+        summed_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WindowType;
+
+    fn sample_stats() -> CampaignStats {
+        let mut stats = CampaignStats {
+            iterations: 5,
+            coverage_curve: vec![1, 2, 2, 4, 6],
+            sim_runs: 17,
+            sim_cycles: 12_345,
+            failed_runs: 1,
+            first_bug_iteration: Some(3),
+            ..CampaignStats::default()
+        };
+        stats.windows.insert(
+            WindowType::BranchMispredict,
+            WindowStats {
+                triggered: 3,
+                attempted: 5,
+                to_sum: 40,
+                eto_sum: 9,
+            },
+        );
+        stats.bugs.push(BugReport {
+            core: "BOOM",
+            attack: AttackType::Spectre,
+            window_type: WindowType::BranchMispredict,
+            channel: LeakChannel::Encoded { module: "dcache" },
+            iteration: 3,
+        });
+        stats
+    }
+
+    #[test]
+    fn stats_round_trip_including_bugs_and_windows() {
+        let stats = sample_stats();
+        let bytes = dejavuzz_persist::to_bytes(&stats);
+        let back: CampaignStats = dejavuzz_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.bugs[0].dedup_key(), stats.bugs[0].dedup_key());
+    }
+
+    #[test]
+    fn all_window_types_and_modes_round_trip() {
+        for wt in WindowType::ALL {
+            let bytes = dejavuzz_persist::to_bytes(&wt);
+            assert_eq!(
+                dejavuzz_persist::from_bytes::<WindowType>(&bytes).unwrap(),
+                wt
+            );
+        }
+        for mode in [IftMode::Base, IftMode::CellIft, IftMode::DiffIft] {
+            let bytes = dejavuzz_persist::to_bytes(&mode);
+            assert_eq!(
+                dejavuzz_persist::from_bytes::<IftMode>(&bytes).unwrap(),
+                mode
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_window_tag_is_invalid() {
+        let bytes = dejavuzz_persist::to_bytes(&99u32);
+        assert_eq!(
+            dejavuzz_persist::from_bytes::<WindowType>(&bytes),
+            Err(DecodeError::InvalidTag {
+                what: "WindowType",
+                tag: 99
+            })
+        );
+    }
+
+    #[test]
+    fn corpus_round_trip_preserves_order_and_counters() {
+        let mut c = Corpus::new(4).with_exploit_probability(0.25);
+        for e in [9u64, 4, 7] {
+            c.record(&Seed::new(WindowType::MemPageFault, e), (e + 1) as usize);
+        }
+        let bytes = dejavuzz_persist::to_bytes(&c);
+        let back: Corpus = dejavuzz_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c, "entries, order, counters and config all equal");
+    }
+
+    #[test]
+    fn corpus_with_invalid_probability_fails_decode_not_panic() {
+        let mut c = Corpus::new(4);
+        c.record(&Seed::new(WindowType::IllegalInstr, 1), 3);
+        let mut bytes = dejavuzz_persist::to_bytes(&c);
+        // The exploit probability is the f64 right after the capacity u64.
+        bytes[8..16].copy_from_slice(&7.5f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            dejavuzz_persist::from_bytes::<Corpus>(&bytes),
+            Err(DecodeError::InvalidValue {
+                what: "Corpus::exploit_probability",
+                ..
+            })
+        ));
+    }
+
+    fn sample_snapshot() -> CampaignSnapshot {
+        CampaignSnapshot {
+            shard_id: 2,
+            backend: "behavioural:BOOM".into(),
+            workers: 2,
+            seed: 42,
+            batch: 4,
+            opts: FuzzerOptions::default(),
+            completed: 5,
+            gain_avg: 1.75,
+            gain_samples: 11,
+            sched_rng: [1, 2, 3, 4],
+            corpus: Corpus::new(8),
+            coverage: CoverageMatrix::new(),
+            stats: sample_stats(),
+            worker_states: vec![
+                WorkerState {
+                    rng: [5, 6, 7, 8],
+                    iterations: 3,
+                    observed: CoverageMatrix::new(),
+                },
+                WorkerState {
+                    rng: [9, 10, 11, 12],
+                    iterations: 2,
+                    observed: CoverageMatrix::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn framed_snapshot_round_trips() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        assert_eq!(CampaignSnapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn every_truncation_of_a_real_snapshot_fails_structurally() {
+        let bytes = sample_snapshot().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CampaignSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_magic_fail_before_payload_decode() {
+        let bytes = sample_snapshot().to_bytes();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&wrong_magic),
+            Err(DecodeError::BadMagic { .. })
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 99;
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&wrong_version),
+            Err(DecodeError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_checksum() {
+        let mut bytes = sample_snapshot().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&bytes),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_worker_states_fail_decode() {
+        let mut snap = sample_snapshot();
+        snap.worker_states.pop();
+        // Re-frame the inconsistent payload with a valid checksum so the
+        // *semantic* validation is what trips.
+        let bytes = frame::seal(
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+            &dejavuzz_persist::to_bytes(&snap),
+        );
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&bytes),
+            Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::worker_states",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trips_on_disk() {
+        let snap = sample_snapshot();
+        let path = std::env::temp_dir().join(format!(
+            "dejavuzz-snapshot-test-{}.snap",
+            std::process::id()
+        ));
+        snap.save(&path).unwrap();
+        assert_eq!(CampaignSnapshot::load(&path).unwrap(), snap);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_unions_coverage_and_dedups_bugs() {
+        let mut a = sample_snapshot();
+        let mut b = sample_snapshot();
+        b.shard_id = 3;
+        use dejavuzz_ift::CoveragePoint;
+        for (m, i) in [("rob", 1), ("rob", 2), ("lsu", 1)] {
+            a.coverage.insert(CoveragePoint {
+                module: m,
+                index: i,
+            });
+        }
+        for (m, i) in [("rob", 2), ("dcache", 4)] {
+            b.coverage.insert(CoveragePoint {
+                module: m,
+                index: i,
+            });
+        }
+        let merged = merge_snapshots(&[a.clone(), b.clone()]);
+        assert_eq!(merged.shards, vec![2, 3]);
+        assert_eq!(merged.coverage.points(), 4, "exact union, rob/2 once");
+        assert_eq!(merged.summed_points, 5, "the naive sum inflates");
+        assert_eq!(merged.stats.iterations, 10);
+        assert_eq!(
+            merged.stats.bugs.len(),
+            1,
+            "identical dedup keys collapse across shards"
+        );
+    }
+}

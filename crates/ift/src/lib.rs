@@ -56,6 +56,7 @@ pub mod census;
 pub mod coverage;
 pub mod liveness;
 pub mod mem;
+pub mod persist;
 pub mod policy;
 pub mod shared;
 pub mod tword;

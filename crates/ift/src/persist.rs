@@ -1,0 +1,133 @@
+//! [`Persist`] wire formats for the coverage types.
+//!
+//! A [`CoveragePoint`] holds a `&'static str` module name; decoding goes
+//! through [`dejavuzz_persist::intern`] so points read back from a
+//! snapshot compare (and hash) equal to the ones a live census produces.
+//! A [`CoverageMatrix`] encodes its points *sorted*, so equal sets
+//! produce byte-identical encodings regardless of `HashSet` iteration
+//! order — snapshot files are reproducible artifacts, diffable across
+//! runs.
+
+use dejavuzz_persist::{intern, DecodeError, Decoder, Encoder, Persist};
+
+use crate::coverage::{CoverageMatrix, CoveragePoint};
+use crate::policy::IftMode;
+
+impl Persist for IftMode {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(match self {
+            IftMode::Base => 0,
+            IftMode::CellIft => 1,
+            IftMode::DiffIft => 2,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u32()? {
+            0 => Ok(IftMode::Base),
+            1 => Ok(IftMode::CellIft),
+            2 => Ok(IftMode::DiffIft),
+            tag => Err(DecodeError::InvalidTag {
+                what: "IftMode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for CoveragePoint {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.str(self.module);
+        enc.usize(self.index);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let module = intern(&dec.string()?);
+        let index = dec.usize()?;
+        Ok(CoveragePoint { module, index })
+    }
+}
+
+impl Persist for CoverageMatrix {
+    fn encode(&self, enc: &mut Encoder) {
+        self.sorted_points().encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let points = Vec::<CoveragePoint>::decode(dec)?;
+        let mut m = CoverageMatrix::new();
+        for p in points {
+            m.insert(p);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::Census;
+
+    fn matrix(counts: &[(&'static str, usize)]) -> CoverageMatrix {
+        let mut c = Census::new();
+        for &(m, tainted) in counts {
+            c.report_counts(m, tainted, 64);
+        }
+        let mut m = CoverageMatrix::new();
+        m.observe(&c);
+        m
+    }
+
+    #[test]
+    fn coverage_matrix_round_trips_exactly() {
+        let m = matrix(&[("rob", 3), ("lsu", 1), ("dcache", 7)]);
+        let bytes = dejavuzz_persist::to_bytes(&m);
+        let back: CoverageMatrix = dejavuzz_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.sorted_points(), m.sorted_points());
+        assert!(back.contains("dcache", 7));
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let bytes = dejavuzz_persist::to_bytes(&CoverageMatrix::new());
+        let back: CoverageMatrix = dejavuzz_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(back.points(), 0);
+    }
+
+    #[test]
+    fn encoding_is_canonical_regardless_of_insertion_order() {
+        let a = matrix(&[("rob", 3), ("lsu", 1), ("dcache", 7)]);
+        let b = matrix(&[("dcache", 7), ("rob", 3), ("lsu", 1)]);
+        assert_eq!(
+            dejavuzz_persist::to_bytes(&a),
+            dejavuzz_persist::to_bytes(&b),
+            "equal sets must encode byte-identically"
+        );
+    }
+
+    #[test]
+    fn decoded_points_interoperate_with_live_ones() {
+        let m = matrix(&[("rob", 2)]);
+        let bytes = dejavuzz_persist::to_bytes(&m);
+        let back: CoverageMatrix = dejavuzz_persist::from_bytes(&bytes).unwrap();
+        // A live observation of the same (module, count) must deduplicate
+        // against the decoded point — interning makes them one value.
+        let mut merged = back;
+        let mut c = Census::new();
+        c.report_counts("rob", 2, 64);
+        assert_eq!(merged.observe(&c), 0, "decoded point dedups live census");
+    }
+
+    #[test]
+    fn truncated_matrix_fails_structurally() {
+        let m = matrix(&[("rob", 3), ("lsu", 1)]);
+        let bytes = dejavuzz_persist::to_bytes(&m);
+        for cut in 0..bytes.len() {
+            assert!(
+                dejavuzz_persist::from_bytes::<CoverageMatrix>(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+}

@@ -153,7 +153,11 @@ impl TaintCoverage for &SharedCoverage {
 ///
 /// Points that are fresh against the view are appended to `recorded`, in
 /// observation order, so the orchestrator can replay them into the global
-/// matrix deterministically.
+/// matrix deterministically. Points fresh against `observed` are likewise
+/// appended to `observed_recorded` (when attached): the orchestrator
+/// mirrors each worker's lifetime observation matrix from these deltas,
+/// which is what lets a campaign snapshot carry exact per-worker state
+/// without ever shipping whole matrices over the channel.
 pub struct RecordingCoverage<'a> {
     /// Worker-local deterministic view.
     pub view: &'a mut CoverageMatrix,
@@ -161,6 +165,8 @@ pub struct RecordingCoverage<'a> {
     pub recorded: &'a mut Vec<CoveragePoint>,
     /// Everything observed (exactness accounting), if tracked.
     pub observed: Option<&'a mut CoverageMatrix>,
+    /// Fresh-against-`observed` points, in observation order, if tracked.
+    pub observed_recorded: Option<&'a mut Vec<CoveragePoint>>,
     /// Live concurrent union, if attached.
     pub shared: Option<&'a SharedCoverage>,
 }
@@ -177,7 +183,11 @@ impl TaintCoverage for RecordingCoverage<'_> {
                 index: m.tainted,
             };
             if let Some(observed) = self.observed.as_deref_mut() {
-                observed.insert(p);
+                if observed.insert(p) {
+                    if let Some(rec) = self.observed_recorded.as_deref_mut() {
+                        rec.push(p);
+                    }
+                }
             }
             if self.view.insert(p) {
                 // Commit to the shared union only on view-freshness: a
@@ -289,10 +299,12 @@ mod tests {
         });
         let mut observed = CoverageMatrix::new();
         let mut recorded = Vec::new();
+        let mut observed_recorded = Vec::new();
         let mut rec = RecordingCoverage {
             view: &mut view,
             recorded: &mut recorded,
             observed: Some(&mut observed),
+            observed_recorded: Some(&mut observed_recorded),
             shared: Some(&shared),
         };
         let fresh = rec.observe(&census(&[("rob", 3), ("lsu", 1)]));
@@ -306,11 +318,50 @@ mod tests {
         );
         assert_eq!(observed.points(), 2, "observed tracks everything seen");
         assert_eq!(
+            observed_recorded.len(),
+            2,
+            "both points were observed-fresh — the delta a snapshot mirror replays"
+        );
+        assert_eq!(
             shared.points(),
             1,
             "shared commits only view-fresh points (rob/3's discoverer \
              already committed it — no duplicate lock traffic)"
         );
+    }
+
+    /// Resume equivalence leans on this: seeding a fresh [`SharedCoverage`]
+    /// from a snapshot matrix must reproduce the committed set exactly —
+    /// same point count, same membership, same snapshot back out.
+    #[test]
+    fn snapshot_restore_round_trip_is_faithful() {
+        let original = SharedCoverage::new(8);
+        original.observe(&census(&[("rob", 3), ("lsu", 1), ("dcache", 7)]));
+        original.observe(&census(&[("rob", 5), ("btb", 2)]));
+        let snap = original.snapshot();
+
+        // Restore into a *differently sharded* set: the stripe layout is an
+        // implementation detail, the committed set is the contract.
+        let restored = SharedCoverage::new(2);
+        for p in snap.iter() {
+            restored.observe_point(*p);
+        }
+
+        assert_eq!(restored.points(), original.points());
+        for p in snap.iter() {
+            assert!(
+                restored.contains(p.module, p.index),
+                "{p:?} lost in restore"
+            );
+        }
+        assert_eq!(
+            restored.snapshot().sorted_points(),
+            snap.sorted_points(),
+            "snapshot of the restore equals the original snapshot"
+        );
+        // And restored state dedups exactly like the original would.
+        assert_eq!(restored.observe(&census(&[("rob", 3)])), 0);
+        assert_eq!(restored.points(), original.points());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! The snapshot envelope: magic + version + checksum around an opaque
+//! payload.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [magic: 8 bytes][version: u32][payload_len: u64][checksum: u64][payload]
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the payload bytes. [`open`] validates
+//! the envelope in order — magic first (is this even ours?), then
+//! version (can this build read it?), then length and checksum (did it
+//! survive the disk?) — so the caller gets the most specific
+//! [`DecodeError`] for whatever went wrong, and payload decoding only
+//! ever runs over bytes that already passed integrity checks.
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+
+/// FNV-1a 64-bit over a byte slice: cheap, dependency-free, and stable
+/// across platforms. Not cryptographic — it guards against bit rot and
+/// truncation, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Wraps a payload in a framed envelope.
+pub fn seal(magic: [u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for b in magic {
+        enc.u8(b);
+    }
+    enc.u32(version);
+    enc.u64(payload.len() as u64);
+    enc.u64(fnv1a64(payload));
+    let mut out = enc.into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an envelope and returns the payload slice. `supported` is
+/// the single version this build reads; older or newer frames fail with
+/// [`DecodeError::UnsupportedVersion`].
+pub fn open(magic: [u8; 8], supported: u32, bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let mut found = [0u8; 8];
+    for slot in &mut found {
+        *slot = dec.u8()?;
+    }
+    if found != magic {
+        return Err(DecodeError::BadMagic {
+            found,
+            expected: magic,
+        });
+    }
+    let version = dec.u32()?;
+    if version != supported {
+        return Err(DecodeError::UnsupportedVersion {
+            found: version,
+            supported,
+        });
+    }
+    let len = dec.u64()?;
+    let stored = dec.u64()?;
+    let start = dec.offset();
+    let remaining = dec.remaining() as u64;
+    if len > remaining {
+        return Err(DecodeError::UnexpectedEof {
+            offset: start,
+            needed: len as usize,
+            available: remaining as usize,
+        });
+    }
+    if len < remaining {
+        return Err(DecodeError::TrailingBytes {
+            remaining: (remaining - len) as usize,
+        });
+    }
+    let payload = &bytes[start..start + len as usize];
+    let computed = fnv1a64(payload);
+    if computed != stored {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 8] = *b"TESTMAG1";
+
+    #[test]
+    fn seal_open_round_trip() {
+        let framed = seal(MAGIC, 3, b"hello");
+        assert_eq!(open(MAGIC, 3, &framed).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let framed = seal(MAGIC, 1, b"");
+        assert_eq!(open(MAGIC, 1, &framed).unwrap(), b"");
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_first() {
+        let framed = seal(*b"OTHERMAG", 1, b"hello");
+        assert!(matches!(
+            open(MAGIC, 1, &framed),
+            Err(DecodeError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let framed = seal(MAGIC, 2, b"hello");
+        assert_eq!(
+            open(MAGIC, 1, &framed),
+            Err(DecodeError::UnsupportedVersion {
+                found: 2,
+                supported: 1
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_structured_error() {
+        let framed = seal(MAGIC, 1, b"payload bytes");
+        for cut in 0..framed.len() {
+            let err = open(MAGIC, 1, &framed[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::UnexpectedEof { .. } | DecodeError::BadMagic { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_payload_is_caught() {
+        let framed = seal(MAGIC, 1, b"abcdef");
+        let payload_start = framed.len() - 6;
+        for byte in payload_start..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        open(MAGIC, 1, &bad),
+                        Err(DecodeError::ChecksumMismatch { .. })
+                    ),
+                    "flip at byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut framed = seal(MAGIC, 1, b"hello");
+        framed.extend_from_slice(b"junk");
+        assert_eq!(
+            open(MAGIC, 1, &framed),
+            Err(DecodeError::TrailingBytes { remaining: 4 })
+        );
+    }
+}

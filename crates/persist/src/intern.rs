@@ -1,0 +1,50 @@
+//! A global leak-once string pool.
+//!
+//! Coverage points and bug reports hold `&'static str` module names —
+//! in-process they always point at compile-time literals from the core
+//! configs, but a decoded snapshot has to conjure the same `'static`
+//! lifetime from file bytes. [`intern`] does that by leaking each
+//! *distinct* name exactly once into a process-global pool. The set of
+//! module names a campaign can produce is small and fixed (the DUT's
+//! module hierarchy), so the leaked total is bounded by the vocabulary,
+//! not by how many snapshots are loaded.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+fn pool() -> &'static Mutex<HashSet<&'static str>> {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Returns a `'static` string equal to `s`, leaking at most once per
+/// distinct content.
+pub fn intern(s: &str) -> &'static str {
+    let mut pool = pool().lock().expect("intern pool poisoned");
+    if let Some(hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern("rob_test_module");
+        let b = intern("rob_test_module");
+        assert_eq!(a, "rob_test_module");
+        assert!(std::ptr::eq(a, b), "second intern reuses the first leak");
+    }
+
+    #[test]
+    fn distinct_contents_get_distinct_entries() {
+        let a = intern("intern_a");
+        let b = intern("intern_b");
+        assert_ne!(a, b);
+    }
+}

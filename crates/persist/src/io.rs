@@ -1,0 +1,123 @@
+//! Snapshot file IO: atomic write-rename saves and a load error that
+//! keeps filesystem failures distinct from decode failures.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::codec::DecodeError;
+
+/// Why loading a persisted file failed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The bytes were read but do not decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "read failed: {e}"),
+            LoadError::Decode(e) => write!(f, "decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<DecodeError> for LoadError {
+    fn from(e: DecodeError) -> Self {
+        LoadError::Decode(e)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a sibling
+/// temporary file first, is fsynced, and is renamed into place (with a
+/// best-effort directory fsync after), so a crash — including power
+/// loss on filesystems that reorder data behind rename metadata —
+/// leaves either the old snapshot or the new one, never a torn file.
+pub fn save_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let write_and_sync = || -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // The data must be durable BEFORE the rename publishes it;
+        // otherwise a crash can leave a renamed-but-empty file where the
+        // previous good snapshot used to be.
+        f.sync_all()
+    };
+    if let Err(e) = write_and_sync() {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => {
+            // Make the rename itself durable. Best-effort: directory
+            // handles are not fsyncable on every platform, and the data
+            // is already safe either way.
+            let dir = match path.parent() {
+                Some(d) if !d.as_os_str().is_empty() => d,
+                _ => Path::new("."),
+            };
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Reads a whole file.
+pub fn load_bytes(path: &Path) -> Result<Vec<u8>, LoadError> {
+    Ok(fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dejavuzz-persist-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_then_load_round_trips_and_replaces() {
+        let path = temp_path("io");
+        save_atomic(&path, b"first").unwrap();
+        assert_eq!(load_bytes(&path).unwrap(), b"first");
+        save_atomic(&path, b"second").unwrap();
+        assert_eq!(load_bytes(&path).unwrap(), b"second");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_bytes(Path::new("/nonexistent/dejavuzz.snap")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+        assert!(err.to_string().contains("read failed"));
+    }
+}
