@@ -1,0 +1,65 @@
+//! Emits `BENCH_throughput.json`: seeds/s per backend × scheduler, wall
+//! clock and modelled dedicated-core makespan, for the CI artifact that
+//! tracks the perf trajectory across PRs.
+//!
+//! ```sh
+//! cargo run --release -p dejavuzz-bench --bin throughput_json -- \
+//!     --iters 48 --workers 4 --out BENCH_throughput.json
+//! ```
+//!
+//! The modelled makespan is the comparison number for schedulers: it
+//! replays each round's measured per-slot costs over `workers` dedicated
+//! cores (fixed chunks for `round`, greedy claiming for `steal`), so the
+//! work-stealing win on skewed seed costs shows even on a one-core CI
+//! runner where wall clock is work-bound either way.
+
+use dejavuzz::SchedulerSpec;
+use dejavuzz_bench::{arg_or, throughput_json, throughput_sample};
+use dejavuzz_rtl::examples::SMALL_SCALE;
+use dejavuzz_uarch::boom_small;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = arg_or(&args, "--iters", 48);
+    let workers = arg_or(&args, "--workers", 4);
+    let seed = arg_or(&args, "--seed", 7) as u64;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let backends = [
+        dejavuzz::BackendSpec::behavioural(boom_small()),
+        dejavuzz::BackendSpec::netlist(SMALL_SCALE),
+    ];
+    let schedulers = [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing];
+
+    let mut samples = Vec::new();
+    for backend in &backends {
+        for scheduler in schedulers {
+            let s = throughput_sample(backend, scheduler, workers, iters, seed);
+            eprintln!(
+                "{:<24} {:<6} {} workers: {:>8.1} seeds/s wall, {:>8.1} seeds/s modelled \
+                 ({:.3}s busy over {:.3}s modelled makespan)",
+                s.backend,
+                s.scheduler,
+                s.workers,
+                s.seeds_per_sec,
+                s.modelled_seeds_per_sec,
+                s.busy.as_secs_f64(),
+                s.modelled_makespan.as_secs_f64(),
+            );
+            samples.push(s);
+        }
+    }
+
+    let json = throughput_json(&samples);
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("throughput_json: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("throughput_json: wrote {out}");
+}

@@ -505,6 +505,115 @@ pub fn throughput_with(
     (elapsed, iterations as f64 / elapsed.as_secs_f64().max(1e-9))
 }
 
+/// One scheduler-throughput measurement: wall-clock plus the modelled
+/// dedicated-core makespan (see
+/// [`dejavuzz::ExecutorReport::modelled_makespan_nanos`] — on an
+/// oversubscribed CI host the wall clock cannot show barrier idling, so
+/// the model is the machine-independent comparison number).
+#[derive(Clone, Debug)]
+pub struct ThroughputSample {
+    /// Backend label ([`dejavuzz::BackendSpec::label`]).
+    pub backend: String,
+    /// Scheduler label (`round` / `steal`).
+    pub scheduler: &'static str,
+    /// Worker count.
+    pub workers: usize,
+    /// Total iterations executed.
+    pub iterations: usize,
+    /// Wall-clock of the run.
+    pub wall: Duration,
+    /// Iterations per wall-clock second.
+    pub seeds_per_sec: f64,
+    /// Modelled makespan on `workers` dedicated cores.
+    pub modelled_makespan: Duration,
+    /// Iterations per modelled-makespan second.
+    pub modelled_seeds_per_sec: f64,
+    /// Sum of per-iteration busy time across workers.
+    pub busy: Duration,
+}
+
+/// Runs one campaign under the given backend × scheduler and measures it.
+pub fn throughput_sample(
+    backend: &dejavuzz::BackendSpec,
+    scheduler: dejavuzz::SchedulerSpec,
+    workers: usize,
+    iterations: usize,
+    seed: u64,
+) -> ThroughputSample {
+    let start = Instant::now();
+    let report = dejavuzz::Orchestrator::with_backend(
+        backend.clone(),
+        FuzzerOptions::default(),
+        workers,
+        seed,
+    )
+    .scheduler(scheduler)
+    .run(iterations);
+    let wall = start.elapsed();
+    assert_eq!(report.stats.iterations, iterations);
+    let modelled = Duration::from_nanos(report.modelled_makespan_nanos);
+    ThroughputSample {
+        backend: backend.label(),
+        scheduler: scheduler.label(),
+        workers,
+        iterations,
+        wall,
+        seeds_per_sec: iterations as f64 / wall.as_secs_f64().max(1e-9),
+        modelled_makespan: modelled,
+        modelled_seeds_per_sec: iterations as f64 / modelled.as_secs_f64().max(1e-9),
+        busy: Duration::from_nanos(report.busy_nanos),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders samples as the machine-readable `BENCH_throughput.json`
+/// document CI uploads, so the perf trajectory is diffable across PRs.
+/// Hand-rolled JSON — the build environment has no serde.
+pub fn throughput_json(samples: &[ThroughputSample]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": {}, \"scheduler\": {}, \"workers\": {}, \
+             \"iterations\": {}, \"wall_seconds\": {:.6}, \"seeds_per_sec\": {:.2}, \
+             \"modelled_makespan_seconds\": {:.6}, \"modelled_seeds_per_sec\": {:.2}, \
+             \"busy_seconds\": {:.6}}}{}\n",
+            json_str(&s.backend),
+            json_str(s.scheduler),
+            s.workers,
+            s.iterations,
+            s.wall.as_secs_f64(),
+            s.seeds_per_sec,
+            s.modelled_makespan.as_secs_f64(),
+            s.modelled_seeds_per_sec,
+            s.busy.as_secs_f64(),
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Parses a `--backend <value>` argument into a [`dejavuzz::BackendSpec`]
 /// (behavioural SmallBOOM when absent), exiting with a usage message on
 /// an unknown value — shared by the bench binaries.

@@ -21,6 +21,7 @@
 use dejavuzz::backend::BackendSpec;
 use dejavuzz::campaign::FuzzerOptions;
 use dejavuzz::executor::Orchestrator;
+use dejavuzz::scheduler::{PolicySpec, SchedulerSpec};
 use dejavuzz::snapshot::CampaignSnapshot;
 use dejavuzz_uarch::{boom_small, xiangshan_minimal};
 
@@ -63,10 +64,25 @@ fn main() {
              --threads N             alias for --workers (historical name)\n\
              --seed N                RNG seed (default 42)\n\
              --variant full|star|minus|noliveness\n\n\
+             scheduling (see EXPERIMENTS.md \"Schedulers & seed policies\"):\n\
+             --scheduler round|steal round = fixed per-worker batches (default);\n\
+             \u{20}                        steal = idle workers claim pre-drawn slots\n\
+             \u{20}                        from a shared queue — deterministic per\n\
+             \u{20}                        (seed, workers) regardless of interleaving\n\
+             --policy energy|favoured\n\
+             \u{20}                        corpus pick policy: energy-decay roulette\n\
+             \u{20}                        (default) or AFL-style favoured culling with\n\
+             \u{20}                        per-window-type quotas\n\
+             --batch N               iteration slots per worker per round (default 4;\n\
+             \u{20}                        at --batch 1 both schedulers are bit-identical)\n\n\
              checkpointing & sharding (see EXPERIMENTS.md):\n\
              --snapshot PATH         write campaign checkpoints to PATH (atomic\n\
              \u{20}                        write-rename; always written at run end)\n\
              --snapshot-every N      also checkpoint every N scheduler rounds (0 = off)\n\
+             --snapshot-keep N       rotate periodic checkpoints into PATH.<iters>\n\
+             \u{20}                        siblings, pruning all but the newest N (0 =\n\
+             \u{20}                        overwrite one file; the end-of-run checkpoint\n\
+             \u{20}                        always lands on PATH itself)\n\
              --halt-after N          stop gracefully at the first round boundary with\n\
              \u{20}                        >= N iterations done (pairs with --snapshot to\n\
              \u{20}                        emulate an interruption; resume finishes the run)\n\
@@ -106,22 +122,39 @@ fn main() {
     let iters = arg(&args, "--iters", 50usize);
     let mut workers = arg(&args, "--workers", arg(&args, "--threads", 1usize)).max(1);
     let mut seed = arg(&args, "--seed", 42u64);
+    let batch = arg(&args, "--batch", 4usize);
+    let scheduler = match SchedulerSpec::parse(&arg::<String>(&args, "--scheduler", "round".into()))
+    {
+        Ok(s) => s,
+        Err(e) => die(format_args!("{e}")),
+    };
+    let policy = match PolicySpec::parse(&arg::<String>(&args, "--policy", "energy".into())) {
+        Ok(p) => p,
+        Err(e) => die(format_args!("{e}")),
+    };
     let shard = arg(&args, "--shard", 0u32);
     let snapshot_path = opt_arg::<String>(&args, "--snapshot");
     let snapshot_every = arg(&args, "--snapshot-every", 0usize);
+    let snapshot_keep = arg(&args, "--snapshot-keep", 0usize);
     let halt_after = opt_arg::<usize>(&args, "--halt-after");
     let resume_path = opt_arg::<String>(&args, "--resume");
 
-    // A resumed campaign's geometry comes from the snapshot: the worker
-    // count, seed and batch size are part of its identity.
+    // A resumed campaign's geometry and scheduling configuration come
+    // from the snapshot: workers, seed, batch, scheduler and policy are
+    // all part of its replay identity.
     let resume = resume_path.map(|p| {
         let path = std::path::Path::new(&p);
         match CampaignSnapshot::load(path) {
             Ok(snap) => {
                 eprintln!(
                     "dejavuzz-fuzz: resuming shard {} at iteration {} from {p} \
-                     ({} worker(s), seed {})",
-                    snap.shard_id, snap.completed, snap.workers, snap.seed
+                     ({} worker(s), seed {}, scheduler {}, policy {})",
+                    snap.shard_id,
+                    snap.completed,
+                    snap.workers,
+                    snap.seed,
+                    snap.scheduler.label(),
+                    snap.policy.label(),
                 );
                 workers = snap.workers;
                 seed = snap.seed;
@@ -131,9 +164,52 @@ fn main() {
         }
     });
 
+    // Scheduling chatter goes to stderr like the persistence notes, so
+    // the default run's stdout stays byte-identical across flags. A
+    // resumed campaign adopts the snapshot's scheduler/policy (already
+    // reported by the resume note above) — announcing the flag values
+    // here would claim a configuration the run does not use, so instead
+    // warn when explicit flags are being overridden.
+    if let Some(snap) = &resume {
+        let explicit = |flag: &str| opt_arg::<String>(&args, flag).is_some();
+        if explicit("--scheduler") && scheduler != snap.scheduler {
+            eprintln!(
+                "dejavuzz-fuzz: warning: --scheduler {} ignored; resume adopts the \
+                 snapshot's scheduler ({})",
+                scheduler.label(),
+                snap.scheduler.label()
+            );
+        }
+        if explicit("--policy") && policy != snap.policy {
+            eprintln!(
+                "dejavuzz-fuzz: warning: --policy {} ignored; resume adopts the \
+                 snapshot's policy ({})",
+                policy.label(),
+                snap.policy.label()
+            );
+        }
+        if explicit("--batch") && batch != snap.batch {
+            eprintln!(
+                "dejavuzz-fuzz: warning: --batch {batch} ignored; resume adopts the \
+                 snapshot's batch size ({})",
+                snap.batch
+            );
+        }
+    } else if scheduler != SchedulerSpec::RoundRobin || policy != PolicySpec::EnergyDecay {
+        eprintln!(
+            "dejavuzz-fuzz: scheduler {}, seed policy {}",
+            scheduler.label(),
+            policy.label()
+        );
+    }
+
     let mut orch = Orchestrator::with_backend(backend.clone(), opts, workers, seed)
+        .batch_size(batch)
+        .scheduler(scheduler)
+        .seed_policy(policy)
         .shard_id(shard)
-        .snapshot_every(snapshot_every);
+        .snapshot_every(snapshot_every)
+        .snapshot_keep(snapshot_keep);
     if let Some(path) = &snapshot_path {
         orch = orch.snapshot_path(path);
     }

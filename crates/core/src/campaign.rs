@@ -16,6 +16,7 @@ use crate::executor::{self, GainAverage};
 use crate::gen::WindowType;
 use crate::phases::PhaseOptions;
 use crate::report::BugReport;
+use crate::scheduler::{PolicySpec, SeedPolicy, SlotFeedback};
 
 /// Campaign-level configuration. The ablation variants of the evaluation
 /// are spelled as constructors: [`FuzzerOptions::dejavuzz_star`] (random
@@ -209,6 +210,7 @@ pub struct Campaign {
     opts: FuzzerOptions,
     rng: StdRng,
     corpus: Corpus,
+    policy: Box<dyn SeedPolicy>,
     coverage: CoverageMatrix,
     stats: CampaignStats,
     /// Running average of coverage gain (the mutation threshold of §4.2.2).
@@ -248,10 +250,20 @@ impl Campaign {
             opts,
             rng: StdRng::seed_from_u64(rng_seed),
             corpus,
+            policy: PolicySpec::default().build(None),
             coverage: CoverageMatrix::new(),
             stats: CampaignStats::default(),
             gain: GainAverage::default(),
         }
+    }
+
+    /// Swaps the corpus seed policy (default
+    /// [`PolicySpec::EnergyDecay`], the historical behaviour). Call
+    /// before the first iteration: mid-campaign swaps would mix two
+    /// policies' scheduling state.
+    pub fn with_seed_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy.build(None);
+        self
     }
 
     /// The simulation backend driving this campaign.
@@ -286,7 +298,7 @@ impl Campaign {
     /// coverage-guided mutation) → Phase 3 → retention.
     pub fn iteration(&mut self) {
         let slot = self.stats.iterations;
-        let scheduled = self.corpus.schedule(&mut self.rng);
+        let scheduled = self.policy.schedule(&mut self.corpus, &mut self.rng);
         let outcome = executor::run_iteration(
             self.backend.as_mut(),
             &self.opts,
@@ -301,7 +313,19 @@ impl Campaign {
         executor::fold_outcome(&mut self.stats, &outcome);
         self.stats.coverage_curve.push(self.coverage.points());
         if self.opts.coverage_feedback {
-            self.corpus.record(&outcome.seed, outcome.final_gain);
+            // Single worker: the view is the global union, so the
+            // outcome's view-fresh points are exactly its global
+            // contribution.
+            self.policy.record(
+                &mut self.corpus,
+                &SlotFeedback {
+                    seed: &outcome.seed,
+                    window_type: outcome.window_type,
+                    gain: outcome.final_gain,
+                    global_fresh: &outcome.fresh_points,
+                    cost: outcome.to as u64,
+                },
+            );
         }
     }
 }

@@ -49,13 +49,35 @@ impl CorpusEntry {
 }
 
 /// The seed pool. See the module docs.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Corpus {
     entries: Vec<CorpusEntry>,
     capacity: usize,
     exploit_probability: f64,
     retained: usize,
     evicted: usize,
+    /// Cached sum of entry energies, maintained incrementally on
+    /// retain/decay/evict so [`Corpus::total_energy`] never re-scans the
+    /// pool on the scheduling hot path. Floating-point increments can
+    /// drift from a fresh scan by a few ulps (the decay update is not
+    /// order-preserving), so the cache — not the scan — is the
+    /// *semantics* of the scheduling mass: it is what the roulette uses,
+    /// it is deterministic for a fixed operation sequence, and campaign
+    /// snapshots persist it so resumed runs replay bit-identically.
+    energy: f64,
+}
+
+/// Equality ignores the energy cache: two corpora with the same entries
+/// are the same pool even when their caches took different incremental
+/// paths to (almost exactly) the same sum.
+impl PartialEq for Corpus {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+            && self.capacity == other.capacity
+            && self.exploit_probability == other.exploit_probability
+            && self.retained == other.retained
+            && self.evicted == other.evicted
+    }
 }
 
 impl Default for Corpus {
@@ -73,6 +95,7 @@ impl Corpus {
             exploit_probability: EXPLOIT_PROBABILITY,
             retained: 0,
             evicted: 0,
+            energy: 0.0,
         }
     }
 
@@ -108,20 +131,25 @@ impl Corpus {
 
     /// Rebuilds a corpus from snapshot state, entry order preserved
     /// (scheduling iterates entries in order, so order is part of the
-    /// resume-equivalence contract).
+    /// resume-equivalence contract). `energy` is the persisted scheduling
+    /// mass; `None` (old snapshots that predate the cache) falls back to
+    /// a fresh scan.
     pub(crate) fn restore(
         entries: Vec<CorpusEntry>,
         capacity: usize,
         exploit_probability: f64,
         retained: usize,
         evicted: usize,
+        energy: Option<f64>,
     ) -> Self {
+        let energy = energy.unwrap_or_else(|| entries.iter().map(|e| e.energy()).sum());
         Corpus {
             entries,
             capacity: capacity.max(1),
             exploit_probability,
             retained,
             evicted,
+            energy,
         }
     }
 
@@ -145,12 +173,36 @@ impl Corpus {
         self.evicted
     }
 
-    /// Sum of entry energies (the scheduling mass).
+    /// Sum of entry energies (the scheduling mass). O(1): returns the
+    /// incrementally maintained cache, which a debug build cross-checks
+    /// against the O(n) scan it replaced.
     pub fn total_energy(&self) -> f64 {
-        self.entries.iter().map(|e| e.energy()).sum()
+        debug_assert!(
+            {
+                let scan: f64 = self.entries.iter().map(|e| e.energy()).sum();
+                (self.energy - scan).abs() <= 1e-6 * scan.abs().max(1.0)
+            },
+            "energy cache {} diverged from scan {}",
+            self.energy,
+            self.entries.iter().map(|e| e.energy()).sum::<f64>(),
+        );
+        self.energy
     }
 
-    /// The retained entries, for inspection.
+    /// The raw cache value, persisted by campaign snapshots so resumed
+    /// roulette draws replay against bit-identical scheduling mass.
+    pub(crate) fn energy_cache(&self) -> f64 {
+        self.energy
+    }
+
+    /// Restores a persisted cache value (snapshot decode).
+    pub(crate) fn set_energy_cache(&mut self, energy: f64) {
+        self.energy = energy;
+    }
+
+    /// The retained entries, for inspection (and for [`crate::scheduler::
+    /// SeedPolicy`] implementations that pick by their own weighting —
+    /// pair with [`Corpus::schedule_entry`]).
     pub fn entries(&self) -> &[CorpusEntry] {
         &self.entries
     }
@@ -181,9 +233,24 @@ impl Corpus {
                 break;
             }
         }
-        let entry = &mut self.entries[pick];
+        Some(self.schedule_entry(pick))
+    }
+
+    /// Schedules the entry at `index` directly: bumps its reschedule
+    /// count (decaying its energy) and returns the mutated seed. This is
+    /// the primitive custom [`crate::scheduler::SeedPolicy`]
+    /// implementations build on after making their own pick over
+    /// [`Corpus::entries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn schedule_entry(&mut self, index: usize) -> Seed {
+        let entry = &mut self.entries[index];
+        let before = entry.energy();
         entry.schedules += 1;
-        Some(entry.seed.mutate())
+        self.energy += entry.energy() - before;
+        entry.seed.mutate()
     }
 
     /// Reports an executed seed's coverage gain; retains it when the gain
@@ -201,9 +268,11 @@ impl Corpus {
             .find(|e| e.seed.window_type == seed.window_type && e.seed.entropy == seed.entropy)
         {
             if gain > existing.gain {
+                let before = existing.energy();
                 existing.seed = seed.clone();
                 existing.gain = gain;
                 existing.schedules = 0;
+                self.energy += existing.energy() - before;
             }
             return;
         }
@@ -213,6 +282,7 @@ impl Corpus {
             gain,
             schedules: 0,
         });
+        self.energy += self.entries.last().expect("just pushed").energy();
         if self.entries.len() > self.capacity {
             let weakest = self
                 .entries
@@ -225,6 +295,7 @@ impl Corpus {
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty");
+            self.energy -= self.entries[weakest].energy();
             self.entries.swap_remove(weakest);
             self.evicted += 1;
         }
@@ -400,6 +471,39 @@ mod tests {
         assert_eq!(retained_a, retained_b);
         assert_eq!(evicted_a, evicted_b);
         assert!(evicted_a > 0, "the scenario must actually evict");
+    }
+
+    /// The cached scheduling mass must track the scan through every kind
+    /// of mutation: retention, re-energising, decay and eviction. (Debug
+    /// builds also assert this inside every `total_energy` call; this
+    /// test makes the property explicit and release-checkable.)
+    #[test]
+    fn energy_cache_tracks_scan_through_churn() {
+        let mut c = Corpus::new(4);
+        let mut rng = StdRng::seed_from_u64(0xCAC4E);
+        for e in 0..64u64 {
+            c.record(&seed(e % 12), rng.gen_range(1..25usize));
+            let _ = c.schedule(&mut rng);
+            let scan: f64 = c.entries().iter().map(|en| en.energy()).sum();
+            assert!(
+                (c.total_energy() - scan).abs() <= 1e-9 * scan.max(1.0),
+                "cache {} vs scan {scan} after {e} ops",
+                c.total_energy()
+            );
+        }
+        assert!(c.evicted() > 0, "the scenario must exercise eviction");
+    }
+
+    #[test]
+    fn schedule_entry_decays_and_mutates() {
+        let mut c = Corpus::new(8);
+        c.record(&seed(3), 10);
+        let before = c.total_energy();
+        let s = c.schedule_entry(0);
+        assert_eq!(s.entropy, 3, "lineage preserved");
+        assert!(s.mutation > 0, "window re-rolled");
+        assert_eq!(c.entries()[0].schedules, 1);
+        assert!(c.total_energy() < before, "decay shrinks the mass");
     }
 
     #[test]

@@ -6,13 +6,22 @@
 //!
 //! An [`Orchestrator`] owns the [`Corpus`], the scheduling RNG, the
 //! running-average mutation-gain threshold and the exact global coverage;
-//! [`Worker`] threads own the simulators. Work flows in *rounds*:
+//! [`Worker`] threads own the simulators. Work flows in *rounds*, and how
+//! a round's slots are partitioned and claimed is pluggable — see the
+//! [`crate::scheduler`] module for the [`crate::scheduler::Scheduler`]
+//! trait (fixed round-robin batches vs. deterministic work stealing) and
+//! the [`crate::scheduler::SeedPolicy`] trait (energy decay vs.
+//! favoured-quota corpus picks). Under the default round-robin scheduler:
 //!
-//! 1. The orchestrator draws a batch of iteration slots per worker,
-//!    consulting the corpus (energy-weighted retained seeds vs. fresh
-//!    exploration) for each slot, and ships each worker its batch together
-//!    with the current gain threshold and the coverage points discovered
-//!    globally since the worker's last batch.
+//! 1. The orchestrator plans a batch of iteration slots per worker,
+//!    consulting the seed policy (energy-weighted retained seeds vs.
+//!    fresh exploration) for each slot, and ships each worker its batch
+//!    together with the current gain threshold and the coverage points
+//!    discovered globally since the worker's last batch. (Under the
+//!    work-stealing scheduler the whole round is instead pre-drawn into
+//!    one shared claim queue — slots become mutually independent, idle
+//!    workers claim the next slot instead of waiting behind a slow
+//!    sibling, and commit order still makes the campaign deterministic.)
 //! 2. Each worker folds the broadcast delta into its local *view* of the
 //!    global coverage, then runs the three-phase pipeline for its slots.
 //!    Every observation fans out through [`RecordingCoverage`]: into the
@@ -57,9 +66,11 @@
 //! the next round boundary, emulating a planned interruption.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +83,9 @@ use crate::campaign::{CampaignStats, FuzzerOptions};
 use crate::corpus::Corpus;
 use crate::gen::{Seed, WindowType};
 use crate::phases::{phase1, phase2, phase3};
+use crate::scheduler::{
+    PlanCtx, PlannedSlot, PolicySpec, RoundPlan, SchedulerSpec, SeedPolicy, SlotFeedback,
+};
 use crate::snapshot::{CampaignSnapshot, ResumeError, WorkerState};
 
 /// Iteration slots shipped to a worker per round. Large enough to
@@ -101,6 +115,14 @@ impl GainAverage {
 pub(crate) struct IterationOutcome {
     /// Global iteration index.
     pub slot: usize,
+    /// Logical worker stream this slot is accounted to (the physical
+    /// worker under [`crate::scheduler::RoundRobin`]; the planned stream
+    /// under [`crate::scheduler::WorkStealing`], independent of which
+    /// thread claimed the slot).
+    pub stream: usize,
+    /// Wall-clock the iteration took, for scheduling models and
+    /// throughput reporting only — never fed back into decisions.
+    pub elapsed_nanos: u64,
     /// The executed seed (after fresh generation and window mutations).
     pub seed: Seed,
     pub window_type: WindowType,
@@ -127,6 +149,27 @@ pub(crate) struct IterationOutcome {
     pub error: Option<String>,
 }
 
+/// Models one round's wall-clock on `workers` dedicated cores from the
+/// measured per-slot costs: fixed per-stream chunks for round robin (the
+/// round ends when the slowest chunk does), greedy claim-order list
+/// scheduling for work stealing (each slot goes to the earliest-free
+/// core). Purely a reporting model — scheduling decisions never read it.
+fn round_makespan(outcomes: &[IterationOutcome], workers: usize, stealing: bool) -> u64 {
+    let mut clocks = vec![0u64; workers];
+    for o in outcomes {
+        let core = if stealing {
+            // Greedy: the earliest-free core claims the next slot.
+            (0..workers)
+                .min_by_key(|&w| clocks[w])
+                .expect("workers >= 1")
+        } else {
+            o.stream
+        };
+        clocks[core] += o.elapsed_nanos;
+    }
+    clocks.into_iter().max().unwrap_or(0)
+}
+
 /// One three-phase pipeline iteration. Shared by [`Worker`] and the
 /// single-worker [`crate::Campaign`] façade. Dyn-dispatched on the
 /// backend: one virtual call per *simulation*, noise against the
@@ -149,6 +192,8 @@ pub(crate) fn run_iteration(
     });
     let mut out = IterationOutcome {
         slot,
+        stream: 0,
+        elapsed_nanos: 0,
         seed: seed.clone(),
         window_type: seed.window_type,
         triggered: false,
@@ -259,16 +304,10 @@ pub(crate) fn fold_outcome(stats: &mut CampaignStats, o: &IterationOutcome) {
     }
 }
 
-/// One iteration slot of a round.
-struct WorkItem {
-    slot: usize,
-    /// A corpus pick to mutate, or `None` for fresh exploration.
-    scheduled: Option<Seed>,
-}
-
-/// A round's worth of work for one worker.
+/// A round's worth of fixed-batch work for one worker
+/// ([`crate::scheduler::RoundPlan::Batches`]).
 struct WorkBatch {
-    items: Vec<WorkItem>,
+    items: Vec<crate::scheduler::WorkItem>,
     /// Round-start global gain threshold.
     avg: f64,
     samples: usize,
@@ -276,8 +315,27 @@ struct WorkBatch {
     delta: Vec<CoveragePoint>,
 }
 
+/// The shared claim queue of a work-stealing round: pre-drawn slots,
+/// claimed in index order by whichever worker is idle.
+struct StealQueue {
+    slots: Vec<PlannedSlot>,
+    next: AtomicUsize,
+}
+
+/// A work-stealing round as shipped to every worker
+/// ([`crate::scheduler::RoundPlan::Queue`]).
+struct StealRound {
+    queue: Arc<StealQueue>,
+    /// Round-start global gain threshold (per-slot frozen).
+    avg: f64,
+    samples: usize,
+    /// Globally fresh points discovered since this worker's last round.
+    delta: Vec<CoveragePoint>,
+}
+
 enum ToWorker {
     Batch(WorkBatch),
+    Steal(StealRound),
     Stop,
 }
 
@@ -286,8 +344,10 @@ enum ToWorker {
 struct RoundReply {
     worker: usize,
     outcomes: Vec<IterationOutcome>,
-    /// The worker's RNG position after finishing the round.
-    rng: [u64; 4],
+    /// The worker's RNG position after finishing the round. `None` for
+    /// work-stealing rounds, where workers never draw (the orchestrator's
+    /// plan-time mirrors are authoritative).
+    rng: Option<[u64; 4]>,
 }
 
 /// A worker's end-of-run accounting.
@@ -319,42 +379,103 @@ struct Worker {
 impl Worker {
     fn run(mut self, rx: mpsc::Receiver<ToWorker>, tx: mpsc::Sender<RoundReply>) {
         while let Ok(msg) = rx.recv() {
-            let batch = match msg {
+            let reply = match msg {
                 ToWorker::Stop => return,
-                ToWorker::Batch(b) => b,
-            };
-            for p in &batch.delta {
-                self.view.insert(*p);
-            }
-            // The worker's threshold starts from the global round-start
-            // average and folds in its own in-round samples; the
-            // orchestrator recomputes the exact global sequence afterwards.
-            let mut gain = GainAverage {
-                avg: batch.avg,
-                samples: batch.samples,
-            };
-            let mut outcomes = Vec::with_capacity(batch.items.len());
-            for item in batch.items {
-                outcomes.push(run_iteration(
-                    self.backend.as_mut(),
-                    &self.opts,
-                    item.slot,
-                    item.scheduled,
-                    &mut self.rng,
-                    &mut self.view,
-                    Some(&mut self.observed),
-                    Some(&self.shared),
-                    &mut gain,
-                ));
-            }
-            let reply = RoundReply {
-                worker: self.id,
-                outcomes,
-                rng: self.rng.state(),
+                ToWorker::Batch(b) => self.run_batch(b),
+                ToWorker::Steal(r) => self.run_steal(r),
             };
             if tx.send(reply).is_err() {
                 return; // orchestrator went away
             }
+        }
+    }
+
+    /// One fixed-batch round: the classic chained protocol — this
+    /// worker's RNG stream, its long-lived coverage view and its in-round
+    /// gain samples thread through the batch's slots in order.
+    fn run_batch(&mut self, batch: WorkBatch) -> RoundReply {
+        for p in &batch.delta {
+            self.view.insert(*p);
+        }
+        // The worker's threshold starts from the global round-start
+        // average and folds in its own in-round samples; the
+        // orchestrator recomputes the exact global sequence afterwards.
+        let mut gain = GainAverage {
+            avg: batch.avg,
+            samples: batch.samples,
+        };
+        let mut outcomes = Vec::with_capacity(batch.items.len());
+        for item in batch.items {
+            let start = Instant::now();
+            let mut out = run_iteration(
+                self.backend.as_mut(),
+                &self.opts,
+                item.slot,
+                item.scheduled,
+                &mut self.rng,
+                &mut self.view,
+                Some(&mut self.observed),
+                Some(&self.shared),
+                &mut gain,
+            );
+            out.stream = self.id;
+            out.elapsed_nanos = start.elapsed().as_nanos() as u64;
+            outcomes.push(out);
+        }
+        RoundReply {
+            worker: self.id,
+            outcomes,
+            rng: Some(self.rng.state()),
+        }
+    }
+
+    /// One work-stealing round: claim pre-drawn slots from the shared
+    /// queue until it drains. Every slot runs against a private copy of
+    /// the round-start view and a per-slot gain threshold, so its
+    /// outcome is independent of what any concurrent slot — on this
+    /// worker or another — is doing (see the `scheduler` module docs for
+    /// the determinism argument).
+    fn run_steal(&mut self, round: StealRound) -> RoundReply {
+        for p in &round.delta {
+            self.view.insert(*p);
+        }
+        let mut outcomes = Vec::new();
+        loop {
+            let claim = round.queue.next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = round.queue.slots.get(claim) else {
+                break;
+            };
+            let mut slot_view = self.view.clone();
+            // A fresh per-slot observed matrix: `observed_fresh` then
+            // carries the slot's full distinct point set, which the
+            // orchestrator replays into the *logical* stream's mirror
+            // (physical claim attribution is timing-dependent and must
+            // not leak into any persisted or reported state).
+            let mut slot_observed = CoverageMatrix::new();
+            let mut gain = GainAverage {
+                avg: round.avg,
+                samples: round.samples,
+            };
+            let start = Instant::now();
+            let mut out = run_iteration(
+                self.backend.as_mut(),
+                &self.opts,
+                item.slot,
+                Some(item.seed.clone()),
+                &mut self.rng, // never drawn from: the seed is pre-drawn
+                &mut slot_view,
+                Some(&mut slot_observed),
+                Some(&self.shared),
+                &mut gain,
+            );
+            out.stream = item.stream;
+            out.elapsed_nanos = start.elapsed().as_nanos() as u64;
+            outcomes.push(out);
+        }
+        RoundReply {
+            worker: self.id,
+            outcomes,
+            rng: None,
         }
     }
 }
@@ -376,12 +497,23 @@ pub struct ExecutorReport {
     pub corpus_retained: usize,
     /// Seeds the corpus evicted for capacity.
     pub corpus_evicted: usize,
+    /// Sum of per-iteration wall-clock across all workers (the run's
+    /// total simulation work).
+    pub busy_nanos: u64,
+    /// Modelled wall-clock of the run on `workers` dedicated cores: per
+    /// round, the makespan of the scheduler's slot distribution over the
+    /// measured per-slot costs (fixed chunks for round robin, greedy
+    /// claim order for work stealing). Machine-load-independent — this is
+    /// the number the scheduler comparison benches report, since on an
+    /// oversubscribed host the wall clock cannot show barrier idling.
+    pub modelled_makespan_nanos: u64,
 }
 
 /// The orchestrator's mutable mid-run state: everything a
 /// [`CampaignSnapshot`] captures and a resume restores.
 struct Session {
     corpus: Corpus,
+    policy: Box<dyn SeedPolicy>,
     sched_rng: StdRng,
     gain: GainAverage,
     global: CoverageMatrix,
@@ -399,11 +531,14 @@ pub struct Orchestrator {
     workers: usize,
     seed: u64,
     batch: usize,
+    scheduler: SchedulerSpec,
+    policy: PolicySpec,
     corpus_capacity: usize,
     corpus_exploit: f64,
     shard_id: u32,
     snapshot_every: usize,
     snapshot_path: Option<PathBuf>,
+    snapshot_keep: usize,
     halt_after: Option<usize>,
     resume: Option<Box<CampaignSnapshot>>,
 }
@@ -432,19 +567,51 @@ impl Orchestrator {
             workers: workers.max(1),
             seed,
             batch: DEFAULT_BATCH,
+            scheduler: SchedulerSpec::default(),
+            policy: PolicySpec::default(),
             corpus_capacity: crate::corpus::DEFAULT_CAPACITY,
             corpus_exploit: crate::corpus::EXPLOIT_PROBABILITY,
             shard_id: 0,
             snapshot_every: 0,
             snapshot_path: None,
+            snapshot_keep: 0,
             halt_after: None,
             resume: None,
         }
     }
 
     /// Overrides the per-round batch size (clamped to at least 1).
+    ///
+    /// Batch size is part of a campaign's replay identity — and, for the
+    /// work-stealing scheduler, the chunk grain of the stream mapping: at
+    /// `batch == 1` the two schedulers are bit-identical (see the
+    /// [`crate::scheduler`] docs).
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Selects the slot scheduler (default
+    /// [`SchedulerSpec::RoundRobin`]).
+    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the corpus seed policy (default
+    /// [`PolicySpec::EnergyDecay`]).
+    pub fn seed_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Keeps the last `keep` *periodic* checkpoints as rotated
+    /// `<path>.<iterations>` siblings instead of overwriting one file,
+    /// pruning older rounds after each successful atomic write (0 — the
+    /// default — keeps the single-file overwrite behaviour). The
+    /// end-of-run checkpoint always lands on the plain path either way.
+    pub fn snapshot_keep(mut self, keep: usize) -> Self {
+        self.snapshot_keep = keep;
         self
     }
 
@@ -512,10 +679,12 @@ impl Orchestrator {
     /// bit-identically to a run that was never interrupted.
     ///
     /// The snapshot's geometry (`workers`, `seed`, `batch`, `shard_id`)
-    /// is *adopted* — it is part of the campaign's identity. The backend
-    /// label and campaign options must match what this orchestrator was
-    /// constructed with; mismatches return a [`ResumeError`] instead of
-    /// silently mixing two different experiments.
+    /// and its scheduling configuration (scheduler, seed policy) are
+    /// *adopted* — they are part of the campaign's replay identity. The
+    /// backend label and campaign options must match what this
+    /// orchestrator was constructed with; mismatches return a
+    /// [`ResumeError`] instead of silently mixing two different
+    /// experiments.
     pub fn resume_from(mut self, snapshot: CampaignSnapshot) -> Result<Self, ResumeError> {
         let current = self.backend.label();
         if snapshot.backend != current {
@@ -531,6 +700,8 @@ impl Orchestrator {
         self.seed = snapshot.seed;
         self.batch = snapshot.batch;
         self.shard_id = snapshot.shard_id;
+        self.scheduler = snapshot.scheduler;
+        self.policy = snapshot.policy;
         self.resume = Some(Box::new(snapshot));
         Ok(self)
     }
@@ -549,6 +720,7 @@ impl Orchestrator {
         if let Some(snap) = &self.resume {
             let s = Session {
                 corpus: snap.corpus.clone(),
+                policy: self.policy.build(Some(&snap.policy_state)),
                 sched_rng: StdRng::from_raw_state(snap.sched_rng),
                 gain: GainAverage {
                     avg: snap.gain_avg,
@@ -577,6 +749,7 @@ impl Orchestrator {
             };
             let s = Session {
                 corpus: Corpus::new(self.corpus_capacity).with_exploit_probability(exploit),
+                policy: self.policy.build(None),
                 sched_rng: StdRng::seed_from_u64(self.stream_seed(0)),
                 gain: GainAverage::default(),
                 global: CoverageMatrix::new(),
@@ -599,6 +772,9 @@ impl Orchestrator {
             workers: self.workers,
             seed: self.seed,
             batch: self.batch,
+            scheduler: self.scheduler,
+            policy: self.policy,
+            policy_state: s.policy.state(),
             opts: self.opts,
             completed: s.stats.iterations,
             gain_avg: s.gain.avg,
@@ -617,13 +793,36 @@ impl Orchestrator {
         }
     }
 
-    fn write_checkpoint(&self, s: &Session) {
-        if let Some(path) = &self.snapshot_path {
-            if let Err(e) = self.snapshot_of(s).save(path) {
-                // A failed checkpoint must not kill a running campaign:
-                // warn and fuzz on; the next interval retries.
+    /// Writes a checkpoint. Periodic checkpoints rotate into
+    /// `<path>.<iterations>` siblings when [`Orchestrator::snapshot_keep`]
+    /// is set, pruning older rounds only after the new file landed
+    /// (atomically), so a multi-day campaign keeps a bounded trail of
+    /// resumable round checkpoints instead of one overwritten file or an
+    /// unbounded pile.
+    fn write_checkpoint(&self, s: &Session, periodic: bool) {
+        let Some(path) = &self.snapshot_path else {
+            return;
+        };
+        let snap = self.snapshot_of(s);
+        let rotate = periodic && self.snapshot_keep > 0;
+        let target = if rotate {
+            dejavuzz_persist::rotated_path(path, snap.completed as u64)
+        } else {
+            path.clone()
+        };
+        if let Err(e) = snap.save(&target) {
+            // A failed checkpoint must not kill a running campaign:
+            // warn and fuzz on; the next interval retries.
+            eprintln!(
+                "dejavuzz: checkpoint write to {} failed: {e}",
+                target.display()
+            );
+            return;
+        }
+        if rotate {
+            if let Err(e) = dejavuzz_persist::prune_rotated(path, self.snapshot_keep) {
                 eprintln!(
-                    "dejavuzz: checkpoint write to {} failed: {e}",
+                    "dejavuzz: pruning rotated checkpoints of {} failed: {e}",
                     path.display()
                 );
             }
@@ -684,73 +883,117 @@ impl Orchestrator {
         let mut synced = vec![0usize; self.workers];
         let halt = self.halt_after.unwrap_or(usize::MAX);
         let feedback = self.opts.coverage_feedback;
+        let mut scheduler = self.scheduler.build();
+        let mut busy_nanos = 0u64;
+        let mut makespan_nanos = 0u64;
 
         let mut next_slot = start;
         let mut rounds = 0usize;
         while next_slot < iterations && s.stats.iterations < halt {
+            let span = scheduler.round_span(self.workers, self.batch, iterations - next_slot);
+            let plan = {
+                let mut ctx = PlanCtx {
+                    corpus: &mut s.corpus,
+                    policy: s.policy.as_mut(),
+                    sched_rng: &mut s.sched_rng,
+                    worker_rngs: &mut s.worker_rngs,
+                    workers: self.workers,
+                    batch: self.batch,
+                };
+                scheduler.plan_round(next_slot..next_slot + span, &mut ctx)
+            };
+            next_slot += span;
+
             let mut expected = 0;
-            for (w, to_worker) in to_workers.iter().enumerate() {
-                if next_slot == iterations {
-                    break;
-                }
-                let n = (iterations - next_slot).min(self.batch);
-                let items = (0..n)
-                    .map(|_| {
-                        let slot = next_slot;
-                        next_slot += 1;
-                        WorkItem {
-                            slot,
-                            scheduled: s.corpus.schedule(&mut s.sched_rng),
+            let stealing = matches!(plan, RoundPlan::Queue(_));
+            match plan {
+                RoundPlan::Batches(batches) => {
+                    for (w, items) in batches.into_iter().enumerate() {
+                        if items.is_empty() {
+                            continue;
                         }
-                    })
-                    .collect();
-                let delta = point_log[synced[w]..].to_vec();
-                synced[w] = point_log.len();
-                to_worker
-                    .send(ToWorker::Batch(WorkBatch {
-                        items,
-                        avg: s.gain.avg,
-                        samples: s.gain.samples,
-                        delta,
-                    }))
-                    .expect("worker hung up mid-run");
-                expected += 1;
+                        let delta = point_log[synced[w]..].to_vec();
+                        synced[w] = point_log.len();
+                        to_workers[w]
+                            .send(ToWorker::Batch(WorkBatch {
+                                items,
+                                avg: s.gain.avg,
+                                samples: s.gain.samples,
+                                delta,
+                            }))
+                            .expect("worker hung up mid-run");
+                        expected += 1;
+                    }
+                }
+                RoundPlan::Queue(slots) => {
+                    let queue = Arc::new(StealQueue {
+                        slots,
+                        next: AtomicUsize::new(0),
+                    });
+                    for (w, to_worker) in to_workers.iter().enumerate() {
+                        let delta = point_log[synced[w]..].to_vec();
+                        synced[w] = point_log.len();
+                        to_worker
+                            .send(ToWorker::Steal(StealRound {
+                                queue: Arc::clone(&queue),
+                                avg: s.gain.avg,
+                                samples: s.gain.samples,
+                                delta,
+                            }))
+                            .expect("worker hung up mid-run");
+                        expected += 1;
+                    }
+                }
             }
 
             let mut outcomes = Vec::new();
             for _ in 0..expected {
                 let reply: RoundReply = from_rx.recv().expect("worker hung up mid-run");
-                s.worker_rngs[reply.worker] = reply.rng;
-                s.worker_iterations[reply.worker] += reply.outcomes.len();
-                for o in &reply.outcomes {
-                    for p in &o.observed_fresh {
-                        s.worker_observed[reply.worker].insert(*p);
-                    }
+                if let Some(rng) = reply.rng {
+                    s.worker_rngs[reply.worker] = rng;
                 }
                 outcomes.extend(reply.outcomes);
             }
             // Replay in global slot order: every piece of feedback state
-            // (threshold, corpus, curve) updates deterministically.
+            // (threshold, corpus, curve, worker mirrors) updates
+            // deterministically regardless of arrival or claim order.
             outcomes.sort_by_key(|o| o.slot);
+            makespan_nanos += round_makespan(&outcomes, self.workers, stealing);
             for o in outcomes {
+                busy_nanos += o.elapsed_nanos;
+                s.worker_iterations[o.stream] += 1;
+                for p in &o.observed_fresh {
+                    s.worker_observed[o.stream].insert(*p);
+                }
                 fold_outcome(&mut s.stats, &o);
                 for g in &o.gains {
                     s.gain.push(*g);
                 }
+                let mut global_fresh = Vec::new();
                 for p in &o.fresh_points {
                     if s.global.insert(*p) {
                         point_log.push(*p);
+                        global_fresh.push(*p);
                     }
                 }
                 s.stats.coverage_curve.push(s.global.points());
                 if feedback {
-                    s.corpus.record(&o.seed, o.final_gain);
+                    s.policy.record(
+                        &mut s.corpus,
+                        &SlotFeedback {
+                            seed: &o.seed,
+                            window_type: o.window_type,
+                            gain: o.final_gain,
+                            global_fresh: &global_fresh,
+                            cost: o.to as u64,
+                        },
+                    );
                 }
             }
 
             rounds += 1;
             if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
-                self.write_checkpoint(&s);
+                self.write_checkpoint(&s, true);
             }
         }
 
@@ -763,7 +1006,7 @@ impl Orchestrator {
 
         // Always leave a final checkpoint behind: a halted run's snapshot
         // is exactly what `--resume` continues from.
-        self.write_checkpoint(&s);
+        self.write_checkpoint(&s, false);
         let snapshot = self.snapshot_of(&s);
 
         debug_assert_eq!(shared.points(), s.global.points(), "both unions must agree");
@@ -781,6 +1024,8 @@ impl Orchestrator {
             workers,
             corpus_retained: s.corpus.retained(),
             corpus_evicted: s.corpus.evicted(),
+            busy_nanos,
+            modelled_makespan_nanos: makespan_nanos,
         };
         (report, snapshot)
     }

@@ -29,6 +29,13 @@
 //! * [`corpus::Corpus`] — interesting-seed retention with energy-based
 //!   scheduling (retained seeds re-roll their window section; energy
 //!   decays per reschedule),
+//! * [`scheduler`] — the pluggable scheduling layer: a
+//!   [`scheduler::Scheduler`] decides how iteration slots are
+//!   partitioned/claimed across workers per round (fixed round-robin
+//!   batches, or deterministic work stealing over a shared claim queue),
+//!   and a [`scheduler::SeedPolicy`] decides which corpus entry each slot
+//!   mutates (energy decay, or AFL-style favoured culling with
+//!   per-window-type quotas),
 //! * [`executor`] — the shared-corpus worker pool: an `Orchestrator`
 //!   schedules round batches over channels to `Worker` threads that share
 //!   one exact concurrent coverage union
@@ -65,6 +72,7 @@ pub mod executor;
 pub mod gen;
 pub mod phases;
 pub mod report;
+pub mod scheduler;
 pub mod snapshot;
 
 pub use backend::{
@@ -75,4 +83,8 @@ pub use corpus::Corpus;
 pub use executor::{ExecutorReport, Orchestrator, WorkerSummary};
 pub use gen::{Seed, TransientPlan, WindowType};
 pub use report::{AttackType, BugReport, LeakChannel};
+pub use scheduler::{
+    EnergyDecay, FavouredQuota, PolicySpec, PolicyState, RoundRobin, Scheduler, SchedulerSpec,
+    SeedPolicy, SlotFeedback, WorkStealing,
+};
 pub use snapshot::{merge_snapshots, CampaignSnapshot, MergeReport, ResumeError, WorkerState};

@@ -34,12 +34,27 @@ use crate::corpus::{Corpus, CorpusEntry};
 use crate::gen::{Seed, WindowType};
 use crate::phases::PhaseOptions;
 use crate::report::{AttackType, BugReport, LeakChannel};
+use crate::scheduler::{Favour, PolicySpec, PolicyState, SchedulerSpec};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DJVZSNAP";
 
-/// Snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version this build writes.
+///
+/// * **v1** — through the snapshot/resume PR: geometry, options, corpus,
+///   coverage, stats, RNG streams, per-worker states.
+/// * **v2** — adds the scheduling layer: scheduler and seed-policy
+///   selectors, the policy's persistable state (favoured map + quota
+///   counters), and the corpus's cached scheduling mass (so resumed
+///   roulette draws replay bit-identically against the incrementally
+///   maintained total).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot version this build still reads. v1 files decode with
+/// scheduling defaults (round-robin, energy decay, stateless policy, a
+/// re-scanned energy cache) — exactly the configuration every v1
+/// campaign ran with.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 impl Persist for WindowType {
     fn encode(&self, enc: &mut Encoder) {
@@ -115,9 +130,95 @@ impl Persist for Corpus {
         let retained = dec.usize()?;
         let evicted = dec.usize()?;
         let entries = Vec::<CorpusEntry>::decode(dec)?;
+        // The energy cache travels as a separate v2 snapshot field (the
+        // corpus wire format itself is version-agnostic); a fresh scan
+        // here keeps bare round trips and v1 files correct.
         Ok(Corpus::restore(
-            entries, capacity, exploit, retained, evicted,
+            entries, capacity, exploit, retained, evicted, None,
         ))
+    }
+}
+
+impl Persist for SchedulerSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(match self {
+            SchedulerSpec::RoundRobin => 0,
+            SchedulerSpec::WorkStealing => 1,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u32()? {
+            0 => Ok(SchedulerSpec::RoundRobin),
+            1 => Ok(SchedulerSpec::WorkStealing),
+            tag => Err(DecodeError::InvalidTag {
+                what: "SchedulerSpec",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for PolicySpec {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(match self {
+            PolicySpec::EnergyDecay => 0,
+            PolicySpec::FavouredQuota => 1,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u32()? {
+            0 => Ok(PolicySpec::EnergyDecay),
+            1 => Ok(PolicySpec::FavouredQuota),
+            tag => Err(DecodeError::InvalidTag {
+                what: "PolicySpec",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for Favour {
+    fn encode(&self, enc: &mut Encoder) {
+        self.window_type.encode(enc);
+        enc.u64(self.entropy);
+        enc.u64(self.cost);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Favour {
+            window_type: WindowType::decode(dec)?,
+            entropy: dec.u64()?,
+            cost: dec.u64()?,
+        })
+    }
+}
+
+impl Persist for PolicyState {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PolicyState::Stateless => enc.u32(0),
+            PolicyState::Favoured { favours, picks } => {
+                enc.u32(1);
+                favours.encode(enc);
+                picks.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u32()? {
+            0 => Ok(PolicyState::Stateless),
+            1 => Ok(PolicyState::Favoured {
+                favours: Vec::<(dejavuzz_ift::CoveragePoint, Favour)>::decode(dec)?,
+                picks: Vec::<(WindowType, usize)>::decode(dec)?,
+            }),
+            tag => Err(DecodeError::InvalidTag {
+                what: "PolicyState",
+                tag,
+            }),
+        }
     }
 }
 
@@ -323,6 +424,14 @@ pub struct CampaignSnapshot {
     pub seed: u64,
     /// Per-round batch size.
     pub batch: usize,
+    /// Slot scheduler the campaign ran (and must resume) with — part of
+    /// its replay identity; resume adopts it.
+    pub scheduler: SchedulerSpec,
+    /// Corpus seed policy — likewise adopted on resume.
+    pub policy: PolicySpec,
+    /// The policy's scheduling state beyond the corpus itself (favoured
+    /// map, quota counters), restored into the rebuilt policy.
+    pub policy_state: PolicyState,
     /// Campaign options echo — resume validates equality.
     pub opts: FuzzerOptions,
     /// Iterations completed when the snapshot was taken.
@@ -361,15 +470,32 @@ impl Persist for CampaignSnapshot {
         self.coverage.encode(enc);
         self.stats.encode(enc);
         self.worker_states.encode(enc);
+        // v2 tail: the scheduling layer.
+        self.scheduler.encode(enc);
+        self.policy.encode(enc);
+        self.policy_state.encode(enc);
+        enc.f64(self.corpus.energy_cache());
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        let snap = CampaignSnapshot {
+        CampaignSnapshot::decode_versioned(dec, SNAPSHOT_VERSION)
+    }
+}
+
+impl CampaignSnapshot {
+    /// Decodes a snapshot payload of a specific format version: the v1
+    /// prefix is shared, the v2 tail carries the scheduling layer (v1
+    /// files get the defaults every v1 campaign ran with).
+    fn decode_versioned(dec: &mut Decoder<'_>, version: u32) -> Result<Self, DecodeError> {
+        let mut snap = CampaignSnapshot {
             shard_id: dec.u32()?,
             backend: dec.string()?,
             workers: dec.usize()?,
             seed: dec.u64()?,
             batch: dec.usize()?,
+            scheduler: SchedulerSpec::RoundRobin,
+            policy: PolicySpec::EnergyDecay,
+            policy_state: PolicyState::Stateless,
             opts: FuzzerOptions::decode(dec)?,
             completed: dec.usize()?,
             gain_avg: dec.f64()?,
@@ -380,6 +506,32 @@ impl Persist for CampaignSnapshot {
             stats: CampaignStats::decode(dec)?,
             worker_states: Vec::<WorkerState>::decode(dec)?,
         };
+        if version >= 2 {
+            snap.scheduler = SchedulerSpec::decode(dec)?;
+            snap.policy = PolicySpec::decode(dec)?;
+            snap.policy_state = PolicyState::decode(dec)?;
+            let energy = dec.f64()?;
+            // `Corpus::decode` above restored the cache from a fresh
+            // scan; the persisted value may differ from it only by the
+            // incremental-update float drift the cache exists to make
+            // reproducible. Anything further off is a corrupt or crafted
+            // file — accepting it would skew every roulette pick (and
+            // trip the debug cross-check as a panic instead of a
+            // structured error).
+            let scan = snap.corpus.energy_cache();
+            if !energy.is_finite()
+                || energy < 0.0
+                || (energy - scan).abs() > 1e-6 * scan.abs().max(1.0)
+            {
+                return Err(DecodeError::InvalidValue {
+                    what: "CampaignSnapshot::corpus_energy",
+                    detail: format!(
+                        "{energy} is not a valid scheduling mass for entries summing to {scan}"
+                    ),
+                });
+            }
+            snap.corpus.set_energy_cache(energy);
+        }
         if snap.workers == 0 {
             return Err(DecodeError::InvalidValue {
                 what: "CampaignSnapshot::workers",
@@ -421,10 +573,19 @@ impl CampaignSnapshot {
     }
 
     /// Decodes a framed snapshot, validating magic, version and checksum
-    /// before any state decoding.
+    /// before any state decoding. Reads every version in
+    /// [`SNAPSHOT_MIN_VERSION`]`..=`[`SNAPSHOT_VERSION`]; writing always
+    /// produces the current version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
-        let payload = frame::open(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, bytes)?;
-        dejavuzz_persist::from_bytes(payload)
+        let (version, payload) = frame::open_versioned(
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION,
+            bytes,
+        )?;
+        let mut dec = Decoder::new(payload);
+        let snap = CampaignSnapshot::decode_versioned(&mut dec, version)?;
+        dec.finish()?;
+        Ok(snap)
     }
 
     /// Writes the snapshot to `path` atomically (write-rename).
@@ -619,6 +780,22 @@ mod tests {
             workers: 2,
             seed: 42,
             batch: 4,
+            scheduler: SchedulerSpec::WorkStealing,
+            policy: PolicySpec::FavouredQuota,
+            policy_state: PolicyState::Favoured {
+                favours: vec![(
+                    dejavuzz_ift::CoveragePoint {
+                        module: "rob",
+                        index: 3,
+                    },
+                    Favour {
+                        window_type: WindowType::BranchMispredict,
+                        entropy: 7,
+                        cost: 12,
+                    },
+                )],
+                picks: vec![(WindowType::BranchMispredict, 4)],
+            },
             opts: FuzzerOptions::default(),
             completed: 5,
             gain_avg: 1.75,
@@ -640,6 +817,101 @@ mod tests {
                 },
             ],
         }
+    }
+
+    /// Version skew: a v1 file (no scheduling tail) must decode with the
+    /// defaults every v1 campaign actually ran with, and versions below
+    /// the supported floor must still fail structurally.
+    #[test]
+    fn v1_snapshots_decode_with_scheduling_defaults() {
+        let mut snap = sample_snapshot();
+        // Exactly what the v1 writer produced: the shared prefix, no tail.
+        let mut enc = Encoder::new();
+        enc.u32(snap.shard_id);
+        enc.str(&snap.backend);
+        enc.usize(snap.workers);
+        enc.u64(snap.seed);
+        enc.usize(snap.batch);
+        snap.opts.encode(&mut enc);
+        enc.usize(snap.completed);
+        enc.f64(snap.gain_avg);
+        enc.usize(snap.gain_samples);
+        snap.sched_rng.encode(&mut enc);
+        snap.corpus.encode(&mut enc);
+        snap.coverage.encode(&mut enc);
+        snap.stats.encode(&mut enc);
+        snap.worker_states.encode(&mut enc);
+        let bytes = frame::seal(SNAPSHOT_MAGIC, 1, &enc.into_bytes());
+
+        let decoded = CampaignSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.scheduler, SchedulerSpec::RoundRobin);
+        assert_eq!(decoded.policy, PolicySpec::EnergyDecay);
+        assert_eq!(decoded.policy_state, PolicyState::Stateless);
+        snap.scheduler = SchedulerSpec::RoundRobin;
+        snap.policy = PolicySpec::EnergyDecay;
+        snap.policy_state = PolicyState::Stateless;
+        assert_eq!(decoded, snap, "every v1 prefix field survives");
+
+        let too_old = frame::seal(SNAPSHOT_MAGIC, 0, &[]);
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&too_old),
+            Err(DecodeError::UnsupportedVersion { found: 0, .. })
+        ));
+    }
+
+    /// A checksum-valid v2 file whose persisted energy disagrees with
+    /// its own corpus entries must fail decode structurally — not panic
+    /// the debug cross-check or silently skew release-build scheduling.
+    #[test]
+    fn inconsistent_corpus_energy_fails_decode_not_panic() {
+        let mut snap = sample_snapshot();
+        snap.corpus
+            .record(&Seed::new(WindowType::BranchMispredict, 3), 5);
+        let honest = snap.to_bytes();
+        assert_eq!(CampaignSnapshot::from_bytes(&honest).unwrap(), snap);
+
+        // Re-encode with a bogus energy tail (the f64 is the last field).
+        let payload_start = 8 + 4 + 8 + 8; // magic + version + len + checksum
+        let mut payload = honest[payload_start..].to_vec();
+        let energy_at = payload.len() - 8;
+        payload[energy_at..].copy_from_slice(&1e9f64.to_bits().to_le_bytes());
+        let forged = frame::seal(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &payload);
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&forged),
+            Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::corpus_energy",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scheduling_specs_and_state_round_trip() {
+        for spec in [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing] {
+            let bytes = dejavuzz_persist::to_bytes(&spec);
+            assert_eq!(
+                dejavuzz_persist::from_bytes::<SchedulerSpec>(&bytes).unwrap(),
+                spec
+            );
+        }
+        for spec in [PolicySpec::EnergyDecay, PolicySpec::FavouredQuota] {
+            let bytes = dejavuzz_persist::to_bytes(&spec);
+            assert_eq!(
+                dejavuzz_persist::from_bytes::<PolicySpec>(&bytes).unwrap(),
+                spec
+            );
+        }
+        let state = sample_snapshot().policy_state;
+        let bytes = dejavuzz_persist::to_bytes(&state);
+        assert_eq!(
+            dejavuzz_persist::from_bytes::<PolicyState>(&bytes).unwrap(),
+            state
+        );
+        // Unknown tags fail structurally, never panic.
+        let bad = dejavuzz_persist::to_bytes(&9u32);
+        assert!(dejavuzz_persist::from_bytes::<SchedulerSpec>(&bad).is_err());
+        assert!(dejavuzz_persist::from_bytes::<PolicySpec>(&bad).is_err());
+        assert!(dejavuzz_persist::from_bytes::<PolicyState>(&bad).is_err());
     }
 
     #[test]

@@ -43,8 +43,24 @@ pub fn seal(magic: [u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
 
 /// Validates an envelope and returns the payload slice. `supported` is
 /// the single version this build reads; older or newer frames fail with
-/// [`DecodeError::UnsupportedVersion`].
+/// [`DecodeError::UnsupportedVersion`]. For formats that read a range of
+/// versions (migrating decoders), use [`open_versioned`].
 pub fn open(magic: [u8; 8], supported: u32, bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    let (_, payload) = open_versioned(magic, supported..=supported, bytes)?;
+    Ok(payload)
+}
+
+/// [`open`] for formats whose decoder understands a contiguous range of
+/// versions: validates the envelope and returns `(version, payload)` so
+/// the caller can branch its payload decoding on the version it actually
+/// found. Frames outside `supported` fail with
+/// [`DecodeError::UnsupportedVersion`] (reporting the newest supported
+/// version).
+pub fn open_versioned(
+    magic: [u8; 8],
+    supported: std::ops::RangeInclusive<u32>,
+    bytes: &[u8],
+) -> Result<(u32, &[u8]), DecodeError> {
     let mut dec = Decoder::new(bytes);
     let mut found = [0u8; 8];
     for slot in &mut found {
@@ -57,10 +73,10 @@ pub fn open(magic: [u8; 8], supported: u32, bytes: &[u8]) -> Result<&[u8], Decod
         });
     }
     let version = dec.u32()?;
-    if version != supported {
+    if !supported.contains(&version) {
         return Err(DecodeError::UnsupportedVersion {
             found: version,
-            supported,
+            supported: *supported.end(),
         });
     }
     let len = dec.u64()?;
@@ -84,7 +100,7 @@ pub fn open(magic: [u8; 8], supported: u32, bytes: &[u8]) -> Result<&[u8], Decod
     if computed != stored {
         return Err(DecodeError::ChecksumMismatch { stored, computed });
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
 #[cfg(test)]
@@ -124,6 +140,27 @@ mod tests {
                 supported: 1
             })
         );
+    }
+
+    #[test]
+    fn versioned_open_accepts_the_range_and_reports_the_version() {
+        for v in 1..=3 {
+            let framed = seal(MAGIC, v, b"hi");
+            assert_eq!(
+                open_versioned(MAGIC, 1..=3, &framed).unwrap(),
+                (v, &b"hi"[..])
+            );
+        }
+        for v in [0, 4] {
+            let framed = seal(MAGIC, v, b"hi");
+            assert_eq!(
+                open_versioned(MAGIC, 1..=3, &framed),
+                Err(DecodeError::UnsupportedVersion {
+                    found: v,
+                    supported: 3
+                })
+            );
+        }
     }
 
     #[test]

@@ -96,6 +96,56 @@ pub fn load_bytes(path: &Path) -> Result<Vec<u8>, LoadError> {
     Ok(fs::read(path)?)
 }
 
+/// The rotated sibling of a checkpoint path: `<path>.<sequence>`.
+/// Rotated checkpoints let a long campaign keep a bounded trail of
+/// resumable round snapshots (see [`prune_rotated`]) instead of
+/// overwriting a single file.
+pub fn rotated_path(path: &Path, sequence: u64) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{sequence}"));
+    std::path::PathBuf::from(os)
+}
+
+/// Deletes all but the newest `keep` rotated siblings of `path`
+/// (newest = largest numeric suffix), returning how many files were
+/// removed. Only exact `<filename>.<digits>` siblings are considered —
+/// the base file, temp files and unrelated names are never touched.
+/// Call *after* a successful atomic write, so a failed write never costs
+/// an older good checkpoint.
+pub fn prune_rotated(path: &Path, keep: usize) -> io::Result<usize> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let Some(base) = path.file_name().and_then(|n| n.to_str()) else {
+        return Ok(0);
+    };
+    let mut rotated: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(suffix) = name
+            .strip_prefix(base)
+            .and_then(|rest| rest.strip_prefix('.'))
+        else {
+            continue;
+        };
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(seq) = suffix.parse::<u64>() {
+                rotated.push((seq, entry.path()));
+            }
+        }
+    }
+    rotated.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq)); // newest first
+    let mut removed = 0;
+    for (_, stale) in rotated.into_iter().skip(keep) {
+        fs::remove_file(&stale)?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +169,47 @@ mod tests {
         let err = load_bytes(Path::new("/nonexistent/dejavuzz.snap")).unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
         assert!(err.to_string().contains("read failed"));
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_rotations_and_spares_bystanders() {
+        let dir = temp_path("rotate-dir");
+        fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("camp.snap");
+        save_atomic(&base, b"base").unwrap();
+        for seq in [8u64, 16, 24, 32, 40] {
+            save_atomic(&rotated_path(&base, seq), b"round").unwrap();
+        }
+        // Non-numeric and non-matching siblings must survive pruning.
+        let bystander = dir.join("camp.snap.backup");
+        let other = dir.join("other.snap.8");
+        save_atomic(&bystander, b"keep me").unwrap();
+        save_atomic(&other, b"keep me").unwrap();
+
+        assert_eq!(prune_rotated(&base, 2).unwrap(), 3);
+        assert!(!rotated_path(&base, 8).exists());
+        assert!(!rotated_path(&base, 16).exists());
+        assert!(!rotated_path(&base, 24).exists());
+        assert!(rotated_path(&base, 32).exists(), "newest two kept");
+        assert!(rotated_path(&base, 40).exists());
+        assert!(base.exists(), "the base checkpoint is never pruned");
+        assert!(bystander.exists());
+        assert!(other.exists());
+
+        // Idempotent once within budget.
+        assert_eq!(prune_rotated(&base, 2).unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_with_zero_keep_clears_all_rotations() {
+        let dir = temp_path("rotate-zero");
+        fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("c.snap");
+        for seq in [1u64, 2] {
+            save_atomic(&rotated_path(&base, seq), b"r").unwrap();
+        }
+        assert_eq!(prune_rotated(&base, 0).unwrap(), 2);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -30,9 +30,9 @@ pub mod intern;
 pub mod io;
 
 pub use codec::{DecodeError, Decoder, Encoder, Persist};
-pub use frame::{fnv1a64, open, seal};
+pub use frame::{fnv1a64, open, open_versioned, seal};
 pub use intern::intern;
-pub use io::{load_bytes, save_atomic, LoadError};
+pub use io::{load_bytes, prune_rotated, rotated_path, save_atomic, LoadError};
 
 /// Encodes a value to a bare (unframed) byte buffer.
 pub fn to_bytes<T: Persist>(value: &T) -> Vec<u8> {

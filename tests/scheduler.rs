@@ -1,0 +1,245 @@
+//! Integration tests for the pluggable scheduling layer: the
+//! work-stealing determinism contract, the batch=1 round-robin
+//! equivalence proof obligation, steal-mode snapshot/resume, and the
+//! favoured-quota seed policy end to end.
+
+use dejavuzz::campaign::FuzzerOptions;
+use dejavuzz::executor::{ExecutorReport, Orchestrator};
+use dejavuzz::scheduler::{PolicySpec, SchedulerSpec};
+use dejavuzz::snapshot::CampaignSnapshot;
+use dejavuzz_uarch::boom_small;
+
+fn orch(workers: usize, seed: u64) -> Orchestrator {
+    Orchestrator::new(boom_small(), FuzzerOptions::default(), workers, seed)
+}
+
+/// Field-by-field deep equality for executor reports (timing fields —
+/// `busy_nanos`, `modelled_makespan_nanos` — are intentionally excluded:
+/// they are measurements, not results).
+fn assert_reports_identical(a: &ExecutorReport, b: &ExecutorReport) {
+    assert_eq!(a.stats, b.stats, "stats (curve, windows, bugs, counters)");
+    assert_eq!(a.coverage.sorted_points(), b.coverage.sorted_points());
+    assert_eq!(a.shared_points, b.shared_points);
+    assert_eq!(a.corpus_retained, b.corpus_retained);
+    assert_eq!(a.corpus_evicted, b.corpus_evicted);
+    assert_eq!(a.workers.len(), b.workers.len());
+    for (wa, wb) in a.workers.iter().zip(&b.workers) {
+        assert_eq!(wa.iterations, wb.iterations, "worker {}", wa.worker);
+        assert_eq!(
+            wa.observed.sorted_points(),
+            wb.observed.sorted_points(),
+            "worker {}",
+            wa.worker
+        );
+    }
+}
+
+/// The schedulers differ only in intra-batch state chaining, so at
+/// `batch == 1` they must be **bit-identical** — same curve, bugs,
+/// corpus, per-worker accounting and snapshots — across worker counts.
+/// This is the strongest true form of "work stealing computes what round
+/// robin computes"; see the `dejavuzz::scheduler` module docs for why
+/// larger batches can diverge (and why each stays deterministic).
+#[test]
+fn steal_equals_round_robin_at_batch_one_across_worker_counts() {
+    for workers in 1..=4 {
+        let round = orch(workers, 0x5EED)
+            .batch_size(1)
+            .scheduler(SchedulerSpec::RoundRobin);
+        let steal = orch(workers, 0x5EED)
+            .batch_size(1)
+            .scheduler(SchedulerSpec::WorkStealing);
+        let (round_report, round_snap) = round.run_snapshotting(16);
+        let (steal_report, steal_snap) = steal.run_snapshotting(16);
+        assert_reports_identical(&round_report, &steal_report);
+        // Snapshots agree on everything but the scheduler tag itself.
+        assert_eq!(round_snap.scheduler, SchedulerSpec::RoundRobin);
+        assert_eq!(steal_snap.scheduler, SchedulerSpec::WorkStealing);
+        let mut retagged = steal_snap.clone();
+        retagged.scheduler = SchedulerSpec::RoundRobin;
+        assert_eq!(
+            retagged, round_snap,
+            "{workers} workers: identical state, RNG streams included"
+        );
+    }
+}
+
+/// The headline work-stealing contract: thread timing (who claimed which
+/// slot) must never leak into results. Two runs at the default batch
+/// size, with real claim contention, must agree exactly.
+#[test]
+fn work_stealing_is_deterministic_regardless_of_interleaving() {
+    for workers in [2, 4] {
+        let run = || {
+            orch(workers, 0xD15C0)
+                .scheduler(SchedulerSpec::WorkStealing)
+                .run(24)
+        };
+        let a = run();
+        let b = run();
+        assert_reports_identical(&a, &b);
+        assert!(a.stats.coverage() > 0, "the campaign actually fuzzes");
+    }
+}
+
+/// Work stealing under halt/resume: a snapshot taken at any boundary
+/// resumes bit-identically, and at batch=1 the resumed steal run still
+/// equals the uninterrupted *round-robin* run — equivalence survives the
+/// halt/resume boundary.
+#[test]
+fn steal_resume_is_bit_identical_and_batch_one_equivalence_survives_it() {
+    const TOTAL: usize = 24;
+    let steal = orch(2, 0xCAFE)
+        .batch_size(1)
+        .scheduler(SchedulerSpec::WorkStealing);
+    let full_steal = steal.run(TOTAL);
+    let full_round = orch(2, 0xCAFE)
+        .batch_size(1)
+        .scheduler(SchedulerSpec::RoundRobin)
+        .run(TOTAL);
+
+    let mut interrupted = 0;
+    for halt in [1, 9, 14] {
+        let (partial, snap) = steal.clone().halt_after(halt).run_snapshotting(TOTAL);
+        if partial.stats.iterations < TOTAL {
+            interrupted += 1;
+        }
+        // Through the wire format, as a real restart would.
+        let snap = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap.scheduler, SchedulerSpec::WorkStealing);
+        let resumed = steal
+            .clone()
+            .resume_from(snap)
+            .expect("same backend + options")
+            .run(TOTAL);
+        assert_reports_identical(&full_steal, &resumed);
+        assert_reports_identical(&full_round, &resumed);
+    }
+    assert!(interrupted >= 2, "most halt points must truly interrupt");
+}
+
+/// Resuming adopts the snapshot's scheduler and policy: a default
+/// (round-robin) orchestrator handed a steal-mode snapshot continues the
+/// steal campaign, not a mixed one.
+#[test]
+fn resume_adopts_scheduler_and_policy_from_the_snapshot() {
+    let steal = orch(2, 0xA207)
+        .scheduler(SchedulerSpec::WorkStealing)
+        .seed_policy(PolicySpec::FavouredQuota);
+    let full = steal.run(16);
+    let (_, snap) = steal.clone().halt_after(6).run_snapshotting(16);
+    assert_eq!(snap.policy, PolicySpec::FavouredQuota);
+
+    // A vanilla orchestrator — no scheduler/policy configured — resumes it.
+    let resumed = orch(2, 0xA207).resume_from(snap).unwrap().run(16);
+    assert_reports_identical(&full, &resumed);
+}
+
+/// The favoured-quota policy drives a real campaign deterministically,
+/// snapshots its favours map, and resumes bit-identically.
+#[test]
+fn favoured_policy_campaign_is_deterministic_and_resumable() {
+    let favoured = orch(2, 0xFA40).seed_policy(PolicySpec::FavouredQuota);
+    let a = favoured.run(20);
+    let b = favoured.run(20);
+    assert_reports_identical(&a, &b);
+    assert!(a.stats.coverage() > 0);
+
+    let (_, snap) = favoured.clone().halt_after(8).run_snapshotting(20);
+    // 8+ feedback iterations on vulnerable BOOM retain gaining seeds, so
+    // the policy has favours worth persisting.
+    let snap = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let resumed = favoured.clone().resume_from(snap).unwrap().run(20);
+    assert_reports_identical(&a, &resumed);
+
+    // And the two policies genuinely schedule differently: the corpus
+    // retention trajectory is a campaign result, so any divergence shows
+    // up as differing stats (they share the seed, so identical stats
+    // would mean the policy had no effect at all).
+    let energy = orch(2, 0xFA40).seed_policy(PolicySpec::EnergyDecay).run(20);
+    assert!(
+        energy.stats != a.stats || energy.corpus_retained != a.corpus_retained,
+        "favoured-quota scheduling must actually change the campaign"
+    );
+}
+
+/// Work stealing composes with the favoured policy (the full non-default
+/// configuration) and still honours the determinism contract.
+#[test]
+fn steal_with_favoured_policy_is_deterministic() {
+    let run = || {
+        orch(3, 0xB007)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .seed_policy(PolicySpec::FavouredQuota)
+            .run(18)
+    };
+    let a = run();
+    let b = run();
+    assert_reports_identical(&a, &b);
+}
+
+/// Snapshot rotation: periodic checkpoints rotate into numbered siblings
+/// pruned to the keep budget, the final checkpoint still lands on the
+/// plain path, and every kept rotation is a loadable, resumable snapshot.
+#[test]
+fn snapshot_rotation_keeps_a_bounded_resumable_trail() {
+    let dir = std::env::temp_dir().join(format!("dejavuzz-rotate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("camp.snap");
+
+    let o = orch(2, 0x4074)
+        .snapshot_path(&path)
+        .snapshot_every(1)
+        .snapshot_keep(2);
+    let report = o.run(32);
+    assert_eq!(report.stats.iterations, 32);
+
+    let mut rotated: Vec<u64> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            e.unwrap()
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix("camp.snap.").map(str::to_string))
+        })
+        .filter_map(|suffix| suffix.parse().ok())
+        .collect();
+    rotated.sort_unstable();
+    assert_eq!(rotated.len(), 2, "pruned to the keep budget: {rotated:?}");
+    // 2 workers x batch 4 = 8 slots per round; the last two periodic
+    // rounds are the ones kept.
+    assert_eq!(rotated, vec![24, 32]);
+
+    // The plain path carries the end-of-run checkpoint.
+    let last = CampaignSnapshot::load(&path).unwrap();
+    assert_eq!(last.completed, 32);
+
+    // A kept rotation resumes exactly like any other checkpoint.
+    let mid = CampaignSnapshot::load(&dir.join("camp.snap.24")).unwrap();
+    assert_eq!(mid.completed, 24);
+    let resumed = orch(2, 0x4074).resume_from(mid).unwrap().run(32);
+    assert_reports_identical(&report, &resumed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scheduling model in the report is populated and consistent: total
+/// busy time is bounded by `workers x` the modelled makespan (the model
+/// cannot be better than perfectly parallel) and is at least the
+/// makespan itself (the model cannot beat serial work).
+#[test]
+fn scheduling_model_bounds_hold() {
+    for spec in [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing] {
+        let r = orch(3, 1).scheduler(spec).run(18);
+        assert!(r.busy_nanos > 0, "{spec:?}: iterations were timed");
+        assert!(r.modelled_makespan_nanos > 0);
+        assert!(
+            r.modelled_makespan_nanos <= r.busy_nanos,
+            "{spec:?}: makespan can never exceed the serial sum"
+        );
+        assert!(
+            3 * r.modelled_makespan_nanos >= r.busy_nanos,
+            "{spec:?}: three workers cannot beat 3x parallelism"
+        );
+    }
+}
