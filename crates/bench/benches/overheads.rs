@@ -42,7 +42,11 @@ fn instrument_passes(c: &mut Criterion) {
 
 fn fuzz_iteration(c: &mut Criterion) {
     c.bench_function("fuzz_iteration", |b| {
-        let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 1);
+        let mut campaign = Campaign::with_backend(
+            dejavuzz::BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            1,
+        );
         b.iter(|| campaign.iteration())
     });
 }

@@ -40,7 +40,7 @@ fn pool_scaling(c: &mut Criterion) {
         g.bench_function(&format!("{ITERATIONS}_iters_{workers}_workers"), |b| {
             b.iter(|| {
                 executor::run(
-                    boom_small(),
+                    BackendSpec::behavioural(boom_small()),
                     FuzzerOptions::default(),
                     workers,
                     ITERATIONS,
@@ -65,8 +65,12 @@ fn schedulers(c: &mut Criterion) {
     ] {
         g.bench_function(&format!("{ITERATIONS}_iters_2_workers_{name}"), |b| {
             b.iter(|| {
-                dejavuzz::Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 7)
-                    .scheduler(spec)
+                dejavuzz::CampaignBuilder::new()
+                    .workers(2)
+                    .seed(7)
+                    .scheduler(spec.clone())
+                    .build()
+                    .expect("a valid bench configuration")
                     .run(ITERATIONS)
             })
         });
@@ -93,7 +97,7 @@ fn backends(c: &mut Criterion) {
     // One netlist-backend campaign round (the CI bench-smoke netlist run).
     g.bench_function("campaign_netlist_small", |b| {
         b.iter(|| {
-            executor::run_with_backend(
+            executor::run(
                 BackendSpec::netlist(SMALL_SCALE),
                 FuzzerOptions::default(),
                 1,

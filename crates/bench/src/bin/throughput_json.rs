@@ -38,8 +38,8 @@ fn main() {
 
     let mut samples = Vec::new();
     for backend in &backends {
-        for scheduler in schedulers {
-            let s = throughput_sample(backend, scheduler, workers, iters, seed);
+        for scheduler in &schedulers {
+            let s = throughput_sample(backend, scheduler.clone(), workers, iters, seed);
             eprintln!(
                 "{:<24} {:<6} {} workers: {:>8.1} seeds/s wall, {:>8.1} seeds/s modelled \
                  ({:.3}s busy over {:.3}s modelled makespan)",

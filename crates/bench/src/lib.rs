@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 use dejavuzz::campaign::{CampaignStats, FuzzerOptions};
 use dejavuzz::executor;
 use dejavuzz::gen::WindowType;
+use dejavuzz::observer::json_str;
 use dejavuzz_ift::{CoverageMatrix, IftMode};
 use dejavuzz_specdoctor::{SpecDoctor, SpecDoctorOptions};
 use dejavuzz_uarch::core::Core;
@@ -70,8 +71,14 @@ fn t3_cell(stats: &CampaignStats, wt: WindowType, with_eto: bool) -> String {
 /// Table 3's per-type means require uniform fresh sampling, not
 /// retention-skewed lineages.
 fn training_stats(cfg: CoreConfig, opts: FuzzerOptions, windows_per_type: usize) -> CampaignStats {
-    dejavuzz::Orchestrator::new(cfg, opts, 2, 0xDEAD)
-        .corpus_exploit_probability(0.0)
+    dejavuzz::CampaignBuilder::new()
+        .backend(dejavuzz::BackendSpec::behavioural(cfg))
+        .options(opts)
+        .workers(2)
+        .seed(0xDEAD)
+        .exploit_probability(0.0)
+        .build()
+        .expect("a valid bench configuration")
         .run(windows_per_type * WindowType::ALL.len())
         .stats
 }
@@ -260,7 +267,14 @@ pub fn figure7(iterations: usize, trials: u64) -> String {
         ] {
             // Single-worker pool: the exact per-iteration union curve with
             // sequential-iteration semantics, comparable to SpecDoctor's.
-            let stats = executor::run(boom_small(), opts, 1, iterations, 1000 + trial).stats;
+            let stats = executor::run(
+                dejavuzz::BackendSpec::behavioural(boom_small()),
+                opts,
+                1,
+                iterations,
+                1000 + trial,
+            )
+            .stats;
             for (i, cov) in stats.coverage_curve.iter().enumerate() {
                 out.push_str(&format!("{name},{trial},{i},{cov}\n"));
             }
@@ -288,7 +302,7 @@ pub fn figure7_summary(iterations: usize, trials: u64) -> String {
     let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
     for trial in 0..trials {
         let dv = executor::run(
-            boom_small(),
+            dejavuzz::BackendSpec::behavioural(boom_small()),
             FuzzerOptions::default(),
             1,
             iterations,
@@ -297,7 +311,7 @@ pub fn figure7_summary(iterations: usize, trials: u64) -> String {
         .stats
         .coverage() as f64;
         let minus = executor::run(
-            boom_small(),
+            dejavuzz::BackendSpec::behavioural(boom_small()),
             FuzzerOptions::dejavuzz_minus(),
             1,
             iterations,
@@ -385,7 +399,14 @@ pub fn table5(iterations: usize) -> String {
     let mut out = String::from("Table 5: Summary of discovered transient execution bugs\n\n");
     for cfg in [boom_small(), xiangshan_minimal()] {
         let start = Instant::now();
-        let stats = executor::run(cfg, FuzzerOptions::default(), 2, iterations, 0x7777).stats;
+        let stats = executor::run(
+            dejavuzz::BackendSpec::behavioural(cfg),
+            FuzzerOptions::default(),
+            2,
+            iterations,
+            0x7777,
+        )
+        .stats;
         out.push_str(&format!(
             "== {} ({} iterations, {:.1}s, first bug at iteration {:?}) ==\n",
             cfg.name,
@@ -493,7 +514,7 @@ pub fn throughput_with(
     seed: u64,
 ) -> (Duration, f64) {
     let start = Instant::now();
-    let report = executor::run_with_backend(
+    let report = executor::run(
         backend.clone(),
         FuzzerOptions::default(),
         workers,
@@ -514,8 +535,8 @@ pub fn throughput_with(
 pub struct ThroughputSample {
     /// Backend label ([`dejavuzz::BackendSpec::label`]).
     pub backend: String,
-    /// Scheduler label (`round` / `steal`).
-    pub scheduler: &'static str,
+    /// Scheduler label (`round` / `steal` / `ext:<id>`).
+    pub scheduler: String,
     /// Worker count.
     pub workers: usize,
     /// Total iterations executed.
@@ -541,14 +562,14 @@ pub fn throughput_sample(
     seed: u64,
 ) -> ThroughputSample {
     let start = Instant::now();
-    let report = dejavuzz::Orchestrator::with_backend(
-        backend.clone(),
-        FuzzerOptions::default(),
-        workers,
-        seed,
-    )
-    .scheduler(scheduler)
-    .run(iterations);
+    let report = dejavuzz::CampaignBuilder::new()
+        .backend(backend.clone())
+        .workers(workers)
+        .seed(seed)
+        .scheduler(scheduler.clone())
+        .build()
+        .expect("a valid bench configuration")
+        .run(iterations);
     let wall = start.elapsed();
     assert_eq!(report.stats.iterations, iterations);
     let modelled = Duration::from_nanos(report.modelled_makespan_nanos);
@@ -563,21 +584,6 @@ pub fn throughput_sample(
         modelled_seeds_per_sec: iterations as f64 / modelled.as_secs_f64().max(1e-9),
         busy: Duration::from_nanos(report.busy_nanos),
     }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Renders samples as the machine-readable `BENCH_throughput.json`
@@ -599,7 +605,7 @@ pub fn throughput_json(samples: &[ThroughputSample]) -> String {
              \"modelled_makespan_seconds\": {:.6}, \"modelled_seeds_per_sec\": {:.2}, \
              \"busy_seconds\": {:.6}}}{}\n",
             json_str(&s.backend),
-            json_str(s.scheduler),
+            json_str(&s.scheduler),
             s.workers,
             s.iterations,
             s.wall.as_secs_f64(),

@@ -600,6 +600,11 @@ pub enum BackendSpec {
     Behavioural(CoreConfig),
     /// DIFT-instrumented netlist interpreter over a synthetic core scale.
     Netlist(CoreScale),
+    /// A registered extension backend, by id (labelled `ext:<id>`); see
+    /// [`crate::registry::register_backend`]. Snapshots echo the label,
+    /// so a campaign run on a custom backend can only be resumed by a
+    /// process that registered the same id.
+    Extension(String),
 }
 
 impl Default for BackendSpec {
@@ -619,8 +624,14 @@ impl BackendSpec {
         BackendSpec::Netlist(scale)
     }
 
+    /// A spec naming a registered extension backend.
+    pub fn extension(id: impl Into<String>) -> Self {
+        BackendSpec::Extension(id.into())
+    }
+
     /// Parses a `--backend` CLI value: `behavioural` (using
-    /// `behavioural_cfg`) or `netlist[:small|boom|xiangshan]`.
+    /// `behavioural_cfg`), `netlist[:small|boom|xiangshan]`, or
+    /// `ext:<id>` for a registered extension backend.
     pub fn parse(s: &str, behavioural_cfg: CoreConfig) -> Result<Self, String> {
         match s {
             "behavioural" | "behavioral" => Ok(BackendSpec::Behavioural(behavioural_cfg)),
@@ -632,26 +643,59 @@ impl BackendSpec {
                 Some(other) => Err(format!(
                     "unknown netlist scale {other:?} (expected small|boom|xiangshan)"
                 )),
-                None => Err(format!(
-                    "unknown backend {s:?} (expected behavioural or netlist:<scale>)"
-                )),
+                None => match s.strip_prefix("ext:") {
+                    // Validate against the registry's id rules here, so
+                    // a structurally unregistrable id (whitespace,
+                    // embedded ':') is diagnosed as invalid rather than
+                    // later as "not registered".
+                    Some(id) => match crate::registry::validate_id(id) {
+                        Ok(()) => Ok(BackendSpec::Extension(id.to_string())),
+                        Err(e) => Err(e.to_string()),
+                    },
+                    None => Err(format!(
+                        "unknown backend {s:?} (expected behavioural, netlist:<scale> or ext:<id>)"
+                    )),
+                },
             },
         }
     }
 
-    /// Human-readable label (`behavioural:BOOM`, `netlist:SynthSmall`).
+    /// Human-readable label (`behavioural:BOOM`, `netlist:SynthSmall`,
+    /// `ext:<id>`) — also the backend-identity echo campaign snapshots
+    /// validate on resume.
     pub fn label(&self) -> String {
         match self {
             BackendSpec::Behavioural(cfg) => format!("behavioural:{}", cfg.name),
             BackendSpec::Netlist(scale) => format!("netlist:{}", scale.name),
+            BackendSpec::Extension(id) => format!("ext:{id}"),
         }
     }
 
     /// Builds a fresh backend instance (one per worker thread).
+    /// Extensions resolve through the global [`crate::registry`]; the
+    /// fallible form is [`BackendSpec::try_build`], which the
+    /// [`crate::builder::CampaignBuilder`] uses to validate the
+    /// configuration before any campaign work starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an [`BackendSpec::Extension`] whose id is not
+    /// registered — go through [`crate::builder::CampaignBuilder`] for a
+    /// structured [`crate::builder::BuildError`] instead.
     pub fn build(&self) -> Box<dyn SimBackend> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BackendSpec::build`], with unresolvable extensions reported as
+    /// a [`crate::builder::BuildError::UnknownBackend`].
+    pub fn try_build(&self) -> Result<Box<dyn SimBackend>, crate::builder::BuildError> {
         match self {
-            BackendSpec::Behavioural(cfg) => Box::new(BehaviouralBackend::new(*cfg)),
-            BackendSpec::Netlist(scale) => Box::new(NetlistBackend::synthetic(*scale)),
+            BackendSpec::Behavioural(cfg) => Ok(Box::new(BehaviouralBackend::new(*cfg))),
+            BackendSpec::Netlist(scale) => Ok(Box::new(NetlistBackend::synthetic(*scale))),
+            BackendSpec::Extension(id) => match crate::registry::backend_ctor(id) {
+                Some(ctor) => Ok(ctor()),
+                None => Err(crate::builder::BuildError::UnknownBackend { id: id.clone() }),
+            },
         }
     }
 }
@@ -792,6 +836,22 @@ mod tests {
         );
         assert!(BackendSpec::parse("netlist:huge", cfg).is_err());
         assert!(BackendSpec::parse("verilator", cfg).is_err());
+        assert_eq!(
+            BackendSpec::parse("ext:my-sim", cfg).unwrap(),
+            BackendSpec::extension("my-sim")
+        );
+        assert!(BackendSpec::parse("ext:", cfg).is_err(), "empty id");
+        assert!(
+            BackendSpec::parse("ext:has space", cfg)
+                .unwrap_err()
+                .contains("invalid extension id"),
+            "unregistrable ids are diagnosed at parse time"
+        );
+        assert_eq!(BackendSpec::extension("my-sim").label(), "ext:my-sim");
+        assert!(matches!(
+            BackendSpec::extension("never-registered-backend").try_build(),
+            Err(crate::builder::BuildError::UnknownBackend { .. })
+        ));
         assert_eq!(BackendSpec::default().build().name(), "behavioural");
         assert_eq!(BackendSpec::netlist(BOOM_SCALE).build().dut_name(), "BOOM");
         assert_eq!(

@@ -14,13 +14,15 @@
 //! ```
 //!
 //! All persistence chatter (checkpoint/resume notes) goes to stderr;
-//! stdout carries only the campaign report, so a resumed run's stdout is
-//! byte-identical to an uninterrupted one (the CI resume smoke diffs
-//! exactly this).
+//! stdout carries only the campaign report — rendered by the library's
+//! [`TextObserver`] (byte-identical to the historical inline report; the
+//! CI resume smoke diffs exactly this) or, under `--telemetry json`, by
+//! [`JsonLinesObserver`] as one JSON object per campaign event.
 
 use dejavuzz::backend::BackendSpec;
+use dejavuzz::builder::CampaignBuilder;
 use dejavuzz::campaign::FuzzerOptions;
-use dejavuzz::executor::Orchestrator;
+use dejavuzz::observer::{CampaignObserver, JsonLinesObserver, TextObserver};
 use dejavuzz::scheduler::{PolicySpec, SchedulerSpec};
 use dejavuzz::snapshot::CampaignSnapshot;
 use dejavuzz_uarch::{boom_small, xiangshan_minimal};
@@ -91,6 +93,12 @@ fn main() {
              \u{20}                        uninterrupted run bit-identically\n\
              --shard N               tag snapshots with a shard id for dejavuzz-merge\n\
              \u{20}                        (default 0)\n\n\
+             telemetry (see EXPERIMENTS.md \"Embedding & telemetry\"):\n\
+             --telemetry text|json   text = the classic campaign report (default);\n\
+             \u{20}                        json = one JSON object per campaign event\n\
+             \u{20}                        (round_started, slot_committed, coverage_gained,\n\
+             \u{20}                        bug_found, snapshot_written, campaign_finished) —\n\
+             \u{20}                        byte-deterministic per (seed, workers)\n\n\
              Flag values that fail to parse are an error (exit 2), never a\n\
              silent fallback to the default.\n"
         );
@@ -138,6 +146,12 @@ fn main() {
     let snapshot_keep = arg(&args, "--snapshot-keep", 0usize);
     let halt_after = opt_arg::<usize>(&args, "--halt-after");
     let resume_path = opt_arg::<String>(&args, "--resume");
+    let telemetry = arg::<String>(&args, "--telemetry", "text".into());
+    if telemetry != "text" && telemetry != "json" {
+        die(format_args!(
+            "unknown telemetry mode {telemetry:?} (expected text|json)"
+        ));
+    }
 
     // A resumed campaign's geometry and scheduling configuration come
     // from the snapshot: workers, seed, batch, scheduler and policy are
@@ -203,25 +217,30 @@ fn main() {
         );
     }
 
-    let mut orch = Orchestrator::with_backend(backend.clone(), opts, workers, seed)
-        .batch_size(batch)
+    let mut builder = CampaignBuilder::new()
+        .backend(backend.clone())
+        .options(opts)
+        .workers(workers)
+        .seed(seed)
+        .batch(batch)
         .scheduler(scheduler)
         .seed_policy(policy)
         .shard_id(shard)
         .snapshot_every(snapshot_every)
         .snapshot_keep(snapshot_keep);
     if let Some(path) = &snapshot_path {
-        orch = orch.snapshot_path(path);
+        builder = builder.snapshot_path(path);
     }
     if let Some(halt) = halt_after {
-        orch = orch.halt_after(halt);
+        builder = builder.halt_after(halt);
     }
     if let Some(snap) = resume {
-        orch = match orch.resume_from(snap) {
-            Ok(o) => o,
-            Err(e) => die(format_args!("cannot resume: {e}")),
-        };
+        builder = builder.resume(snap);
     }
+    let orch = match builder.build() {
+        Ok(orch) => orch,
+        Err(e) => die(format_args!("{e}")),
+    };
 
     // The behavioural banner keeps its historical form so default-path
     // output stays byte-identical across the backend refactor.
@@ -229,54 +248,15 @@ fn main() {
         BackendSpec::Behavioural(cfg) => cfg.name.to_string(),
         other => other.label(),
     };
-    println!(
-        "fuzzing {banner} ({variant}) — {iters} iters x {workers} worker(s), shared corpus, seed {seed}\n"
-    );
-    let start = std::time::Instant::now();
-    let report = orch.run(iters * workers);
+    let mut observers: Vec<Box<dyn CampaignObserver>> = match telemetry.as_str() {
+        "json" => vec![Box::new(JsonLinesObserver::stdout())],
+        _ => vec![Box::new(TextObserver::stdout().with_banner(format!(
+            "fuzzing {banner} ({variant}) — {iters} iters x {workers} worker(s), \
+             shared corpus, seed {seed}\n"
+        )))],
+    };
+    let (report, _) = orch.run_observed(iters * workers, &mut observers);
     let stats = &report.stats;
-    let elapsed = start.elapsed().as_secs_f64();
-    println!("elapsed:          {elapsed:.1}s");
-    println!(
-        "throughput:       {:.1} seeds/sec",
-        stats.iterations as f64 / elapsed.max(1e-9)
-    );
-    println!("iterations:       {}", stats.iterations);
-    if stats.failed_runs > 0 {
-        println!("failed runs:      {} (backend errors)", stats.failed_runs);
-    }
-    println!("simulations:      {}", stats.sim_runs);
-    println!("simulated cycles: {}", stats.sim_cycles);
-    println!("coverage points:  {} (exact union)", stats.coverage());
-    println!(
-        "corpus retained:  {} (evicted {})",
-        report.corpus_retained, report.corpus_evicted
-    );
-    println!("first bug:        {:?}", stats.first_bug_iteration);
-    println!("\nworkers:");
-    for w in &report.workers {
-        println!(
-            "  #{:<3} {:>5} iterations, {:>5} points observed",
-            w.worker,
-            w.iterations,
-            w.observed.points()
-        );
-    }
-    println!("\nwindows:");
-    for (wt, ws) in &stats.windows {
-        println!(
-            "  {:<28} {:>3}/{:<3}  TO {:>6.1}  ETO {:>5.1}",
-            wt.name(),
-            ws.triggered,
-            ws.attempted,
-            ws.mean_to(),
-            ws.mean_eto()
-        );
-    }
-    println!("\nbugs ({}):", stats.bugs.len());
-    for b in &stats.bugs {
-        println!("  {b}");
-    }
     // Report what is actually on disk, not what we hoped to write: a
     // failed checkpoint (disk full, unwritable path) already warned on
     // stderr mid-run, and claiming success here would contradict it.

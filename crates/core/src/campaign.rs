@@ -8,9 +8,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dejavuzz_ift::{CoverageMatrix, IftMode};
-use dejavuzz_uarch::CoreConfig;
 
 use crate::backend::{BackendSpec, SimBackend};
+use crate::builder::BuildError;
 use crate::corpus::Corpus;
 use crate::executor::{self, GainAverage};
 use crate::gen::WindowType;
@@ -25,11 +25,10 @@ use crate::scheduler::{PolicySpec, SeedPolicy, SlotFeedback};
 ///
 /// The system under test is *not* part of these options: pass a
 /// [`BackendSpec`] to [`Campaign::with_backend`] /
-/// [`crate::executor::Orchestrator::with_backend`]. (Historically a
+/// [`crate::builder::CampaignBuilder::backend`]. (Historically a
 /// `CoreConfig` was plumbed positionally next to `FuzzerOptions`
-/// everywhere; that path survives only as thin behavioural-backend
-/// compatibility constructors and is deprecated in favour of
-/// `BackendSpec`.)
+/// everywhere; the last compatibility shims for that spelling were
+/// removed when [`crate::builder::CampaignBuilder`] landed.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FuzzerOptions {
     /// Phase tunables.
@@ -218,15 +217,15 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// A new campaign over the behavioural backend — the thin
-    /// compatibility constructor for `CoreConfig`-positional call sites;
-    /// prefer [`Campaign::with_backend`].
-    pub fn new(cfg: CoreConfig, opts: FuzzerOptions, rng_seed: u64) -> Self {
-        Self::with_backend(BackendSpec::Behavioural(cfg), opts, rng_seed)
-    }
-
     /// A new campaign over any backend spec with deterministic RNG
     /// seeding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is an unregistered
+    /// [`BackendSpec::Extension`]; build custom-backend campaigns
+    /// through [`crate::builder::CampaignBuilder`] (structured errors) or
+    /// pass the instance directly to [`Campaign::with_boxed_backend`].
     pub fn with_backend(backend: BackendSpec, opts: FuzzerOptions, rng_seed: u64) -> Self {
         Self::with_boxed_backend(backend.build(), opts, rng_seed)
     }
@@ -250,7 +249,9 @@ impl Campaign {
             opts,
             rng: StdRng::seed_from_u64(rng_seed),
             corpus,
-            policy: PolicySpec::default().build(None),
+            policy: PolicySpec::default()
+                .build(None)
+                .expect("the default policy is built-in"),
             coverage: CoverageMatrix::new(),
             stats: CampaignStats::default(),
             gain: GainAverage::default(),
@@ -260,10 +261,11 @@ impl Campaign {
     /// Swaps the corpus seed policy (default
     /// [`PolicySpec::EnergyDecay`], the historical behaviour). Call
     /// before the first iteration: mid-campaign swaps would mix two
-    /// policies' scheduling state.
-    pub fn with_seed_policy(mut self, policy: PolicySpec) -> Self {
-        self.policy = policy.build(None);
-        self
+    /// policies' scheduling state. [`PolicySpec::Extension`] ids that
+    /// are not registered are a [`BuildError::UnknownSeedPolicy`].
+    pub fn with_seed_policy(mut self, policy: PolicySpec) -> Result<Self, BuildError> {
+        self.policy = policy.build(None)?;
+        Ok(self)
     }
 
     /// The simulation backend driving this campaign.
@@ -337,10 +339,10 @@ impl Campaign {
 /// stats were approximately merged at the end; now this is a thin wrapper
 /// over [`crate::executor::run`]: one shared corpus, one shared gain
 /// threshold, and an exact concurrent coverage union. `iterations_per_
-/// thread` is kept as the unit of work for signature compatibility — the
-/// pool executes `threads * iterations_per_thread` iterations in total.
+/// thread` is kept as the historical unit of work — the pool executes
+/// `threads * iterations_per_thread` iterations in total.
 pub fn parallel_run(
-    cfg: CoreConfig,
+    backend: BackendSpec,
     opts: FuzzerOptions,
     threads: usize,
     iterations_per_thread: usize,
@@ -348,7 +350,7 @@ pub fn parallel_run(
 ) -> CampaignStats {
     let threads = threads.max(1);
     executor::run(
-        cfg,
+        backend,
         opts,
         threads,
         threads * iterations_per_thread,
@@ -364,7 +366,11 @@ mod tests {
 
     #[test]
     fn campaign_accumulates_coverage_monotonically() {
-        let mut c = Campaign::new(boom_small(), FuzzerOptions::default(), 1);
+        let mut c = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            1,
+        );
         let stats = c.run(15);
         assert_eq!(stats.iterations, 15);
         assert_eq!(stats.coverage_curve.len(), 15);
@@ -377,7 +383,11 @@ mod tests {
 
     #[test]
     fn campaign_finds_bugs_on_vulnerable_boom() {
-        let mut c = Campaign::new(boom_small(), FuzzerOptions::default(), 3);
+        let mut c = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            3,
+        );
         let stats = c.run(30);
         assert!(
             !stats.bugs.is_empty(),
@@ -388,8 +398,18 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic_per_rng_seed() {
-        let s1 = Campaign::new(boom_small(), FuzzerOptions::default(), 9).run(8);
-        let s2 = Campaign::new(boom_small(), FuzzerOptions::default(), 9).run(8);
+        let s1 = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            9,
+        )
+        .run(8);
+        let s2 = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            9,
+        )
+        .run(8);
         assert_eq!(s1.coverage_curve, s2.coverage_curve);
         assert_eq!(s1.bugs, s2.bugs);
     }
@@ -410,8 +430,18 @@ mod tests {
 
     #[test]
     fn stats_merge_is_consistent() {
-        let a = Campaign::new(boom_small(), FuzzerOptions::default(), 1).run(5);
-        let b = Campaign::new(boom_small(), FuzzerOptions::default(), 2).run(5);
+        let a = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            1,
+        )
+        .run(5);
+        let b = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            2,
+        )
+        .run(5);
         let mut m = a.clone();
         m.merge(&b);
         assert_eq!(m.iterations, 10);
@@ -429,8 +459,18 @@ mod tests {
 
     #[test]
     fn merge_keeps_longer_curve_tail() {
-        let a = Campaign::new(boom_small(), FuzzerOptions::default(), 1).run(3);
-        let b = Campaign::new(boom_small(), FuzzerOptions::default(), 2).run(6);
+        let a = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            1,
+        )
+        .run(3);
+        let b = Campaign::with_backend(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            2,
+        )
+        .run(6);
         let mut m = a.clone();
         m.merge(&b);
         assert_eq!(m.coverage_curve.len(), 6, "longer tail survives");
@@ -439,7 +479,13 @@ mod tests {
 
     #[test]
     fn parallel_manager_merges_threads() {
-        let stats = parallel_run(boom_small(), FuzzerOptions::default(), 2, 4, 77);
+        let stats = parallel_run(
+            BackendSpec::behavioural(boom_small()),
+            FuzzerOptions::default(),
+            2,
+            4,
+            77,
+        );
         assert_eq!(stats.iterations, 8);
     }
 

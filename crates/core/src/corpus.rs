@@ -191,7 +191,9 @@ impl Corpus {
 
     /// The raw cache value, persisted by campaign snapshots so resumed
     /// roulette draws replay against bit-identical scheduling mass.
-    pub(crate) fn energy_cache(&self) -> f64 {
+    /// Public read-only: external persistence tooling (and the snapshot
+    /// version-skew tests) re-encode it verbatim.
+    pub fn energy_cache(&self) -> f64 {
         self.energy
     }
 

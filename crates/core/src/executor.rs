@@ -6,7 +6,7 @@
 //!
 //! An [`Orchestrator`] owns the [`Corpus`], the scheduling RNG, the
 //! running-average mutation-gain threshold and the exact global coverage;
-//! [`Worker`] threads own the simulators. Work flows in *rounds*, and how
+//! `Worker` threads own the simulators. Work flows in *rounds*, and how
 //! a round's slots are partitioned and claimed is pluggable — see the
 //! [`crate::scheduler`] module for the [`crate::scheduler::Scheduler`]
 //! trait (fixed round-robin batches vs. deterministic work stealing) and
@@ -42,11 +42,24 @@
 //!    samples and corpus retention all replay deterministically.
 //!
 //! The consequence is the property the old end-of-run merge could not
-//! offer: `run(cfg, opts, workers, iters, seed)` is **deterministic for a
-//! fixed worker count** (thread timing only changes who commits a shared
-//! point first, which nothing reads back), and its final coverage is the
-//! **exact union** of what the workers observed — never the pointwise sum
-//! the old `CampaignStats::merge` approximated.
+//! offer: a campaign is **deterministic for a fixed worker count**
+//! (thread timing only changes who commits a shared point first, which
+//! nothing reads back), and its final coverage is the **exact union** of
+//! what the workers observed — never the pointwise sum the old
+//! `CampaignStats::merge` approximated.
+//!
+//! # Configuration
+//!
+//! An [`Orchestrator`] is built exclusively by
+//! [`crate::builder::CampaignBuilder`], which validates the whole
+//! configuration up front (one structured
+//! [`crate::builder::BuildError`], no scattered panics) and resolves any
+//! extension-registry ids into captured constructors. The orchestrator
+//! itself only *runs* campaigns: [`Orchestrator::run`],
+//! [`Orchestrator::run_snapshotting`], and
+//! [`Orchestrator::run_observed`] — the latter streaming the typed
+//! [`crate::observer::CampaignObserver`] events from the deterministic
+//! commit points described above.
 //!
 //! # Checkpointing and resume
 //!
@@ -57,14 +70,17 @@
 //! count, observed matrix)`. At a round boundary each worker's coverage
 //! view coincides with the global union (the round-start delta broadcast
 //! converges them), so restoring `view = global` is exact, and a run
-//! resumed via [`Orchestrator::resume_from`] replays the remaining
-//! rounds **bit-identically** to one that never stopped — same curve,
-//! same bugs, same corpus, same per-worker accounting (asserted by
-//! `tests/persist.rs` and the CI resume smoke). [`Orchestrator::
-//! snapshot_every`] + [`Orchestrator::snapshot_path`] write periodic
-//! atomic checkpoints; [`Orchestrator::halt_after`] stops gracefully at
+//! resumed via [`crate::builder::CampaignBuilder::resume`] replays the
+//! remaining rounds **bit-identically** to one that never stopped — same
+//! curve, same bugs, same corpus, same per-worker accounting (asserted
+//! by `tests/persist.rs` and the CI resume smoke).
+//! [`crate::builder::CampaignBuilder::snapshot_every`] +
+//! [`crate::builder::CampaignBuilder::snapshot_path`] write periodic
+//! atomic checkpoints;
+//! [`crate::builder::CampaignBuilder::halt_after`] stops gracefully at
 //! the next round boundary, emulating a planned interruption.
 
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -76,17 +92,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dejavuzz_ift::{CoverageMatrix, CoveragePoint, IftMode, RecordingCoverage, SharedCoverage};
-use dejavuzz_uarch::CoreConfig;
 
 use crate::backend::{BackendSpec, SimBackend};
+use crate::builder::CampaignBuilder;
 use crate::campaign::{CampaignStats, FuzzerOptions};
 use crate::corpus::Corpus;
 use crate::gen::{Seed, WindowType};
-use crate::phases::{phase1, phase2, phase3};
-use crate::scheduler::{
-    PlanCtx, PlannedSlot, PolicySpec, RoundPlan, SchedulerSpec, SeedPolicy, SlotFeedback,
+use crate::observer::{
+    BugFound, CampaignFinished, CampaignObserver, CoverageGained, RoundStarted, SlotCommitted,
+    SnapshotWritten,
 };
-use crate::snapshot::{CampaignSnapshot, ResumeError, WorkerState};
+use crate::phases::{phase1, phase2, phase3};
+use crate::registry::{BackendCtor, PolicyCtor, SchedulerCtor};
+use crate::scheduler::{
+    PlanCtx, PlannedSlot, PolicySpec, PolicyState, RoundPlan, Scheduler, SchedulerSpec, SeedPolicy,
+    SlotFeedback,
+};
+use crate::snapshot::{CampaignSnapshot, WorkerState};
 
 /// Iteration slots shipped to a worker per round. Large enough to
 /// amortise the channel round-trip, small enough that corpus feedback and
@@ -513,6 +535,7 @@ pub struct ExecutorReport {
 /// [`CampaignSnapshot`] captures and a resume restores.
 struct Session {
     corpus: Corpus,
+    scheduler: Box<dyn Scheduler>,
     policy: Box<dyn SeedPolicy>,
     sched_rng: StdRng,
     gain: GainAverage,
@@ -523,189 +546,51 @@ struct Session {
     worker_observed: Vec<CoverageMatrix>,
 }
 
-/// The pool coordinator. See the module docs for the round protocol.
-#[derive(Clone, Debug)]
+/// The pool coordinator: a fully validated campaign, ready to run. Built
+/// exclusively by [`CampaignBuilder`] (which owns all configuration and
+/// validation); see the module docs for the round protocol and the
+/// determinism/resume contracts.
+///
+/// Cloneable: the persistence tests re-run one configuration with
+/// different halt points by cloning the orchestrator (captured extension
+/// constructors are shared, not re-resolved).
+#[derive(Clone)]
 pub struct Orchestrator {
-    backend: BackendSpec,
-    opts: FuzzerOptions,
-    workers: usize,
-    seed: u64,
-    batch: usize,
-    scheduler: SchedulerSpec,
-    policy: PolicySpec,
-    corpus_capacity: usize,
-    corpus_exploit: f64,
-    shard_id: u32,
-    snapshot_every: usize,
-    snapshot_path: Option<PathBuf>,
-    snapshot_keep: usize,
-    halt_after: Option<usize>,
-    resume: Option<Box<CampaignSnapshot>>,
+    pub(crate) backend: BackendSpec,
+    pub(crate) backend_ctor: Option<BackendCtor>,
+    pub(crate) opts: FuzzerOptions,
+    pub(crate) workers: usize,
+    pub(crate) seed: u64,
+    pub(crate) batch: usize,
+    pub(crate) scheduler: SchedulerSpec,
+    pub(crate) scheduler_ctor: Option<SchedulerCtor>,
+    pub(crate) policy: PolicySpec,
+    pub(crate) policy_ctor: Option<PolicyCtor>,
+    pub(crate) corpus_capacity: usize,
+    pub(crate) corpus_exploit: f64,
+    pub(crate) shard_id: u32,
+    pub(crate) snapshot_every: usize,
+    pub(crate) snapshot_path: Option<PathBuf>,
+    pub(crate) snapshot_keep: usize,
+    pub(crate) halt_after: Option<usize>,
+    pub(crate) resume: Option<Box<CampaignSnapshot>>,
+}
+
+impl fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("backend", &self.backend.label())
+            .field("workers", &self.workers)
+            .field("seed", &self.seed)
+            .field("batch", &self.batch)
+            .field("scheduler", &self.scheduler)
+            .field("policy", &self.policy)
+            .field("shard_id", &self.shard_id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Orchestrator {
-    /// A new pool over the behavioural backend — the thin compatibility
-    /// constructor for `CoreConfig`-positional call sites; prefer
-    /// [`Orchestrator::with_backend`]. `workers` is clamped to at
-    /// least 1.
-    pub fn new(cfg: CoreConfig, opts: FuzzerOptions, workers: usize, seed: u64) -> Self {
-        Self::with_backend(BackendSpec::Behavioural(cfg), opts, workers, seed)
-    }
-
-    /// A new pool configuration over any backend; each worker thread
-    /// builds its own simulator from the spec. `workers` is clamped to at
-    /// least 1.
-    pub fn with_backend(
-        backend: BackendSpec,
-        opts: FuzzerOptions,
-        workers: usize,
-        seed: u64,
-    ) -> Self {
-        Orchestrator {
-            backend,
-            opts,
-            workers: workers.max(1),
-            seed,
-            batch: DEFAULT_BATCH,
-            scheduler: SchedulerSpec::default(),
-            policy: PolicySpec::default(),
-            corpus_capacity: crate::corpus::DEFAULT_CAPACITY,
-            corpus_exploit: crate::corpus::EXPLOIT_PROBABILITY,
-            shard_id: 0,
-            snapshot_every: 0,
-            snapshot_path: None,
-            snapshot_keep: 0,
-            halt_after: None,
-            resume: None,
-        }
-    }
-
-    /// Overrides the per-round batch size (clamped to at least 1).
-    ///
-    /// Batch size is part of a campaign's replay identity — and, for the
-    /// work-stealing scheduler, the chunk grain of the stream mapping: at
-    /// `batch == 1` the two schedulers are bit-identical (see the
-    /// [`crate::scheduler`] docs).
-    pub fn batch_size(mut self, batch: usize) -> Self {
-        self.batch = batch.max(1);
-        self
-    }
-
-    /// Selects the slot scheduler (default
-    /// [`SchedulerSpec::RoundRobin`]).
-    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Self {
-        self.scheduler = scheduler;
-        self
-    }
-
-    /// Selects the corpus seed policy (default
-    /// [`PolicySpec::EnergyDecay`]).
-    pub fn seed_policy(mut self, policy: PolicySpec) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Keeps the last `keep` *periodic* checkpoints as rotated
-    /// `<path>.<iterations>` siblings instead of overwriting one file,
-    /// pruning older rounds after each successful atomic write (0 — the
-    /// default — keeps the single-file overwrite behaviour). The
-    /// end-of-run checkpoint always lands on the plain path either way.
-    pub fn snapshot_keep(mut self, keep: usize) -> Self {
-        self.snapshot_keep = keep;
-        self
-    }
-
-    /// Overrides the corpus capacity.
-    pub fn corpus_capacity(mut self, capacity: usize) -> Self {
-        self.corpus_capacity = capacity.max(1);
-        self
-    }
-
-    /// Overrides the corpus exploit probability; `0.0` disables corpus
-    /// scheduling so every iteration samples a fresh uniform seed
-    /// (measurements like Table 3 need unskewed per-window-type counts).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is NaN or outside `[0, 1]` (same contract as
-    /// [`Corpus::with_exploit_probability`]) — an out-of-range
-    /// probability would silently skew `schedule()` instead of failing
-    /// the misconfiguration loudly.
-    pub fn corpus_exploit_probability(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "exploit probability must be in [0, 1], got {p}"
-        );
-        self.corpus_exploit = p;
-        self
-    }
-
-    /// Tags snapshots from this campaign with a shard id (multi-machine
-    /// campaigns give each machine a distinct id; `dejavuzz-merge` keys
-    /// reports by it).
-    pub fn shard_id(mut self, shard: u32) -> Self {
-        self.shard_id = shard;
-        self
-    }
-
-    /// Writes a checkpoint every `rounds` rounds (0 disables periodic
-    /// checkpoints; the end-of-run snapshot is still written when a
-    /// [`Orchestrator::snapshot_path`] is set).
-    pub fn snapshot_every(mut self, rounds: usize) -> Self {
-        self.snapshot_every = rounds;
-        self
-    }
-
-    /// Checkpoint destination. Each write is atomic (write-rename), so a
-    /// crash mid-checkpoint leaves the previous snapshot intact.
-    pub fn snapshot_path(mut self, path: impl Into<PathBuf>) -> Self {
-        self.snapshot_path = Some(path.into());
-        self
-    }
-
-    /// Halts the run gracefully at the first round boundary where at
-    /// least `iterations` iterations have completed — the controlled
-    /// form of an interruption, used with checkpointing to exercise
-    /// stop/resume workflows. The run's total-iteration target is
-    /// unchanged, so slot scheduling (and therefore the resumed
-    /// continuation) stays bit-identical to an uninterrupted run.
-    pub fn halt_after(mut self, iterations: usize) -> Self {
-        self.halt_after = Some(iterations);
-        self
-    }
-
-    /// Restores a campaign from a snapshot: the next
-    /// [`Orchestrator::run`] continues where the snapshot stopped,
-    /// bit-identically to a run that was never interrupted.
-    ///
-    /// The snapshot's geometry (`workers`, `seed`, `batch`, `shard_id`)
-    /// and its scheduling configuration (scheduler, seed policy) are
-    /// *adopted* — they are part of the campaign's replay identity. The
-    /// backend label and campaign options must match what this
-    /// orchestrator was constructed with; mismatches return a
-    /// [`ResumeError`] instead of silently mixing two different
-    /// experiments.
-    pub fn resume_from(mut self, snapshot: CampaignSnapshot) -> Result<Self, ResumeError> {
-        let current = self.backend.label();
-        if snapshot.backend != current {
-            return Err(ResumeError::BackendMismatch {
-                snapshot: snapshot.backend,
-                current,
-            });
-        }
-        if snapshot.opts != self.opts {
-            return Err(ResumeError::OptionsMismatch);
-        }
-        self.workers = snapshot.workers;
-        self.seed = snapshot.seed;
-        self.batch = snapshot.batch;
-        self.shard_id = snapshot.shard_id;
-        self.scheduler = snapshot.scheduler;
-        self.policy = snapshot.policy;
-        self.resume = Some(Box::new(snapshot));
-        Ok(self)
-    }
-
     /// SplitMix64: decorrelates the per-worker and scheduler RNG streams
     /// from the user seed.
     fn stream_seed(&self, stream: u64) -> u64 {
@@ -715,12 +600,50 @@ impl Orchestrator {
         z ^ (z >> 31)
     }
 
+    /// One simulator instance (one per worker thread), through the
+    /// captured extension constructor when the spec names one.
+    fn build_backend(&self) -> Box<dyn SimBackend> {
+        match &self.backend_ctor {
+            Some(ctor) => ctor(),
+            None => self.backend.build(),
+        }
+    }
+
+    /// A fresh scheduler instance, rehydrating extension state on resume.
+    fn build_scheduler(&self, state: Option<&[u8]>) -> Box<dyn Scheduler> {
+        match &self.scheduler_ctor {
+            Some(ctor) => ctor(state),
+            None => self
+                .scheduler
+                .build(state)
+                .expect("built-in scheduler specs build infallibly"),
+        }
+    }
+
+    /// A fresh policy instance, rehydrating persisted state on resume.
+    fn build_policy(&self, state: Option<&PolicyState>) -> Box<dyn SeedPolicy> {
+        match &self.policy_ctor {
+            Some(ctor) => {
+                let blob = match state {
+                    Some(PolicyState::Opaque(b)) => Some(b.as_slice()),
+                    _ => None,
+                };
+                ctor(blob)
+            }
+            None => self
+                .policy
+                .build(state)
+                .expect("built-in policy specs build infallibly"),
+        }
+    }
+
     /// Fresh session state, or the snapshot's if this is a resume.
     fn session(&self) -> (Session, usize) {
         if let Some(snap) = &self.resume {
             let s = Session {
                 corpus: snap.corpus.clone(),
-                policy: self.policy.build(Some(&snap.policy_state)),
+                scheduler: self.build_scheduler(Some(&snap.scheduler_state)),
+                policy: self.build_policy(Some(&snap.policy_state)),
                 sched_rng: StdRng::from_raw_state(snap.sched_rng),
                 gain: GainAverage {
                     avg: snap.gain_avg,
@@ -749,7 +672,8 @@ impl Orchestrator {
             };
             let s = Session {
                 corpus: Corpus::new(self.corpus_capacity).with_exploit_probability(exploit),
-                policy: self.policy.build(None),
+                scheduler: self.build_scheduler(None),
+                policy: self.build_policy(None),
                 sched_rng: StdRng::seed_from_u64(self.stream_seed(0)),
                 gain: GainAverage::default(),
                 global: CoverageMatrix::new(),
@@ -772,8 +696,9 @@ impl Orchestrator {
             workers: self.workers,
             seed: self.seed,
             batch: self.batch,
-            scheduler: self.scheduler,
-            policy: self.policy,
+            scheduler: self.scheduler.clone(),
+            scheduler_state: s.scheduler.state(),
+            policy: self.policy.clone(),
             policy_state: s.policy.state(),
             opts: self.opts,
             completed: s.stats.iterations,
@@ -799,7 +724,12 @@ impl Orchestrator {
     /// (atomically), so a multi-day campaign keeps a bounded trail of
     /// resumable round checkpoints instead of one overwritten file or an
     /// unbounded pile.
-    fn write_checkpoint(&self, s: &Session, periodic: bool) {
+    fn write_checkpoint(
+        &self,
+        s: &Session,
+        periodic: bool,
+        observers: &mut [Box<dyn CampaignObserver>],
+    ) {
         let Some(path) = &self.snapshot_path else {
             return;
         };
@@ -827,6 +757,14 @@ impl Orchestrator {
                 );
             }
         }
+        let ev = SnapshotWritten {
+            path: &target,
+            iterations: snap.completed,
+            periodic,
+        };
+        for obs in observers.iter_mut() {
+            obs.snapshot_written(&ev);
+        }
     }
 
     /// Runs the pool until `iterations` total campaign iterations have
@@ -834,15 +772,32 @@ impl Orchestrator {
     /// iterations), returning the report. See the module docs for the
     /// determinism and resume-equivalence contracts.
     pub fn run(&self, iterations: usize) -> ExecutorReport {
-        self.run_snapshotting(iterations).0
+        self.run_observed(iterations, &mut []).0
     }
 
     /// [`Orchestrator::run`], also returning the end-of-run
-    /// [`CampaignSnapshot`] (the state a later [`Orchestrator::
-    /// resume_from`] continues from). This is the in-memory
-    /// checkpointing path; file-based checkpointing goes through
-    /// [`Orchestrator::snapshot_path`].
+    /// [`CampaignSnapshot`] (the state a later
+    /// [`crate::builder::CampaignBuilder::resume`] continues from). This
+    /// is the in-memory checkpointing path; file-based checkpointing
+    /// goes through [`crate::builder::CampaignBuilder::snapshot_path`].
     pub fn run_snapshotting(&self, iterations: usize) -> (ExecutorReport, CampaignSnapshot) {
+        self.run_observed(iterations, &mut [])
+    }
+
+    /// [`Orchestrator::run_snapshotting`] with a
+    /// [`CampaignObserver`] event stream: every observer is invoked at
+    /// the orchestrator's deterministic commit points (never from worker
+    /// threads), so for a fixed configuration the full event sequence —
+    /// kinds and payloads — is reproducible run over run and
+    /// concatenates seamlessly across a halt/resume boundary (asserted
+    /// by `tests/observer.rs`). Wall-clock appears only in
+    /// [`CampaignFinished::elapsed`].
+    pub fn run_observed(
+        &self,
+        iterations: usize,
+        observers: &mut [Box<dyn CampaignObserver>],
+    ) -> (ExecutorReport, CampaignSnapshot) {
+        let run_start = Instant::now();
         let (mut s, start) = self.session();
 
         // The live concurrent union starts from the restored global so
@@ -859,7 +814,7 @@ impl Orchestrator {
             let (to_tx, to_rx) = mpsc::channel();
             let worker = Worker {
                 id,
-                backend: self.backend.build(),
+                backend: self.build_backend(),
                 opts: self.opts,
                 rng: StdRng::from_raw_state(s.worker_rngs[id]),
                 // At a round boundary every worker's view equals the
@@ -883,25 +838,44 @@ impl Orchestrator {
         let mut synced = vec![0usize; self.workers];
         let halt = self.halt_after.unwrap_or(usize::MAX);
         let feedback = self.opts.coverage_feedback;
-        let mut scheduler = self.scheduler.build();
         let mut busy_nanos = 0u64;
         let mut makespan_nanos = 0u64;
 
         let mut next_slot = start;
         let mut rounds = 0usize;
         while next_slot < iterations && s.stats.iterations < halt {
-            let span = scheduler.round_span(self.workers, self.batch, iterations - next_slot);
+            let span = s
+                .scheduler
+                .round_span(self.workers, self.batch, iterations - next_slot);
             let plan = {
+                // Disjoint field borrows: the scheduler plans over the
+                // rest of the session state.
+                let Session {
+                    scheduler,
+                    corpus,
+                    policy,
+                    sched_rng,
+                    worker_rngs,
+                    ..
+                } = &mut s;
                 let mut ctx = PlanCtx {
-                    corpus: &mut s.corpus,
-                    policy: s.policy.as_mut(),
-                    sched_rng: &mut s.sched_rng,
-                    worker_rngs: &mut s.worker_rngs,
+                    corpus,
+                    policy: policy.as_mut(),
+                    sched_rng,
+                    worker_rngs,
                     workers: self.workers,
                     batch: self.batch,
                 };
                 scheduler.plan_round(next_slot..next_slot + span, &mut ctx)
             };
+            let round_ev = RoundStarted {
+                first_slot: next_slot,
+                slots: span,
+                gain_threshold_samples: s.gain.samples,
+            };
+            for obs in observers.iter_mut() {
+                obs.round_started(&round_ev);
+            }
             next_slot += span;
 
             let mut expected = 0;
@@ -965,6 +939,7 @@ impl Orchestrator {
                 for p in &o.observed_fresh {
                     s.worker_observed[o.stream].insert(*p);
                 }
+                let bugs_before = s.stats.bugs.len();
                 fold_outcome(&mut s.stats, &o);
                 for g in &o.gains {
                     s.gain.push(*g);
@@ -989,11 +964,49 @@ impl Orchestrator {
                         },
                     );
                 }
+                if !observers.is_empty() {
+                    let total_points = s.global.points();
+                    let slot_ev = SlotCommitted {
+                        slot: o.slot,
+                        stream: o.stream,
+                        window_type: o.window_type,
+                        triggered: o.triggered,
+                        to: o.to,
+                        eto: o.eto,
+                        sim_runs: o.sim_runs,
+                        final_gain: o.final_gain,
+                        fresh_points: global_fresh.len(),
+                        total_points,
+                        error: o.error.clone(),
+                    };
+                    for obs in observers.iter_mut() {
+                        obs.slot_committed(&slot_ev);
+                    }
+                    if !global_fresh.is_empty() {
+                        let cov_ev = CoverageGained {
+                            slot: o.slot,
+                            points: &global_fresh,
+                            total_points,
+                        };
+                        for obs in observers.iter_mut() {
+                            obs.coverage_gained(&cov_ev);
+                        }
+                    }
+                    for bug in &s.stats.bugs[bugs_before..] {
+                        let bug_ev = BugFound {
+                            slot: o.slot,
+                            bug: bug.clone(),
+                        };
+                        for obs in observers.iter_mut() {
+                            obs.bug_found(&bug_ev);
+                        }
+                    }
+                }
             }
 
             rounds += 1;
             if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
-                self.write_checkpoint(&s, true);
+                self.write_checkpoint(&s, true, observers);
             }
         }
 
@@ -1006,7 +1019,7 @@ impl Orchestrator {
 
         // Always leave a final checkpoint behind: a halted run's snapshot
         // is exactly what `--resume` continues from.
-        self.write_checkpoint(&s, false);
+        self.write_checkpoint(&s, false, observers);
         let snapshot = self.snapshot_of(&s);
 
         debug_assert_eq!(shared.points(), s.global.points(), "both unions must agree");
@@ -1027,34 +1040,45 @@ impl Orchestrator {
             busy_nanos,
             modelled_makespan_nanos: makespan_nanos,
         };
+        let finished = CampaignFinished {
+            report: &report,
+            elapsed: run_start.elapsed(),
+        };
+        for obs in observers.iter_mut() {
+            obs.campaign_finished(&finished);
+        }
         (report, snapshot)
     }
 }
 
 /// Runs `iterations` fuzzing iterations on a pool of `workers` threads
-/// sharing one corpus, one gain threshold and one exact coverage union,
-/// over the behavioural backend for `cfg`.
+/// (clamped to at least 1) sharing one corpus, one gain threshold and
+/// one exact coverage union — the one-call convenience over
+/// [`CampaignBuilder`] for defaults-everywhere campaigns.
 ///
 /// Deterministic for a fixed `(workers, seed)` pair; see the module docs.
+///
+/// # Panics
+///
+/// Panics if `backend` is an unregistered
+/// [`BackendSpec::Extension`] — configurations that can fail belong on
+/// [`CampaignBuilder`], whose `build` reports a structured
+/// [`crate::builder::BuildError`] instead.
 pub fn run(
-    cfg: CoreConfig,
-    opts: FuzzerOptions,
-    workers: usize,
-    iterations: usize,
-    seed: u64,
-) -> ExecutorReport {
-    Orchestrator::new(cfg, opts, workers, seed).run(iterations)
-}
-
-/// [`run`], generalised over the simulation backend.
-pub fn run_with_backend(
     backend: BackendSpec,
     opts: FuzzerOptions,
     workers: usize,
     iterations: usize,
     seed: u64,
 ) -> ExecutorReport {
-    Orchestrator::with_backend(backend, opts, workers, seed).run(iterations)
+    CampaignBuilder::new()
+        .backend(backend)
+        .options(opts)
+        .workers(workers.max(1))
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(iterations)
 }
 
 #[cfg(test)]
@@ -1062,9 +1086,13 @@ mod tests {
     use super::*;
     use dejavuzz_uarch::boom_small;
 
+    fn boom() -> BackendSpec {
+        BackendSpec::behavioural(boom_small())
+    }
+
     #[test]
     fn pool_runs_exactly_the_requested_iterations() {
-        let r = run(boom_small(), FuzzerOptions::default(), 3, 10, 7);
+        let r = run(boom(), FuzzerOptions::default(), 3, 10, 7);
         assert_eq!(r.stats.iterations, 10);
         assert_eq!(r.stats.coverage_curve.len(), 10);
         assert_eq!(r.workers.iter().map(|w| w.iterations).sum::<usize>(), 10);
@@ -1073,22 +1101,22 @@ mod tests {
 
     #[test]
     fn curve_is_monotone_and_exact() {
-        let r = run(boom_small(), FuzzerOptions::default(), 2, 12, 3);
+        let r = run(boom(), FuzzerOptions::default(), 2, 12, 3);
         assert!(r.stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(r.stats.coverage(), r.coverage.points());
         assert_eq!(r.coverage.points(), r.shared_points);
     }
 
     #[test]
-    fn zero_workers_clamps_to_one() {
-        let r = run(boom_small(), FuzzerOptions::default(), 0, 4, 1);
+    fn zero_workers_clamps_to_one_in_the_convenience_entry() {
+        let r = run(boom(), FuzzerOptions::default(), 0, 4, 1);
         assert_eq!(r.workers.len(), 1);
         assert_eq!(r.stats.iterations, 4);
     }
 
     #[test]
     fn zero_iterations_is_a_clean_noop() {
-        let r = run(boom_small(), FuzzerOptions::default(), 2, 0, 1);
+        let r = run(boom(), FuzzerOptions::default(), 2, 0, 1);
         assert_eq!(r.stats.iterations, 0);
         assert_eq!(r.coverage.points(), 0);
         assert_eq!(r.workers.len(), 2);
@@ -1105,15 +1133,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exploit probability must be in [0, 1]")]
-    fn orchestrator_rejects_out_of_range_exploit_probability() {
-        let _ = Orchestrator::new(boom_small(), FuzzerOptions::default(), 1, 1)
-            .corpus_exploit_probability(1.01);
-    }
-
-    #[test]
     fn halt_after_stops_at_a_round_boundary() {
-        let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 5).halt_after(3);
+        let orch = CampaignBuilder::new()
+            .backend(boom())
+            .workers(2)
+            .seed(5)
+            .halt_after(3)
+            .build()
+            .unwrap();
         let (report, snap) = orch.run_snapshotting(24);
         // 2 workers x batch 4 = 8 slots per round; the first boundary at
         // or past 3 completed iterations is 8.
@@ -1123,25 +1150,15 @@ mod tests {
     }
 
     #[test]
-    fn resume_rejects_backend_and_options_mismatches() {
-        let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 5);
-        let (_, snap) = orch.run_snapshotting(8);
-
-        let other_backend = Orchestrator::with_backend(
-            BackendSpec::parse("netlist:small", boom_small()).unwrap(),
-            FuzzerOptions::default(),
-            2,
-            5,
-        );
-        assert!(matches!(
-            other_backend.resume_from(snap.clone()),
-            Err(ResumeError::BackendMismatch { .. })
-        ));
-
-        let other_opts = Orchestrator::new(boom_small(), FuzzerOptions::dejavuzz_minus(), 2, 5);
-        assert_eq!(
-            other_opts.resume_from(snap).unwrap_err(),
-            ResumeError::OptionsMismatch
-        );
+    fn debug_format_names_the_configuration() {
+        let orch = CampaignBuilder::new()
+            .backend(boom())
+            .workers(2)
+            .seed(5)
+            .build()
+            .unwrap();
+        let dbg = format!("{orch:?}");
+        assert!(dbg.contains("behavioural:BOOM"), "{dbg}");
+        assert!(dbg.contains("RoundRobin"), "{dbg}");
     }
 }

@@ -48,29 +48,62 @@
 //! * [`snapshot`] — campaign persistence over the `dejavuzz-persist`
 //!   codec: [`snapshot::CampaignSnapshot`] checkpoints a run at any round
 //!   boundary (corpus, exact coverage, gain threshold, every RNG stream
-//!   position), `Orchestrator::resume_from` continues it bit-identically,
-//!   and [`snapshot::merge_snapshots`] / the `dejavuzz-merge` binary
-//!   union shard snapshots from independent machines into one report.
+//!   position), [`builder::CampaignBuilder::resume`] continues it
+//!   bit-identically, and [`snapshot::merge_snapshots`] / the
+//!   `dejavuzz-merge` binary union shard snapshots from independent
+//!   machines into one report.
+//!
+//! # Embedding API
+//!
+//! The crate is an *engine with an API*, not a CLI with internals; three
+//! pieces make it embeddable:
+//!
+//! * [`builder::CampaignBuilder`] — the single typed entry point: one
+//!   chainable value configures backend, geometry, scheduling,
+//!   checkpointing and resume, and `build()` validates everything up
+//!   front into one structured [`builder::BuildError`] (no scattered
+//!   panics, no silent clamping);
+//! * [`observer::CampaignObserver`] — a typed event stream
+//!   (`round_started`, `slot_committed`, `coverage_gained`, `bug_found`,
+//!   `snapshot_written`, `campaign_finished`) invoked at the executor's
+//!   deterministic commit points; [`observer::TextObserver`] is the CLI's
+//!   historical stdout report, [`observer::JsonLinesObserver`] powers
+//!   `dejavuzz-fuzz --telemetry json`;
+//! * [`registry`] — named registration of custom
+//!   scheduler/seed-policy/backend constructors, so user-supplied
+//!   implementations are selectable by id *and* survive
+//!   snapshot→resume (the snapshot persists the id plus an opaque state
+//!   blob).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use dejavuzz::campaign::{Campaign, FuzzerOptions};
-//! use dejavuzz_uarch::boom_small;
+//! use dejavuzz::builder::CampaignBuilder;
 //!
-//! let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 42);
-//! let stats = campaign.run(25);
-//! assert!(stats.iterations == 25);
+//! // Defaults: behavioural SmallBOOM, 1 worker, round-robin scheduling.
+//! let orch = CampaignBuilder::new().seed(42).build().expect("valid config");
+//! let report = orch.run(25);
+//! assert!(report.stats.iterations == 25);
 //! // Windows were triggered and coverage accumulated.
-//! assert!(stats.coverage_curve.last().copied().unwrap_or(0) > 0);
+//! assert!(report.stats.coverage() > 0);
 //! ```
 
+/// The (vendored) `rand` crate, re-exported because trait signatures in
+/// the embedding API name its types (`StdRng` in
+/// [`scheduler::SeedPolicy::schedule`]): custom implementations outside
+/// this workspace must be able to spell them without depending on the
+/// vendored crate directly.
+pub use rand;
+
 pub mod backend;
+pub mod builder;
 pub mod campaign;
 pub mod corpus;
 pub mod executor;
 pub mod gen;
+pub mod observer;
 pub mod phases;
+pub mod registry;
 pub mod report;
 pub mod scheduler;
 pub mod snapshot;
@@ -78,10 +111,16 @@ pub mod snapshot;
 pub use backend::{
     BackendError, BackendSpec, BehaviouralBackend, NetlistBackend, RunOutcome, SimBackend,
 };
+pub use builder::{BuildError, CampaignBuilder};
 pub use campaign::{Campaign, CampaignStats, FuzzerOptions};
 pub use corpus::Corpus;
 pub use executor::{ExecutorReport, Orchestrator, WorkerSummary};
 pub use gen::{Seed, TransientPlan, WindowType};
+pub use observer::{
+    BugFound, CampaignFinished, CampaignObserver, CoverageGained, JsonLinesObserver, RoundStarted,
+    SlotCommitted, SnapshotWritten, TextObserver,
+};
+pub use registry::{BackendCtor, PolicyCtor, RegistryError, SchedulerCtor};
 pub use report::{AttackType, BugReport, LeakChannel};
 pub use scheduler::{
     EnergyDecay, FavouredQuota, PolicySpec, PolicyState, RoundRobin, Scheduler, SchedulerSpec,

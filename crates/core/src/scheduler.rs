@@ -88,6 +88,7 @@ use rand::Rng;
 
 use dejavuzz_ift::CoveragePoint;
 
+use crate::builder::BuildError;
 use crate::corpus::Corpus;
 use crate::gen::{Seed, WindowType};
 
@@ -156,6 +157,15 @@ pub struct PlanCtx<'a> {
 /// How iteration slots are partitioned and claimed across workers, round
 /// by round. Implementations must be deterministic: a plan may depend
 /// only on the [`PlanCtx`] state, never on wall-clock or thread timing.
+///
+/// Custom implementations plug in through the extension registry
+/// ([`crate::registry::register_scheduler`] or
+/// [`crate::builder::CampaignBuilder::scheduler_ctor`]) and are selected
+/// by [`SchedulerSpec::Extension`]. A stateful custom scheduler persists
+/// whatever influences future plans through [`Scheduler::state`]; the
+/// blob is stored in campaign snapshots (format v3) and handed back to
+/// the registered constructor on resume, so custom scheduling replays
+/// bit-identically across a halt/resume boundary.
 pub trait Scheduler: std::fmt::Debug + Send {
     /// Human-readable scheduler name.
     fn name(&self) -> &'static str;
@@ -169,6 +179,13 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// Plans one round over `slots`, drawing per-slot scheduling
     /// decisions in global slot order.
     fn plan_round(&mut self, slots: Range<usize>, ctx: &mut PlanCtx<'_>) -> RoundPlan;
+
+    /// The scheduler's persistable state: an opaque blob the snapshot
+    /// stores and the extension constructor restores on resume. Stateless
+    /// schedulers (both built-ins) return an empty blob.
+    fn state(&self) -> Vec<u8> {
+        Vec::new()
+    }
 }
 
 /// The classic fixed-batch protocol (see the module docs).
@@ -238,40 +255,68 @@ impl Scheduler for WorkStealing {
 /// [`crate::executor::Orchestrator`] stores and campaign snapshots
 /// persist (resume adopts the snapshot's scheduler: it is part of the
 /// campaign's replay identity, like its seed and worker count).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// [`SchedulerSpec::Extension`] names a custom implementation registered
+/// with [`crate::registry::register_scheduler`] (or supplied directly via
+/// [`crate::builder::CampaignBuilder::scheduler_ctor`]); snapshots
+/// persist the id, so a resumed campaign rebuilds the same custom
+/// scheduler — provided the resuming process registered it too.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum SchedulerSpec {
     /// [`RoundRobin`] (the default).
     #[default]
     RoundRobin,
     /// [`WorkStealing`].
     WorkStealing,
+    /// A registered extension, by id (labelled `ext:<id>`).
+    Extension(String),
 }
 
 impl SchedulerSpec {
-    /// Parses a CLI-style scheduler name.
+    /// Parses a CLI-style scheduler name (`round`, `steal`, or
+    /// `ext:<id>` for a registered extension). Extension ids are
+    /// validated here against the registry's id rules, so a structurally
+    /// unregistrable id (empty, whitespace, embedded `:`) is diagnosed
+    /// as invalid rather than later as "not registered".
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "round" | "round-robin" => Ok(SchedulerSpec::RoundRobin),
             "steal" | "work-stealing" => Ok(SchedulerSpec::WorkStealing),
-            other => Err(format!(
-                "unknown scheduler {other:?} (expected round|steal)"
-            )),
+            other => match other.strip_prefix("ext:") {
+                Some(id) => match crate::registry::validate_id(id) {
+                    Ok(()) => Ok(SchedulerSpec::Extension(id.to_string())),
+                    Err(e) => Err(e.to_string()),
+                },
+                None => Err(format!(
+                    "unknown scheduler {other:?} (expected round|steal|ext:<id>)"
+                )),
+            },
         }
     }
 
-    /// Short CLI-facing label.
-    pub fn label(&self) -> &'static str {
+    /// Short CLI-facing label (`round`, `steal`, `ext:<id>`).
+    pub fn label(&self) -> String {
         match self {
-            SchedulerSpec::RoundRobin => "round",
-            SchedulerSpec::WorkStealing => "steal",
+            SchedulerSpec::RoundRobin => "round".into(),
+            SchedulerSpec::WorkStealing => "steal".into(),
+            SchedulerSpec::Extension(id) => format!("ext:{id}"),
         }
     }
 
-    /// Builds the scheduler instance.
-    pub fn build(&self) -> Box<dyn Scheduler> {
+    /// Builds the scheduler instance, restoring the opaque extension
+    /// state blob when resuming. Extensions resolve through the global
+    /// [`crate::registry`]; an unregistered id is a
+    /// [`BuildError::UnknownScheduler`] (the
+    /// [`crate::builder::CampaignBuilder`] reports this at build time,
+    /// before any campaign work starts).
+    pub fn build(&self, state: Option<&[u8]>) -> Result<Box<dyn Scheduler>, BuildError> {
         match self {
-            SchedulerSpec::RoundRobin => Box::new(RoundRobin),
-            SchedulerSpec::WorkStealing => Box::new(WorkStealing),
+            SchedulerSpec::RoundRobin => Ok(Box::new(RoundRobin)),
+            SchedulerSpec::WorkStealing => Ok(Box::new(WorkStealing)),
+            SchedulerSpec::Extension(id) => match crate::registry::scheduler_ctor(id) {
+                Some(ctor) => Ok(ctor(state)),
+                None => Err(BuildError::UnknownScheduler { id: id.clone() }),
+            },
         }
     }
 }
@@ -312,6 +357,10 @@ pub enum PolicyState {
         /// `(window type, picks so far)` pairs, sorted by type.
         picks: Vec<(WindowType, usize)>,
     },
+    /// A custom policy's state: an opaque blob only the registered
+    /// extension constructor can interpret. Persisted verbatim in
+    /// snapshots and handed back on resume.
+    Opaque(Vec<u8>),
 }
 
 /// The favoured lineage for one coverage point: the cheapest seed that
@@ -398,7 +447,7 @@ impl FavouredQuota {
                     picks: picks.iter().copied().collect(),
                 }
             }
-            PolicyState::Stateless => FavouredQuota::default(),
+            PolicyState::Stateless | PolicyState::Opaque(_) => FavouredQuota::default(),
         }
     }
 
@@ -515,43 +564,68 @@ impl SeedPolicy for FavouredQuota {
 }
 
 /// Cloneable seed-policy selector, mirroring [`SchedulerSpec`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum PolicySpec {
     /// [`EnergyDecay`] (the default).
     #[default]
     EnergyDecay,
     /// [`FavouredQuota`].
     FavouredQuota,
+    /// A registered extension, by id (labelled `ext:<id>`); see
+    /// [`crate::registry::register_seed_policy`].
+    Extension(String),
 }
 
 impl PolicySpec {
-    /// Parses a CLI-style policy name.
+    /// Parses a CLI-style policy name (`energy`, `favoured`, or
+    /// `ext:<id>` for a registered extension; ids are validated against
+    /// the registry's id rules, as in [`SchedulerSpec::parse`]).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "energy" | "energy-decay" => Ok(PolicySpec::EnergyDecay),
             "favoured" | "favored" | "favoured-quota" => Ok(PolicySpec::FavouredQuota),
-            other => Err(format!(
-                "unknown seed policy {other:?} (expected energy|favoured)"
-            )),
+            other => match other.strip_prefix("ext:") {
+                Some(id) => match crate::registry::validate_id(id) {
+                    Ok(()) => Ok(PolicySpec::Extension(id.to_string())),
+                    Err(e) => Err(e.to_string()),
+                },
+                None => Err(format!(
+                    "unknown seed policy {other:?} (expected energy|favoured|ext:<id>)"
+                )),
+            },
         }
     }
 
-    /// Short CLI-facing label.
-    pub fn label(&self) -> &'static str {
+    /// Short CLI-facing label (`energy`, `favoured`, `ext:<id>`).
+    pub fn label(&self) -> String {
         match self {
-            PolicySpec::EnergyDecay => "energy",
-            PolicySpec::FavouredQuota => "favoured",
+            PolicySpec::EnergyDecay => "energy".into(),
+            PolicySpec::FavouredQuota => "favoured".into(),
+            PolicySpec::Extension(id) => format!("ext:{id}"),
         }
     }
 
     /// Builds the policy, restoring persisted state when given.
-    pub fn build(&self, state: Option<&PolicyState>) -> Box<dyn SeedPolicy> {
+    /// Extensions resolve through the global [`crate::registry`] and
+    /// receive the raw blob of a [`PolicyState::Opaque`]; an unregistered
+    /// id is a [`BuildError::UnknownSeedPolicy`].
+    pub fn build(&self, state: Option<&PolicyState>) -> Result<Box<dyn SeedPolicy>, BuildError> {
         match self {
-            PolicySpec::EnergyDecay => Box::new(EnergyDecay),
-            PolicySpec::FavouredQuota => Box::new(match state {
+            PolicySpec::EnergyDecay => Ok(Box::new(EnergyDecay)),
+            PolicySpec::FavouredQuota => Ok(Box::new(match state {
                 Some(s) => FavouredQuota::from_state(s),
                 None => FavouredQuota::default(),
-            }),
+            })),
+            PolicySpec::Extension(id) => match crate::registry::seed_policy_ctor(id) {
+                Some(ctor) => {
+                    let blob = match state {
+                        Some(PolicyState::Opaque(b)) => Some(b.as_slice()),
+                        _ => None,
+                    };
+                    Ok(ctor(blob))
+                }
+                None => Err(BuildError::UnknownSeedPolicy { id: id.clone() }),
+            },
         }
     }
 }
@@ -580,6 +654,27 @@ mod tests {
             SchedulerSpec::WorkStealing
         );
         assert!(SchedulerSpec::parse("fifo").is_err());
+        assert_eq!(
+            SchedulerSpec::parse("ext:my-sched").unwrap(),
+            SchedulerSpec::Extension("my-sched".into())
+        );
+        assert!(SchedulerSpec::parse("ext:").is_err(), "empty id rejected");
+        assert!(
+            SchedulerSpec::parse("ext:a:b")
+                .unwrap_err()
+                .contains("invalid extension id"),
+            "unregistrable ids are diagnosed at parse time"
+        );
+        assert_eq!(
+            SchedulerSpec::Extension("my-sched".into()).label(),
+            "ext:my-sched"
+        );
+        assert_eq!(
+            PolicySpec::parse("ext:my-pol").unwrap(),
+            PolicySpec::Extension("my-pol".into())
+        );
+        assert!(PolicySpec::parse("ext:").is_err());
+        assert_eq!(PolicySpec::Extension("my-pol".into()).label(), "ext:my-pol");
         assert_eq!(SchedulerSpec::WorkStealing.label(), "steal");
         assert_eq!(
             PolicySpec::parse("energy").unwrap(),

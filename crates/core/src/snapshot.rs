@@ -48,12 +48,19 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DJVZSNAP";
 ///   counters), and the corpus's cached scheduling mass (so resumed
 ///   roulette draws replay bit-identically against the incrementally
 ///   maintained total).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// * **v3** — opens the closed v2 enums to the extension registry:
+///   scheduler/policy selectors gain an `Extension(id)` tag, policy
+///   state gains an opaque blob variant, and the snapshot carries the
+///   scheduler's own opaque state blob — so campaigns running
+///   *user-supplied* scheduler/policy implementations round-trip through
+///   persistence by id ([`crate::registry`] rehydrates them on resume).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Oldest snapshot version this build still reads. v1 files decode with
 /// scheduling defaults (round-robin, energy decay, stateless policy, a
 /// re-scanned energy cache) — exactly the configuration every v1
-/// campaign ran with.
+/// campaign ran with; v2 files decode with an empty scheduler state blob
+/// (no v2 scheduler had one).
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 impl Persist for WindowType {
@@ -141,16 +148,21 @@ impl Persist for Corpus {
 
 impl Persist for SchedulerSpec {
     fn encode(&self, enc: &mut Encoder) {
-        enc.u32(match self {
-            SchedulerSpec::RoundRobin => 0,
-            SchedulerSpec::WorkStealing => 1,
-        });
+        match self {
+            SchedulerSpec::RoundRobin => enc.u32(0),
+            SchedulerSpec::WorkStealing => enc.u32(1),
+            SchedulerSpec::Extension(id) => {
+                enc.u32(2);
+                enc.str(id);
+            }
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match dec.u32()? {
             0 => Ok(SchedulerSpec::RoundRobin),
             1 => Ok(SchedulerSpec::WorkStealing),
+            2 => Ok(SchedulerSpec::Extension(dec.string()?)),
             tag => Err(DecodeError::InvalidTag {
                 what: "SchedulerSpec",
                 tag,
@@ -161,16 +173,21 @@ impl Persist for SchedulerSpec {
 
 impl Persist for PolicySpec {
     fn encode(&self, enc: &mut Encoder) {
-        enc.u32(match self {
-            PolicySpec::EnergyDecay => 0,
-            PolicySpec::FavouredQuota => 1,
-        });
+        match self {
+            PolicySpec::EnergyDecay => enc.u32(0),
+            PolicySpec::FavouredQuota => enc.u32(1),
+            PolicySpec::Extension(id) => {
+                enc.u32(2);
+                enc.str(id);
+            }
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match dec.u32()? {
             0 => Ok(PolicySpec::EnergyDecay),
             1 => Ok(PolicySpec::FavouredQuota),
+            2 => Ok(PolicySpec::Extension(dec.string()?)),
             tag => Err(DecodeError::InvalidTag {
                 what: "PolicySpec",
                 tag,
@@ -204,6 +221,10 @@ impl Persist for PolicyState {
                 favours.encode(enc);
                 picks.encode(enc);
             }
+            PolicyState::Opaque(blob) => {
+                enc.u32(2);
+                enc.bytes(blob);
+            }
         }
     }
 
@@ -214,6 +235,7 @@ impl Persist for PolicyState {
                 favours: Vec::<(dejavuzz_ift::CoveragePoint, Favour)>::decode(dec)?,
                 picks: Vec::<(WindowType, usize)>::decode(dec)?,
             }),
+            2 => Ok(PolicyState::Opaque(dec.bytes()?.to_vec())),
             tag => Err(DecodeError::InvalidTag {
                 what: "PolicyState",
                 tag,
@@ -425,8 +447,14 @@ pub struct CampaignSnapshot {
     /// Per-round batch size.
     pub batch: usize,
     /// Slot scheduler the campaign ran (and must resume) with — part of
-    /// its replay identity; resume adopts it.
+    /// its replay identity; resume adopts it. Extension ids require the
+    /// resuming process to have registered the same id
+    /// ([`crate::registry`]).
     pub scheduler: SchedulerSpec,
+    /// The scheduler's opaque state blob ([`crate::scheduler::
+    /// Scheduler::state`]); empty for the stateless built-ins, handed
+    /// back to the extension constructor on resume (v3).
+    pub scheduler_state: Vec<u8>,
     /// Corpus seed policy — likewise adopted on resume.
     pub policy: PolicySpec,
     /// The policy's scheduling state beyond the corpus itself (favoured
@@ -475,6 +503,8 @@ impl Persist for CampaignSnapshot {
         self.policy.encode(enc);
         self.policy_state.encode(enc);
         enc.f64(self.corpus.energy_cache());
+        // v3 tail: the scheduler's opaque extension state.
+        enc.bytes(&self.scheduler_state);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -485,7 +515,9 @@ impl Persist for CampaignSnapshot {
 impl CampaignSnapshot {
     /// Decodes a snapshot payload of a specific format version: the v1
     /// prefix is shared, the v2 tail carries the scheduling layer (v1
-    /// files get the defaults every v1 campaign ran with).
+    /// files get the defaults every v1 campaign ran with), the v3 tail
+    /// carries the scheduler's opaque extension state (empty for v1/v2
+    /// files — no earlier scheduler had any).
     fn decode_versioned(dec: &mut Decoder<'_>, version: u32) -> Result<Self, DecodeError> {
         let mut snap = CampaignSnapshot {
             shard_id: dec.u32()?,
@@ -494,6 +526,7 @@ impl CampaignSnapshot {
             seed: dec.u64()?,
             batch: dec.usize()?,
             scheduler: SchedulerSpec::RoundRobin,
+            scheduler_state: Vec::new(),
             policy: PolicySpec::EnergyDecay,
             policy_state: PolicyState::Stateless,
             opts: FuzzerOptions::decode(dec)?,
@@ -531,6 +564,9 @@ impl CampaignSnapshot {
                 });
             }
             snap.corpus.set_energy_cache(energy);
+        }
+        if version >= 3 {
+            snap.scheduler_state = dec.bytes()?.to_vec();
         }
         if snap.workers == 0 {
             return Err(DecodeError::InvalidValue {
@@ -599,7 +635,8 @@ impl CampaignSnapshot {
     }
 }
 
-/// Why [`crate::executor::Orchestrator::resume_from`] refused a snapshot.
+/// Why [`crate::builder::CampaignBuilder::resume`] refused a snapshot
+/// (surfaced as [`crate::builder::BuildError::Resume`] at build time).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ResumeError {
     /// The snapshot was taken against a different DUT/backend.
@@ -781,6 +818,7 @@ mod tests {
             seed: 42,
             batch: 4,
             scheduler: SchedulerSpec::WorkStealing,
+            scheduler_state: vec![0xA5, 0x5A],
             policy: PolicySpec::FavouredQuota,
             policy_state: PolicyState::Favoured {
                 favours: vec![(
@@ -847,7 +885,9 @@ mod tests {
         assert_eq!(decoded.scheduler, SchedulerSpec::RoundRobin);
         assert_eq!(decoded.policy, PolicySpec::EnergyDecay);
         assert_eq!(decoded.policy_state, PolicyState::Stateless);
+        assert!(decoded.scheduler_state.is_empty());
         snap.scheduler = SchedulerSpec::RoundRobin;
+        snap.scheduler_state = Vec::new();
         snap.policy = PolicySpec::EnergyDecay;
         snap.policy_state = PolicyState::Stateless;
         assert_eq!(decoded, snap, "every v1 prefix field survives");
@@ -857,6 +897,41 @@ mod tests {
             CampaignSnapshot::from_bytes(&too_old),
             Err(DecodeError::UnsupportedVersion { found: 0, .. })
         ));
+    }
+
+    /// Version skew one step back: a v2 file (scheduling tail, no
+    /// scheduler-state blob) decodes with an empty blob and everything
+    /// else intact — the backward-load guarantee the extension registry
+    /// upgrade must not break.
+    #[test]
+    fn v2_snapshots_decode_with_an_empty_scheduler_state() {
+        let mut snap = sample_snapshot();
+        // Exactly what the v2 writer produced: prefix + v2 tail.
+        let mut enc = Encoder::new();
+        enc.u32(snap.shard_id);
+        enc.str(&snap.backend);
+        enc.usize(snap.workers);
+        enc.u64(snap.seed);
+        enc.usize(snap.batch);
+        snap.opts.encode(&mut enc);
+        enc.usize(snap.completed);
+        enc.f64(snap.gain_avg);
+        enc.usize(snap.gain_samples);
+        snap.sched_rng.encode(&mut enc);
+        snap.corpus.encode(&mut enc);
+        snap.coverage.encode(&mut enc);
+        snap.stats.encode(&mut enc);
+        snap.worker_states.encode(&mut enc);
+        snap.scheduler.encode(&mut enc);
+        snap.policy.encode(&mut enc);
+        snap.policy_state.encode(&mut enc);
+        enc.f64(snap.corpus.energy_cache());
+        let bytes = frame::seal(SNAPSHOT_MAGIC, 2, &enc.into_bytes());
+
+        let decoded = CampaignSnapshot::from_bytes(&bytes).unwrap();
+        assert!(decoded.scheduler_state.is_empty());
+        snap.scheduler_state = Vec::new();
+        assert_eq!(decoded, snap, "every v2 field survives");
     }
 
     /// A checksum-valid v2 file whose persisted energy disagrees with
@@ -870,11 +945,12 @@ mod tests {
         let honest = snap.to_bytes();
         assert_eq!(CampaignSnapshot::from_bytes(&honest).unwrap(), snap);
 
-        // Re-encode with a bogus energy tail (the f64 is the last field).
+        // Re-encode with a bogus energy (the f64 sits right before the
+        // length-prefixed v3 scheduler-state blob that ends the payload).
         let payload_start = 8 + 4 + 8 + 8; // magic + version + len + checksum
         let mut payload = honest[payload_start..].to_vec();
-        let energy_at = payload.len() - 8;
-        payload[energy_at..].copy_from_slice(&1e9f64.to_bits().to_le_bytes());
+        let energy_at = payload.len() - 8 - (8 + snap.scheduler_state.len());
+        payload[energy_at..energy_at + 8].copy_from_slice(&1e9f64.to_bits().to_le_bytes());
         let forged = frame::seal(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &payload);
         assert!(matches!(
             CampaignSnapshot::from_bytes(&forged),
@@ -887,26 +963,39 @@ mod tests {
 
     #[test]
     fn scheduling_specs_and_state_round_trip() {
-        for spec in [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing] {
+        for spec in [
+            SchedulerSpec::RoundRobin,
+            SchedulerSpec::WorkStealing,
+            SchedulerSpec::Extension("my-sched".into()),
+        ] {
             let bytes = dejavuzz_persist::to_bytes(&spec);
             assert_eq!(
                 dejavuzz_persist::from_bytes::<SchedulerSpec>(&bytes).unwrap(),
                 spec
             );
         }
-        for spec in [PolicySpec::EnergyDecay, PolicySpec::FavouredQuota] {
+        for spec in [
+            PolicySpec::EnergyDecay,
+            PolicySpec::FavouredQuota,
+            PolicySpec::Extension("my-pol".into()),
+        ] {
             let bytes = dejavuzz_persist::to_bytes(&spec);
             assert_eq!(
                 dejavuzz_persist::from_bytes::<PolicySpec>(&bytes).unwrap(),
                 spec
             );
         }
-        let state = sample_snapshot().policy_state;
-        let bytes = dejavuzz_persist::to_bytes(&state);
-        assert_eq!(
-            dejavuzz_persist::from_bytes::<PolicyState>(&bytes).unwrap(),
-            state
-        );
+        for state in [
+            sample_snapshot().policy_state,
+            PolicyState::Opaque(vec![7, 0, 7]),
+            PolicyState::Opaque(Vec::new()),
+        ] {
+            let bytes = dejavuzz_persist::to_bytes(&state);
+            assert_eq!(
+                dejavuzz_persist::from_bytes::<PolicyState>(&bytes).unwrap(),
+                state
+            );
+        }
         // Unknown tags fail structurally, never panic.
         let bad = dejavuzz_persist::to_bytes(&9u32);
         assert!(dejavuzz_persist::from_bytes::<SchedulerSpec>(&bad).is_err());

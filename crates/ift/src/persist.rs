@@ -1,7 +1,7 @@
 //! [`Persist`] wire formats for the coverage types.
 //!
 //! A [`CoveragePoint`] holds a `&'static str` module name; decoding goes
-//! through [`dejavuzz_persist::intern`] so points read back from a
+//! through [`dejavuzz_persist::intern()`] so points read back from a
 //! snapshot compare (and hash) equal to the ones a live census produces.
 //! A [`CoverageMatrix`] encodes its points *sorted*, so equal sets
 //! produce byte-identical encodings regardless of `HashSet` iteration

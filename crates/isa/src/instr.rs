@@ -349,7 +349,7 @@ impl FpOp {
 /// One RV64 instruction in structured form.
 ///
 /// `Display` renders standard assembly text (used by bug reports and the
-/// examples); [`crate::encode`] maps to and from the 32-bit encodings.
+/// examples); [`crate::encode()`] maps to and from the 32-bit encodings.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `lui rd, imm20` — `imm` is the already-shifted 32-bit-aligned value.

@@ -6,7 +6,7 @@
 //! crate provides both halves:
 //!
 //! * a structured instruction model ([`Instr`]) with *real* RISC-V
-//!   encodings ([`encode`]/[`decode`]) covering RV64IM plus the
+//!   encodings ([`encode()`]/[`decode`]) covering RV64IM plus the
 //!   double-precision floating-point operations the port-contention bugs
 //!   need (`fdiv.d` et al.), branches, jumps, loads/stores and the
 //!   exception-raising instructions (illegal opcodes, `ecall`, `ebreak`,

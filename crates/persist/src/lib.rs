@@ -18,7 +18,7 @@
 //! * [`frame`] — the snapshot envelope: magic, format version and an
 //!   FNV-1a checksum around an opaque payload, so a wrong-version or
 //!   bit-flipped file fails loudly *before* payload decoding starts.
-//! * [`intern`] — a global leak-once string pool that lets types holding
+//! * [`mod@intern`] — a global leak-once string pool that lets types holding
 //!   `&'static str` (coverage-point module names, bug-report components)
 //!   round-trip through the codec.
 //! * [`io`] — atomic write-rename saves and a [`io::LoadError`] that

@@ -3,7 +3,7 @@
 //! The paper implements diffIFT as "new passes in the Yosys synthesizer to
 //! insert taint cells for taint propagation" operating at the RTL IR level,
 //! and contrasts it with CellIFT, which "instruments at the cell level,
-//! [and] requires flattening all memory, resulting in a significantly
+//! \[and\] requires flattening all memory, resulting in a significantly
 //! increased compilation time" (Table 4: BOOM compiles in 268 s under
 //! diffIFT vs 2856 s under CellIFT; XiangShan times out after 8 h).
 //!

@@ -3,14 +3,14 @@
 //!
 //! The paper instruments the DUT "at the RTL IR level and thus supports
 //! word-level cells and non-flattened memories", whereas CellIFT
-//! "instruments at the cell level, [and] requires flattening all memory,
+//! "instruments at the cell level, \[and\] requires flattening all memory,
 //! resulting in a significantly increased compilation time" (§6.3,
 //! Table 4). This crate reproduces that asymmetry faithfully:
 //!
 //! * [`ir`] — a word-level netlist IR (combinational cells, enabled
 //!   registers, word-addressed memories, `liveness_mask` attributes),
 //! * [`builder`] — a small "Chisel-lite" construction API,
-//! * [`instrument`] — the two passes. The diffIFT pass shadows cells
+//! * [`mod@instrument`] — the two passes. The diffIFT pass shadows cells
 //!   word-for-word; the CellIFT pass first *flattens every memory* into
 //!   per-slot registers with address-decode mux trees, exactly the cost
 //!   blow-up the paper measures,

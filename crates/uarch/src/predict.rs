@@ -211,7 +211,7 @@ impl Ras {
     /// Restores a checkpoint on squash.
     ///
     /// BOOM flavour (B2): "restores the Top-Of-Stack pointer and the return
-    /// address in the top entry after mispredictions [but] does not restore
+    /// address in the top entry after mispredictions \[but\] does not restore
     /// entries below the TOS pointer."
     pub fn restore(&mut self, cp: &RasCheckpoint) {
         self.tos = cp.tos;

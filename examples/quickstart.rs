@@ -1,13 +1,40 @@
-//! Quickstart: fuzz the BOOM-like core for a handful of iterations on
-//! the shared-corpus pipeline executor and print what DejaVuzz finds.
+//! Quickstart: fuzz the BOOM-like core on the shared-corpus pipeline
+//! executor through the embedding API — `CampaignBuilder` to configure,
+//! a custom `CampaignObserver` to stream progress — and print what
+//! DejaVuzz finds.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use dejavuzz::campaign::FuzzerOptions;
-use dejavuzz::executor;
+use dejavuzz::builder::CampaignBuilder;
+use dejavuzz::observer::{BugFound, CampaignObserver, CoverageGained};
 use dejavuzz_uarch::boom_small;
+
+/// A minimal embedder-side observer: tally coverage jumps and print bug
+/// reports the moment they commit (no stdout scraping required).
+#[derive(Default)]
+struct Progress {
+    coverage_events: usize,
+}
+
+impl CampaignObserver for Progress {
+    fn coverage_gained(&mut self, ev: &CoverageGained<'_>) {
+        self.coverage_events += 1;
+        if self.coverage_events <= 3 {
+            println!(
+                "  [slot {:>2}] +{} coverage points (total {})",
+                ev.slot,
+                ev.points.len(),
+                ev.total_points
+            );
+        }
+    }
+
+    fn bug_found(&mut self, ev: &BugFound) {
+        println!("  [slot {:>2}] BUG {}", ev.slot, ev.bug);
+    }
+}
 
 fn main() {
     let iterations = 40;
@@ -17,16 +44,18 @@ fn main() {
         boom_small().name
     );
 
-    let report = executor::run(
-        boom_small(),
-        FuzzerOptions::default(),
-        workers,
-        iterations,
-        0xC0FFEE,
-    );
+    // The builder validates the whole configuration up front; defaults
+    // are the behavioural SmallBOOM backend and round-robin scheduling.
+    let orch = CampaignBuilder::new()
+        .workers(workers)
+        .seed(0xC0FFEE)
+        .build()
+        .expect("a valid campaign configuration");
+    let mut observers: Vec<Box<dyn CampaignObserver>> = vec![Box::new(Progress::default())];
+    let (report, _snapshot) = orch.run_observed(iterations, &mut observers);
     let stats = &report.stats;
 
-    println!("iterations:      {}", stats.iterations);
+    println!("\niterations:      {}", stats.iterations);
     println!("simulations:     {}", stats.sim_runs);
     println!(
         "coverage points: {} (exact union across workers)",
@@ -65,13 +94,15 @@ fn main() {
 
     // The same pipeline over a different system under test: swap the
     // simulation backend, keep everything else (see `dejavuzz::backend`).
-    let netlist = executor::run_with_backend(
-        dejavuzz::BackendSpec::netlist(dejavuzz_rtl::examples::SMALL_SCALE),
-        FuzzerOptions::default(),
-        workers,
-        iterations,
-        0xC0FFEE,
-    );
+    let netlist = CampaignBuilder::new()
+        .backend(dejavuzz::BackendSpec::netlist(
+            dejavuzz_rtl::examples::SMALL_SCALE,
+        ))
+        .workers(workers)
+        .seed(0xC0FFEE)
+        .build()
+        .expect("a valid netlist campaign")
+        .run(iterations);
     println!(
         "\nsame campaign on the netlist backend (netlist:SynthSmall): \
          {} coverage points, {} bug(s)",

@@ -24,8 +24,14 @@ use dejavuzz_uarch::boom_small;
 /// bit: bugs, exact coverage curve, per-worker observations, corpus.
 #[test]
 fn behavioural_backend_reproduces_pipeline_determinism() {
-    let legacy = executor::run(boom_small(), FuzzerOptions::default(), 2, 20, 0xD15C0);
-    let spec = executor::run_with_backend(
+    let legacy = executor::run(
+        BackendSpec::behavioural(boom_small()),
+        FuzzerOptions::default(),
+        2,
+        20,
+        0xD15C0,
+    );
+    let spec = executor::run(
         BackendSpec::behavioural(boom_small()),
         FuzzerOptions::default(),
         2,
@@ -48,9 +54,13 @@ fn behavioural_backend_reproduces_pipeline_determinism() {
         assert_eq!(a.observed.sorted_points(), b.observed.sorted_points());
     }
 
-    // The single-worker façade agrees with itself through both
-    // constructors too.
-    let old = Campaign::new(boom_small(), FuzzerOptions::default(), 9).run(10);
+    // The single-worker façade agrees with itself run over run too.
+    let old = Campaign::with_backend(
+        BackendSpec::behavioural(boom_small()),
+        FuzzerOptions::default(),
+        9,
+    )
+    .run(10);
     let new = Campaign::with_backend(
         BackendSpec::behavioural(boom_small()),
         FuzzerOptions::default(),
@@ -106,7 +116,7 @@ fn netlist_rob_entry_reproduces_figure2_split_through_phase2() {
 #[test]
 fn netlist_backend_campaign_end_to_end() {
     let spec = BackendSpec::netlist(SMALL_SCALE);
-    let a = executor::run_with_backend(spec.clone(), FuzzerOptions::default(), 2, 16, 11);
+    let a = executor::run(spec.clone(), FuzzerOptions::default(), 2, 16, 11);
     assert_eq!(a.stats.iterations, 16);
     assert_eq!(a.stats.failed_runs, 0);
     assert!(
@@ -124,7 +134,7 @@ fn netlist_backend_campaign_end_to_end() {
         "windows trigger on the netlist backend"
     );
 
-    let b = executor::run_with_backend(spec, FuzzerOptions::default(), 2, 16, 11);
+    let b = executor::run(spec, FuzzerOptions::default(), 2, 16, 11);
     assert_eq!(a.stats.coverage_curve, b.stats.coverage_curve);
     assert_eq!(a.stats.bugs, b.stats.bugs);
 }

@@ -92,7 +92,11 @@ fn pipeline_finds_meltdown_leak_end_to_end() {
 #[test]
 fn campaigns_on_both_cores_find_bugs() {
     for cfg in [boom_small(), xiangshan_minimal()] {
-        let mut campaign = Campaign::new(cfg, FuzzerOptions::default(), 0xABCD);
+        let mut campaign = Campaign::with_backend(
+            dejavuzz::BackendSpec::behavioural(cfg),
+            FuzzerOptions::default(),
+            0xABCD,
+        );
         let stats = campaign.run(40);
         assert!(
             !stats.bugs.is_empty(),
@@ -108,7 +112,11 @@ fn fixed_hardware_survives_the_same_campaign() {
     // forwarding) yields no Meltdown-class encoded leaks.
     let mut cfg = boom_small();
     cfg.bugs = dejavuzz_uarch::BugSet::NONE;
-    let mut campaign = Campaign::new(cfg, FuzzerOptions::default(), 0xABCD);
+    let mut campaign = Campaign::with_backend(
+        dejavuzz::BackendSpec::behavioural(cfg),
+        FuzzerOptions::default(),
+        0xABCD,
+    );
     let stats = campaign.run(30);
     let meltdown_encoded = stats
         .bugs
@@ -216,8 +224,18 @@ fn liveness_ablation_reclassifies_residue() {
     // §6.3: without liveness annotations, RoB/regfile residue turns into
     // reported "leaks".
     let cfg = boom_small();
-    let with = Campaign::new(cfg, FuzzerOptions::default(), 0x5151).run(25);
-    let without = Campaign::new(cfg, FuzzerOptions::no_liveness(), 0x5151).run(25);
+    let with = Campaign::with_backend(
+        dejavuzz::BackendSpec::behavioural(cfg),
+        FuzzerOptions::default(),
+        0x5151,
+    )
+    .run(25);
+    let without = Campaign::with_backend(
+        dejavuzz::BackendSpec::behavioural(cfg),
+        FuzzerOptions::no_liveness(),
+        0x5151,
+    )
+    .run(25);
     assert!(
         without.bugs.len() >= with.bugs.len(),
         "removing the filter can only add classifications: {} vs {}",

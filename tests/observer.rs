@@ -1,0 +1,299 @@
+//! Observer-stream determinism: the acceptance properties of the
+//! `CampaignObserver` event stream.
+//!
+//! * For a fixed `(seed, workers, scheduler)` the full event sequence —
+//!   kinds *and* payloads — is identical run over run, for every worker
+//!   count 1–4 and both built-in schedulers (thread timing must never
+//!   leak into events).
+//! * Across a halt/resume boundary the streams concatenate: the halted
+//!   run's events followed by the resumed run's events are exactly the
+//!   uninterrupted run's events (`campaign_finished` aside, which fires
+//!   once per run by design).
+//! * The JSON-lines telemetry rendering is byte-deterministic and every
+//!   line is well-formed JSON.
+
+use std::sync::{Arc, Mutex};
+
+use dejavuzz::backend::BackendSpec;
+use dejavuzz::builder::CampaignBuilder;
+use dejavuzz::observer::{
+    BugFound, CampaignFinished, CampaignObserver, CoverageGained, JsonLinesObserver, RoundStarted,
+    SlotCommitted, SnapshotWritten,
+};
+use dejavuzz::scheduler::SchedulerSpec;
+use dejavuzz_ift::CoveragePoint;
+use dejavuzz_uarch::boom_small;
+
+/// An owned mirror of every event payload (borrowed payloads copied
+/// out), so whole streams compare with `==`. Wall-clock is excluded on
+/// purpose: `CampaignFinished::elapsed` is the one nondeterministic
+/// field of the stream.
+#[derive(Clone, Debug, PartialEq)]
+enum Event {
+    Round(RoundStarted),
+    Slot(SlotCommitted),
+    Coverage {
+        slot: usize,
+        points: Vec<CoveragePoint>,
+        total_points: usize,
+    },
+    Bug(BugFound),
+    Snapshot {
+        iterations: usize,
+        periodic: bool,
+    },
+    Finished {
+        iterations: usize,
+        coverage: usize,
+        bugs: usize,
+        corpus_retained: usize,
+        corpus_evicted: usize,
+    },
+}
+
+/// Records the stream through a shared handle (the observer box moves
+/// into the run; the handle stays with the test).
+#[derive(Clone, Default)]
+struct Recorder(Arc<Mutex<Vec<Event>>>);
+
+impl Recorder {
+    fn events(&self) -> Vec<Event> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl CampaignObserver for Recorder {
+    fn round_started(&mut self, ev: &RoundStarted) {
+        self.0.lock().unwrap().push(Event::Round(*ev));
+    }
+    fn slot_committed(&mut self, ev: &SlotCommitted) {
+        self.0.lock().unwrap().push(Event::Slot(ev.clone()));
+    }
+    fn coverage_gained(&mut self, ev: &CoverageGained<'_>) {
+        self.0.lock().unwrap().push(Event::Coverage {
+            slot: ev.slot,
+            points: ev.points.to_vec(),
+            total_points: ev.total_points,
+        });
+    }
+    fn bug_found(&mut self, ev: &BugFound) {
+        self.0.lock().unwrap().push(Event::Bug(ev.clone()));
+    }
+    fn snapshot_written(&mut self, ev: &SnapshotWritten<'_>) {
+        self.0.lock().unwrap().push(Event::Snapshot {
+            iterations: ev.iterations,
+            periodic: ev.periodic,
+        });
+    }
+    fn campaign_finished(&mut self, ev: &CampaignFinished<'_>) {
+        self.0.lock().unwrap().push(Event::Finished {
+            iterations: ev.report.stats.iterations,
+            coverage: ev.report.stats.coverage(),
+            bugs: ev.report.stats.bugs.len(),
+            corpus_retained: ev.report.corpus_retained,
+            corpus_evicted: ev.report.corpus_evicted,
+        });
+    }
+}
+
+fn campaign(workers: usize, seed: u64, scheduler: SchedulerSpec) -> CampaignBuilder {
+    CampaignBuilder::new()
+        .backend(BackendSpec::behavioural(boom_small()))
+        .workers(workers)
+        .seed(seed)
+        .scheduler(scheduler)
+}
+
+fn record(builder: CampaignBuilder, iterations: usize) -> Vec<Event> {
+    let recorder = Recorder::default();
+    let mut observers: Vec<Box<dyn CampaignObserver>> = vec![Box::new(recorder.clone())];
+    builder
+        .build()
+        .unwrap()
+        .run_observed(iterations, &mut observers);
+    recorder.events()
+}
+
+/// The headline property: the full event sequence (kinds + payloads) is
+/// identical across repeated runs for worker counts 1–4 under both
+/// built-in schedulers — events fire on the orchestrator's deterministic
+/// commit path, so claim racing and thread timing cannot reach them.
+#[test]
+fn event_stream_is_deterministic_per_seed_and_workers() {
+    for scheduler in [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing] {
+        for workers in 1..=4 {
+            let a = record(campaign(workers, 0x0B5E, scheduler.clone()), 16);
+            let b = record(campaign(workers, 0x0B5E, scheduler.clone()), 16);
+            assert_eq!(
+                a, b,
+                "{scheduler:?} x {workers} workers: streams must be identical"
+            );
+            assert!(
+                a.iter().any(|e| matches!(e, Event::Slot(_))),
+                "slots were committed"
+            );
+            assert!(
+                a.iter().any(|e| matches!(e, Event::Coverage { .. })),
+                "coverage was gained"
+            );
+            assert!(
+                matches!(a.last(), Some(Event::Finished { .. })),
+                "the stream ends with campaign_finished"
+            );
+        }
+    }
+}
+
+/// Same seed, different worker counts: the streams must *differ* (the
+/// pool geometry is part of the replay identity) — determinism is per
+/// `(seed, workers)`, not magic seed-only reproducibility.
+#[test]
+fn event_stream_depends_on_worker_count() {
+    let one = record(campaign(1, 0x0B5E, SchedulerSpec::RoundRobin), 16);
+    let four = record(campaign(4, 0x0B5E, SchedulerSpec::RoundRobin), 16);
+    assert_ne!(one, four);
+}
+
+/// Halt/resume: the halted stream plus the resumed stream equals the
+/// uninterrupted stream (minus the per-run `campaign_finished`), and the
+/// resumed run's final event equals the uninterrupted one's — for both
+/// schedulers, through the on-disk wire format.
+#[test]
+fn event_stream_concatenates_across_a_halt_resume_boundary() {
+    const TOTAL: usize = 24;
+    let not_finished = |e: &Event| !matches!(e, Event::Finished { .. });
+    for scheduler in [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing] {
+        let base = campaign(2, 0xCAFE, scheduler.clone());
+        let full = record(base.clone(), TOTAL);
+
+        let halted_rec = Recorder::default();
+        let mut observers: Vec<Box<dyn CampaignObserver>> = vec![Box::new(halted_rec.clone())];
+        let (partial, snap) = base
+            .clone()
+            .halt_after(9)
+            .build()
+            .unwrap()
+            .run_observed(TOTAL, &mut observers);
+        assert!(partial.stats.iterations < TOTAL, "the halt must interrupt");
+        let snap = dejavuzz::snapshot::CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+
+        let resumed_rec = Recorder::default();
+        let mut observers: Vec<Box<dyn CampaignObserver>> = vec![Box::new(resumed_rec.clone())];
+        base.resume(snap)
+            .build()
+            .unwrap()
+            .run_observed(TOTAL, &mut observers);
+
+        let mut spliced: Vec<Event> = halted_rec
+            .events()
+            .into_iter()
+            .filter(not_finished)
+            .collect();
+        spliced.extend(
+            resumed_rec
+                .events()
+                .iter()
+                .filter(|e| not_finished(e))
+                .cloned(),
+        );
+        let full_body: Vec<Event> = full.iter().filter(|e| not_finished(e)).cloned().collect();
+        assert_eq!(
+            spliced, full_body,
+            "{scheduler:?}: halted + resumed events splice into the uninterrupted stream"
+        );
+        assert_eq!(
+            resumed_rec.events().last(),
+            full.last(),
+            "{scheduler:?}: the resumed finale equals the uninterrupted one"
+        );
+    }
+}
+
+/// A permissive-enough JSON well-formedness check (no serde in the build
+/// environment): balanced braces/brackets outside strings, valid string
+/// escapes, non-empty.
+fn assert_wellformed_json(line: &str) {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    assert!(line.starts_with('{'), "not an object: {line}");
+    for c in line.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced close in {line}");
+    }
+    assert!(!in_string, "unterminated string in {line}");
+    assert_eq!(depth, 0, "unbalanced braces in {line}");
+}
+
+/// The `--telemetry json` contract: one JSON object per line, every line
+/// well-formed, and the rendered bytes deterministic per
+/// `(seed, workers)`.
+#[test]
+fn json_lines_telemetry_is_wellformed_and_byte_deterministic() {
+    // The observer owns its sink, so capture bytes through a shared Vec.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let capture = || {
+        let shared = Shared::default();
+        let mut observers: Vec<Box<dyn CampaignObserver>> =
+            vec![Box::new(JsonLinesObserver::new(shared.clone()))];
+        campaign(2, 7, SchedulerSpec::WorkStealing)
+            .build()
+            .unwrap()
+            .run_observed(12, &mut observers);
+        let bytes = shared.0.lock().unwrap().clone();
+        String::from_utf8(bytes).expect("telemetry is UTF-8")
+    };
+    let a = capture();
+    let b = capture();
+    assert_eq!(a, b, "telemetry bytes are deterministic");
+    assert!(!a.is_empty());
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in a.lines() {
+        assert_wellformed_json(line);
+        let kind = line
+            .strip_prefix("{\"event\":\"")
+            .and_then(|r| r.split('"').next())
+            .expect("every line leads with its event kind");
+        kinds.insert(kind.to_string());
+    }
+    for expected in [
+        "round_started",
+        "slot_committed",
+        "coverage_gained",
+        "campaign_finished",
+    ] {
+        assert!(kinds.contains(expected), "missing {expected} in {kinds:?}");
+    }
+    assert!(
+        a.lines()
+            .last()
+            .unwrap()
+            .starts_with("{\"event\":\"campaign_finished\""),
+        "the stream ends with the finale"
+    );
+}

@@ -3,11 +3,24 @@
 //! uninterrupted one), the shard-merge union semantics, and end-to-end
 //! codec robustness against truncation/corruption/version skew.
 
+use dejavuzz::backend::BackendSpec;
+use dejavuzz::builder::CampaignBuilder;
 use dejavuzz::campaign::FuzzerOptions;
-use dejavuzz::executor::{ExecutorReport, Orchestrator};
+use dejavuzz::executor::ExecutorReport;
 use dejavuzz::snapshot::{merge_snapshots, CampaignSnapshot};
 use dejavuzz_ift::CoverageMatrix;
 use dejavuzz_uarch::boom_small;
+
+/// The shared builder baseline of this suite: behavioural BOOM with the
+/// given pool geometry; individual tests chain halt/snapshot/resume on
+/// clones.
+fn campaign(opts: FuzzerOptions, workers: usize, seed: u64) -> CampaignBuilder {
+    CampaignBuilder::new()
+        .backend(BackendSpec::behavioural(boom_small()))
+        .options(opts)
+        .workers(workers)
+        .seed(seed)
+}
 
 /// Field-by-field deep equality for executor reports (the struct has no
 /// `PartialEq` because `WorkerSummary` matrices want order-insensitive
@@ -39,11 +52,16 @@ fn assert_reports_identical(a: &ExecutorReport, b: &ExecutorReport) {
 fn resume_is_bit_identical_to_uninterrupted_run() {
     const TOTAL: usize = 24;
     for workers in [1, 3] {
-        let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), workers, 0xCAFE);
-        let full = orch.run(TOTAL);
+        let orch = campaign(FuzzerOptions::default(), workers, 0xCAFE);
+        let full = orch.clone().build().unwrap().run(TOTAL);
         let mut interrupted = 0;
         for halt in [1, 9, 14] {
-            let (partial, snap) = orch.clone().halt_after(halt).run_snapshotting(TOTAL);
+            let (partial, snap) = orch
+                .clone()
+                .halt_after(halt)
+                .build()
+                .unwrap()
+                .run_snapshotting(TOTAL);
             // halt lands on the next round boundary; boundaries past the
             // budget mean the run completed instead — resume must then be
             // an exact no-op, so the equivalence check below still bites.
@@ -57,7 +75,8 @@ fn resume_is_bit_identical_to_uninterrupted_run() {
             let snap = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
             let resumed = orch
                 .clone()
-                .resume_from(snap)
+                .resume(snap)
+                .build()
                 .expect("same backend + options")
                 .run(TOTAL);
             assert_reports_identical(&full, &resumed);
@@ -73,9 +92,9 @@ fn resume_is_bit_identical_to_uninterrupted_run() {
 /// the report is exactly the snapshot state.
 #[test]
 fn resume_past_target_reports_snapshot_state() {
-    let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 7);
-    let (report, snap) = orch.run_snapshotting(16);
-    let resumed = orch.resume_from(snap).unwrap().run(16);
+    let orch = campaign(FuzzerOptions::default(), 2, 7);
+    let (report, snap) = orch.clone().build().unwrap().run_snapshotting(16);
+    let resumed = orch.resume(snap).build().unwrap().run(16);
     assert_reports_identical(&report, &resumed);
 }
 
@@ -83,17 +102,23 @@ fn resume_past_target_reports_snapshot_state() {
 /// persistence composes across arbitrarily many restarts.
 #[test]
 fn chained_resumes_compose() {
-    let orch = Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 11);
-    let full = orch.run(24);
+    let orch = campaign(FuzzerOptions::default(), 2, 11);
+    let full = orch.clone().build().unwrap().run(24);
 
-    let (_, snap1) = orch.clone().halt_after(5).run_snapshotting(24);
+    let (_, snap1) = orch
+        .clone()
+        .halt_after(5)
+        .build()
+        .unwrap()
+        .run_snapshotting(24);
     let (_, snap2) = orch
         .clone()
-        .resume_from(snap1)
-        .unwrap()
+        .resume(snap1)
         .halt_after(17)
+        .build()
+        .unwrap()
         .run_snapshotting(24);
-    let resumed = orch.resume_from(snap2).unwrap().run(24);
+    let resumed = orch.resume(snap2).build().unwrap().run(24);
     assert_reports_identical(&full, &resumed);
 }
 
@@ -101,10 +126,15 @@ fn chained_resumes_compose() {
 /// disabled state that must survive the round trip).
 #[test]
 fn ablation_variant_resumes_identically() {
-    let orch = Orchestrator::new(boom_small(), FuzzerOptions::dejavuzz_minus(), 2, 3);
-    let full = orch.run(16);
-    let (_, snap) = orch.clone().halt_after(6).run_snapshotting(16);
-    let resumed = orch.resume_from(snap).unwrap().run(16);
+    let orch = campaign(FuzzerOptions::dejavuzz_minus(), 2, 3);
+    let full = orch.clone().build().unwrap().run(16);
+    let (_, snap) = orch
+        .clone()
+        .halt_after(6)
+        .build()
+        .unwrap()
+        .run_snapshotting(16);
+    let resumed = orch.resume(snap).build().unwrap().run(16);
     assert_reports_identical(&full, &resumed);
     assert_eq!(resumed.corpus_retained, 0, "the ablation retains nothing");
 }
@@ -116,8 +146,10 @@ fn ablation_variant_resumes_identically() {
 #[test]
 fn shard_merge_equals_exact_union_with_deduped_bugs() {
     let shard = |id: u32, seed: u64| {
-        Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, seed)
+        campaign(FuzzerOptions::default(), 2, seed)
             .shard_id(id)
+            .build()
+            .unwrap()
             .run_snapshotting(20)
     };
     let (report0, snap0) = shard(0, 101);
@@ -175,8 +207,10 @@ fn shard_merge_equals_exact_union_with_deduped_bugs() {
 /// silently wrong snapshot.
 #[test]
 fn real_snapshot_survives_hostile_bytes() {
-    let (_, snap) =
-        Orchestrator::new(boom_small(), FuzzerOptions::default(), 2, 9).run_snapshotting(12);
+    let (_, snap) = campaign(FuzzerOptions::default(), 2, 9)
+        .build()
+        .unwrap()
+        .run_snapshotting(12);
     let bytes = snap.to_bytes();
     assert_eq!(CampaignSnapshot::from_bytes(&bytes).unwrap(), snap);
 
@@ -205,12 +239,62 @@ fn real_snapshot_survives_hostile_bytes() {
 /// File-level round trip through the atomic save path.
 #[test]
 fn snapshot_files_round_trip_on_disk() {
-    let (_, snap) =
-        Orchestrator::new(boom_small(), FuzzerOptions::default(), 1, 5).run_snapshotting(8);
+    let (_, snap) = campaign(FuzzerOptions::default(), 1, 5)
+        .build()
+        .unwrap()
+        .run_snapshotting(8);
     let path =
         std::env::temp_dir().join(format!("dejavuzz-persist-e2e-{}.snap", std::process::id()));
     snap.save(&path).unwrap();
     let loaded = CampaignSnapshot::load(&path).unwrap();
     assert_eq!(loaded, snap);
     std::fs::remove_file(&path).unwrap();
+}
+
+/// Backward compatibility with v2 snapshot files: a real campaign's
+/// snapshot re-encoded exactly as the v2 writer produced it (scheduling
+/// tail, no scheduler-state blob) must load under the v3 reader and
+/// resume bit-identically to the uninterrupted run.
+#[test]
+fn v2_snapshot_files_still_load_and_resume() {
+    use dejavuzz_persist::{frame, Encoder, Persist};
+
+    const TOTAL: usize = 24;
+    let orch = campaign(FuzzerOptions::default(), 2, 0x2BAC);
+    let full = orch.clone().build().unwrap().run(TOTAL);
+    let (_, snap) = orch
+        .clone()
+        .halt_after(9)
+        .build()
+        .unwrap()
+        .run_snapshotting(TOTAL);
+    assert!(snap.completed < TOTAL, "the halt must truly interrupt");
+    assert!(snap.scheduler_state.is_empty(), "built-ins are stateless");
+
+    // Exactly the v2 wire layout: v1 prefix + v2 scheduling tail.
+    let mut enc = Encoder::new();
+    enc.u32(snap.shard_id);
+    enc.str(&snap.backend);
+    enc.usize(snap.workers);
+    enc.u64(snap.seed);
+    enc.usize(snap.batch);
+    snap.opts.encode(&mut enc);
+    enc.usize(snap.completed);
+    enc.f64(snap.gain_avg);
+    enc.usize(snap.gain_samples);
+    snap.sched_rng.encode(&mut enc);
+    snap.corpus.encode(&mut enc);
+    snap.coverage.encode(&mut enc);
+    snap.stats.encode(&mut enc);
+    snap.worker_states.encode(&mut enc);
+    snap.scheduler.encode(&mut enc);
+    snap.policy.encode(&mut enc);
+    snap.policy_state.encode(&mut enc);
+    enc.f64(snap.corpus.energy_cache());
+    let v2_bytes = frame::seal(dejavuzz::snapshot::SNAPSHOT_MAGIC, 2, &enc.into_bytes());
+
+    let loaded = CampaignSnapshot::from_bytes(&v2_bytes).unwrap();
+    assert_eq!(loaded, snap, "every v2 field survives the version skew");
+    let resumed = orch.resume(loaded).build().unwrap().run(TOTAL);
+    assert_reports_identical(&full, &resumed);
 }

@@ -2,18 +2,23 @@
 //! determinism, exact-union and façade-compatibility guarantees the
 //! refactor is specified against.
 
+use dejavuzz::backend::BackendSpec;
 use dejavuzz::campaign::{parallel_run, Campaign, FuzzerOptions};
 use dejavuzz::executor;
 use dejavuzz_ift::CoverageMatrix;
 use dejavuzz_uarch::boom_small;
+
+fn boom() -> BackendSpec {
+    BackendSpec::behavioural(boom_small())
+}
 
 /// Same seed + same worker count ⇒ identical bug set (and identical
 /// everything else that feeds it). Thread timing must not leak into
 /// results.
 #[test]
 fn executor_is_deterministic_per_seed_and_worker_count() {
-    let a = executor::run(boom_small(), FuzzerOptions::default(), 2, 20, 0xD15C0);
-    let b = executor::run(boom_small(), FuzzerOptions::default(), 2, 20, 0xD15C0);
+    let a = executor::run(boom(), FuzzerOptions::default(), 2, 20, 0xD15C0);
+    let b = executor::run(boom(), FuzzerOptions::default(), 2, 20, 0xD15C0);
     assert_eq!(a.stats.bugs, b.stats.bugs, "identical bug set");
     assert_eq!(
         a.stats.coverage_curve, b.stats.coverage_curve,
@@ -34,7 +39,7 @@ fn executor_is_deterministic_per_seed_and_worker_count() {
 /// approximated.
 #[test]
 fn parallel_coverage_is_exact_union_of_worker_observations() {
-    let report = executor::run(boom_small(), FuzzerOptions::default(), 3, 24, 42);
+    let report = executor::run(boom(), FuzzerOptions::default(), 3, 24, 42);
 
     let mut union = CoverageMatrix::new();
     let mut inflated_sum = 0;
@@ -67,7 +72,7 @@ fn parallel_coverage_is_exact_union_of_worker_observations() {
 /// oracle).
 #[test]
 fn pool_still_finds_bugs_on_vulnerable_boom() {
-    let report = executor::run(boom_small(), FuzzerOptions::default(), 4, 40, 3);
+    let report = executor::run(boom(), FuzzerOptions::default(), 4, 40, 3);
     assert!(
         !report.stats.bugs.is_empty(),
         "40 pooled iterations must surface a leak"
@@ -80,7 +85,7 @@ fn pool_still_finds_bugs_on_vulnerable_boom() {
 /// curve included (the old implementation returned an *empty* curve).
 #[test]
 fn parallel_run_facade_matches_executor() {
-    let stats = parallel_run(boom_small(), FuzzerOptions::default(), 2, 5, 77);
+    let stats = parallel_run(boom(), FuzzerOptions::default(), 2, 5, 77);
     assert_eq!(stats.iterations, 10);
     assert_eq!(
         stats.coverage_curve.len(),
@@ -91,7 +96,7 @@ fn parallel_run_facade_matches_executor() {
         stats.coverage_curve.windows(2).all(|w| w[0] <= w[1]),
         "monotone"
     );
-    let direct = executor::run(boom_small(), FuzzerOptions::default(), 2, 10, 77);
+    let direct = executor::run(boom(), FuzzerOptions::default(), 2, 10, 77);
     assert_eq!(stats.bugs, direct.stats.bugs);
     assert_eq!(stats.coverage_curve, direct.stats.coverage_curve);
 }
@@ -100,7 +105,7 @@ fn parallel_run_facade_matches_executor() {
 /// their public behaviour on top of the new pipeline internals.
 #[test]
 fn campaign_facade_keeps_public_behaviour() {
-    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 9);
+    let mut campaign = Campaign::with_backend(boom(), FuzzerOptions::default(), 9);
     let stats = campaign.run(12);
     assert_eq!(stats.iterations, 12);
     assert_eq!(stats.coverage_curve.len(), 12);
@@ -111,7 +116,7 @@ fn campaign_facade_keeps_public_behaviour() {
         FuzzerOptions::dejavuzz_minus(),
         FuzzerOptions::no_liveness(),
     ] {
-        let stats = Campaign::new(boom_small(), opts, 9).run(6);
+        let stats = Campaign::with_backend(boom(), opts, 9).run(6);
         assert_eq!(stats.iterations, 6, "ablation variants run unchanged");
     }
 }
@@ -121,11 +126,11 @@ fn campaign_facade_keeps_public_behaviour() {
 /// Figure 7's middle curve stops isolating the mutation feedback.
 #[test]
 fn dejavuzz_minus_runs_without_coverage_driven_scheduling() {
-    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::dejavuzz_minus(), 5);
+    let mut campaign = Campaign::with_backend(boom(), FuzzerOptions::dejavuzz_minus(), 5);
     campaign.run(20);
     assert!(campaign.corpus().is_empty(), "the ablation retains nothing");
 
-    let report = executor::run(boom_small(), FuzzerOptions::dejavuzz_minus(), 2, 16, 5);
+    let report = executor::run(boom(), FuzzerOptions::dejavuzz_minus(), 2, 16, 5);
     assert_eq!(report.corpus_retained, 0, "pooled ablation retains nothing");
 }
 
@@ -133,7 +138,7 @@ fn dejavuzz_minus_runs_without_coverage_driven_scheduling() {
 /// retained and rescheduled.
 #[test]
 fn campaign_retains_interesting_seeds() {
-    let mut campaign = Campaign::new(boom_small(), FuzzerOptions::default(), 5);
+    let mut campaign = Campaign::with_backend(boom(), FuzzerOptions::default(), 5);
     campaign.run(25);
     assert!(
         !campaign.corpus().is_empty(),

@@ -3,14 +3,18 @@
 //! equivalence proof obligation, steal-mode snapshot/resume, and the
 //! favoured-quota seed policy end to end.
 
-use dejavuzz::campaign::FuzzerOptions;
-use dejavuzz::executor::{ExecutorReport, Orchestrator};
+use dejavuzz::backend::BackendSpec;
+use dejavuzz::builder::CampaignBuilder;
+use dejavuzz::executor::ExecutorReport;
 use dejavuzz::scheduler::{PolicySpec, SchedulerSpec};
 use dejavuzz::snapshot::CampaignSnapshot;
 use dejavuzz_uarch::boom_small;
 
-fn orch(workers: usize, seed: u64) -> Orchestrator {
-    Orchestrator::new(boom_small(), FuzzerOptions::default(), workers, seed)
+fn orch(workers: usize, seed: u64) -> CampaignBuilder {
+    CampaignBuilder::new()
+        .backend(BackendSpec::behavioural(boom_small()))
+        .workers(workers)
+        .seed(seed)
 }
 
 /// Field-by-field deep equality for executor reports (timing fields —
@@ -44,11 +48,15 @@ fn assert_reports_identical(a: &ExecutorReport, b: &ExecutorReport) {
 fn steal_equals_round_robin_at_batch_one_across_worker_counts() {
     for workers in 1..=4 {
         let round = orch(workers, 0x5EED)
-            .batch_size(1)
-            .scheduler(SchedulerSpec::RoundRobin);
+            .batch(1)
+            .scheduler(SchedulerSpec::RoundRobin)
+            .build()
+            .unwrap();
         let steal = orch(workers, 0x5EED)
-            .batch_size(1)
-            .scheduler(SchedulerSpec::WorkStealing);
+            .batch(1)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .build()
+            .unwrap();
         let (round_report, round_snap) = round.run_snapshotting(16);
         let (steal_report, steal_snap) = steal.run_snapshotting(16);
         assert_reports_identical(&round_report, &steal_report);
@@ -73,6 +81,8 @@ fn work_stealing_is_deterministic_regardless_of_interleaving() {
         let run = || {
             orch(workers, 0xD15C0)
                 .scheduler(SchedulerSpec::WorkStealing)
+                .build()
+                .unwrap()
                 .run(24)
         };
         let a = run();
@@ -90,17 +100,24 @@ fn work_stealing_is_deterministic_regardless_of_interleaving() {
 fn steal_resume_is_bit_identical_and_batch_one_equivalence_survives_it() {
     const TOTAL: usize = 24;
     let steal = orch(2, 0xCAFE)
-        .batch_size(1)
+        .batch(1)
         .scheduler(SchedulerSpec::WorkStealing);
-    let full_steal = steal.run(TOTAL);
+    let full_steal = steal.clone().build().unwrap().run(TOTAL);
     let full_round = orch(2, 0xCAFE)
-        .batch_size(1)
+        .batch(1)
         .scheduler(SchedulerSpec::RoundRobin)
+        .build()
+        .unwrap()
         .run(TOTAL);
 
     let mut interrupted = 0;
     for halt in [1, 9, 14] {
-        let (partial, snap) = steal.clone().halt_after(halt).run_snapshotting(TOTAL);
+        let (partial, snap) = steal
+            .clone()
+            .halt_after(halt)
+            .build()
+            .unwrap()
+            .run_snapshotting(TOTAL);
         if partial.stats.iterations < TOTAL {
             interrupted += 1;
         }
@@ -109,7 +126,8 @@ fn steal_resume_is_bit_identical_and_batch_one_equivalence_survives_it() {
         assert_eq!(snap.scheduler, SchedulerSpec::WorkStealing);
         let resumed = steal
             .clone()
-            .resume_from(snap)
+            .resume(snap)
+            .build()
             .expect("same backend + options")
             .run(TOTAL);
         assert_reports_identical(&full_steal, &resumed);
@@ -126,12 +144,12 @@ fn resume_adopts_scheduler_and_policy_from_the_snapshot() {
     let steal = orch(2, 0xA207)
         .scheduler(SchedulerSpec::WorkStealing)
         .seed_policy(PolicySpec::FavouredQuota);
-    let full = steal.run(16);
-    let (_, snap) = steal.clone().halt_after(6).run_snapshotting(16);
+    let full = steal.clone().build().unwrap().run(16);
+    let (_, snap) = steal.halt_after(6).build().unwrap().run_snapshotting(16);
     assert_eq!(snap.policy, PolicySpec::FavouredQuota);
 
-    // A vanilla orchestrator — no scheduler/policy configured — resumes it.
-    let resumed = orch(2, 0xA207).resume_from(snap).unwrap().run(16);
+    // A vanilla builder — no scheduler/policy configured — resumes it.
+    let resumed = orch(2, 0xA207).resume(snap).build().unwrap().run(16);
     assert_reports_identical(&full, &resumed);
 }
 
@@ -140,23 +158,32 @@ fn resume_adopts_scheduler_and_policy_from_the_snapshot() {
 #[test]
 fn favoured_policy_campaign_is_deterministic_and_resumable() {
     let favoured = orch(2, 0xFA40).seed_policy(PolicySpec::FavouredQuota);
-    let a = favoured.run(20);
-    let b = favoured.run(20);
+    let a = favoured.clone().build().unwrap().run(20);
+    let b = favoured.clone().build().unwrap().run(20);
     assert_reports_identical(&a, &b);
     assert!(a.stats.coverage() > 0);
 
-    let (_, snap) = favoured.clone().halt_after(8).run_snapshotting(20);
+    let (_, snap) = favoured
+        .clone()
+        .halt_after(8)
+        .build()
+        .unwrap()
+        .run_snapshotting(20);
     // 8+ feedback iterations on vulnerable BOOM retain gaining seeds, so
     // the policy has favours worth persisting.
     let snap = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
-    let resumed = favoured.clone().resume_from(snap).unwrap().run(20);
+    let resumed = favoured.resume(snap).build().unwrap().run(20);
     assert_reports_identical(&a, &resumed);
 
     // And the two policies genuinely schedule differently: the corpus
     // retention trajectory is a campaign result, so any divergence shows
     // up as differing stats (they share the seed, so identical stats
     // would mean the policy had no effect at all).
-    let energy = orch(2, 0xFA40).seed_policy(PolicySpec::EnergyDecay).run(20);
+    let energy = orch(2, 0xFA40)
+        .seed_policy(PolicySpec::EnergyDecay)
+        .build()
+        .unwrap()
+        .run(20);
     assert!(
         energy.stats != a.stats || energy.corpus_retained != a.corpus_retained,
         "favoured-quota scheduling must actually change the campaign"
@@ -171,6 +198,8 @@ fn steal_with_favoured_policy_is_deterministic() {
         orch(3, 0xB007)
             .scheduler(SchedulerSpec::WorkStealing)
             .seed_policy(PolicySpec::FavouredQuota)
+            .build()
+            .unwrap()
             .run(18)
     };
     let a = run();
@@ -190,7 +219,9 @@ fn snapshot_rotation_keeps_a_bounded_resumable_trail() {
     let o = orch(2, 0x4074)
         .snapshot_path(&path)
         .snapshot_every(1)
-        .snapshot_keep(2);
+        .snapshot_keep(2)
+        .build()
+        .unwrap();
     let report = o.run(32);
     assert_eq!(report.stats.iterations, 32);
 
@@ -217,7 +248,7 @@ fn snapshot_rotation_keeps_a_bounded_resumable_trail() {
     // A kept rotation resumes exactly like any other checkpoint.
     let mid = CampaignSnapshot::load(&dir.join("camp.snap.24")).unwrap();
     assert_eq!(mid.completed, 24);
-    let resumed = orch(2, 0x4074).resume_from(mid).unwrap().run(32);
+    let resumed = orch(2, 0x4074).resume(mid).build().unwrap().run(32);
     assert_reports_identical(&report, &resumed);
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -230,7 +261,7 @@ fn snapshot_rotation_keeps_a_bounded_resumable_trail() {
 #[test]
 fn scheduling_model_bounds_hold() {
     for spec in [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing] {
-        let r = orch(3, 1).scheduler(spec).run(18);
+        let r = orch(3, 1).scheduler(spec.clone()).build().unwrap().run(18);
         assert!(r.busy_nanos > 0, "{spec:?}: iterations were timed");
         assert!(r.modelled_makespan_nanos > 0);
         assert!(
