@@ -14,7 +14,7 @@
 //! runner where wall clock is work-bound either way.
 
 use dejavuzz::SchedulerSpec;
-use dejavuzz_bench::{arg_or, throughput_json, throughput_sample};
+use dejavuzz_bench::{arg_or, throughput_json, throughput_sample_lagged};
 use dejavuzz_rtl::examples::SMALL_SCALE;
 use dejavuzz_uarch::boom_small;
 
@@ -34,22 +34,32 @@ fn main() {
         dejavuzz::BackendSpec::behavioural(boom_small()),
         dejavuzz::BackendSpec::netlist(SMALL_SCALE),
     ];
-    let schedulers = [SchedulerSpec::RoundRobin, SchedulerSpec::WorkStealing];
+    // Barriered round-robin and steal, plus the cross-round steal
+    // pipeline (every lag >= 1 computes identical results, so one lag
+    // row captures the pipelined makespan/idle numbers).
+    let configs = [
+        (SchedulerSpec::RoundRobin, 0usize),
+        (SchedulerSpec::WorkStealing, 0),
+        (SchedulerSpec::WorkStealing, 1),
+    ];
 
     let mut samples = Vec::new();
     for backend in &backends {
-        for scheduler in &schedulers {
-            let s = throughput_sample(backend, scheduler.clone(), workers, iters, seed);
+        for (scheduler, lag) in &configs {
+            let s =
+                throughput_sample_lagged(backend, scheduler.clone(), workers, iters, seed, *lag);
             eprintln!(
-                "{:<24} {:<6} {} workers: {:>8.1} seeds/s wall, {:>8.1} seeds/s modelled \
-                 ({:.3}s busy over {:.3}s modelled makespan)",
+                "{:<24} {:<6} lag {} {} workers: {:>8.1} seeds/s wall, {:>8.1} seeds/s modelled \
+                 ({:.3}s busy over {:.3}s modelled makespan, {:.3}s barrier idle)",
                 s.backend,
                 s.scheduler,
+                s.pipeline_lag,
                 s.workers,
                 s.seeds_per_sec,
                 s.modelled_seeds_per_sec,
                 s.busy.as_secs_f64(),
                 s.modelled_makespan.as_secs_f64(),
+                s.barrier_idle_nanos as f64 / 1e9,
             );
             samples.push(s);
         }

@@ -551,6 +551,14 @@ pub struct ThroughputSample {
     pub modelled_seeds_per_sec: f64,
     /// Sum of per-iteration busy time across workers.
     pub busy: Duration,
+    /// Cross-round pipeline feedback lag (0 = barriered rounds).
+    pub pipeline_lag: usize,
+    /// Modelled worker-time the pool spent idle at round barriers
+    /// (`workers x makespan - busy`) — the number pipelining attacks.
+    pub barrier_idle_nanos: u64,
+    /// Time spent building per-slot coverage views (the overlay-vs-clone
+    /// comparison number: overlays keep this flat as coverage grows).
+    pub view_setup_nanos: u64,
 }
 
 /// Runs one campaign under the given backend × scheduler and measures it.
@@ -561,12 +569,26 @@ pub fn throughput_sample(
     iterations: usize,
     seed: u64,
 ) -> ThroughputSample {
+    throughput_sample_lagged(backend, scheduler, workers, iterations, seed, 0)
+}
+
+/// [`throughput_sample`] with a cross-round pipeline feedback lag
+/// (requires a queue-planning scheduler when `lag > 0`).
+pub fn throughput_sample_lagged(
+    backend: &dejavuzz::BackendSpec,
+    scheduler: dejavuzz::SchedulerSpec,
+    workers: usize,
+    iterations: usize,
+    seed: u64,
+    lag: usize,
+) -> ThroughputSample {
     let start = Instant::now();
     let report = dejavuzz::CampaignBuilder::new()
         .backend(backend.clone())
         .workers(workers)
         .seed(seed)
         .scheduler(scheduler.clone())
+        .pipeline_lag(lag)
         .build()
         .expect("a valid bench configuration")
         .run(iterations);
@@ -583,6 +605,9 @@ pub fn throughput_sample(
         modelled_makespan: modelled,
         modelled_seeds_per_sec: iterations as f64 / modelled.as_secs_f64().max(1e-9),
         busy: Duration::from_nanos(report.busy_nanos),
+        pipeline_lag: lag,
+        barrier_idle_nanos: report.barrier_idle_nanos,
+        view_setup_nanos: report.view_setup_nanos,
     }
 }
 
@@ -601,18 +626,23 @@ pub fn throughput_json(samples: &[ThroughputSample]) -> String {
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"backend\": {}, \"scheduler\": {}, \"workers\": {}, \
-             \"iterations\": {}, \"wall_seconds\": {:.6}, \"seeds_per_sec\": {:.2}, \
+             \"iterations\": {}, \"pipeline_lag\": {}, \"wall_seconds\": {:.6}, \
+             \"seeds_per_sec\": {:.2}, \
              \"modelled_makespan_seconds\": {:.6}, \"modelled_seeds_per_sec\": {:.2}, \
-             \"busy_seconds\": {:.6}}}{}\n",
+             \"busy_seconds\": {:.6}, \"barrier_idle_nanos\": {}, \
+             \"view_setup_nanos\": {}}}{}\n",
             json_str(&s.backend),
             json_str(&s.scheduler),
             s.workers,
             s.iterations,
+            s.pipeline_lag,
             s.wall.as_secs_f64(),
             s.seeds_per_sec,
             s.modelled_makespan.as_secs_f64(),
             s.modelled_seeds_per_sec,
             s.busy.as_secs_f64(),
+            s.barrier_idle_nanos,
+            s.view_setup_nanos,
             if i + 1 < samples.len() { "," } else { "" },
         ));
     }

@@ -76,7 +76,14 @@ fn main() {
              \u{20}                        (default) or AFL-style favoured culling with\n\
              \u{20}                        per-window-type quotas\n\
              --batch N               iteration slots per worker per round (default 4;\n\
-             \u{20}                        at --batch 1 both schedulers are bit-identical)\n\n\
+             \u{20}                        at --batch 1 both schedulers are bit-identical)\n\
+             --pipeline-lag N        cross-round steal pipeline (default 0 = barriered\n\
+             \u{20}                        rounds, byte-identical to the classic steal\n\
+             \u{20}                        mode). Any N >= 1 pre-draws the next round\n\
+             \u{20}                        from feedback lagging one round behind, so\n\
+             \u{20}                        stragglers never idle the pool; results are\n\
+             \u{20}                        identical per (seed, workers, batch, lag) and\n\
+             \u{20}                        for every lag >= 1. Requires --scheduler steal\n\n\
              checkpointing & sharding (see EXPERIMENTS.md):\n\
              --snapshot PATH         write campaign checkpoints to PATH (atomic\n\
              \u{20}                        write-rename; always written at run end)\n\
@@ -140,6 +147,7 @@ fn main() {
         Ok(p) => p,
         Err(e) => die(format_args!("{e}")),
     };
+    let pipeline_lag = arg(&args, "--pipeline-lag", 0usize);
     let shard = arg(&args, "--shard", 0u32);
     let snapshot_path = opt_arg::<String>(&args, "--snapshot");
     let snapshot_every = arg(&args, "--snapshot-every", 0usize);
@@ -209,9 +217,21 @@ fn main() {
                 snap.batch
             );
         }
+        if explicit("--pipeline-lag") && pipeline_lag != snap.pipeline_lag {
+            eprintln!(
+                "dejavuzz-fuzz: warning: --pipeline-lag {pipeline_lag} ignored; resume \
+                 adopts the snapshot's pipeline lag ({})",
+                snap.pipeline_lag
+            );
+        }
     } else if scheduler != SchedulerSpec::RoundRobin || policy != PolicySpec::EnergyDecay {
+        let lag_note = if pipeline_lag > 0 {
+            format!(", pipeline lag {pipeline_lag}")
+        } else {
+            String::new()
+        };
         eprintln!(
-            "dejavuzz-fuzz: scheduler {}, seed policy {}",
+            "dejavuzz-fuzz: scheduler {}, seed policy {}{lag_note}",
             scheduler.label(),
             policy.label()
         );
@@ -223,6 +243,7 @@ fn main() {
         .workers(workers)
         .seed(seed)
         .batch(batch)
+        .pipeline_lag(pipeline_lag)
         .scheduler(scheduler)
         .seed_policy(policy)
         .shard_id(shard)

@@ -93,6 +93,14 @@ pub enum BuildError {
         /// The unresolvable id.
         id: String,
     },
+    /// Cross-round pipelining (`pipeline_lag > 0`) was requested under a
+    /// scheduler that does not promise queue-shaped plans
+    /// ([`Scheduler::supports_pipelining`] is false) — the orchestrator
+    /// cannot pre-draw a round it cannot represent as independent slots.
+    PipelineLagUnsupported {
+        /// The offending scheduler's label (`SchedulerSpec::label`).
+        scheduler: String,
+    },
     /// A supplied extension id is unusable (empty, non-ASCII, contains
     /// `:`), wrapping the registry's diagnosis.
     InvalidExtensionId(registry::RegistryError),
@@ -118,6 +126,13 @@ impl fmt::Display for BuildError {
             }
             BuildError::UnknownBackend { id } => {
                 write!(f, "no backend extension registered under id {id:?}")
+            }
+            BuildError::PipelineLagUnsupported { scheduler } => {
+                write!(
+                    f,
+                    "pipeline lag requires a queue-planning scheduler, \
+                     but {scheduler:?} does not support pipelining"
+                )
             }
             BuildError::InvalidExtensionId(e) => write!(f, "{e}"),
             BuildError::Resume(e) => write!(f, "cannot resume: {e}"),
@@ -150,6 +165,7 @@ pub struct CampaignBuilder {
     workers: usize,
     seed: u64,
     batch: Option<usize>,
+    pipeline_lag: usize,
     scheduler: SchedulerSpec,
     policy: PolicySpec,
     corpus_capacity: usize,
@@ -177,6 +193,7 @@ impl CampaignBuilder {
             workers: 1,
             seed: 0,
             batch: None,
+            pipeline_lag: 0,
             scheduler: SchedulerSpec::default(),
             policy: PolicySpec::default(),
             corpus_capacity: crate::corpus::DEFAULT_CAPACITY,
@@ -243,6 +260,22 @@ impl CampaignBuilder {
     /// the [`crate::scheduler`] docs).
     pub fn batch(mut self, batch: usize) -> Self {
         self.batch = Some(batch);
+        self
+    }
+
+    /// Feedback lag of the cross-round steal pipeline (default 0 =
+    /// barriered rounds, the exact historical behaviour). Any `lag >= 1`
+    /// lets the orchestrator pre-draw the next round while the current
+    /// one's stragglers finish: round `k` is planned from the state
+    /// committed through round `k - 2`, killing the end-of-round barrier
+    /// idle. Requires a scheduler whose
+    /// [`Scheduler::supports_pipelining`] is true (the built-in
+    /// [`SchedulerSpec::WorkStealing`]); anything else is a
+    /// [`BuildError::PipelineLagUnsupported`]. Part of the campaign's
+    /// replay identity: results are identical per `(seed, workers,
+    /// batch, lag)`, and every `lag >= 1` yields the same results.
+    pub fn pipeline_lag(mut self, lag: usize) -> Self {
+        self.pipeline_lag = lag;
         self
     }
 
@@ -416,6 +449,7 @@ impl CampaignBuilder {
             self.shard_id = snap.shard_id;
             self.scheduler = snap.scheduler.clone();
             self.policy = snap.policy.clone();
+            self.pipeline_lag = snap.pipeline_lag;
         }
         if self.workers == 0 {
             return Err(BuildError::ZeroWorkers);
@@ -457,6 +491,23 @@ impl CampaignBuilder {
             ),
             _ => None,
         };
+        if self.pipeline_lag > 0 {
+            // Probe an instance: pipelining needs the scheduler's promise
+            // that every plan is queue-shaped (independent pre-drawn
+            // slots), and extensions can only answer from an instance.
+            let probe = match &scheduler_ctor {
+                Some(ctor) => ctor(None),
+                None => self
+                    .scheduler
+                    .build(None)
+                    .expect("built-in scheduler specs build infallibly"),
+            };
+            if !probe.supports_pipelining() {
+                return Err(BuildError::PipelineLagUnsupported {
+                    scheduler: self.scheduler.label(),
+                });
+            }
+        }
         Ok(Orchestrator {
             backend: self.backend,
             backend_ctor,
@@ -464,6 +515,7 @@ impl CampaignBuilder {
             workers: self.workers,
             seed: self.seed,
             batch,
+            pipeline_lag: self.pipeline_lag,
             scheduler: self.scheduler,
             scheduler_ctor,
             policy: self.policy,
@@ -556,6 +608,51 @@ mod tests {
             err.to_string(),
             "no backend extension registered under id \"nope-be\""
         );
+    }
+
+    /// The pipelining gate: any positive lag under a scheduler that
+    /// plans per-worker batches (round-robin, the default) is refused
+    /// with a pinned message, while the queue-planning built-in accepts
+    /// every lag.
+    #[test]
+    fn pipeline_lag_under_a_batch_scheduler_is_a_build_error() {
+        let err = base().pipeline_lag(2).build().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::PipelineLagUnsupported {
+                scheduler: "round".into()
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "pipeline lag requires a queue-planning scheduler, \
+             but \"round\" does not support pipelining"
+        );
+        for lag in [1, 2, usize::MAX] {
+            assert!(base()
+                .scheduler(SchedulerSpec::WorkStealing)
+                .pipeline_lag(lag)
+                .build()
+                .is_ok());
+        }
+        // Lag 0 is "pipelining off" and valid under every scheduler.
+        assert!(base().pipeline_lag(0).build().is_ok());
+    }
+
+    /// The pipeline lag is replay identity, so a resume adopts the
+    /// snapshot's lag over whatever the builder was configured with.
+    #[test]
+    fn resume_adopts_the_snapshot_pipeline_lag() {
+        let (_, snap) = base()
+            .workers(2)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .pipeline_lag(3)
+            .build()
+            .unwrap()
+            .run_snapshotting(8);
+        assert_eq!(snap.pipeline_lag, 3);
+        let orch = base().resume(snap).build().unwrap();
+        assert_eq!(orch.pipeline_lag, 3, "snapshot lag overrides the default");
     }
 
     #[test]

@@ -305,7 +305,7 @@ impl Campaign {
             self.backend.as_mut(),
             &self.opts,
             slot,
-            scheduled,
+            scheduled.as_ref(),
             &mut self.rng,
             &mut self.coverage,
             None, // the view IS the only matrix — no separate accounting

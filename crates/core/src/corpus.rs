@@ -15,6 +15,22 @@
 //! single-worker [`crate::Campaign`] and the multi-worker
 //! [`crate::executor`] (which schedules centrally from the orchestrator)
 //! are both exactly reproducible.
+//!
+//! # Plan-time vs. commit-time reads under the cross-round pipeline
+//!
+//! Energies (and the retained-entry set) are read at **plan time** —
+//! when a scheduler pre-draws a round's slots — and written at **commit
+//! time**, when outcomes retire in slot order. Under the barriered
+//! executor the two coincide at every round boundary. Under the
+//! cross-round steal pipeline (`pipeline_lag >= 1`) they deliberately do
+//! not: round `k` is planned after round `k-1` has fully committed but
+//! while round `k`'s predecessor may still be executing elsewhere in the
+//! pipe, so every energy read a plan makes is *exactly one round* of
+//! feedback behind execution — never a torn or interleaving-dependent
+//! view. That lag-consistency is what keeps pipelined campaigns
+//! deterministic per `(seed, workers, batch, lag)`: the corpus state a
+//! plan observes is a pure function of committed rounds, not of worker
+//! timing.
 
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -80,6 +80,8 @@
 //! [`crate::builder::CampaignBuilder::halt_after`] stops gracefully at
 //! the next round boundary, emulating a planned interruption.
 
+use std::borrow::Cow;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -91,7 +93,10 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dejavuzz_ift::{CoverageMatrix, CoveragePoint, IftMode, RecordingCoverage, SharedCoverage};
+use dejavuzz_ift::{
+    CoverageMatrix, CoveragePoint, CoverageView, IftMode, OverlayCoverage, RecordingCoverage,
+    SharedCoverage,
+};
 
 use crate::backend::{BackendSpec, SimBackend};
 use crate::builder::CampaignBuilder;
@@ -108,7 +113,7 @@ use crate::scheduler::{
     PlanCtx, PlannedSlot, PolicySpec, PolicyState, RoundPlan, Scheduler, SchedulerSpec, SeedPolicy,
     SlotFeedback,
 };
-use crate::snapshot::{CampaignSnapshot, WorkerState};
+use crate::snapshot::{CampaignSnapshot, PendingRound, WorkerState};
 
 /// Iteration slots shipped to a worker per round. Large enough to
 /// amortise the channel round-trip, small enough that corpus feedback and
@@ -145,6 +150,10 @@ pub(crate) struct IterationOutcome {
     /// Wall-clock the iteration took, for scheduling models and
     /// throughput reporting only — never fed back into decisions.
     pub elapsed_nanos: u64,
+    /// Wall-clock spent building this slot's coverage view (the overlay
+    /// construction in steal mode; zero for batch rounds, whose workers
+    /// reuse their long-lived view). Reporting only, like `elapsed_nanos`.
+    pub view_setup_nanos: u64,
     /// The executed seed (after fresh generation and window mutations).
     pub seed: Seed,
     pub window_type: WindowType,
@@ -192,31 +201,72 @@ fn round_makespan(outcomes: &[IterationOutcome], workers: usize, stealing: bool)
     clocks.into_iter().max().unwrap_or(0)
 }
 
+/// Models the pipelined run's wall-clock on `workers` dedicated cores:
+/// per-core clocks persist across rounds (no barrier), and a round's slots
+/// are gated only on the modelled finish of the round two behind it (when
+/// its dispatch happened). Compare [`round_makespan`], which resets the
+/// clocks — i.e. barriers — every round.
+///
+/// Two invariants the scheduling-model tests rely on carry over: every
+/// greedy start time is bounded by the current maximum clock (the gate is
+/// itself an earlier clock value), so the makespan never exceeds the
+/// serial sum of costs; and `workers x makespan >= busy` since each core's
+/// clock bounds its own work.
+fn pipelined_makespan(round_costs: &[Vec<u64>], workers: usize) -> u64 {
+    let mut clocks = vec![0u64; workers];
+    let mut finishes: Vec<u64> = Vec::with_capacity(round_costs.len());
+    for (k, costs) in round_costs.iter().enumerate() {
+        // Round k was dispatched the moment round k-2 fully committed
+        // (the first two rounds are dispatched at start of run).
+        let gate = if k >= 2 { finishes[k - 2] } else { 0 };
+        let mut round_finish = 0u64;
+        for &cost in costs {
+            let core = (0..workers)
+                .min_by_key(|&w| clocks[w])
+                .expect("workers >= 1");
+            clocks[core] = clocks[core].max(gate) + cost;
+            round_finish = round_finish.max(clocks[core]);
+        }
+        finishes.push(round_finish);
+    }
+    clocks.into_iter().max().unwrap_or(0)
+}
+
 /// One three-phase pipeline iteration. Shared by [`Worker`] and the
 /// single-worker [`crate::Campaign`] façade. Dyn-dispatched on the
 /// backend: one virtual call per *simulation*, noise against the
 /// simulation itself (measured by the `backends` Criterion group).
 #[allow(clippy::too_many_arguments)] // the iteration's full context, spelled out
-pub(crate) fn run_iteration(
+pub(crate) fn run_iteration<V: CoverageView>(
     backend: &mut dyn SimBackend,
     opts: &FuzzerOptions,
     slot: usize,
-    scheduled: Option<Seed>,
+    scheduled: Option<&Seed>,
     rng: &mut StdRng,
-    view: &mut CoverageMatrix,
+    view: &mut V,
     mut observed: Option<&mut CoverageMatrix>,
     shared: Option<&SharedCoverage>,
     gain: &mut GainAverage,
 ) -> IterationOutcome {
-    let mut seed = scheduled.unwrap_or_else(|| {
-        let window_type = WindowType::ALL[rng.gen_range(0..WindowType::ALL.len())];
-        Seed::new(window_type, rng.gen())
-    });
+    // A scheduled seed is borrowed for as long as it stays unmutated, so
+    // the per-slot clone that used to sit in this hot path is gone: the
+    // outcome takes ownership exactly once, at whichever return point it
+    // leaves through.
+    let mut seed: Cow<'_, Seed> = match scheduled {
+        Some(s) => Cow::Borrowed(s),
+        None => {
+            let window_type = WindowType::ALL[rng.gen_range(0..WindowType::ALL.len())];
+            Cow::Owned(Seed::new(window_type, rng.gen()))
+        }
+    };
     let mut out = IterationOutcome {
         slot,
         stream: 0,
         elapsed_nanos: 0,
-        seed: seed.clone(),
+        view_setup_nanos: 0,
+        // Placeholder until a return point takes ownership of the real
+        // seed (the corpus policy reads it back from every outcome).
+        seed: Seed::new(seed.window_type, 0),
         window_type: seed.window_type,
         triggered: false,
         to: 0,
@@ -235,11 +285,13 @@ pub(crate) fn run_iteration(
         Ok(p1) => p1,
         Err(e) => {
             out.error = Some(e.to_string());
+            out.seed = seed.into_owned();
             return out;
         }
     };
     out.sim_runs += p1.sim_runs;
     if !p1.triggered {
+        out.seed = seed.into_owned();
         return out;
     }
     out.triggered = true;
@@ -262,6 +314,7 @@ pub(crate) fn run_iteration(
             Ok(p2) => p2,
             Err(e) => {
                 out.error = Some(e.to_string());
+                out.seed = seed.into_owned();
                 return out;
             }
         };
@@ -281,11 +334,11 @@ pub(crate) fn run_iteration(
             break;
         }
         if attempt < opts.mutation_attempts {
-            seed = seed.mutate();
+            seed = Cow::Owned(seed.mutate());
         }
     }
     let p2 = best.expect("at least one phase-2 attempt ran");
-    out.seed = seed;
+    out.seed = seed.into_owned();
 
     // Phase 3 only for cases that accessed and propagated the secret.
     if p2.taints_increased || opts.phases.mode == IftMode::Base {
@@ -326,6 +379,92 @@ pub(crate) fn fold_outcome(stats: &mut CampaignStats, o: &IterationOutcome) {
     }
 }
 
+/// Commits one outcome into the session, in global slot order: threshold,
+/// corpus, curve, worker mirrors and observer events all update
+/// deterministically regardless of arrival or claim order. Shared by the
+/// barriered and pipelined orchestrator loops — the commit semantics are
+/// identical, only the moment of commit differs.
+#[allow(clippy::too_many_arguments)] // the commit's full context, spelled out
+fn commit_outcome(
+    s: &mut Session,
+    point_log: &mut Vec<CoveragePoint>,
+    busy_nanos: &mut u64,
+    view_setup_nanos: &mut u64,
+    feedback: bool,
+    o: IterationOutcome,
+    observers: &mut [Box<dyn CampaignObserver>],
+) {
+    *busy_nanos += o.elapsed_nanos;
+    *view_setup_nanos += o.view_setup_nanos;
+    s.worker_iterations[o.stream] += 1;
+    for p in &o.observed_fresh {
+        s.worker_observed[o.stream].insert(*p);
+    }
+    let bugs_before = s.stats.bugs.len();
+    fold_outcome(&mut s.stats, &o);
+    for g in &o.gains {
+        s.gain.push(*g);
+    }
+    let mut global_fresh = Vec::new();
+    for p in &o.fresh_points {
+        if s.global.insert(*p) {
+            point_log.push(*p);
+            global_fresh.push(*p);
+        }
+    }
+    s.stats.coverage_curve.push(s.global.points());
+    if feedback {
+        s.policy.record(
+            &mut s.corpus,
+            &SlotFeedback {
+                seed: &o.seed,
+                window_type: o.window_type,
+                gain: o.final_gain,
+                global_fresh: &global_fresh,
+                cost: o.to as u64,
+            },
+        );
+    }
+    if !observers.is_empty() {
+        let total_points = s.global.points();
+        let slot_ev = SlotCommitted {
+            slot: o.slot,
+            stream: o.stream,
+            window_type: o.window_type,
+            triggered: o.triggered,
+            to: o.to,
+            eto: o.eto,
+            sim_runs: o.sim_runs,
+            final_gain: o.final_gain,
+            fresh_points: global_fresh.len(),
+            total_points,
+            error: o.error.clone(),
+        };
+        for obs in observers.iter_mut() {
+            obs.slot_committed(&slot_ev);
+        }
+        if !global_fresh.is_empty() {
+            let cov_ev = CoverageGained {
+                slot: o.slot,
+                points: &global_fresh,
+                total_points,
+            };
+            for obs in observers.iter_mut() {
+                obs.coverage_gained(&cov_ev);
+            }
+        }
+        for bug in &s.stats.bugs[bugs_before..] {
+            let bug_ev = BugFound {
+                slot: o.slot,
+                bug: bug.clone(),
+            };
+            for obs in observers.iter_mut() {
+                obs.bug_found(&bug_ev);
+            }
+        }
+    }
+}
+
 /// A round's worth of fixed-batch work for one worker
 /// ([`crate::scheduler::RoundPlan::Batches`]).
 struct WorkBatch {
@@ -353,6 +492,11 @@ struct StealRound {
     samples: usize,
     /// Globally fresh points discovered since this worker's last round.
     delta: Vec<CoveragePoint>,
+    /// Pipelined dispatch: ship each outcome the moment it finishes (one
+    /// [`RoundReply`] per slot) instead of batching the round's results,
+    /// so the orchestrator can commit a contiguous prefix and pre-draw
+    /// the next round while stragglers are still running.
+    streamed: bool,
 }
 
 enum ToWorker {
@@ -403,11 +547,14 @@ impl Worker {
         while let Ok(msg) = rx.recv() {
             let reply = match msg {
                 ToWorker::Stop => return,
-                ToWorker::Batch(b) => self.run_batch(b),
-                ToWorker::Steal(r) => self.run_steal(r),
+                ToWorker::Batch(b) => Some(self.run_batch(b)),
+                // Streamed steal rounds send per-slot replies themselves.
+                ToWorker::Steal(r) => self.run_steal(r, &tx),
             };
-            if tx.send(reply).is_err() {
-                return; // orchestrator went away
+            if let Some(reply) = reply {
+                if tx.send(reply).is_err() {
+                    return; // orchestrator went away
+                }
             }
         }
     }
@@ -433,7 +580,7 @@ impl Worker {
                 self.backend.as_mut(),
                 &self.opts,
                 item.slot,
-                item.scheduled,
+                item.scheduled.as_ref(),
                 &mut self.rng,
                 &mut self.view,
                 Some(&mut self.observed),
@@ -452,22 +599,40 @@ impl Worker {
     }
 
     /// One work-stealing round: claim pre-drawn slots from the shared
-    /// queue until it drains. Every slot runs against a private copy of
-    /// the round-start view and a per-slot gain threshold, so its
+    /// queue until it drains. Every slot runs against a private view of
+    /// the round-start state and a per-slot gain threshold, so its
     /// outcome is independent of what any concurrent slot — on this
     /// worker or another — is doing (see the `scheduler` module docs for
     /// the determinism argument).
-    fn run_steal(&mut self, round: StealRound) -> RoundReply {
+    ///
+    /// The per-slot view used to be a full `CoverageMatrix` clone — an
+    /// O(coverage-space) setup cost per slot. The round-start view is now
+    /// frozen once into an `Arc` base and each slot gets an
+    /// [`OverlayCoverage`] over it, costing O(points that slot finds).
+    /// The freeze is free: `mem::take` out, `Arc::try_unwrap` back in
+    /// (no slot view outlives the loop).
+    ///
+    /// When `round.streamed` each outcome is sent on `tx` as its own
+    /// single-slot [`RoundReply`] and the return is `None`; otherwise the
+    /// classic one-reply-per-round barrier protocol applies.
+    fn run_steal(
+        &mut self,
+        round: StealRound,
+        tx: &mpsc::Sender<RoundReply>,
+    ) -> Option<RoundReply> {
         for p in &round.delta {
             self.view.insert(*p);
         }
+        let base = Arc::new(std::mem::take(&mut self.view));
         let mut outcomes = Vec::new();
         loop {
             let claim = round.queue.next.fetch_add(1, Ordering::Relaxed);
             let Some(item) = round.queue.slots.get(claim) else {
                 break;
             };
-            let mut slot_view = self.view.clone();
+            let setup = Instant::now();
+            let mut slot_view = OverlayCoverage::new(Arc::clone(&base));
+            let view_setup_nanos = setup.elapsed().as_nanos() as u64;
             // A fresh per-slot observed matrix: `observed_fresh` then
             // carries the slot's full distinct point set, which the
             // orchestrator replays into the *logical* stream's mirror
@@ -483,7 +648,7 @@ impl Worker {
                 self.backend.as_mut(),
                 &self.opts,
                 item.slot,
-                Some(item.seed.clone()),
+                Some(&item.seed),
                 &mut self.rng, // never drawn from: the seed is pre-drawn
                 &mut slot_view,
                 Some(&mut slot_observed),
@@ -492,13 +657,31 @@ impl Worker {
             );
             out.stream = item.stream;
             out.elapsed_nanos = start.elapsed().as_nanos() as u64;
-            outcomes.push(out);
+            out.view_setup_nanos = view_setup_nanos;
+            if round.streamed {
+                if tx
+                    .send(RoundReply {
+                        worker: self.id,
+                        outcomes: vec![out],
+                        rng: None,
+                    })
+                    .is_err()
+                {
+                    break; // orchestrator went away; stop claiming
+                }
+            } else {
+                outcomes.push(out);
+            }
         }
-        RoundReply {
+        self.view = Arc::try_unwrap(base).unwrap_or_else(|a| (*a).clone());
+        if round.streamed {
+            return None;
+        }
+        Some(RoundReply {
             worker: self.id,
             outcomes,
             rng: None,
-        }
+        })
     }
 }
 
@@ -525,10 +708,21 @@ pub struct ExecutorReport {
     /// Modelled wall-clock of the run on `workers` dedicated cores: per
     /// round, the makespan of the scheduler's slot distribution over the
     /// measured per-slot costs (fixed chunks for round robin, greedy
-    /// claim order for work stealing). Machine-load-independent — this is
-    /// the number the scheduler comparison benches report, since on an
-    /// oversubscribed host the wall clock cannot show barrier idling.
+    /// claim order for work stealing; with pipelining, rounds overlap —
+    /// round k's slots are gated only on round k-2's modelled finish).
+    /// Machine-load-independent — this is the number the scheduler
+    /// comparison benches report, since on an oversubscribed host the
+    /// wall clock cannot show barrier idling.
     pub modelled_makespan_nanos: u64,
+    /// Modelled core-idle time: `workers x modelled_makespan - busy`.
+    /// Under barriered rounds this is dominated by workers waiting at the
+    /// round barrier for the straggler slot; the cross-round pipeline
+    /// exists to drive it towards zero.
+    pub barrier_idle_nanos: u64,
+    /// Total wall-clock spent constructing per-slot coverage views (the
+    /// steal-mode overlay setup). With the two-level view this stays
+    /// O(points found), independent of total coverage-space size.
+    pub view_setup_nanos: u64,
 }
 
 /// The orchestrator's mutable mid-run state: everything a
@@ -562,6 +756,7 @@ pub struct Orchestrator {
     pub(crate) workers: usize,
     pub(crate) seed: u64,
     pub(crate) batch: usize,
+    pub(crate) pipeline_lag: usize,
     pub(crate) scheduler: SchedulerSpec,
     pub(crate) scheduler_ctor: Option<SchedulerCtor>,
     pub(crate) policy: PolicySpec,
@@ -583,6 +778,7 @@ impl fmt::Debug for Orchestrator {
             .field("workers", &self.workers)
             .field("seed", &self.seed)
             .field("batch", &self.batch)
+            .field("pipeline_lag", &self.pipeline_lag)
             .field("scheduler", &self.scheduler)
             .field("policy", &self.policy)
             .field("shard_id", &self.shard_id)
@@ -688,14 +884,20 @@ impl Orchestrator {
         }
     }
 
-    /// Captures the session at a round boundary.
-    fn snapshot_of(&self, s: &Session) -> CampaignSnapshot {
+    /// Captures the session at a commit boundary. `pending` is the
+    /// pipelined round already dispatched but not yet committed (if any):
+    /// it ships with the snapshot so a resume re-dispatches exactly the
+    /// same pre-drawn plan instead of re-planning (which would double-draw
+    /// the scheduler RNG and double-decay the corpus).
+    fn snapshot_of(&self, s: &Session, pending: Option<PendingRound>) -> CampaignSnapshot {
         CampaignSnapshot {
             shard_id: self.shard_id,
             backend: self.backend.label(),
             workers: self.workers,
             seed: self.seed,
             batch: self.batch,
+            pipeline_lag: self.pipeline_lag,
+            pending,
             scheduler: self.scheduler.clone(),
             scheduler_state: s.scheduler.state(),
             policy: self.policy.clone(),
@@ -727,13 +929,14 @@ impl Orchestrator {
     fn write_checkpoint(
         &self,
         s: &Session,
+        pending: Option<PendingRound>,
         periodic: bool,
         observers: &mut [Box<dyn CampaignObserver>],
     ) {
         let Some(path) = &self.snapshot_path else {
             return;
         };
-        let snap = self.snapshot_of(s);
+        let snap = self.snapshot_of(s, pending);
         let rotate = periodic && self.snapshot_keep > 0;
         let target = if rotate {
             dejavuzz_persist::rotated_path(path, snap.completed as u64)
@@ -797,6 +1000,11 @@ impl Orchestrator {
         iterations: usize,
         observers: &mut [Box<dyn CampaignObserver>],
     ) -> (ExecutorReport, CampaignSnapshot) {
+        if self.pipeline_lag > 0 {
+            // Pipelining on: the cross-round steal pipeline. The builder
+            // guarantees the scheduler supports it.
+            return self.run_pipelined(iterations, observers);
+        }
         let run_start = Instant::now();
         let (mut s, start) = self.session();
 
@@ -839,6 +1047,7 @@ impl Orchestrator {
         let halt = self.halt_after.unwrap_or(usize::MAX);
         let feedback = self.opts.coverage_feedback;
         let mut busy_nanos = 0u64;
+        let mut view_setup_nanos = 0u64;
         let mut makespan_nanos = 0u64;
 
         let mut next_slot = start;
@@ -865,6 +1074,7 @@ impl Orchestrator {
                     worker_rngs,
                     workers: self.workers,
                     batch: self.batch,
+                    lag: 0,
                 };
                 scheduler.plan_round(next_slot..next_slot + span, &mut ctx)
             };
@@ -913,6 +1123,7 @@ impl Orchestrator {
                                 avg: s.gain.avg,
                                 samples: s.gain.samples,
                                 delta,
+                                streamed: false,
                             }))
                             .expect("worker hung up mid-run");
                         expected += 1;
@@ -934,79 +1145,20 @@ impl Orchestrator {
             outcomes.sort_by_key(|o| o.slot);
             makespan_nanos += round_makespan(&outcomes, self.workers, stealing);
             for o in outcomes {
-                busy_nanos += o.elapsed_nanos;
-                s.worker_iterations[o.stream] += 1;
-                for p in &o.observed_fresh {
-                    s.worker_observed[o.stream].insert(*p);
-                }
-                let bugs_before = s.stats.bugs.len();
-                fold_outcome(&mut s.stats, &o);
-                for g in &o.gains {
-                    s.gain.push(*g);
-                }
-                let mut global_fresh = Vec::new();
-                for p in &o.fresh_points {
-                    if s.global.insert(*p) {
-                        point_log.push(*p);
-                        global_fresh.push(*p);
-                    }
-                }
-                s.stats.coverage_curve.push(s.global.points());
-                if feedback {
-                    s.policy.record(
-                        &mut s.corpus,
-                        &SlotFeedback {
-                            seed: &o.seed,
-                            window_type: o.window_type,
-                            gain: o.final_gain,
-                            global_fresh: &global_fresh,
-                            cost: o.to as u64,
-                        },
-                    );
-                }
-                if !observers.is_empty() {
-                    let total_points = s.global.points();
-                    let slot_ev = SlotCommitted {
-                        slot: o.slot,
-                        stream: o.stream,
-                        window_type: o.window_type,
-                        triggered: o.triggered,
-                        to: o.to,
-                        eto: o.eto,
-                        sim_runs: o.sim_runs,
-                        final_gain: o.final_gain,
-                        fresh_points: global_fresh.len(),
-                        total_points,
-                        error: o.error.clone(),
-                    };
-                    for obs in observers.iter_mut() {
-                        obs.slot_committed(&slot_ev);
-                    }
-                    if !global_fresh.is_empty() {
-                        let cov_ev = CoverageGained {
-                            slot: o.slot,
-                            points: &global_fresh,
-                            total_points,
-                        };
-                        for obs in observers.iter_mut() {
-                            obs.coverage_gained(&cov_ev);
-                        }
-                    }
-                    for bug in &s.stats.bugs[bugs_before..] {
-                        let bug_ev = BugFound {
-                            slot: o.slot,
-                            bug: bug.clone(),
-                        };
-                        for obs in observers.iter_mut() {
-                            obs.bug_found(&bug_ev);
-                        }
-                    }
-                }
+                commit_outcome(
+                    &mut s,
+                    &mut point_log,
+                    &mut busy_nanos,
+                    &mut view_setup_nanos,
+                    feedback,
+                    o,
+                    observers,
+                );
             }
 
             rounds += 1;
             if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
-                self.write_checkpoint(&s, true, observers);
+                self.write_checkpoint(&s, None, true, observers);
             }
         }
 
@@ -1019,8 +1171,8 @@ impl Orchestrator {
 
         // Always leave a final checkpoint behind: a halted run's snapshot
         // is exactly what `--resume` continues from.
-        self.write_checkpoint(&s, false, observers);
-        let snapshot = self.snapshot_of(&s);
+        self.write_checkpoint(&s, None, false, observers);
+        let snapshot = self.snapshot_of(&s, None);
 
         debug_assert_eq!(shared.points(), s.global.points(), "both unions must agree");
         let workers = (0..self.workers)
@@ -1039,6 +1191,342 @@ impl Orchestrator {
             corpus_evicted: s.corpus.evicted(),
             busy_nanos,
             modelled_makespan_nanos: makespan_nanos,
+            barrier_idle_nanos: (self.workers as u64 * makespan_nanos).saturating_sub(busy_nanos),
+            view_setup_nanos,
+        };
+        let finished = CampaignFinished {
+            report: &report,
+            elapsed: run_start.elapsed(),
+        };
+        for obs in observers.iter_mut() {
+            obs.campaign_finished(&finished);
+        }
+        (report, snapshot)
+    }
+
+    /// The cross-round steal pipeline (`pipeline_lag >= 1`): the
+    /// orchestrator keeps **two** rounds in flight. Workers stream every
+    /// outcome the moment it finishes; the orchestrator commits the
+    /// contiguous slot prefix, and at the instant round k is fully
+    /// committed it plans and dispatches round k+2 — while round k+1's
+    /// stragglers are still running. No worker ever waits at a barrier:
+    /// the next round's queue is already sitting in its channel when it
+    /// drains the current one.
+    ///
+    /// The feedback-lag contract: round k's slots are planned from (and
+    /// their views broadcast) the committed coverage/corpus/threshold
+    /// state as of the end of round k-2 — one round of lag, against the
+    /// barriered mode's zero. Every `lag >= 1` behaves identically: the
+    /// pipeline is depth-quantized at one round, the minimum that removes
+    /// the barrier, so deeper requested lags are satisfied a fortiori
+    /// (`lag == 0` is pipelining off and runs the byte-identical
+    /// barriered path). Results remain a pure function of
+    /// `(seed, workers, lag)`: commit order is slot order, plans are
+    /// drawn from committed state only, and claim interleavings never
+    /// leak (asserted by `tests/scheduler.rs`).
+    ///
+    /// Checkpoints land at commit boundaries with the in-flight round's
+    /// pre-drawn plan attached ([`PendingRound`]), so a resume
+    /// re-dispatches exactly that plan and splices bit-identically
+    /// (asserted by `tests/persist.rs`).
+    fn run_pipelined(
+        &self,
+        iterations: usize,
+        observers: &mut [Box<dyn CampaignObserver>],
+    ) -> (ExecutorReport, CampaignSnapshot) {
+        let run_start = Instant::now();
+        let (mut s, start) = self.session();
+        let resumed_pending = self.resume.as_ref().and_then(|snap| snap.pending.clone());
+
+        // The live concurrent union starts from the restored global so
+        // the cross-check invariant (shared == canonical) spans resumes.
+        // Write-only from the workers' perspective, so over-seeding it
+        // with points the pending round has not observed yet is harmless.
+        let shared = Arc::new(SharedCoverage::default());
+        for p in s.global.iter() {
+            shared.observe_point(*p);
+        }
+
+        // When a pending round is in flight, worker views must match
+        // their state at its dispatch: the snapshot coverage *minus* the
+        // points committed after that dispatch (`view_behind`), which are
+        // instead replayed through the broadcast log below.
+        let mut spawn_view = s.global.clone();
+        if let Some(p) = &resumed_pending {
+            for point in &p.view_behind {
+                spawn_view.remove(point);
+            }
+        }
+
+        let (from_tx, from_rx) = mpsc::channel();
+        let mut to_workers = Vec::with_capacity(self.workers);
+        let mut handles = Vec::with_capacity(self.workers);
+        for id in 0..self.workers {
+            let (to_tx, to_rx) = mpsc::channel();
+            let worker = Worker {
+                id,
+                backend: self.build_backend(),
+                opts: self.opts,
+                rng: StdRng::from_raw_state(s.worker_rngs[id]),
+                view: spawn_view.clone(),
+                observed: s.worker_observed[id].clone(),
+                shared: Arc::clone(&shared),
+            };
+            let from_tx = from_tx.clone();
+            handles.push(thread::spawn(move || worker.run(to_rx, from_tx)));
+            to_workers.push(to_tx);
+        }
+        drop(from_tx);
+
+        // Append-only log of globally fresh points; per-worker cursors
+        // into it drive the dispatch-time view broadcasts. On a resume
+        // with a pending round it is pre-seeded with `view_behind` and
+        // the cursors stay at zero: the pending round itself re-ships
+        // with an empty delta (its views were already current at its
+        // original dispatch), while the *next* planned round picks the
+        // seeded points up — exactly the delta the uninterrupted run
+        // broadcast at that boundary.
+        let mut point_log: Vec<CoveragePoint> = resumed_pending
+            .as_ref()
+            .map(|p| p.view_behind.clone())
+            .unwrap_or_default();
+        let mut synced = vec![0usize; self.workers];
+        let halt = self.halt_after.unwrap_or(usize::MAX);
+        let feedback = self.opts.coverage_feedback;
+        let mut busy_nanos = 0u64;
+        let mut view_setup_nanos = 0u64;
+
+        /// One dispatched-but-not-fully-committed round.
+        struct InFlight {
+            first_slot: usize,
+            len: usize,
+            avg: f64,
+            samples: usize,
+            slots: Vec<PlannedSlot>,
+            /// `point_log` length at dispatch: the suffix from here is
+            /// what a checkpoint must record as `view_behind`.
+            log_mark: usize,
+        }
+
+        /// The snapshot form of an in-flight round.
+        fn to_pending(f: &InFlight, point_log: &[CoveragePoint]) -> PendingRound {
+            PendingRound {
+                first_slot: f.first_slot,
+                slots: f.slots.clone(),
+                avg: f.avg,
+                samples: f.samples,
+                view_behind: point_log[f.log_mark..].to_vec(),
+            }
+        }
+
+        let mut next_slot = start;
+        let mut rounds = 0usize;
+        let mut in_flight: VecDeque<InFlight> = VecDeque::new();
+        // Modelled per-slot costs of each round, in commit order, for the
+        // pipelined makespan model below.
+        let mut round_costs: Vec<Vec<u64>> = Vec::new();
+        let mut current_costs: Vec<u64> = Vec::new();
+
+        // Re-dispatch the resumed pending round verbatim: same pre-drawn
+        // slots, same dispatch-time gain threshold, empty view delta.
+        if let Some(p) = resumed_pending {
+            let queue = Arc::new(StealQueue {
+                slots: p.slots.clone(),
+                next: AtomicUsize::new(0),
+            });
+            let round_ev = RoundStarted {
+                first_slot: p.first_slot,
+                slots: p.slots.len(),
+                gain_threshold_samples: p.samples,
+            };
+            for obs in observers.iter_mut() {
+                obs.round_started(&round_ev);
+            }
+            for to_worker in &to_workers {
+                to_worker
+                    .send(ToWorker::Steal(StealRound {
+                        queue: Arc::clone(&queue),
+                        avg: p.avg,
+                        samples: p.samples,
+                        delta: Vec::new(),
+                        streamed: true,
+                    }))
+                    .expect("worker hung up mid-run");
+            }
+            debug_assert_eq!(p.first_slot, next_slot, "pending resumes at the frontier");
+            next_slot = p.first_slot + p.slots.len();
+            in_flight.push_back(InFlight {
+                first_slot: p.first_slot,
+                len: p.slots.len(),
+                avg: p.avg,
+                samples: p.samples,
+                slots: p.slots,
+                log_mark: point_log.len(),
+            });
+        }
+
+        // Plans and dispatches the round starting at the frontier from
+        // the current committed state. Macro rather than closure: it
+        // borrows half the locals mutably.
+        macro_rules! dispatch_next {
+            () => {{
+                let span = s
+                    .scheduler
+                    .round_span(self.workers, self.batch, iterations - next_slot);
+                let plan = {
+                    let Session {
+                        scheduler,
+                        corpus,
+                        policy,
+                        sched_rng,
+                        worker_rngs,
+                        ..
+                    } = &mut s;
+                    let mut ctx = PlanCtx {
+                        corpus,
+                        policy: policy.as_mut(),
+                        sched_rng,
+                        worker_rngs,
+                        workers: self.workers,
+                        batch: self.batch,
+                        lag: self.pipeline_lag,
+                    };
+                    scheduler.plan_round(next_slot..next_slot + span, &mut ctx)
+                };
+                let RoundPlan::Queue(slots) = plan else {
+                    unreachable!(
+                        "pipelining requires a queue-planning scheduler (enforced at build)"
+                    )
+                };
+                let round_ev = RoundStarted {
+                    first_slot: next_slot,
+                    slots: span,
+                    gain_threshold_samples: s.gain.samples,
+                };
+                for obs in observers.iter_mut() {
+                    obs.round_started(&round_ev);
+                }
+                let queue = Arc::new(StealQueue {
+                    slots: slots.clone(),
+                    next: AtomicUsize::new(0),
+                });
+                for (w, to_worker) in to_workers.iter().enumerate() {
+                    let delta = point_log[synced[w]..].to_vec();
+                    synced[w] = point_log.len();
+                    to_worker
+                        .send(ToWorker::Steal(StealRound {
+                            queue: Arc::clone(&queue),
+                            avg: s.gain.avg,
+                            samples: s.gain.samples,
+                            delta,
+                            streamed: true,
+                        }))
+                        .expect("worker hung up mid-run");
+                }
+                in_flight.push_back(InFlight {
+                    first_slot: next_slot,
+                    len: span,
+                    avg: s.gain.avg,
+                    samples: s.gain.samples,
+                    slots,
+                    log_mark: point_log.len(),
+                });
+                next_slot += span;
+            }};
+        }
+
+        // Fill the pipeline: two rounds in flight from the word go (both
+        // planned from the same start-of-run committed state, in order).
+        while in_flight.len() < 2 && next_slot < iterations {
+            dispatch_next!();
+        }
+
+        let mut buffered: BTreeMap<usize, IterationOutcome> = BTreeMap::new();
+        let mut committed_through = start;
+        let mut halted = false;
+        while let Some(front) = in_flight.front() {
+            let end_of_front = front.first_slot + front.len;
+            // Commit the front round to completion; outcomes from the
+            // round behind it buffer until the boundary actions ran.
+            while committed_through < end_of_front {
+                if let Some(o) = buffered.remove(&committed_through) {
+                    current_costs.push(o.elapsed_nanos);
+                    commit_outcome(
+                        &mut s,
+                        &mut point_log,
+                        &mut busy_nanos,
+                        &mut view_setup_nanos,
+                        feedback,
+                        o,
+                        observers,
+                    );
+                    committed_through += 1;
+                    continue;
+                }
+                let reply: RoundReply = from_rx.recv().expect("worker hung up mid-run");
+                debug_assert!(reply.rng.is_none(), "steal workers never draw");
+                for o in reply.outcomes {
+                    buffered.insert(o.slot, o);
+                }
+            }
+
+            // Boundary: the front round is fully committed, in order.
+            in_flight.pop_front();
+            round_costs.push(std::mem::take(&mut current_costs));
+            rounds += 1;
+            if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
+                let pending = in_flight.front().map(|f| to_pending(f, &point_log));
+                self.write_checkpoint(&s, pending, true, observers);
+            }
+            if s.stats.iterations >= halt {
+                halted = true;
+                break;
+            }
+            if next_slot < iterations {
+                dispatch_next!();
+            }
+        }
+
+        for to_worker in &to_workers {
+            let _ = to_worker.send(ToWorker::Stop);
+        }
+        if halted {
+            // Discard the in-flight round's outcomes: its pre-drawn plan
+            // rides in the snapshot and a resume re-executes it
+            // deterministically. Drain the channel so workers never block
+            // on a full buffer (unbounded channels never do, but be
+            // explicit about intent: these results are dropped).
+            while from_rx.try_recv().is_ok() {}
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+
+        let pending = in_flight.front().map(|f| to_pending(f, &point_log));
+        // Always leave a final checkpoint behind: a halted run's snapshot
+        // is exactly what `--resume` continues from.
+        self.write_checkpoint(&s, pending.clone(), false, observers);
+        let snapshot = self.snapshot_of(&s, pending);
+
+        let makespan_nanos = pipelined_makespan(&round_costs, self.workers);
+        let workers = (0..self.workers)
+            .map(|i| WorkerSummary {
+                worker: i,
+                iterations: s.worker_iterations[i],
+                observed: s.worker_observed[i].clone(),
+            })
+            .collect();
+        let report = ExecutorReport {
+            stats: s.stats,
+            coverage: s.global,
+            shared_points: shared.points(),
+            workers,
+            corpus_retained: s.corpus.retained(),
+            corpus_evicted: s.corpus.evicted(),
+            busy_nanos,
+            modelled_makespan_nanos: makespan_nanos,
+            barrier_idle_nanos: (self.workers as u64 * makespan_nanos).saturating_sub(busy_nanos),
+            view_setup_nanos,
         };
         let finished = CampaignFinished {
             report: &report,

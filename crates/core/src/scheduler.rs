@@ -62,6 +62,24 @@
 //! once a worker's earlier in-batch observation would have changed a
 //! later slot's measured gain.
 //!
+//! # Cross-round pipelining
+//!
+//! [`WorkStealing`]'s pre-drawn rounds admit a stronger schedule: since
+//! every slot of a round reads only round-start state, the orchestrator
+//! can plan and dispatch round k+2 the moment round k's last slot
+//! *commits* — while round k+1's stragglers are still running — instead
+//! of idling every worker at a barrier. The price is an explicit,
+//! deterministic **feedback lag**: a pipelined round is planned from (and
+//! its view broadcasts carry) the committed coverage/corpus/threshold
+//! state as of one round behind the frontier, rather than the immediately
+//! preceding round. `--pipeline-lag 0` (the default) keeps the barriered
+//! protocol byte-identically; any `lag >= 1` selects the depth-one
+//! pipeline (the minimum that removes the barrier — deeper requested lags
+//! are satisfied a fortiori and all behave identically). Results remain a
+//! pure function of `(seed, workers, lag)`; [`Scheduler::supports_pipelining`]
+//! gates which schedulers may opt in, and [`PlanCtx::lag`] tells a plan
+//! how stale its feedback may be.
+//!
 //! # Seed policies
 //!
 //! * [`EnergyDecay`] — the extracted legacy behaviour: energy-weighted
@@ -152,6 +170,16 @@ pub struct PlanCtx<'a> {
     pub workers: usize,
     /// Per-worker batch size.
     pub batch: usize,
+    /// The feedback lag this plan may rely on, in slots: `0` means the
+    /// plan observes state committed through the immediately preceding
+    /// round (barriered rounds); a positive lag means the orchestrator is
+    /// pipelining and the plan observes coverage/corpus/threshold state
+    /// that trails the frontier by up to one round (see the module docs'
+    /// pipelining section). Informational for the built-ins — they draw
+    /// from whatever committed state the context holds — but lag-aware
+    /// extensions may use it to, e.g., widen exploration under stale
+    /// feedback.
+    pub lag: usize,
 }
 
 /// How iteration slots are partitioned and claimed across workers, round
@@ -185,6 +213,19 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// schedulers (both built-ins) return an empty blob.
     fn state(&self) -> Vec<u8> {
         Vec::new()
+    }
+
+    /// Whether this scheduler's plans tolerate the cross-round pipeline
+    /// (`--pipeline-lag >= 1`): the orchestrator pre-draws round k+2 the
+    /// moment round k commits, so a plan must consist of mutually
+    /// independent pre-drawn slots ([`RoundPlan::Queue`]) whose outcomes
+    /// commit in slot order regardless of claim timing. Returning `true`
+    /// is a promise that `plan_round` always produces queue-shaped plans;
+    /// batch-shaped schedulers (chained worker state assumes a barrier)
+    /// must keep the default `false`, which makes the builder reject the
+    /// lag with a structured error.
+    fn supports_pipelining(&self) -> bool {
+        false
     }
 }
 
@@ -223,6 +264,10 @@ pub struct WorkStealing;
 impl Scheduler for WorkStealing {
     fn name(&self) -> &'static str {
         "work-stealing"
+    }
+
+    fn supports_pipelining(&self) -> bool {
+        true // every plan is a queue of mutually independent slots
     }
 
     fn plan_round(&mut self, slots: Range<usize>, ctx: &mut PlanCtx<'_>) -> RoundPlan {
@@ -723,6 +768,7 @@ mod tests {
             worker_rngs: &mut worker_rngs,
             workers: 2,
             batch: 3,
+            lag: 0,
         };
         let RoundPlan::Batches(batches) = RoundRobin.plan_round(10..15, &mut ctx) else {
             panic!("round robin plans batches");
@@ -755,6 +801,7 @@ mod tests {
             worker_rngs: &mut worker_rngs,
             workers: 2,
             batch: 2,
+            lag: 0,
         };
         let RoundPlan::Queue(queue) = WorkStealing.plan_round(0..4, &mut ctx) else {
             panic!("work stealing plans a queue");
@@ -775,6 +822,15 @@ mod tests {
         }
         assert_eq!(worker_rngs[0], expect.state(), "stream mirror advanced");
         assert_ne!(worker_rngs[1], stream1, "second stream advanced too");
+    }
+
+    #[test]
+    fn only_queue_planning_schedulers_support_pipelining() {
+        assert!(WorkStealing.supports_pipelining());
+        assert!(
+            !RoundRobin.supports_pipelining(),
+            "chained batch state assumes a barrier"
+        );
     }
 
     #[test]

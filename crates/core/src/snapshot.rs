@@ -34,7 +34,7 @@ use crate::corpus::{Corpus, CorpusEntry};
 use crate::gen::{Seed, WindowType};
 use crate::phases::PhaseOptions;
 use crate::report::{AttackType, BugReport, LeakChannel};
-use crate::scheduler::{Favour, PolicySpec, PolicyState, SchedulerSpec};
+use crate::scheduler::{Favour, PlannedSlot, PolicySpec, PolicyState, SchedulerSpec};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DJVZSNAP";
@@ -54,13 +54,23 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DJVZSNAP";
 ///   scheduler's own opaque state blob — so campaigns running
 ///   *user-supplied* scheduler/policy implementations round-trip through
 ///   persistence by id ([`crate::registry`] rehydrates them on resume).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// * **v4** — the cross-round steal pipeline: the configured
+///   `pipeline_lag` plus, when a checkpoint lands while a pipelined
+///   round is still in flight, that round's pre-drawn plan and the
+///   coverage points committed since its dispatch ([`PendingRound`]) —
+///   enough for a resume to re-dispatch it verbatim and splice
+///   bit-identically instead of re-planning (which would double-draw the
+///   scheduler RNG and double-decay the corpus). Barriered campaigns
+///   write `lag = 0` and no pending round, so their v4 files carry nine
+///   extra bytes and decode exactly as before.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Oldest snapshot version this build still reads. v1 files decode with
 /// scheduling defaults (round-robin, energy decay, stateless policy, a
 /// re-scanned energy cache) — exactly the configuration every v1
 /// campaign ran with; v2 files decode with an empty scheduler state blob
-/// (no v2 scheduler had one).
+/// (no v2 scheduler had one); v1–v3 files all decode with pipelining off
+/// and no pending round (no earlier campaign pipelined).
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 impl Persist for WindowType {
@@ -429,6 +439,64 @@ impl Persist for WorkerState {
     }
 }
 
+impl Persist for PlannedSlot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.slot);
+        enc.usize(self.stream);
+        self.seed.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PlannedSlot {
+            slot: dec.usize()?,
+            stream: dec.usize()?,
+            seed: Seed::decode(dec)?,
+        })
+    }
+}
+
+/// A pipelined round that was dispatched but not fully committed when the
+/// checkpoint landed (format v4): its pre-drawn plan, the gain threshold
+/// it was dispatched with, and the coverage points committed *after* its
+/// dispatch (`view_behind`) — the delta the resumed orchestrator replays
+/// into the broadcast log so worker views and the next plan see exactly
+/// the state the uninterrupted run saw.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingRound {
+    /// First global slot index of the round (always the snapshot's
+    /// `completed` frontier).
+    pub first_slot: usize,
+    /// The round's pre-drawn slots, in slot order.
+    pub slots: Vec<PlannedSlot>,
+    /// Gain-threshold average at the round's dispatch.
+    pub avg: f64,
+    /// Gain-threshold sample count at the round's dispatch.
+    pub samples: usize,
+    /// Globally fresh points committed since the round's dispatch, in
+    /// commit order.
+    pub view_behind: Vec<dejavuzz_ift::CoveragePoint>,
+}
+
+impl Persist for PendingRound {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.first_slot);
+        self.slots.encode(enc);
+        enc.f64(self.avg);
+        enc.usize(self.samples);
+        self.view_behind.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PendingRound {
+            first_slot: dec.usize()?,
+            slots: Vec::<PlannedSlot>::decode(dec)?,
+            avg: dec.f64()?,
+            samples: dec.usize()?,
+            view_behind: Vec::<dejavuzz_ift::CoveragePoint>::decode(dec)?,
+        })
+    }
+}
+
 /// The complete persisted state of a fuzzing campaign at a round
 /// boundary. See the module docs for the resume-equivalence contract.
 #[derive(Clone, Debug, PartialEq)]
@@ -480,6 +548,12 @@ pub struct CampaignSnapshot {
     pub stats: CampaignStats,
     /// Per-worker stream state, indexed by worker id.
     pub worker_states: Vec<WorkerState>,
+    /// Cross-round pipeline depth the campaign ran (and must resume)
+    /// with: 0 = barriered rounds, >= 1 = the depth-one steal pipeline
+    /// (v4; part of the replay identity like the scheduler).
+    pub pipeline_lag: usize,
+    /// The in-flight pipelined round at checkpoint time, if any (v4).
+    pub pending: Option<PendingRound>,
 }
 
 impl Persist for CampaignSnapshot {
@@ -505,6 +579,9 @@ impl Persist for CampaignSnapshot {
         enc.f64(self.corpus.energy_cache());
         // v3 tail: the scheduler's opaque extension state.
         enc.bytes(&self.scheduler_state);
+        // v4 tail: the cross-round pipeline.
+        enc.usize(self.pipeline_lag);
+        self.pending.encode(enc);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -517,7 +594,9 @@ impl CampaignSnapshot {
     /// prefix is shared, the v2 tail carries the scheduling layer (v1
     /// files get the defaults every v1 campaign ran with), the v3 tail
     /// carries the scheduler's opaque extension state (empty for v1/v2
-    /// files — no earlier scheduler had any).
+    /// files — no earlier scheduler had any), the v4 tail carries the
+    /// pipeline lag and any in-flight pipelined round (v1–v3 files all
+    /// ran barriered).
     fn decode_versioned(dec: &mut Decoder<'_>, version: u32) -> Result<Self, DecodeError> {
         let mut snap = CampaignSnapshot {
             shard_id: dec.u32()?,
@@ -538,6 +617,8 @@ impl CampaignSnapshot {
             coverage: CoverageMatrix::decode(dec)?,
             stats: CampaignStats::decode(dec)?,
             worker_states: Vec::<WorkerState>::decode(dec)?,
+            pipeline_lag: 0,
+            pending: None,
         };
         if version >= 2 {
             snap.scheduler = SchedulerSpec::decode(dec)?;
@@ -567,6 +648,30 @@ impl CampaignSnapshot {
         }
         if version >= 3 {
             snap.scheduler_state = dec.bytes()?.to_vec();
+        }
+        if version >= 4 {
+            snap.pipeline_lag = dec.usize()?;
+            snap.pending = Option::<PendingRound>::decode(dec)?;
+        }
+        if let Some(p) = &snap.pending {
+            // A pending round is the in-flight round at the committed
+            // frontier: its first slot must be exactly `completed`, and a
+            // barriered campaign can never have one.
+            if snap.pipeline_lag == 0 {
+                return Err(DecodeError::InvalidValue {
+                    what: "CampaignSnapshot::pending",
+                    detail: "a pending round without pipelining".into(),
+                });
+            }
+            if p.first_slot != snap.completed {
+                return Err(DecodeError::InvalidValue {
+                    what: "CampaignSnapshot::pending",
+                    detail: format!(
+                        "pending round starts at {} but the snapshot completed {}",
+                        p.first_slot, snap.completed
+                    ),
+                });
+            }
         }
         if snap.workers == 0 {
             return Err(DecodeError::InvalidValue {
@@ -854,6 +959,8 @@ mod tests {
                     observed: CoverageMatrix::new(),
                 },
             ],
+            pipeline_lag: 0,
+            pending: None,
         }
     }
 
@@ -934,6 +1041,109 @@ mod tests {
         assert_eq!(decoded, snap, "every v2 field survives");
     }
 
+    /// Version skew one more step back: a v3 file (full scheduling tail,
+    /// no pipelining tail) decodes with pipelining off and no pending
+    /// round — no pre-v4 campaign ever pipelined.
+    #[test]
+    fn v3_snapshots_decode_with_pipelining_off() {
+        let snap = sample_snapshot();
+        // Exactly what the v3 writer produced: prefix + v2 tail +
+        // scheduler-state blob, and nothing after.
+        let mut enc = Encoder::new();
+        enc.u32(snap.shard_id);
+        enc.str(&snap.backend);
+        enc.usize(snap.workers);
+        enc.u64(snap.seed);
+        enc.usize(snap.batch);
+        snap.opts.encode(&mut enc);
+        enc.usize(snap.completed);
+        enc.f64(snap.gain_avg);
+        enc.usize(snap.gain_samples);
+        snap.sched_rng.encode(&mut enc);
+        snap.corpus.encode(&mut enc);
+        snap.coverage.encode(&mut enc);
+        snap.stats.encode(&mut enc);
+        snap.worker_states.encode(&mut enc);
+        snap.scheduler.encode(&mut enc);
+        snap.policy.encode(&mut enc);
+        snap.policy_state.encode(&mut enc);
+        enc.f64(snap.corpus.energy_cache());
+        enc.bytes(&snap.scheduler_state);
+        let bytes = frame::seal(SNAPSHOT_MAGIC, 3, &enc.into_bytes());
+
+        let decoded = CampaignSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.pipeline_lag, 0);
+        assert_eq!(decoded.pending, None);
+        assert_eq!(decoded, snap, "every v3 field survives");
+    }
+
+    fn sample_pending(first_slot: usize) -> PendingRound {
+        PendingRound {
+            first_slot,
+            slots: vec![
+                PlannedSlot {
+                    slot: first_slot,
+                    stream: 0,
+                    seed: Seed::new(WindowType::BranchMispredict, 77),
+                },
+                PlannedSlot {
+                    slot: first_slot + 1,
+                    stream: 1,
+                    seed: Seed::new(WindowType::MemPageFault, 78),
+                },
+            ],
+            avg: 2.5,
+            samples: 9,
+            view_behind: vec![dejavuzz_ift::CoveragePoint {
+                module: "lsu",
+                index: 3,
+            }],
+        }
+    }
+
+    /// The v4 tail round-trips: an in-flight pipelined round (its
+    /// pre-drawn plan, dispatch-time gain state and the points committed
+    /// behind it) survives the wire format exactly.
+    #[test]
+    fn v4_pending_round_survives_a_round_trip() {
+        let mut snap = sample_snapshot();
+        snap.pipeline_lag = 2;
+        snap.pending = Some(sample_pending(snap.completed));
+        let decoded = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap, "lag and pending round survive");
+    }
+
+    /// A pending round in a barriered (`lag == 0`) snapshot is
+    /// self-contradictory and must fail decode structurally.
+    #[test]
+    fn pending_round_without_pipelining_fails_decode() {
+        let mut snap = sample_snapshot();
+        snap.pending = Some(sample_pending(snap.completed));
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&snap.to_bytes()),
+            Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::pending",
+                ..
+            })
+        ));
+    }
+
+    /// A pending round must sit exactly at the committed frontier; any
+    /// other first slot means the file is internally inconsistent.
+    #[test]
+    fn pending_round_off_the_committed_frontier_fails_decode() {
+        let mut snap = sample_snapshot();
+        snap.pipeline_lag = 1;
+        snap.pending = Some(sample_pending(snap.completed + 2));
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&snap.to_bytes()),
+            Err(DecodeError::InvalidValue {
+                what: "CampaignSnapshot::pending",
+                ..
+            })
+        ));
+    }
+
     /// A checksum-valid v2 file whose persisted energy disagrees with
     /// its own corpus entries must fail decode structurally — not panic
     /// the debug cross-check or silently skew release-build scheduling.
@@ -946,10 +1156,13 @@ mod tests {
         assert_eq!(CampaignSnapshot::from_bytes(&honest).unwrap(), snap);
 
         // Re-encode with a bogus energy (the f64 sits right before the
-        // length-prefixed v3 scheduler-state blob that ends the payload).
+        // length-prefixed v3 scheduler-state blob, which is followed only
+        // by the v4 tail: the lag u64 plus the pending-round Option tag,
+        // a lone byte here since the sample has no pending round).
         let payload_start = 8 + 4 + 8 + 8; // magic + version + len + checksum
         let mut payload = honest[payload_start..].to_vec();
-        let energy_at = payload.len() - 8 - (8 + snap.scheduler_state.len());
+        let v4_tail = 8 + 1; // usize lag + None tag
+        let energy_at = payload.len() - v4_tail - 8 - (8 + snap.scheduler_state.len());
         payload[energy_at..energy_at + 8].copy_from_slice(&1e9f64.to_bits().to_le_bytes());
         let forged = frame::seal(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &payload);
         assert!(matches!(

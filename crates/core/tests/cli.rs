@@ -1,0 +1,79 @@
+//! CLI contract tests for `dejavuzz-fuzz`: strict flag parsing exits 2
+//! with an error naming the flag (never a silent fall-through to the
+//! default), and configuration errors surface the builder's structured
+//! message. Pinned here because scripts and CI parse this output.
+
+use std::process::Command;
+
+fn fuzz(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dejavuzz-fuzz"))
+        .args(args)
+        .output()
+        .expect("spawn dejavuzz-fuzz");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A malformed `--pipeline-lag` value is an exit-2 error naming both the
+/// value and the flag — not a silent run with lag 0.
+#[test]
+fn malformed_pipeline_lag_exits_two_naming_the_flag() {
+    let (code, _, stderr) = fuzz(&["--pipeline-lag", "abc"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("invalid value \"abc\" for --pipeline-lag"),
+        "stderr names value and flag: {stderr}"
+    );
+}
+
+/// `--pipeline-lag` followed by another flag is a missing value, not a
+/// value.
+#[test]
+fn pipeline_lag_requires_a_value() {
+    let (code, _, stderr) = fuzz(&["--pipeline-lag", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--pipeline-lag requires a value"),
+        "stderr: {stderr}"
+    );
+}
+
+/// Pipelining under the default (round-robin) scheduler is refused with
+/// the builder's structured message, pinned verbatim.
+#[test]
+fn pipeline_lag_with_round_robin_is_a_structured_build_error() {
+    let (code, _, stderr) = fuzz(&["--pipeline-lag", "2", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains(
+            "pipeline lag requires a queue-planning scheduler, \
+             but \"round\" does not support pipelining"
+        ),
+        "stderr carries the builder's message: {stderr}"
+    );
+}
+
+/// The supported combination actually runs: steal + lag completes a tiny
+/// campaign and announces the lag on stderr (stdout stays report-only).
+#[test]
+fn pipelined_steal_campaign_runs() {
+    let (code, stdout, stderr) = fuzz(&[
+        "--scheduler",
+        "steal",
+        "--pipeline-lag",
+        "1",
+        "--iters",
+        "2",
+        "--workers",
+        "2",
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("fuzzing"), "the campaign report ran");
+    assert!(
+        stderr.contains("scheduler steal, seed policy energy, pipeline lag 1"),
+        "stderr: {stderr}"
+    );
+}

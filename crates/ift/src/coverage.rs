@@ -13,6 +13,7 @@
 //! does not matter, only how many slots do).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::census::Census;
 
@@ -39,6 +40,19 @@ pub trait TaintCoverage {
     fn observe_log(&mut self, log: &crate::census::TaintLog) -> usize {
         log.iter().map(|(_, c)| self.observe(c)).sum()
     }
+}
+
+/// A mutable destination for individual coverage points: the plain
+/// [`CoverageMatrix`] or the two-level [`OverlayCoverage`]. The executor's
+/// iteration pipeline is generic over this trait so a work-stealing slot
+/// can run against a cheap base+overlay pair instead of cloning the whole
+/// round-start matrix.
+pub trait CoverageView {
+    /// Inserts one point; true if it was fresh against this view.
+    fn insert_point(&mut self, point: CoveragePoint) -> bool;
+
+    /// True if the view already holds `point`.
+    fn contains_point(&self, point: &CoveragePoint) -> bool;
 }
 
 /// The accumulated taint coverage of a fuzzing campaign.
@@ -131,9 +145,27 @@ impl CoverageMatrix {
         self.points.extend(other.points.iter().copied());
     }
 
-    /// All points, sorted for deterministic reporting.
+    /// Removes one point; true if it was present. Used when reconstructing
+    /// a mid-pipeline resume state: the snapshot's coverage minus the
+    /// points committed after the pending round was planned gives each
+    /// worker's dispatch-time view.
+    pub fn remove(&mut self, point: &CoveragePoint) -> bool {
+        self.points.remove(point)
+    }
+
+    /// True if no point has been collected yet. Callers that only need the
+    /// count should use [`CoverageMatrix::points`] — both are O(1) against
+    /// the backing set, no sort or collect involved.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points, sorted for deterministic reporting. The vector is
+    /// pre-sized to the (cached, O(1)) point count so snapshot encoding
+    /// pays one allocation, not a doubling series.
     pub fn sorted_points(&self) -> Vec<CoveragePoint> {
-        let mut v: Vec<_> = self.points.iter().copied().collect();
+        let mut v = Vec::with_capacity(self.points.len());
+        v.extend(self.points.iter().copied());
         v.sort();
         v
     }
@@ -142,6 +174,81 @@ impl CoverageMatrix {
 impl TaintCoverage for CoverageMatrix {
     fn observe(&mut self, census: &Census) -> usize {
         CoverageMatrix::observe(self, census)
+    }
+}
+
+impl CoverageView for CoverageMatrix {
+    fn insert_point(&mut self, point: CoveragePoint) -> bool {
+        self.insert(point)
+    }
+
+    fn contains_point(&self, point: &CoveragePoint) -> bool {
+        CoverageMatrix::contains_point(self, point)
+    }
+}
+
+/// A two-level coverage view: a frozen, `Arc`-shared round-start base plus
+/// a small private overlay holding only the points this slot discovered.
+///
+/// Work-stealing slots used to clone the worker's entire `CoverageMatrix`
+/// per slot, an O(coverage-space) setup cost that dominates once coverage
+/// reaches netlist scale. An overlay costs O(points found this slot):
+/// lookups consult the shared base first, inserts land in the overlay only
+/// when the base does not already hold the point.
+#[derive(Clone, Debug)]
+pub struct OverlayCoverage {
+    base: Arc<CoverageMatrix>,
+    overlay: CoverageMatrix,
+}
+
+impl OverlayCoverage {
+    /// A fresh overlay over a frozen base.
+    pub fn new(base: Arc<CoverageMatrix>) -> Self {
+        OverlayCoverage {
+            base,
+            overlay: CoverageMatrix::new(),
+        }
+    }
+
+    /// Points found through this view that the base did not already hold.
+    pub fn overlay(&self) -> &CoverageMatrix {
+        &self.overlay
+    }
+
+    /// Total distinct points visible through the view (base + overlay).
+    pub fn points(&self) -> usize {
+        self.base.points() + self.overlay.points()
+    }
+}
+
+impl CoverageView for OverlayCoverage {
+    fn insert_point(&mut self, point: CoveragePoint) -> bool {
+        if self.base.contains_point(&point) {
+            return false;
+        }
+        self.overlay.insert(point)
+    }
+
+    fn contains_point(&self, point: &CoveragePoint) -> bool {
+        self.base.contains_point(point) || self.overlay.contains_point(point)
+    }
+}
+
+impl TaintCoverage for OverlayCoverage {
+    fn observe(&mut self, census: &Census) -> usize {
+        let mut fresh = 0;
+        for m in census.modules() {
+            if m.tainted == 0 {
+                continue;
+            }
+            if self.insert_point(CoveragePoint {
+                module: m.module,
+                index: m.tainted,
+            }) {
+                fresh += 1;
+            }
+        }
+        fresh
     }
 }
 
@@ -230,5 +337,87 @@ mod tests {
         let pts = m.sorted_points();
         assert_eq!(pts.len(), 3);
         assert!(pts.windows(2).all(|w| w[0] <= w[1]));
+        // Pin the exact order: lexicographic by module, then by index —
+        // the canonical order the snapshot codec relies on.
+        assert_eq!(
+            pts,
+            vec![
+                CoveragePoint {
+                    module: "dcache",
+                    index: 2
+                },
+                CoveragePoint {
+                    module: "lsu",
+                    index: 1
+                },
+                CoveragePoint {
+                    module: "rob",
+                    index: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_round_trips_with_insert() {
+        let mut m = CoverageMatrix::new();
+        let p = CoveragePoint {
+            module: "rob",
+            index: 3,
+        };
+        assert!(!m.remove(&p), "removing an absent point is a no-op");
+        assert!(m.insert(p));
+        assert!(!m.is_empty());
+        assert!(m.remove(&p));
+        assert!(!m.remove(&p));
+        assert!(m.is_empty());
+        assert_eq!(m.points(), 0);
+    }
+
+    #[test]
+    fn overlay_filters_points_the_base_already_holds() {
+        let mut base = CoverageMatrix::new();
+        base.observe(&census(&[("rob", 3)]));
+        let mut view = OverlayCoverage::new(Arc::new(base));
+
+        // A base point is not fresh and never lands in the overlay.
+        assert_eq!(view.observe(&census(&[("rob", 3)])), 0);
+        assert_eq!(view.overlay().points(), 0);
+
+        // A genuinely new point is fresh exactly once.
+        assert_eq!(view.observe(&census(&[("lsu", 1)])), 1);
+        assert_eq!(view.observe(&census(&[("lsu", 1)])), 0);
+        assert_eq!(view.overlay().points(), 1);
+        assert!(view.overlay().contains("lsu", 1));
+
+        // The combined view sees both levels.
+        assert!(view.contains_point(&CoveragePoint {
+            module: "rob",
+            index: 3
+        }));
+        assert!(view.contains_point(&CoveragePoint {
+            module: "lsu",
+            index: 1
+        }));
+        assert_eq!(view.points(), 2);
+    }
+
+    #[test]
+    fn overlay_matches_a_full_clone_observation_for_observation() {
+        // The overlay replaces steal-mode's per-slot full-view clone; the
+        // freshness verdicts must be identical to observing into the clone.
+        let mut start = CoverageMatrix::new();
+        start.observe(&census(&[("rob", 1), ("rob", 2)]));
+        let rounds = [
+            census(&[("rob", 1), ("lsu", 4)]),
+            census(&[("rob", 2), ("lsu", 4), ("dcache", 7)]),
+        ];
+
+        let mut cloned = start.clone();
+        let mut overlaid = OverlayCoverage::new(Arc::new(start));
+        for c in &rounds {
+            assert_eq!(cloned.observe(c), overlaid.observe(c));
+        }
+        assert_eq!(cloned.points(), overlaid.points());
     }
 }

@@ -62,7 +62,7 @@ pub mod shared;
 pub mod tword;
 
 pub use census::{Census, ModuleCensus, TaintLog};
-pub use coverage::{CoverageMatrix, CoveragePoint, TaintCoverage};
+pub use coverage::{CoverageMatrix, CoveragePoint, CoverageView, OverlayCoverage, TaintCoverage};
 pub use liveness::{LivenessMask, SinkReport};
 pub use mem::TMem;
 pub use policy::{IftMode, Policy};

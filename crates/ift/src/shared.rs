@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::census::{Census, TaintLog};
-use crate::coverage::{CoverageMatrix, CoveragePoint, TaintCoverage};
+use crate::coverage::{CoverageMatrix, CoveragePoint, CoverageView, TaintCoverage};
 
 /// Default shard count: enough stripes that 8–16 workers rarely collide,
 /// small enough that a snapshot stays cheap.
@@ -158,9 +158,13 @@ impl TaintCoverage for &SharedCoverage {
 /// mirrors each worker's lifetime observation matrix from these deltas,
 /// which is what lets a campaign snapshot carry exact per-worker state
 /// without ever shipping whole matrices over the channel.
-pub struct RecordingCoverage<'a> {
+/// The view is generic over [`CoverageView`] so a work-stealing slot can
+/// plug in a cheap [`crate::OverlayCoverage`] (frozen round-start base +
+/// per-slot overlay) where single-worker paths keep the plain matrix; the
+/// default type parameter keeps existing struct literals compiling.
+pub struct RecordingCoverage<'a, V: CoverageView = CoverageMatrix> {
     /// Worker-local deterministic view.
-    pub view: &'a mut CoverageMatrix,
+    pub view: &'a mut V,
     /// Fresh-against-view points, in observation order.
     pub recorded: &'a mut Vec<CoveragePoint>,
     /// Everything observed (exactness accounting), if tracked.
@@ -171,7 +175,7 @@ pub struct RecordingCoverage<'a> {
     pub shared: Option<&'a SharedCoverage>,
 }
 
-impl TaintCoverage for RecordingCoverage<'_> {
+impl<V: CoverageView> TaintCoverage for RecordingCoverage<'_, V> {
     fn observe(&mut self, census: &Census) -> usize {
         let mut fresh = 0;
         for m in census.modules() {
@@ -189,7 +193,7 @@ impl TaintCoverage for RecordingCoverage<'_> {
                     }
                 }
             }
-            if self.view.insert(p) {
+            if self.view.insert_point(p) {
                 // Commit to the shared union only on view-freshness: a
                 // point already in the view was committed by whichever
                 // worker first recorded it (own points on their fresh

@@ -251,6 +251,91 @@ fn snapshot_files_round_trip_on_disk() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// The cross-round pipeline's persistence property: a halt taken while
+/// a pre-drawn round is still in flight persists that round verbatim
+/// (its plan, dispatch-time gain state and the coverage committed
+/// behind it), and a resume re-dispatches it instead of re-planning —
+/// splicing bit-identically into the uninterrupted pipelined run,
+/// through the wire format as a real restart would.
+#[test]
+fn pipelined_halt_resume_splices_bit_identically() {
+    use dejavuzz::scheduler::SchedulerSpec;
+
+    const TOTAL: usize = 24;
+    for workers in [1, 3] {
+        let orch = campaign(FuzzerOptions::default(), workers, 0x717E)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .pipeline_lag(1);
+        let full = orch.clone().build().unwrap().run(TOTAL);
+        let mut interrupted = 0;
+        let mut pending_seen = 0;
+        for halt in [1, 9, 14] {
+            let (partial, snap) = orch
+                .clone()
+                .halt_after(halt)
+                .build()
+                .unwrap()
+                .run_snapshotting(TOTAL);
+            if partial.stats.iterations < TOTAL {
+                interrupted += 1;
+            }
+            assert_eq!(snap.completed, partial.stats.iterations);
+            let snap = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+            if let Some(p) = &snap.pending {
+                pending_seen += 1;
+                assert_eq!(p.first_slot, snap.completed);
+                assert!(!p.slots.is_empty(), "a pending round has slots");
+            }
+            let resumed = orch
+                .clone()
+                .resume(snap)
+                .build()
+                .expect("same backend + options")
+                .run(TOTAL);
+            assert_reports_identical(&full, &resumed);
+        }
+        assert!(
+            interrupted >= 2,
+            "{workers} workers: most halt points must truly interrupt"
+        );
+        assert!(
+            pending_seen >= 2,
+            "{workers} workers: mid-run halts must capture an in-flight round"
+        );
+    }
+}
+
+/// Pipelined persistence composes: snapshot mid-pipeline, resume to a
+/// later mid-pipeline snapshot, resume again — every splice lands on
+/// the uninterrupted run.
+#[test]
+fn chained_pipelined_resumes_compose() {
+    use dejavuzz::scheduler::SchedulerSpec;
+
+    let orch = campaign(FuzzerOptions::default(), 2, 0xC4A1)
+        .scheduler(SchedulerSpec::WorkStealing)
+        .pipeline_lag(2);
+    let full = orch.clone().build().unwrap().run(24);
+
+    let (_, snap1) = orch
+        .clone()
+        .halt_after(5)
+        .build()
+        .unwrap()
+        .run_snapshotting(24);
+    let snap1 = CampaignSnapshot::from_bytes(&snap1.to_bytes()).unwrap();
+    let (_, snap2) = orch
+        .clone()
+        .resume(snap1)
+        .halt_after(17)
+        .build()
+        .unwrap()
+        .run_snapshotting(24);
+    let snap2 = CampaignSnapshot::from_bytes(&snap2.to_bytes()).unwrap();
+    let resumed = orch.resume(snap2).build().unwrap().run(24);
+    assert_reports_identical(&full, &resumed);
+}
+
 /// Backward compatibility with v2 snapshot files: a real campaign's
 /// snapshot re-encoded exactly as the v2 writer produced it (scheduling
 /// tail, no scheduler-state blob) must load under the v3 reader and

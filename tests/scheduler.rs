@@ -254,6 +254,94 @@ fn snapshot_rotation_keeps_a_bounded_resumable_trail() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pipelining off (`--pipeline-lag 0`, the default) IS the historical
+/// barriered steal mode: same code path, same results, and the
+/// snapshots agree **byte for byte** on the wire — the strongest form
+/// of the "lag 0 changes nothing" acceptance gate.
+#[test]
+fn lag_zero_is_byte_identical_to_plain_steal() {
+    for workers in 1..=3 {
+        let plain = orch(workers, 0x1A60)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .build()
+            .unwrap();
+        let lagged = orch(workers, 0x1A60)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .pipeline_lag(0)
+            .build()
+            .unwrap();
+        let (plain_report, plain_snap) = plain.run_snapshotting(16);
+        let (lag_report, lag_snap) = lagged.run_snapshotting(16);
+        assert_reports_identical(&plain_report, &lag_report);
+        assert_eq!(
+            plain_snap.to_bytes(),
+            lag_snap.to_bytes(),
+            "{workers} workers: lag 0 must not perturb a single byte"
+        );
+    }
+}
+
+/// The lag-insensitivity contract: every positive lag runs the same
+/// depth-1 round-quantized pipeline, so for a fixed `(seed, workers,
+/// batch)` all of them — including an unbounded lag — compute identical
+/// results and identical snapshots (modulo the recorded lag itself),
+/// and repeated runs at each lag agree despite real claim contention.
+#[test]
+fn all_positive_lags_compute_identical_results() {
+    for workers in [2, 3] {
+        let run = |lag: usize| {
+            orch(workers, 0x9199)
+                .scheduler(SchedulerSpec::WorkStealing)
+                .pipeline_lag(lag)
+                .build()
+                .unwrap()
+                .run_snapshotting(24)
+        };
+        let (base_report, base_snap) = run(1);
+        assert!(base_report.stats.coverage() > 0, "the campaign fuzzes");
+        for lag in [1, 4, usize::MAX] {
+            let (report, snap) = run(lag);
+            assert_reports_identical(&base_report, &report);
+            let mut retagged = snap.clone();
+            retagged.pipeline_lag = base_snap.pipeline_lag;
+            assert_eq!(
+                retagged, base_snap,
+                "{workers} workers, lag {lag}: identical state"
+            );
+        }
+    }
+}
+
+/// The pipelined makespan model stays within the same physical bounds
+/// as the barriered one, and the reported barrier idle is exactly the
+/// model's worker-time surplus.
+#[test]
+fn pipelined_scheduling_model_bounds_hold() {
+    for lag in [0, 2] {
+        let r = orch(3, 1)
+            .scheduler(SchedulerSpec::WorkStealing)
+            .pipeline_lag(lag)
+            .build()
+            .unwrap()
+            .run(18);
+        assert!(r.busy_nanos > 0, "lag {lag}: iterations were timed");
+        assert!(r.modelled_makespan_nanos > 0);
+        assert!(
+            r.modelled_makespan_nanos <= r.busy_nanos,
+            "lag {lag}: makespan can never exceed the serial sum"
+        );
+        assert!(
+            3 * r.modelled_makespan_nanos >= r.busy_nanos,
+            "lag {lag}: three workers cannot beat 3x parallelism"
+        );
+        assert_eq!(
+            r.barrier_idle_nanos,
+            3 * r.modelled_makespan_nanos - r.busy_nanos,
+            "lag {lag}: idle is the modelled worker-time surplus"
+        );
+    }
+}
+
 /// The scheduling model in the report is populated and consistent: total
 /// busy time is bounded by `workers x` the modelled makespan (the model
 /// cannot be better than perfectly parallel) and is at least the
