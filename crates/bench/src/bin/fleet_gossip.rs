@@ -1,0 +1,11 @@
+//! Regenerates the EXPERIMENTS.md "Fleet & gossip" table: iterations to
+//! reach X% of the fleet union for 2- and 4-shard fleets, isolated vs
+//! gossiping. `--iters N --gossip-every G --trials T` scale the run
+//! (defaults 48 x 1 x 2).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = dejavuzz_bench::arg_or(&args, "--iters", 48);
+    let every = dejavuzz_bench::arg_or(&args, "--gossip-every", 1);
+    let trials = dejavuzz_bench::arg_or(&args, "--trials", 2) as u64;
+    print!("{}", dejavuzz_bench::fleet_gossip(iters, every, trials));
+}

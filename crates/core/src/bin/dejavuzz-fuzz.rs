@@ -22,6 +22,7 @@
 use dejavuzz::backend::BackendSpec;
 use dejavuzz::builder::CampaignBuilder;
 use dejavuzz::campaign::FuzzerOptions;
+use dejavuzz::gossip::{shared_link, GossipLink, MultiLink, UnixGossipLink};
 use dejavuzz::observer::{CampaignObserver, JsonLinesObserver, TextObserver};
 use dejavuzz::scheduler::{PolicySpec, SchedulerSpec};
 use dejavuzz::snapshot::CampaignSnapshot;
@@ -100,11 +101,23 @@ fn main() {
              \u{20}                        uninterrupted run bit-identically\n\
              --shard N               tag snapshots with a shard id for dejavuzz-merge\n\
              \u{20}                        (default 0)\n\n\
+             fleet gossip (see EXPERIMENTS.md \"Fleet & gossip\"):\n\
+             --peers SPEC[,SPEC]     gossip peers, each unix:PATH — a Unix socket\n\
+             \u{20}                        served by dejavuzz-serve (or another fleet\n\
+             \u{20}                        host). At every gossip boundary the campaign\n\
+             \u{20}                        publishes its coverage delta + favoured seeds\n\
+             \u{20}                        and imports queued peer frames as explicit\n\
+             \u{20}                        peer_delta_imported / seed_imported events\n\
+             --gossip-every N        rounds between gossip exchanges (default 1 when\n\
+             \u{20}                        --peers is given; without --peers a warning is\n\
+             \u{20}                        printed and the run is byte-identical to one\n\
+             \u{20}                        without gossip)\n\n\
              telemetry (see EXPERIMENTS.md \"Embedding & telemetry\"):\n\
              --telemetry text|json   text = the classic campaign report (default);\n\
              \u{20}                        json = one JSON object per campaign event\n\
              \u{20}                        (round_started, slot_committed, coverage_gained,\n\
-             \u{20}                        bug_found, snapshot_written, campaign_finished) —\n\
+             \u{20}                        bug_found, snapshot_written, peer_delta_imported,\n\
+             \u{20}                        seed_imported, campaign_finished) —\n\
              \u{20}                        byte-deterministic per (seed, workers)\n\n\
              Flag values that fail to parse are an error (exit 2), never a\n\
              silent fallback to the default.\n"
@@ -149,6 +162,8 @@ fn main() {
     };
     let pipeline_lag = arg(&args, "--pipeline-lag", 0usize);
     let shard = arg(&args, "--shard", 0u32);
+    let gossip_every = opt_arg::<usize>(&args, "--gossip-every");
+    let peers = opt_arg::<String>(&args, "--peers");
     let snapshot_path = opt_arg::<String>(&args, "--snapshot");
     let snapshot_every = arg(&args, "--snapshot-every", 0usize);
     let snapshot_keep = arg(&args, "--snapshot-keep", 0usize);
@@ -237,6 +252,43 @@ fn main() {
         );
     }
 
+    // Fleet wiring: one UnixGossipLink per peer spec, fanned out through
+    // a MultiLink. Connection failures are configuration errors (exit 2);
+    // a peer dying *mid-run* only warns and the campaign continues solo.
+    // Gossip chatter goes to stderr: a no-peer run's stdout (and its
+    // snapshots) stay byte-identical to a run without these flags — the
+    // CI fleet smoke diffs exactly that.
+    let gossip_link = match &peers {
+        Some(specs) => {
+            let mut links: Vec<Box<dyn GossipLink>> = Vec::new();
+            for spec in specs.split(',') {
+                let Some(path) = spec.strip_prefix("unix:") else {
+                    die(format_args!(
+                        "unknown peer spec {spec:?} (expected unix:PATH)"
+                    ));
+                };
+                match UnixGossipLink::connect(std::path::Path::new(path), shard) {
+                    Ok(link) => links.push(Box::new(link)),
+                    Err(e) => die(format_args!("cannot connect to peer {spec:?}: {e}")),
+                }
+            }
+            eprintln!(
+                "dejavuzz-fuzz: shard {shard} gossiping every {} round(s) with {} peer(s)",
+                gossip_every.unwrap_or(1),
+                links.len()
+            );
+            Some(shared_link(MultiLink::new(links)))
+        }
+        None => {
+            if let Some(every) = gossip_every {
+                eprintln!(
+                    "dejavuzz-fuzz: warning: --gossip-every {every} ignored; no --peers given"
+                );
+            }
+            None
+        }
+    };
+
     let mut builder = CampaignBuilder::new()
         .backend(backend.clone())
         .options(opts)
@@ -257,6 +309,9 @@ fn main() {
     }
     if let Some(snap) = resume {
         builder = builder.resume(snap);
+    }
+    if let Some(link) = gossip_link {
+        builder = builder.gossip(link).gossip_every(gossip_every.unwrap_or(1));
     }
     let orch = match builder.build() {
         Ok(orch) => orch,

@@ -11,6 +11,7 @@
 //! cargo run --release -p dejavuzz --bin dejavuzz-merge -- shard0.snap shard1.snap
 //! ```
 
+use dejavuzz::observer::json_str;
 use dejavuzz::snapshot::{merge_snapshots, CampaignSnapshot};
 
 fn die(msg: std::fmt::Arguments<'_>) -> ! {
@@ -19,20 +20,32 @@ fn die(msg: std::fmt::Arguments<'_>) -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "dejavuzz-merge — merge shard snapshots into one campaign report\n\n\
-             usage: dejavuzz-merge SNAPSHOT [SNAPSHOT ...]\n\n\
+             usage: dejavuzz-merge [--json] SNAPSHOT [SNAPSHOT ...]\n\n\
              Coverage merges as the exact union of per-shard points (never a\n\
              pointwise sum), bugs deduplicate by (attack, window class,\n\
              component), counters sum, and the coverage curve is the pointwise\n\
              max over shards (a lower bound; the union curve is unknowable\n\
              after the fact). Decode failures (truncated, corrupted or\n\
-             wrong-version snapshots) exit non-zero naming the file.\n"
+             wrong-version snapshots) exit non-zero naming the file.\n\n\
+             --json   one machine-readable JSON object on stdout (per-shard\n\
+             \u{20}        summaries plus the merged report) instead of the text\n\
+             \u{20}        report\n"
         );
         return;
     }
+    // `--json` is consumed before the strict unknown-flag check so the
+    // text path's behaviour (and output) is untouched by its existence.
+    let json = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     if let Some(unknown) = args.iter().find(|a| a.starts_with("--")) {
         die(format_args!("unknown flag {unknown:?}"));
     }
@@ -64,6 +77,72 @@ fn main() {
                 s.shard_id
             );
         }
+    }
+
+    if json {
+        let merged = merge_snapshots(&snaps);
+        let stats = &merged.stats;
+        let shards: Vec<String> = args
+            .iter()
+            .zip(&snaps)
+            .map(|(p, s)| {
+                format!(
+                    "{{\"shard\":{},\"path\":{},\"iterations\":{},\"points\":{},\
+                     \"bugs\":{},\"backend\":{},\"seed\":{},\"workers\":{}}}",
+                    s.shard_id,
+                    json_str(p),
+                    s.stats.iterations,
+                    s.coverage.points(),
+                    s.stats.bugs.len(),
+                    json_str(&s.backend),
+                    s.seed,
+                    s.workers
+                )
+            })
+            .collect();
+        // NaN (no window triggered) is not a JSON number: emit null.
+        let num = |v: f64| {
+            if v.is_finite() {
+                v.to_string()
+            } else {
+                "null".to_string()
+            }
+        };
+        let windows: Vec<String> = stats
+            .windows
+            .iter()
+            .map(|(wt, ws)| {
+                format!(
+                    "{{\"window\":{},\"triggered\":{},\"attempted\":{},\
+                     \"mean_to\":{},\"mean_eto\":{}}}",
+                    json_str(wt.name()),
+                    ws.triggered,
+                    ws.attempted,
+                    num(ws.mean_to()),
+                    num(ws.mean_eto())
+                )
+            })
+            .collect();
+        let bugs: Vec<String> = stats
+            .bugs
+            .iter()
+            .map(|b| json_str(&b.to_string()))
+            .collect();
+        println!(
+            "{{\"shards\":[{}],\"merged\":{{\"iterations\":{},\"failed_runs\":{},\
+             \"simulations\":{},\"simulated_cycles\":{},\"coverage_points\":{},\
+             \"summed_points\":{},\"windows\":[{}],\"bugs\":[{}]}}}}",
+            shards.join(","),
+            stats.iterations,
+            stats.failed_runs,
+            stats.sim_runs,
+            stats.sim_cycles,
+            merged.coverage.points(),
+            merged.summed_points,
+            windows.join(","),
+            bugs.join(",")
+        );
+        return;
     }
 
     println!("merging {} shard snapshot(s)\n", snaps.len());

@@ -81,7 +81,7 @@
 //! the next round boundary, emulating a planned interruption.
 
 use std::borrow::Cow;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -94,18 +94,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dejavuzz_ift::{
-    CoverageMatrix, CoveragePoint, CoverageView, IftMode, OverlayCoverage, RecordingCoverage,
-    SharedCoverage,
+    CoverageLog, CoverageMatrix, CoveragePoint, CoverageView, IftMode, OverlayCoverage,
+    RecordingCoverage, SharedCoverage,
 };
 
 use crate::backend::{BackendSpec, SimBackend};
 use crate::builder::CampaignBuilder;
 use crate::campaign::{CampaignStats, FuzzerOptions};
-use crate::corpus::Corpus;
+use crate::corpus::{Corpus, CorpusEntry};
 use crate::gen::{Seed, WindowType};
+use crate::gossip::{GossipFrame, SharedGossipLink, FAVOURED_PER_FRAME};
 use crate::observer::{
-    BugFound, CampaignFinished, CampaignObserver, CoverageGained, RoundStarted, SlotCommitted,
-    SnapshotWritten,
+    BugFound, CampaignFinished, CampaignObserver, CoverageGained, PeerDeltaImported, RoundStarted,
+    SeedImported, SlotCommitted, SnapshotWritten,
 };
 use crate::phases::{phase1, phase2, phase3};
 use crate::registry::{BackendCtor, PolicyCtor, SchedulerCtor};
@@ -387,7 +388,6 @@ pub(crate) fn fold_outcome(stats: &mut CampaignStats, o: &IterationOutcome) {
 #[allow(clippy::too_many_arguments)] // the commit's full context, spelled out
 fn commit_outcome(
     s: &mut Session,
-    point_log: &mut Vec<CoveragePoint>,
     busy_nanos: &mut u64,
     view_setup_nanos: &mut u64,
     feedback: bool,
@@ -407,8 +407,9 @@ fn commit_outcome(
     }
     let mut global_fresh = Vec::new();
     for p in &o.fresh_points {
+        // The log behind `global` doubles as the broadcast/gossip delta
+        // source: every globally fresh point lands there in commit order.
         if s.global.insert(*p) {
-            point_log.push(*p);
             global_fresh.push(*p);
         }
     }
@@ -733,11 +734,21 @@ struct Session {
     policy: Box<dyn SeedPolicy>,
     sched_rng: StdRng,
     gain: GainAverage,
-    global: CoverageMatrix,
+    global: CoverageLog,
     stats: CampaignStats,
     worker_rngs: Vec<[u64; 4]>,
     worker_iterations: Vec<usize>,
     worker_observed: Vec<CoverageMatrix>,
+}
+
+/// Per-run gossip bookkeeping: the cursor into the global discovery log
+/// up to which this shard has already published, plus the set of points
+/// that arrived *from* peers — exported deltas filter those out, so a
+/// point never echoes back to the mesh that delivered it.
+#[derive(Default)]
+struct GossipState {
+    published: usize,
+    imported: HashSet<CoveragePoint>,
 }
 
 /// The pool coordinator: a fully validated campaign, ready to run. Built
@@ -769,6 +780,13 @@ pub struct Orchestrator {
     pub(crate) snapshot_keep: usize,
     pub(crate) halt_after: Option<usize>,
     pub(crate) resume: Option<Box<CampaignSnapshot>>,
+    /// Gossip exchange cadence in rounds (0 = no gossip). Set together
+    /// with `gossip` by the builder, never independently.
+    pub(crate) gossip_every: usize,
+    /// The link this shard publishes frames on and drains peer frames
+    /// from at gossip boundaries. `None` runs byte-identically to a
+    /// build without the fleet layer.
+    pub(crate) gossip: Option<SharedGossipLink>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -845,7 +863,7 @@ impl Orchestrator {
                     avg: snap.gain_avg,
                     samples: snap.gain_samples,
                 },
-                global: snap.coverage.clone(),
+                global: CoverageLog::seeded(snap.coverage.clone()),
                 stats: snap.stats.clone(),
                 worker_rngs: snap.worker_states.iter().map(|w| w.rng).collect(),
                 worker_iterations: snap.worker_states.iter().map(|w| w.iterations).collect(),
@@ -872,7 +890,7 @@ impl Orchestrator {
                 policy: self.build_policy(None),
                 sched_rng: StdRng::seed_from_u64(self.stream_seed(0)),
                 gain: GainAverage::default(),
-                global: CoverageMatrix::new(),
+                global: CoverageLog::new(),
                 stats: CampaignStats::default(),
                 worker_rngs: (0..self.workers)
                     .map(|id| StdRng::seed_from_u64(self.stream_seed(1 + id as u64)).state())
@@ -908,7 +926,7 @@ impl Orchestrator {
             gain_samples: s.gain.samples,
             sched_rng: s.sched_rng.state(),
             corpus: s.corpus.clone(),
-            coverage: s.global.clone(),
+            coverage: s.global.matrix().clone(),
             stats: s.stats.clone(),
             worker_states: (0..self.workers)
                 .map(|i| WorkerState {
@@ -970,6 +988,108 @@ impl Orchestrator {
         }
     }
 
+    /// One gossip exchange at a round boundary: publish this shard's
+    /// coverage delta (filtered of points that themselves arrived from
+    /// peers) plus its top-energy corpus entries, then import every
+    /// queued peer frame — points into the global union (and the live
+    /// shared union, so the cross-check invariant holds), seeds into the
+    /// corpus — firing one [`PeerDeltaImported`] per frame and one
+    /// [`SeedImported`] per accepted seed. Every cross-shard import is
+    /// therefore an explicit, logged observer event at a deterministic
+    /// commit point; with no link configured this is never called and
+    /// the campaign is byte-identical to a build without gossip.
+    fn gossip_exchange(
+        &self,
+        s: &mut Session,
+        shared: &SharedCoverage,
+        gst: &mut GossipState,
+        feedback: bool,
+        observers: &mut [Box<dyn CampaignObserver>],
+    ) {
+        let Some(link) = &self.gossip else {
+            return;
+        };
+        // Export first: the frame carries exactly what this shard itself
+        // discovered since the last exchange, in discovery order.
+        let delta: Vec<CoveragePoint> = s
+            .global
+            .delta_since(gst.published)
+            .iter()
+            .filter(|p| !gst.imported.contains(p))
+            .copied()
+            .collect();
+        gst.published = s.global.watermark();
+        // The favoured corpus slice: highest current energy wins; the
+        // sort is stable over the corpus's deterministic retention order,
+        // so ties break identically run over run.
+        let mut ranked: Vec<&CorpusEntry> = s.corpus.entries().iter().collect();
+        ranked.sort_by(|a, b| {
+            b.energy()
+                .partial_cmp(&a.energy())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let favoured: Vec<CorpusEntry> = ranked
+            .into_iter()
+            .take(FAVOURED_PER_FRAME)
+            .cloned()
+            .collect();
+        let frame = GossipFrame {
+            shard: self.shard_id,
+            iterations: s.stats.iterations,
+            delta,
+            favoured,
+        };
+        let frames = {
+            let mut link = link.lock().expect("gossip link poisoned");
+            link.publish(&frame);
+            link.drain()
+        };
+        // Import at the boundary: the next round's view broadcasts pick
+        // the fresh points up through the discovery log, so worker views
+        // still equal the global union at every round boundary.
+        for f in frames {
+            if f.shard == self.shard_id {
+                continue; // self-echo from a loopback topology
+            }
+            let mut fresh = 0usize;
+            for p in &f.delta {
+                if s.global.insert(*p) {
+                    fresh += 1;
+                    shared.observe_point(*p);
+                    gst.imported.insert(*p);
+                }
+            }
+            let ev = PeerDeltaImported {
+                from_shard: f.shard,
+                peer_iterations: f.iterations,
+                boundary: s.stats.iterations,
+                points: f.delta.len(),
+                fresh_points: fresh,
+                total_points: s.global.points(),
+            };
+            for obs in observers.iter_mut() {
+                obs.peer_delta_imported(&ev);
+            }
+            // Seeds are coverage feedback: the DejaVuzz⁻ ablation must
+            // not smuggle peer guidance in through the side door.
+            if feedback {
+                for e in &f.favoured {
+                    s.corpus.record(&e.seed, e.gain);
+                    let sev = SeedImported {
+                        from_shard: f.shard,
+                        boundary: s.stats.iterations,
+                        window_type: e.seed.window_type,
+                        entropy: e.seed.entropy,
+                        gain: e.gain,
+                    };
+                    for obs in observers.iter_mut() {
+                        obs.seed_imported(&sev);
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs the pool until `iterations` total campaign iterations have
     /// completed (on resumed runs that *includes* the snapshot's
     /// iterations), returning the report. See the module docs for the
@@ -1028,7 +1148,7 @@ impl Orchestrator {
                 // At a round boundary every worker's view equals the
                 // global union (see the module docs), so seeding the view
                 // with it restores the exact mid-campaign state.
-                view: s.global.clone(),
+                view: s.global.matrix().clone(),
                 observed: s.worker_observed[id].clone(),
                 shared: Arc::clone(&shared),
             };
@@ -1038,12 +1158,13 @@ impl Orchestrator {
         }
         drop(from_tx);
 
-        // Append-only log of globally fresh points; per-worker cursors
-        // into it drive the round-start view broadcasts. On resume it
-        // starts empty: every worker's view already holds the full
-        // restored union, so only post-resume points need broadcasting.
-        let mut point_log: Vec<CoveragePoint> = Vec::new();
+        // Per-worker cursors into the global discovery log drive the
+        // round-start view broadcasts. On resume the log starts empty
+        // (`CoverageLog::seeded`): every worker's view already holds the
+        // full restored union, so only post-resume points need
+        // broadcasting.
         let mut synced = vec![0usize; self.workers];
+        let mut gossip_state = GossipState::default();
         let halt = self.halt_after.unwrap_or(usize::MAX);
         let feedback = self.opts.coverage_feedback;
         let mut busy_nanos = 0u64;
@@ -1096,8 +1217,8 @@ impl Orchestrator {
                         if items.is_empty() {
                             continue;
                         }
-                        let delta = point_log[synced[w]..].to_vec();
-                        synced[w] = point_log.len();
+                        let delta = s.global.delta_since(synced[w]).to_vec();
+                        synced[w] = s.global.watermark();
                         to_workers[w]
                             .send(ToWorker::Batch(WorkBatch {
                                 items,
@@ -1115,8 +1236,8 @@ impl Orchestrator {
                         next: AtomicUsize::new(0),
                     });
                     for (w, to_worker) in to_workers.iter().enumerate() {
-                        let delta = point_log[synced[w]..].to_vec();
-                        synced[w] = point_log.len();
+                        let delta = s.global.delta_since(synced[w]).to_vec();
+                        synced[w] = s.global.watermark();
                         to_worker
                             .send(ToWorker::Steal(StealRound {
                                 queue: Arc::clone(&queue),
@@ -1147,7 +1268,6 @@ impl Orchestrator {
             for o in outcomes {
                 commit_outcome(
                     &mut s,
-                    &mut point_log,
                     &mut busy_nanos,
                     &mut view_setup_nanos,
                     feedback,
@@ -1157,6 +1277,9 @@ impl Orchestrator {
             }
 
             rounds += 1;
+            if self.gossip_every > 0 && rounds.is_multiple_of(self.gossip_every) {
+                self.gossip_exchange(&mut s, &shared, &mut gossip_state, feedback, observers);
+            }
             if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
                 self.write_checkpoint(&s, None, true, observers);
             }
@@ -1184,7 +1307,7 @@ impl Orchestrator {
             .collect();
         let report = ExecutorReport {
             stats: s.stats,
-            coverage: s.global,
+            coverage: s.global.into_matrix(),
             shared_points: shared.points(),
             workers,
             corpus_retained: s.corpus.retained(),
@@ -1251,7 +1374,7 @@ impl Orchestrator {
         // their state at its dispatch: the snapshot coverage *minus* the
         // points committed after that dispatch (`view_behind`), which are
         // instead replayed through the broadcast log below.
-        let mut spawn_view = s.global.clone();
+        let mut spawn_view = s.global.matrix().clone();
         if let Some(p) = &resumed_pending {
             for point in &p.view_behind {
                 spawn_view.remove(point);
@@ -1278,19 +1401,24 @@ impl Orchestrator {
         }
         drop(from_tx);
 
-        // Append-only log of globally fresh points; per-worker cursors
-        // into it drive the dispatch-time view broadcasts. On a resume
-        // with a pending round it is pre-seeded with `view_behind` and
-        // the cursors stay at zero: the pending round itself re-ships
-        // with an empty delta (its views were already current at its
-        // original dispatch), while the *next* planned round picks the
-        // seeded points up — exactly the delta the uninterrupted run
-        // broadcast at that boundary.
-        let mut point_log: Vec<CoveragePoint> = resumed_pending
-            .as_ref()
-            .map(|p| p.view_behind.clone())
-            .unwrap_or_default();
+        // Per-worker cursors into the global discovery log drive the
+        // dispatch-time view broadcasts. On a resume with a pending round
+        // the log is pre-seeded (replayed) with `view_behind` and the
+        // cursors stay at zero: the pending round itself re-ships with an
+        // empty delta (its views were already current at its original
+        // dispatch), while the *next* planned round picks the replayed
+        // points up — exactly the delta the uninterrupted run broadcast
+        // at that boundary.
+        if let Some(p) = &resumed_pending {
+            s.global.replay(&p.view_behind);
+        }
         let mut synced = vec![0usize; self.workers];
+        let mut gossip_state = GossipState {
+            // Replayed points were already published before the halt;
+            // start the export cursor past them.
+            published: s.global.watermark(),
+            imported: HashSet::new(),
+        };
         let halt = self.halt_after.unwrap_or(usize::MAX);
         let feedback = self.opts.coverage_feedback;
         let mut busy_nanos = 0u64;
@@ -1303,19 +1431,19 @@ impl Orchestrator {
             avg: f64,
             samples: usize,
             slots: Vec<PlannedSlot>,
-            /// `point_log` length at dispatch: the suffix from here is
-            /// what a checkpoint must record as `view_behind`.
+            /// The global log watermark at dispatch: the delta from here
+            /// is what a checkpoint must record as `view_behind`.
             log_mark: usize,
         }
 
         /// The snapshot form of an in-flight round.
-        fn to_pending(f: &InFlight, point_log: &[CoveragePoint]) -> PendingRound {
+        fn to_pending(f: &InFlight, log: &CoverageLog) -> PendingRound {
             PendingRound {
                 first_slot: f.first_slot,
                 slots: f.slots.clone(),
                 avg: f.avg,
                 samples: f.samples,
-                view_behind: point_log[f.log_mark..].to_vec(),
+                view_behind: log.delta_since(f.log_mark).to_vec(),
             }
         }
 
@@ -1361,7 +1489,7 @@ impl Orchestrator {
                 avg: p.avg,
                 samples: p.samples,
                 slots: p.slots,
-                log_mark: point_log.len(),
+                log_mark: s.global.watermark(),
             });
         }
 
@@ -1411,8 +1539,8 @@ impl Orchestrator {
                     next: AtomicUsize::new(0),
                 });
                 for (w, to_worker) in to_workers.iter().enumerate() {
-                    let delta = point_log[synced[w]..].to_vec();
-                    synced[w] = point_log.len();
+                    let delta = s.global.delta_since(synced[w]).to_vec();
+                    synced[w] = s.global.watermark();
                     to_worker
                         .send(ToWorker::Steal(StealRound {
                             queue: Arc::clone(&queue),
@@ -1429,7 +1557,7 @@ impl Orchestrator {
                     avg: s.gain.avg,
                     samples: s.gain.samples,
                     slots,
-                    log_mark: point_log.len(),
+                    log_mark: s.global.watermark(),
                 });
                 next_slot += span;
             }};
@@ -1453,7 +1581,6 @@ impl Orchestrator {
                     current_costs.push(o.elapsed_nanos);
                     commit_outcome(
                         &mut s,
-                        &mut point_log,
                         &mut busy_nanos,
                         &mut view_setup_nanos,
                         feedback,
@@ -1474,8 +1601,11 @@ impl Orchestrator {
             in_flight.pop_front();
             round_costs.push(std::mem::take(&mut current_costs));
             rounds += 1;
+            if self.gossip_every > 0 && rounds.is_multiple_of(self.gossip_every) {
+                self.gossip_exchange(&mut s, &shared, &mut gossip_state, feedback, observers);
+            }
             if self.snapshot_every > 0 && rounds.is_multiple_of(self.snapshot_every) {
-                let pending = in_flight.front().map(|f| to_pending(f, &point_log));
+                let pending = in_flight.front().map(|f| to_pending(f, &s.global));
                 self.write_checkpoint(&s, pending, true, observers);
             }
             if s.stats.iterations >= halt {
@@ -1502,7 +1632,7 @@ impl Orchestrator {
             h.join().expect("worker panicked");
         }
 
-        let pending = in_flight.front().map(|f| to_pending(f, &point_log));
+        let pending = in_flight.front().map(|f| to_pending(f, &s.global));
         // Always leave a final checkpoint behind: a halted run's snapshot
         // is exactly what `--resume` continues from.
         self.write_checkpoint(&s, pending.clone(), false, observers);
@@ -1518,7 +1648,7 @@ impl Orchestrator {
             .collect();
         let report = ExecutorReport {
             stats: s.stats,
-            coverage: s.global,
+            coverage: s.global.into_matrix(),
             shared_points: shared.points(),
             workers,
             corpus_retained: s.corpus.retained(),

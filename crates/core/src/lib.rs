@@ -101,6 +101,7 @@ pub mod campaign;
 pub mod corpus;
 pub mod executor;
 pub mod gen;
+pub mod gossip;
 pub mod observer;
 pub mod phases;
 pub mod registry;
@@ -116,9 +117,10 @@ pub use campaign::{Campaign, CampaignStats, FuzzerOptions};
 pub use corpus::Corpus;
 pub use executor::{ExecutorReport, Orchestrator, WorkerSummary};
 pub use gen::{Seed, TransientPlan, WindowType};
+pub use gossip::{GossipFrame, GossipLink, MultiLink, NullLink, SharedGossipLink};
 pub use observer::{
-    BugFound, CampaignFinished, CampaignObserver, CoverageGained, JsonLinesObserver, RoundStarted,
-    SlotCommitted, SnapshotWritten, TextObserver,
+    BugFound, CampaignFinished, CampaignObserver, CoverageGained, JsonLinesObserver,
+    PeerDeltaImported, RoundStarted, SeedImported, SlotCommitted, SnapshotWritten, TextObserver,
 };
 pub use registry::{BackendCtor, PolicyCtor, RegistryError, SchedulerCtor};
 pub use report::{AttackType, BugReport, LeakChannel};

@@ -115,6 +115,47 @@ pub struct SnapshotWritten<'a> {
     pub periodic: bool,
 }
 
+/// A gossiping peer's coverage delta was imported at a round boundary.
+///
+/// Cross-shard imports are the one way coverage can grow outside a
+/// [`SlotCommitted`] commit, so every import is an explicit event: a
+/// gossiping campaign's coverage trajectory stays fully auditable from
+/// its telemetry stream alone (fired between the final commit of a round
+/// and the next [`RoundStarted`] — asserted by `tests/fleet.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerDeltaImported {
+    /// Shard id of the exporting peer.
+    pub from_shard: u32,
+    /// Iterations the peer had committed when it exported the frame.
+    pub peer_iterations: usize,
+    /// Local iterations committed when the import was applied (the round
+    /// boundary).
+    pub boundary: usize,
+    /// Points carried by the frame's delta.
+    pub points: usize,
+    /// Points that were new to this shard's union.
+    pub fresh_points: usize,
+    /// Global coverage after folding the delta in.
+    pub total_points: usize,
+}
+
+/// A gossiping peer's favoured corpus entry was offered to the corpus at
+/// a round boundary (same auditability contract as
+/// [`PeerDeltaImported`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedImported {
+    /// Shard id of the exporting peer.
+    pub from_shard: u32,
+    /// Local iterations committed when the import was applied.
+    pub boundary: usize,
+    /// The imported seed's transient-window category.
+    pub window_type: WindowType,
+    /// The imported seed's entropy (its lineage key, with the window).
+    pub entropy: u64,
+    /// The coverage gain the peer retained the seed with.
+    pub gain: usize,
+}
+
 /// The campaign completed.
 #[derive(Clone, Copy, Debug)]
 pub struct CampaignFinished<'a> {
@@ -141,6 +182,10 @@ pub trait CampaignObserver {
     fn bug_found(&mut self, _ev: &BugFound) {}
     /// See [`SnapshotWritten`].
     fn snapshot_written(&mut self, _ev: &SnapshotWritten<'_>) {}
+    /// See [`PeerDeltaImported`].
+    fn peer_delta_imported(&mut self, _ev: &PeerDeltaImported) {}
+    /// See [`SeedImported`].
+    fn seed_imported(&mut self, _ev: &SeedImported) {}
     /// See [`CampaignFinished`].
     fn campaign_finished(&mut self, _ev: &CampaignFinished<'_>) {}
 }
@@ -365,6 +410,33 @@ impl<W: Write> CampaignObserver for JsonLinesObserver<W> {
             json_str(&ev.path.display().to_string()),
             ev.iterations,
             ev.periodic
+        );
+    }
+
+    fn peer_delta_imported(&mut self, ev: &PeerDeltaImported) {
+        let _ = writeln!(
+            self.out,
+            "{{\"event\":\"peer_delta_imported\",\"from_shard\":{},\"peer_iterations\":{},\
+             \"boundary\":{},\"points\":{},\"fresh_points\":{},\"total_points\":{}}}",
+            ev.from_shard,
+            ev.peer_iterations,
+            ev.boundary,
+            ev.points,
+            ev.fresh_points,
+            ev.total_points
+        );
+    }
+
+    fn seed_imported(&mut self, ev: &SeedImported) {
+        let _ = writeln!(
+            self.out,
+            "{{\"event\":\"seed_imported\",\"from_shard\":{},\"boundary\":{},\"window\":{},\
+             \"entropy\":{},\"gain\":{}}}",
+            ev.from_shard,
+            ev.boundary,
+            json_str(ev.window_type.name()),
+            ev.entropy,
+            ev.gain
         );
     }
 

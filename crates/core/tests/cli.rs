@@ -56,6 +56,80 @@ fn pipeline_lag_with_round_robin_is_a_structured_build_error() {
     );
 }
 
+/// A malformed `--gossip-every` value is an exit-2 error naming both the
+/// value and the flag.
+#[test]
+fn malformed_gossip_every_exits_two_naming_the_flag() {
+    let (code, _, stderr) = fuzz(&["--gossip-every", "abc"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("invalid value \"abc\" for --gossip-every"),
+        "stderr names value and flag: {stderr}"
+    );
+}
+
+/// `--peers` followed by another flag is a missing value, not a value.
+#[test]
+fn peers_requires_a_value() {
+    let (code, _, stderr) = fuzz(&["--peers", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--peers requires a value"),
+        "stderr: {stderr}"
+    );
+}
+
+/// A peer spec without the `unix:` scheme is refused with the spec named
+/// verbatim — never treated as a path.
+#[test]
+fn unknown_peer_spec_exits_two() {
+    let (code, _, stderr) = fuzz(&["--peers", "tcp:127.0.0.1:9", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("unknown peer spec \"tcp:127.0.0.1:9\" (expected unix:PATH)"),
+        "stderr: {stderr}"
+    );
+}
+
+/// A peer socket that cannot be dialled is a configuration error at
+/// startup (exit 2 naming the spec) — only a peer dying *mid-run*
+/// degrades to a solo campaign.
+#[test]
+fn unreachable_peer_exits_two() {
+    let (code, _, stderr) = fuzz(&[
+        "--peers",
+        "unix:/nonexistent/djvz-fleet.sock",
+        "--iters",
+        "1",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("cannot connect to peer \"unix:/nonexistent/djvz-fleet.sock\""),
+        "stderr: {stderr}"
+    );
+}
+
+/// `--gossip-every` without `--peers` warns on stderr and changes
+/// nothing: the JSON telemetry on stdout is byte-identical to a run
+/// without the flag.
+#[test]
+fn solo_gossip_every_warns_and_leaves_stdout_untouched() {
+    let plain = fuzz(&["--iters", "2", "--telemetry", "json"]);
+    let solo = fuzz(&["--iters", "2", "--telemetry", "json", "--gossip-every", "3"]);
+    assert_eq!(plain.0, Some(0));
+    assert_eq!(solo.0, Some(0));
+    assert!(
+        solo.2
+            .contains("warning: --gossip-every 3 ignored; no --peers given"),
+        "stderr: {}",
+        solo.2
+    );
+    assert_eq!(
+        plain.1, solo.1,
+        "stdout telemetry is byte-identical with and without the ignored flag"
+    );
+}
+
 /// The supported combination actually runs: steal + lag completes a tiny
 /// campaign and announces the lag on stderr (stdout stays report-only).
 #[test]

@@ -1,0 +1,39 @@
+//! DejaVuzz fleet layer: running *many* campaigns as one live fleet.
+//!
+//! The core crate's [`dejavuzz::gossip`] module defines the exchange —
+//! [`dejavuzz::gossip::GossipFrame`]s published and drained at round
+//! boundaries through a [`dejavuzz::gossip::GossipLink`]. This crate
+//! supplies everything around that seam:
+//!
+//! * [`gossip`] — the in-process broadcast [`gossip::Bus`]: every
+//!   campaign owned by one `dejavuzz-serve` process gets a
+//!   [`gossip::BusLink`] and frames fan out to all other links with no
+//!   sockets involved ([`gossip::mesh`] builds the whole fleet wiring in
+//!   one call).
+//! * [`transport`] — the async observer transport:
+//!   [`transport::ChannelObserver`] forwards every campaign event onto a
+//!   bounded channel so consumers (aggregators, sockets, UIs) run off
+//!   the executor's commit path, and [`transport::SocketObserver`] ships
+//!   the same events as JSON lines over a Unix stream — byte-identical
+//!   to [`dejavuzz::observer::JsonLinesObserver`]'s output (asserted by
+//!   this crate's tests).
+//! * [`serve`] — the `dejavuzz-serve` daemon's engine:
+//!   [`serve::FleetState`] aggregates per-shard telemetry plus the
+//!   fleet-wide coverage union, and [`serve::FleetHub`] answers
+//!   `status`/`coverage`/`shards`/`telemetry` queries over a Unix
+//!   socket and relays external `dejavuzz-fuzz --peers unix:PATH`
+//!   clients onto the in-process bus.
+//!
+//! The `dejavuzz-serve` binary wires the three together: it owns N
+//! campaigns, meshes their gossip links, aggregates their event streams
+//! and serves the result.
+
+pub mod gossip;
+pub mod serve;
+pub mod transport;
+
+pub use gossip::{mesh, Bus, BusLink};
+pub use serve::{FleetHub, FleetState, ShardStatus};
+#[cfg(unix)]
+pub use transport::SocketObserver;
+pub use transport::{CampaignEvent, ChannelObserver};

@@ -1,0 +1,571 @@
+//! The `dejavuzz-serve` engine: fleet-wide aggregation and the query /
+//! relay socket.
+//!
+//! [`FleetState`] folds every shard's [`CampaignEvent`] stream into one
+//! queryable view: per-shard progress counters, a bounded telemetry
+//! ring of recent JSON lines, and the fleet-wide coverage union (built
+//! from [`CampaignEvent::CoverageGained`] points — every point any
+//! shard ever discovered was fresh *somewhere*, so the union over all
+//! shards' gained points is exactly the union `dejavuzz-merge` would
+//! compute over their snapshots; cross-shard imports only re-observe
+//! points already counted at their source).
+//!
+//! [`FleetHub`] serves it over a Unix socket with a line protocol:
+//!
+//! | request              | response                                   |
+//! |----------------------|--------------------------------------------|
+//! | `status`             | one JSON object, fleet totals              |
+//! | `shards`             | one JSON object, per-shard summaries       |
+//! | `coverage`           | one JSON object, union vs summed points    |
+//! | `telemetry <shard>`  | the shard's recent JSON event lines        |
+//! | `shutdown`           | `{"ok":"shutting down"}`, then the hub exits |
+//! | `gossip <shard>`     | switches the connection into relay mode    |
+//!
+//! `gossip <shard>` is the handshake
+//! [`dejavuzz::gossip::UnixGossipLink::connect`] sends: the connection
+//! stops being a query and becomes a frame relay — wire frames from the
+//! external peer are republished on the in-process [`Bus`], and bus
+//! frames flow back out — so `dejavuzz-fuzz --peers unix:PATH`
+//! processes join the served fleet's mesh as equals.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dejavuzz::gossip::{GossipLink, UnixGossipLink};
+use dejavuzz::observer::json_str;
+use dejavuzz_ift::CoverageMatrix;
+
+use crate::gossip::Bus;
+use crate::transport::CampaignEvent;
+
+/// Telemetry lines retained per shard (oldest evicted first).
+pub const TELEMETRY_RING: usize = 256;
+
+/// One shard's aggregated progress.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Iterations committed so far.
+    pub iterations: usize,
+    /// The shard's own coverage union (its `total_points`).
+    pub points: usize,
+    /// Deduplicated bugs the shard reported.
+    pub bugs: usize,
+    /// Peer coverage deltas imported at round boundaries.
+    pub peer_imports: usize,
+    /// Peer corpus entries imported at round boundaries.
+    pub seed_imports: usize,
+    /// The campaign completed.
+    pub finished: bool,
+}
+
+/// The fleet-wide aggregate: per-shard [`ShardStatus`], per-shard
+/// telemetry rings, and the exact union coverage. See the module docs
+/// for why the union is built from gained points only.
+#[derive(Default)]
+pub struct FleetState {
+    shards: BTreeMap<u32, ShardStatus>,
+    telemetry: BTreeMap<u32, VecDeque<String>>,
+    union: CoverageMatrix,
+}
+
+impl FleetState {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        FleetState::default()
+    }
+
+    /// Pre-registers a shard so `status`/`shards` report it before its
+    /// first event arrives.
+    pub fn register(&mut self, shard: u32) {
+        self.shards.entry(shard).or_default();
+        self.telemetry.entry(shard).or_default();
+    }
+
+    /// Folds one shard event into the aggregate.
+    pub fn apply(&mut self, shard: u32, ev: &CampaignEvent) {
+        let status = self.shards.entry(shard).or_default();
+        match ev {
+            CampaignEvent::RoundStarted(_) | CampaignEvent::SnapshotWritten { .. } => {}
+            CampaignEvent::SlotCommitted(e) => {
+                status.iterations = status.iterations.max(e.slot + 1);
+                status.points = e.total_points;
+            }
+            CampaignEvent::CoverageGained {
+                points,
+                total_points,
+                ..
+            } => {
+                status.points = *total_points;
+                for p in points {
+                    self.union.insert(*p);
+                }
+            }
+            CampaignEvent::BugFound(_) => status.bugs += 1,
+            CampaignEvent::PeerDeltaImported(e) => {
+                status.peer_imports += 1;
+                status.points = e.total_points;
+            }
+            CampaignEvent::SeedImported(_) => status.seed_imports += 1,
+            CampaignEvent::CampaignFinished {
+                iterations,
+                coverage_points,
+                bugs,
+                ..
+            } => {
+                status.iterations = *iterations;
+                status.points = *coverage_points;
+                status.bugs = *bugs;
+                status.finished = true;
+            }
+        }
+        let ring = self.telemetry.entry(shard).or_default();
+        if ring.len() == TELEMETRY_RING {
+            ring.pop_front();
+        }
+        ring.push_back(ev.to_json());
+    }
+
+    /// The fleet-wide coverage union.
+    pub fn union(&self) -> &CoverageMatrix {
+        &self.union
+    }
+
+    /// The per-shard summaries, keyed (and therefore rendered) in shard
+    /// order.
+    pub fn shards(&self) -> &BTreeMap<u32, ShardStatus> {
+        &self.shards
+    }
+
+    /// The `status` response: one JSON object of fleet totals.
+    pub fn render_status(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"finished\":{},\"iterations\":{},\"union_points\":{},\"bugs\":{}}}",
+            self.shards.len(),
+            self.shards.values().filter(|s| s.finished).count(),
+            self.shards.values().map(|s| s.iterations).sum::<usize>(),
+            self.union.points(),
+            self.shards.values().map(|s| s.bugs).sum::<usize>(),
+        )
+    }
+
+    /// The `shards` response: one JSON object with per-shard summaries.
+    pub fn render_shards(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|(id, s)| {
+                format!(
+                    "{{\"shard\":{id},\"iterations\":{},\"points\":{},\"bugs\":{},\
+                     \"peer_imports\":{},\"seed_imports\":{},\"finished\":{}}}",
+                    s.iterations, s.points, s.bugs, s.peer_imports, s.seed_imports, s.finished
+                )
+            })
+            .collect();
+        format!("{{\"shards\":[{}]}}", shards.join(","))
+    }
+
+    /// The `coverage` response: the exact union next to the per-shard
+    /// counts it deduplicates (their sum double-counts shared points —
+    /// the same distinction `dejavuzz-merge` reports).
+    pub fn render_coverage(&self) -> String {
+        let per_shard: Vec<String> = self
+            .shards
+            .iter()
+            .map(|(id, s)| format!("{{\"shard\":{id},\"points\":{}}}", s.points))
+            .collect();
+        format!(
+            "{{\"union_points\":{},\"summed_points\":{},\"per_shard\":[{}]}}",
+            self.union.points(),
+            self.shards.values().map(|s| s.points).sum::<usize>(),
+            per_shard.join(",")
+        )
+    }
+
+    /// The `telemetry <shard>` response: the shard's retained JSON
+    /// lines, newest last (empty for an unknown shard).
+    pub fn render_telemetry(&self, shard: u32) -> String {
+        match self.telemetry.get(&shard) {
+            Some(ring) => ring.iter().cloned().collect::<Vec<_>>().join("\n"),
+            None => String::new(),
+        }
+    }
+}
+
+/// The query/relay socket server. Bind with [`FleetHub::bind`], run the
+/// accept loop with [`FleetHub::run`] (it returns once a `shutdown`
+/// query arrives or the flag from [`FleetHub::shutdown_flag`] is set
+/// externally).
+pub struct FleetHub {
+    listener: UnixListener,
+    state: Arc<Mutex<FleetState>>,
+    bus: Bus,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl FleetHub {
+    /// Binds the hub socket. A stale socket file from a previous run is
+    /// removed first (only if it actually is a socket — a regular file
+    /// at the path is an error, not a casualty).
+    pub fn bind(path: &Path, state: Arc<Mutex<FleetState>>, bus: Bus) -> io::Result<FleetHub> {
+        if let Ok(md) = std::fs::symlink_metadata(path) {
+            use std::os::unix::fs::FileTypeExt;
+            if md.file_type().is_socket() {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(FleetHub {
+            listener: UnixListener::bind(path)?,
+            state,
+            bus,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The flag that stops [`FleetHub::run`]; share it to shut the hub
+    /// down from outside the socket protocol.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accepts and serves connections until shutdown. Each connection
+    /// gets its own thread: queries answer-and-close, `gossip` relays
+    /// run until their peer disconnects (or shutdown).
+    pub fn run(&self) {
+        if let Err(e) = self.listener.set_nonblocking(true) {
+            eprintln!("dejavuzz-serve: cannot poll the hub socket: {e}");
+            return;
+        }
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    let bus = self.bus.clone();
+                    let shutdown = Arc::clone(&self.shutdown);
+                    std::thread::spawn(move || handle_connection(stream, state, bus, shutdown));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    eprintln!("dejavuzz-serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line byte-by-byte, so no bytes beyond the
+/// newline are consumed — the relay handshake precedes binary frames on
+/// the same stream, and a buffered reader would swallow their start.
+fn read_line_raw(stream: &mut UnixStream) -> io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                if line.len() >= 256 {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        "request line over 256 bytes",
+                    ));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&line).into_owned())
+}
+
+fn handle_connection(
+    mut stream: UnixStream,
+    state: Arc<Mutex<FleetState>>,
+    bus: Bus,
+    shutdown: Arc<AtomicBool>,
+) {
+    // A client that connects and never writes must not pin this thread
+    // forever; relays reset the timeout once the handshake is in.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let line = match read_line_raw(&mut stream) {
+        Ok(line) => line,
+        Err(_) => return,
+    };
+    let line = line.trim();
+    if let Some(shard) = line.strip_prefix("gossip ") {
+        if shard.trim().parse::<u32>().is_ok() {
+            let _ = stream.set_read_timeout(None);
+            relay(stream, bus, shutdown);
+        } else {
+            let _ = writeln!(
+                stream,
+                "{{\"error\":{}}}",
+                json_str(&format!("bad gossip handshake {line:?}"))
+            );
+        }
+        return;
+    }
+    let response = match line {
+        "status" => state.lock().expect("fleet state poisoned").render_status(),
+        "shards" => state.lock().expect("fleet state poisoned").render_shards(),
+        "coverage" => state
+            .lock()
+            .expect("fleet state poisoned")
+            .render_coverage(),
+        "shutdown" => {
+            shutdown.store(true, Ordering::Relaxed);
+            "{\"ok\":\"shutting down\"}".to_string()
+        }
+        _ => match line.strip_prefix("telemetry ") {
+            Some(shard) => match shard.trim().parse::<u32>() {
+                Ok(shard) => state
+                    .lock()
+                    .expect("fleet state poisoned")
+                    .render_telemetry(shard),
+                Err(_) => format!("{{\"error\":{}}}", json_str("telemetry needs a shard id")),
+            },
+            None => format!(
+                "{{\"error\":{}}}",
+                json_str(&format!(
+                    "unknown request {line:?} (expected status|shards|coverage|\
+                     telemetry <shard>|shutdown|gossip <shard>)"
+                ))
+            ),
+        },
+    };
+    let _ = writeln!(stream, "{response}");
+}
+
+/// Bridges one external socket peer onto the in-process bus: frames the
+/// peer ships are republished to every bus subscriber, frames any bus
+/// subscriber publishes flow back to the peer. Dropping out (peer
+/// disconnect, shutdown) unsubscribes the relay's bus link.
+fn relay(stream: UnixStream, bus: Bus, shutdown: Arc<AtomicBool>) {
+    let mut sock = UnixGossipLink::from_stream(stream);
+    let mut bus_link = bus.link();
+    while !shutdown.load(Ordering::Relaxed) {
+        for frame in sock.drain() {
+            bus_link.publish(&frame);
+        }
+        for frame in bus_link.drain() {
+            sock.publish(&frame);
+        }
+        if sock.is_dead() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavuzz::gossip::GossipFrame;
+    use dejavuzz::observer::{PeerDeltaImported, RoundStarted, SlotCommitted};
+    use dejavuzz::WindowType;
+    use dejavuzz_ift::CoveragePoint;
+
+    fn pt(module: &'static str, index: usize) -> CoveragePoint {
+        CoveragePoint { module, index }
+    }
+
+    fn gained(slot: usize, points: Vec<CoveragePoint>, total: usize) -> CampaignEvent {
+        CampaignEvent::CoverageGained {
+            slot,
+            points,
+            total_points: total,
+        }
+    }
+
+    #[test]
+    fn state_builds_the_exact_union_from_gained_points() {
+        let mut state = FleetState::new();
+        state.register(0);
+        state.register(1);
+        state.apply(0, &gained(0, vec![pt("rob", 1), pt("rob", 2)], 2));
+        state.apply(1, &gained(0, vec![pt("rob", 2), pt("lsu", 1)], 2));
+        assert_eq!(state.union().points(), 3, "shared points deduplicate");
+        assert_eq!(
+            state.render_coverage(),
+            "{\"union_points\":3,\"summed_points\":4,\
+             \"per_shard\":[{\"shard\":0,\"points\":2},{\"shard\":1,\"points\":2}]}"
+        );
+    }
+
+    #[test]
+    fn state_tracks_progress_imports_and_completion() {
+        let mut state = FleetState::new();
+        state.register(0);
+        state.apply(
+            0,
+            &CampaignEvent::SlotCommitted(SlotCommitted {
+                slot: 3,
+                stream: 0,
+                window_type: WindowType::ALL[0],
+                triggered: false,
+                to: 0,
+                eto: 0,
+                sim_runs: 1,
+                final_gain: 0,
+                fresh_points: 0,
+                total_points: 5,
+                error: None,
+            }),
+        );
+        state.apply(
+            0,
+            &CampaignEvent::PeerDeltaImported(PeerDeltaImported {
+                from_shard: 1,
+                peer_iterations: 8,
+                boundary: 4,
+                points: 3,
+                fresh_points: 2,
+                total_points: 7,
+            }),
+        );
+        let s = &state.shards()[&0];
+        assert_eq!((s.iterations, s.points, s.peer_imports), (4, 7, 1));
+        assert!(!s.finished);
+        state.apply(
+            0,
+            &CampaignEvent::CampaignFinished {
+                iterations: 8,
+                sim_runs: 32,
+                sim_cycles: 1024,
+                coverage_points: 9,
+                corpus_retained: 3,
+                corpus_evicted: 0,
+                failed_runs: 0,
+                bugs: 2,
+                first_bug: Some(5),
+            },
+        );
+        let s = &state.shards()[&0];
+        assert!(s.finished);
+        assert_eq!((s.iterations, s.points, s.bugs), (8, 9, 2));
+        assert_eq!(
+            state.render_status(),
+            "{\"shards\":1,\"finished\":1,\"iterations\":8,\"union_points\":0,\"bugs\":2}"
+        );
+    }
+
+    #[test]
+    fn telemetry_ring_is_bounded() {
+        let mut state = FleetState::new();
+        for i in 0..TELEMETRY_RING + 10 {
+            state.apply(
+                0,
+                &CampaignEvent::RoundStarted(RoundStarted {
+                    first_slot: i,
+                    slots: 1,
+                    gain_threshold_samples: 0,
+                }),
+            );
+        }
+        let rendered = state.render_telemetry(0);
+        assert_eq!(rendered.lines().count(), TELEMETRY_RING);
+        assert!(
+            rendered
+                .lines()
+                .last()
+                .unwrap()
+                .contains(&format!("\"first_slot\":{}", TELEMETRY_RING + 9)),
+            "newest line retained"
+        );
+        assert_eq!(state.render_telemetry(9), "", "unknown shard is empty");
+    }
+
+    fn temp_socket(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("djvz-hub-{tag}-{}.sock", std::process::id()))
+    }
+
+    fn query(path: &Path, request: &str) -> String {
+        let mut stream = UnixStream::connect(path).unwrap();
+        stream.write_all(format!("{request}\n").as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn hub_answers_queries_and_shuts_down() {
+        let path = temp_socket("query");
+        let state = Arc::new(Mutex::new(FleetState::new()));
+        state.lock().unwrap().register(0);
+        let hub = FleetHub::bind(&path, Arc::clone(&state), Bus::new()).unwrap();
+        let server = std::thread::spawn(move || hub.run());
+        assert_eq!(
+            query(&path, "status"),
+            "{\"shards\":1,\"finished\":0,\"iterations\":0,\"union_points\":0,\"bugs\":0}\n"
+        );
+        assert!(query(&path, "bogus").starts_with("{\"error\":"));
+        assert_eq!(query(&path, "shutdown"), "{\"ok\":\"shutting down\"}\n");
+        server.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// An external `UnixGossipLink` (the `dejavuzz-fuzz --peers` client)
+    /// joins the in-process bus through the relay: frames flow both
+    /// ways.
+    #[test]
+    fn relay_bridges_external_peers_onto_the_bus() {
+        let path = temp_socket("relay");
+        let state = Arc::new(Mutex::new(FleetState::new()));
+        let bus = Bus::new();
+        let mut local = bus.link();
+        let hub = FleetHub::bind(&path, state, bus.clone()).unwrap();
+        let flag = hub.shutdown_flag();
+        let server = std::thread::spawn(move || hub.run());
+
+        let mut external = UnixGossipLink::connect(&path, 7).unwrap();
+        let frame = GossipFrame {
+            shard: 7,
+            iterations: 12,
+            delta: vec![pt("relay", 1)],
+            favoured: Vec::new(),
+        };
+        external.publish(&frame);
+        let inbound = wait_for(|| {
+            let got = local.drain();
+            (!got.is_empty()).then_some(got)
+        });
+        assert_eq!(inbound, vec![frame.clone()]);
+
+        let reply = GossipFrame {
+            shard: 0,
+            iterations: 4,
+            delta: vec![pt("relay", 2)],
+            favoured: Vec::new(),
+        };
+        local.publish(&reply);
+        let outbound = wait_for(|| {
+            let got = external.drain();
+            (!got.is_empty()).then_some(got)
+        });
+        assert_eq!(outbound, vec![reply]);
+
+        flag.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Polls until `probe` yields, panicking after ~5s — relay delivery
+    /// crosses threads, so assertions need a deadline, not a sleep.
+    fn wait_for<T>(mut probe: impl FnMut() -> Option<T>) -> T {
+        for _ in 0..1000 {
+            if let Some(v) = probe() {
+                return v;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("relay delivery timed out");
+    }
+}

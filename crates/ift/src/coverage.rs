@@ -187,6 +187,117 @@ impl CoverageView for CoverageMatrix {
     }
 }
 
+/// A coverage union with an append-only discovery log: the delta-since-
+/// watermark primitive behind every incremental coverage exchange in the
+/// workspace.
+///
+/// The executor's round-start view broadcasts and the fleet gossip
+/// protocol both need the same thing: "every point the union gained since
+/// the last time *this consumer* looked", in discovery order, without
+/// re-shipping the whole matrix. A [`CoverageLog`] is a
+/// [`CoverageMatrix`] plus the ordered log of points inserted *through*
+/// it; consumers hold a [`CoverageLog::watermark`] cursor and read
+/// [`CoverageLog::delta_since`] — each delta is O(points gained), never
+/// O(coverage space).
+///
+/// Points present at construction ([`CoverageLog::seeded`], the
+/// snapshot-resume path) are deliberately *not* in the log: a restored
+/// consumer's view already holds them, so only post-restore discoveries
+/// need broadcasting — exactly the executor's resume contract.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageLog {
+    matrix: CoverageMatrix,
+    log: Vec<CoveragePoint>,
+}
+
+impl CoverageLog {
+    /// An empty union with an empty log.
+    pub fn new() -> Self {
+        CoverageLog::default()
+    }
+
+    /// A log over an already-populated union (snapshot restore): the
+    /// seeded points are in the matrix but not in the log, so
+    /// `delta_since(0)` yields only what is inserted after this call.
+    pub fn seeded(matrix: CoverageMatrix) -> Self {
+        CoverageLog {
+            matrix,
+            log: Vec::new(),
+        }
+    }
+
+    /// Inserts one point; true (and appended to the log) if it was new.
+    pub fn insert(&mut self, point: CoveragePoint) -> bool {
+        let fresh = self.matrix.insert(point);
+        if fresh {
+            self.log.push(point);
+        }
+        fresh
+    }
+
+    /// Re-appends already-present points to the log without touching the
+    /// matrix. This is the mid-pipeline resume splice: points committed
+    /// after an in-flight round was dispatched are in the restored union
+    /// but still owed to consumers whose cursors predate them.
+    pub fn replay(&mut self, points: &[CoveragePoint]) {
+        for p in points {
+            debug_assert!(
+                self.matrix.contains_point(p),
+                "replay is for points the union already holds"
+            );
+            self.log.push(*p);
+        }
+    }
+
+    /// The current log position. A consumer that stores this and later
+    /// calls [`CoverageLog::delta_since`] with it sees exactly the points
+    /// inserted in between, in discovery order.
+    pub fn watermark(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Every point inserted (or [`CoverageLog::replay`]ed) since
+    /// `watermark`, in order.
+    pub fn delta_since(&self, watermark: usize) -> &[CoveragePoint] {
+        &self.log[watermark.min(self.log.len())..]
+    }
+
+    /// The underlying union.
+    pub fn matrix(&self) -> &CoverageMatrix {
+        &self.matrix
+    }
+
+    /// Consumes the log, returning the union.
+    pub fn into_matrix(self) -> CoverageMatrix {
+        self.matrix
+    }
+
+    /// Distinct points in the union (seeded + inserted).
+    pub fn points(&self) -> usize {
+        self.matrix.points()
+    }
+
+    /// True if the union holds `point`.
+    pub fn contains_point(&self, point: &CoveragePoint) -> bool {
+        self.matrix.contains_point(point)
+    }
+
+    /// Iterates the union in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &CoveragePoint> {
+        self.matrix.iter()
+    }
+}
+
+impl CoverageView for CoverageLog {
+    fn insert_point(&mut self, point: CoveragePoint) -> bool {
+        self.insert(point)
+    }
+
+    fn contains_point(&self, point: &CoveragePoint) -> bool {
+        CoverageLog::contains_point(self, point)
+    }
+}
+
 /// A two-level coverage view: a frozen, `Arc`-shared round-start base plus
 /// a small private overlay holding only the points this slot discovered.
 ///
@@ -372,6 +483,59 @@ mod tests {
         assert!(!m.remove(&p));
         assert!(m.is_empty());
         assert_eq!(m.points(), 0);
+    }
+
+    fn pt(module: &'static str, index: usize) -> CoveragePoint {
+        CoveragePoint { module, index }
+    }
+
+    #[test]
+    fn coverage_log_deltas_are_ordered_and_watermarked() {
+        let mut log = CoverageLog::new();
+        assert_eq!(log.watermark(), 0);
+        assert!(log.insert(pt("rob", 3)));
+        assert!(log.insert(pt("lsu", 1)));
+        assert!(!log.insert(pt("rob", 3)), "duplicates never enter the log");
+        let mark = log.watermark();
+        assert_eq!(mark, 2);
+        assert_eq!(log.delta_since(0), &[pt("rob", 3), pt("lsu", 1)]);
+        assert!(log.delta_since(mark).is_empty());
+        assert!(log.insert(pt("dcache", 7)));
+        assert_eq!(log.delta_since(mark), &[pt("dcache", 7)]);
+        assert_eq!(log.points(), 3);
+        assert_eq!(log.matrix().points(), 3);
+    }
+
+    #[test]
+    fn seeded_points_are_in_the_union_but_not_the_log() {
+        let mut base = CoverageMatrix::new();
+        base.insert(pt("rob", 3));
+        let mut log = CoverageLog::seeded(base);
+        assert_eq!(log.points(), 1);
+        assert_eq!(log.watermark(), 0, "seeded points owe no delta");
+        assert!(log.delta_since(0).is_empty());
+        assert!(!log.insert(pt("rob", 3)), "the union still dedups them");
+        assert!(log.insert(pt("lsu", 1)));
+        assert_eq!(log.delta_since(0), &[pt("lsu", 1)]);
+    }
+
+    #[test]
+    fn replay_reappends_without_reinserting() {
+        let mut base = CoverageMatrix::new();
+        base.insert(pt("rob", 3));
+        base.insert(pt("lsu", 1));
+        let mut log = CoverageLog::seeded(base);
+        log.replay(&[pt("lsu", 1)]);
+        assert_eq!(log.points(), 2, "replay never grows the union");
+        assert_eq!(log.delta_since(0), &[pt("lsu", 1)]);
+        assert_eq!(log.watermark(), 1);
+    }
+
+    #[test]
+    fn delta_since_a_future_watermark_is_empty() {
+        let mut log = CoverageLog::new();
+        log.insert(pt("rob", 3));
+        assert!(log.delta_since(99).is_empty());
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod shared;
 pub mod tword;
 
 pub use census::{Census, ModuleCensus, TaintLog};
-pub use coverage::{CoverageMatrix, CoveragePoint, CoverageView, OverlayCoverage, TaintCoverage};
+pub use coverage::{
+    CoverageLog, CoverageMatrix, CoveragePoint, CoverageView, OverlayCoverage, TaintCoverage,
+};
 pub use liveness::{LivenessMask, SinkReport};
 pub use mem::TMem;
 pub use policy::{IftMode, Policy};

@@ -32,6 +32,11 @@ pub struct SharedCoverage {
     shards: Box<[Mutex<CoverageMatrix>]>,
     /// Exact global point count, maintained on successful inserts.
     points: AtomicUsize,
+    /// Append-only discovery log, in commit order: the delta-since-
+    /// watermark view of the union (see [`SharedCoverage::delta_since`]).
+    /// Locked only when a point is globally fresh, so the duplicate-heavy
+    /// hot path never touches it.
+    log: Mutex<Vec<CoveragePoint>>,
 }
 
 impl Default for SharedCoverage {
@@ -48,6 +53,7 @@ impl SharedCoverage {
         SharedCoverage {
             shards: (0..n).map(|_| Mutex::new(CoverageMatrix::new())).collect(),
             points: AtomicUsize::new(0),
+            log: Mutex::new(Vec::new()),
         }
     }
 
@@ -76,6 +82,7 @@ impl SharedCoverage {
         let fresh = shard.insert(point);
         drop(shard);
         if fresh {
+            self.log.lock().expect("log poisoned").push(point);
             self.points.fetch_add(1, Ordering::Relaxed);
         }
         fresh
@@ -118,6 +125,23 @@ impl SharedCoverage {
             .lock()
             .expect("shard poisoned")
             .contains_point(&p)
+    }
+
+    /// The current position of the discovery log. Store it, keep
+    /// observing, then ask [`SharedCoverage::delta_since`] for exactly
+    /// the points committed in between — the O(delta) sync primitive
+    /// shard gossip and live telemetry build on.
+    pub fn watermark(&self) -> usize {
+        self.log.lock().expect("log poisoned").len()
+    }
+
+    /// Every point committed since `watermark`, in commit order. Under
+    /// concurrent writers the order reflects who committed first (the
+    /// union is exact, attribution is first-come-first-served — same
+    /// contract as [`SharedCoverage::observe`]).
+    pub fn delta_since(&self, watermark: usize) -> Vec<CoveragePoint> {
+        let log = self.log.lock().expect("log poisoned");
+        log[watermark.min(log.len())..].to_vec()
     }
 
     /// A point-in-time union of all shards as a plain matrix.
@@ -290,6 +314,60 @@ mod tests {
         assert_eq!(s.points(), 64, "exact union of 1..=64");
         assert_eq!(s.snapshot().points(), 64);
         assert!(per_thread_sum > s.points(), "the naive sum would inflate");
+    }
+
+    #[test]
+    fn watermark_deltas_track_commit_order() {
+        let s = SharedCoverage::new(4);
+        let rob3 = CoveragePoint {
+            module: "rob",
+            index: 3,
+        };
+        let lsu1 = CoveragePoint {
+            module: "lsu",
+            index: 1,
+        };
+        assert_eq!(s.watermark(), 0);
+        s.observe_point(rob3);
+        s.observe_point(rob3); // duplicate: no log entry
+        let mark = s.watermark();
+        assert_eq!(mark, 1);
+        assert_eq!(s.delta_since(0), vec![rob3]);
+        s.observe_point(lsu1);
+        assert_eq!(s.delta_since(mark), vec![lsu1]);
+        assert!(s.delta_since(s.watermark()).is_empty());
+        assert!(s.delta_since(99).is_empty(), "future watermark is empty");
+        assert_eq!(s.watermark(), s.points(), "one log entry per fresh point");
+    }
+
+    #[test]
+    fn concurrent_deltas_cover_the_union_exactly_once() {
+        let s = Arc::new(SharedCoverage::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 1..=32 {
+                        if i % 4 == t || i <= 16 {
+                            s.observe_point(CoveragePoint {
+                                module: "rob",
+                                index: i,
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let delta = s.delta_since(0);
+        assert_eq!(delta.len(), 32, "each fresh point logged exactly once");
+        let mut sorted = delta.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32);
+        assert_eq!(s.snapshot().sorted_points(), sorted);
     }
 
     #[test]

@@ -16,6 +16,38 @@
 
 use crate::codec::{DecodeError, Decoder, Encoder};
 
+/// Envelope header size: magic (8) + version (4) + payload length (8) +
+/// checksum (8). A complete frame is `HEADER_LEN + payload_len` bytes.
+pub const HEADER_LEN: usize = 28;
+
+/// Frame kind for fleet gossip: the periodic coverage-delta +
+/// favoured-corpus exchange between running shards (`dejavuzz::gossip`).
+/// Distinct from the snapshot magic so a gossip frame fed to the
+/// snapshot decoder (or vice versa) fails loudly with
+/// [`DecodeError::BadMagic`] instead of misparsing.
+pub const GOSSIP_MAGIC: [u8; 8] = *b"DJVZGOSP";
+
+/// Current gossip frame payload version.
+pub const GOSSIP_VERSION: u32 = 1;
+
+/// Oldest gossip frame payload version this build still reads.
+pub const GOSSIP_MIN_VERSION: u32 = 1;
+
+/// Stream reassembly: the total size of the frame starting at `bytes[0]`,
+/// or `None` while the header is still incomplete. Lets a socket reader
+/// split a byte stream into whole frames before handing each to [`open`]
+/// (which rejects trailing bytes by design). Performs no validation
+/// beyond reading the length field — [`open`] still checks magic,
+/// version and checksum on the complete frame.
+pub fn framed_len(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let mut len = [0u8; 8];
+    len.copy_from_slice(&bytes[12..20]);
+    Some(HEADER_LEN + u64::from_le_bytes(len) as usize)
+}
+
 /// FNV-1a 64-bit over a byte slice: cheap, dependency-free, and stable
 /// across platforms. Not cryptographic — it guards against bit rot and
 /// truncation, not adversaries.
@@ -195,6 +227,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn framed_len_splits_streams_into_whole_frames() {
+        let a = seal(MAGIC, 1, b"first");
+        let b = seal(MAGIC, 1, b"the second frame");
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        // Header incomplete: no length yet.
+        assert_eq!(framed_len(&stream[..HEADER_LEN - 1]), None);
+        // Complete header: the first frame's exact extent.
+        let la = framed_len(&stream).unwrap();
+        assert_eq!(la, a.len());
+        assert_eq!(open(MAGIC, 1, &stream[..la]).unwrap(), b"first");
+        let lb = framed_len(&stream[la..]).unwrap();
+        assert_eq!(la + lb, stream.len());
+        assert_eq!(open(MAGIC, 1, &stream[la..]).unwrap(), b"the second frame");
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod intern;
 pub mod io;
 
 pub use codec::{DecodeError, Decoder, Encoder, Persist};
-pub use frame::{fnv1a64, open, open_versioned, seal};
+pub use frame::{
+    fnv1a64, framed_len, open, open_versioned, seal, GOSSIP_MAGIC, GOSSIP_MIN_VERSION,
+    GOSSIP_VERSION, HEADER_LEN,
+};
 pub use intern::intern;
 pub use io::{load_bytes, prune_rotated, rotated_path, save_atomic, LoadError};
 
