@@ -118,7 +118,13 @@ fn main() {
              \u{20}                        (round_started, slot_committed, coverage_gained,\n\
              \u{20}                        bug_found, snapshot_written, peer_delta_imported,\n\
              \u{20}                        seed_imported, campaign_finished) —\n\
-             \u{20}                        byte-deterministic per (seed, workers)\n\n\
+             \u{20}                        byte-deterministic per (seed, workers)\n\
+             --metrics-out PATH      write a JSON dump of the process metrics registry\n\
+             \u{20}                        (counters, gauges, log-bucketed latency\n\
+             \u{20}                        histograms — see EXPERIMENTS.md \"Observability\")\n\
+             \u{20}                        at campaign end. Metrics live off the commit\n\
+             \u{20}                        path: campaign stdout, results and snapshots\n\
+             \u{20}                        are byte-identical with or without this flag\n\n\
              Flag values that fail to parse are an error (exit 2), never a\n\
              silent fallback to the default.\n"
         );
@@ -169,6 +175,7 @@ fn main() {
     let snapshot_keep = arg(&args, "--snapshot-keep", 0usize);
     let halt_after = opt_arg::<usize>(&args, "--halt-after");
     let resume_path = opt_arg::<String>(&args, "--resume");
+    let metrics_out = opt_arg::<String>(&args, "--metrics-out");
     let telemetry = arg::<String>(&args, "--telemetry", "text".into());
     if telemetry != "text" && telemetry != "json" {
         die(format_args!(
@@ -348,6 +355,19 @@ fn main() {
                 s.completed, stats.iterations
             ),
             Err(e) => eprintln!("dejavuzz-fuzz: warning: snapshot at {path} is unusable: {e}"),
+        }
+    }
+    // The metrics dump is observability output, not campaign state: it
+    // is written after the run, its chatter goes to stderr, and a failed
+    // write warns rather than failing the campaign (the results above
+    // are already complete and correct).
+    if let Some(path) = &metrics_out {
+        let json = dejavuzz::metrics::registry_json();
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("dejavuzz-fuzz: metrics written to {path}"),
+            Err(e) => {
+                eprintln!("dejavuzz-fuzz: warning: cannot write metrics to {path}: {e}")
+            }
         }
     }
 }

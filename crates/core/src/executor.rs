@@ -396,6 +396,16 @@ fn commit_outcome(
 ) {
     *busy_nanos += o.elapsed_nanos;
     *view_setup_nanos += o.view_setup_nanos;
+    // Telemetry re-uses the durations the report already measured — no
+    // clock reads on the commit path, and the instruments are write-only
+    // from the campaign's perspective (the off-commit-path contract).
+    let metrics = crate::metrics::handles();
+    metrics.slot_run_nanos.observe(o.elapsed_nanos);
+    if o.view_setup_nanos > 0 {
+        metrics.view_setup_nanos.observe(o.view_setup_nanos);
+    }
+    metrics.iterations_total.inc();
+    metrics.sim_runs_total.add(o.sim_runs as u64);
     s.worker_iterations[o.stream] += 1;
     for p in &o.observed_fresh {
         s.worker_observed[o.stream].insert(*p);
@@ -414,6 +424,7 @@ fn commit_outcome(
         }
     }
     s.stats.coverage_curve.push(s.global.points());
+    metrics.coverage_points.set(s.global.points() as u64);
     if feedback {
         s.policy.record(
             &mut s.corpus,
@@ -961,7 +972,10 @@ impl Orchestrator {
         } else {
             path.clone()
         };
+        let write_span =
+            dejavuzz_telemetry::Timer::start(&crate::metrics::handles().snapshot_write_nanos);
         if let Err(e) = snap.save(&target) {
+            write_span.finish();
             // A failed checkpoint must not kill a running campaign:
             // warn and fuzz on; the next interval retries.
             eprintln!(
@@ -970,6 +984,8 @@ impl Orchestrator {
             );
             return;
         }
+        write_span.finish();
+        crate::metrics::handles().snapshots_total.inc();
         if rotate {
             if let Err(e) = dejavuzz_persist::prune_rotated(path, self.snapshot_keep) {
                 eprintln!(
@@ -1009,6 +1025,8 @@ impl Orchestrator {
         let Some(link) = &self.gossip else {
             return;
         };
+        let metrics = crate::metrics::handles();
+        let _exchange_span = dejavuzz_telemetry::Timer::start(&metrics.gossip_exchange_nanos);
         // Export first: the frame carries exactly what this shard itself
         // discovered since the last exchange, in discovery order.
         let delta: Vec<CoveragePoint> = s
@@ -1033,6 +1051,7 @@ impl Orchestrator {
             .take(FAVOURED_PER_FRAME)
             .cloned()
             .collect();
+        metrics.gossip_points_out_total.add(delta.len() as u64);
         let frame = GossipFrame {
             shard: self.shard_id,
             iterations: s.stats.iterations,
@@ -1059,6 +1078,8 @@ impl Orchestrator {
                     gst.imported.insert(*p);
                 }
             }
+            metrics.gossip_frames_in_total.inc();
+            metrics.gossip_points_in_total.add(fresh as u64);
             let ev = PeerDeltaImported {
                 from_shard: f.shard,
                 peer_iterations: f.iterations,
@@ -1178,6 +1199,8 @@ impl Orchestrator {
                 .scheduler
                 .round_span(self.workers, self.batch, iterations - next_slot);
             let plan = {
+                let _plan_span =
+                    dejavuzz_telemetry::Timer::start(&crate::metrics::handles().plan_nanos);
                 // Disjoint field borrows: the scheduler plans over the
                 // rest of the session state.
                 let Session {
@@ -1317,6 +1340,7 @@ impl Orchestrator {
             barrier_idle_nanos: (self.workers as u64 * makespan_nanos).saturating_sub(busy_nanos),
             view_setup_nanos,
         };
+        crate::metrics::record_report(&report);
         let finished = CampaignFinished {
             report: &report,
             elapsed: run_start.elapsed(),
@@ -1502,6 +1526,8 @@ impl Orchestrator {
                     .scheduler
                     .round_span(self.workers, self.batch, iterations - next_slot);
                 let plan = {
+                    let _plan_span =
+                        dejavuzz_telemetry::Timer::start(&crate::metrics::handles().plan_nanos);
                     let Session {
                         scheduler,
                         corpus,
@@ -1590,11 +1616,20 @@ impl Orchestrator {
                     committed_through += 1;
                     continue;
                 }
+                // The wait for the next contiguous slot is the
+                // pipeline's stall: outcomes may be buffered out of
+                // order, but commit cannot proceed past a gap.
+                let stall =
+                    dejavuzz_telemetry::Timer::start(&crate::metrics::handles().commit_stall_nanos);
                 let reply: RoundReply = from_rx.recv().expect("worker hung up mid-run");
+                stall.finish();
                 debug_assert!(reply.rng.is_none(), "steal workers never draw");
                 for o in reply.outcomes {
                     buffered.insert(o.slot, o);
                 }
+                crate::metrics::handles()
+                    .commit_queue_depth
+                    .set(buffered.len() as u64);
             }
 
             // Boundary: the front round is fully committed, in order.
@@ -1658,6 +1693,7 @@ impl Orchestrator {
             barrier_idle_nanos: (self.workers as u64 * makespan_nanos).saturating_sub(busy_nanos),
             view_setup_nanos,
         };
+        crate::metrics::record_report(&report);
         let finished = CampaignFinished {
             report: &report,
             elapsed: run_start.elapsed(),

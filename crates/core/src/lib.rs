@@ -102,6 +102,7 @@ pub mod corpus;
 pub mod executor;
 pub mod gen;
 pub mod gossip;
+pub mod metrics;
 pub mod observer;
 pub mod phases;
 pub mod registry;

@@ -1,0 +1,192 @@
+//! The core engine's instrument handles in the process-global
+//! [`dejavuzz_telemetry`] registry.
+//!
+//! Everything here is **off the commit path**: the executor writes these
+//! instruments at its phase boundaries, but no campaign decision, report
+//! field, stdout byte or snapshot byte ever reads one back, so recording
+//! (on, off, or scraped mid-run) cannot perturb results — the byte-
+//! identity contract `tests/metrics.rs` pins. Durations already measured
+//! for the report (slot elapsed, view setup) are *re-used* here rather
+//! than re-measured; the extra instruments (plan, census, stall,
+//! snapshot, gossip) read the clock only when recording is on.
+//!
+//! Handles resolve lazily through a `OnceLock` so the first instrumented
+//! operation pays the registration walk and every later one is a field
+//! load.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use dejavuzz_telemetry::{global, Counter, Gauge, Histogram};
+
+/// The engine's registered instruments. Obtain via [`handles`]; fields
+/// are shared handles into [`dejavuzz_telemetry::global`].
+#[derive(Debug)]
+pub struct CoreMetrics {
+    /// Time to plan (and for steal schedulers, pre-draw) one round.
+    pub plan_nanos: Arc<Histogram>,
+    /// Per-slot backend run time (the worker's measured `elapsed_nanos`,
+    /// observed at commit — no extra clock read).
+    pub slot_run_nanos: Arc<Histogram>,
+    /// Per-slot overlay view construction time (steal rounds only).
+    pub view_setup_nanos: Arc<Histogram>,
+    /// DIFT taint-census time: folding a run's taint log into the
+    /// coverage matrix in phase 2.
+    pub census_nanos: Arc<Histogram>,
+    /// Time the pipelined orchestrator spent blocked on `recv` waiting
+    /// for the next contiguous slot — the contiguous-prefix stall.
+    pub commit_stall_nanos: Arc<Histogram>,
+    /// Out-of-order outcomes buffered ahead of the contiguous commit
+    /// prefix, sampled after each arrival.
+    pub commit_queue_depth: Arc<Gauge>,
+    /// Checkpoint serialisation + write time.
+    pub snapshot_write_nanos: Arc<Histogram>,
+    /// Checkpoints written.
+    pub snapshots_total: Arc<Counter>,
+    /// One full gossip exchange (publish + drain under the link lock,
+    /// plus importing the drained frames).
+    pub gossip_exchange_nanos: Arc<Histogram>,
+    /// Peer frames imported (self-echoes excluded).
+    pub gossip_frames_in_total: Arc<Counter>,
+    /// Coverage points published to peers.
+    pub gossip_points_out_total: Arc<Counter>,
+    /// Globally fresh coverage points imported from peers.
+    pub gossip_points_in_total: Arc<Counter>,
+    /// Slots committed.
+    pub iterations_total: Arc<Counter>,
+    /// Backend simulator invocations (a slot runs several).
+    pub sim_runs_total: Arc<Counter>,
+    /// Current global coverage points (last committing run wins).
+    pub coverage_points: Arc<Gauge>,
+    /// Sum of per-slot backend run time across completed runs — the
+    /// `ExecutorReport::busy_nanos` fold, accumulated per run so a
+    /// multi-shard process reports fleet totals.
+    pub busy_nanos: Arc<Gauge>,
+    /// `ExecutorReport::barrier_idle_nanos`, accumulated per run.
+    pub barrier_idle_nanos: Arc<Gauge>,
+    /// `ExecutorReport::view_setup_nanos`, accumulated per run.
+    pub report_view_setup_nanos: Arc<Gauge>,
+    /// `ExecutorReport::modelled_makespan_nanos`, accumulated per run.
+    pub modelled_makespan_nanos: Arc<Gauge>,
+    /// Campaign runs completed in this process.
+    pub runs_total: Arc<Counter>,
+}
+
+/// The engine's instruments, registered on first use.
+pub fn handles() -> &'static CoreMetrics {
+    static HANDLES: OnceLock<CoreMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = global();
+        CoreMetrics {
+            plan_nanos: r.histogram(
+                "dejavuzz_plan_nanos",
+                "Round planning (and pre-draw) time in nanoseconds",
+            ),
+            slot_run_nanos: r.histogram(
+                "dejavuzz_slot_run_nanos",
+                "Per-slot backend run time in nanoseconds",
+            ),
+            view_setup_nanos: r.histogram(
+                "dejavuzz_view_setup_nanos",
+                "Per-slot overlay coverage view setup time in nanoseconds",
+            ),
+            census_nanos: r.histogram(
+                "dejavuzz_census_nanos",
+                "DIFT taint census (coverage fold of one taint log) time in nanoseconds",
+            ),
+            commit_stall_nanos: r.histogram(
+                "dejavuzz_commit_stall_nanos",
+                "Pipelined commit loop blocked waiting for the next contiguous slot, nanoseconds",
+            ),
+            commit_queue_depth: r.gauge(
+                "dejavuzz_commit_queue_depth",
+                "Outcomes buffered ahead of the contiguous commit prefix",
+            ),
+            snapshot_write_nanos: r.histogram(
+                "dejavuzz_snapshot_write_nanos",
+                "Campaign checkpoint serialisation and write time in nanoseconds",
+            ),
+            snapshots_total: r.counter("dejavuzz_snapshots_total", "Checkpoints written"),
+            gossip_exchange_nanos: r.histogram(
+                "dejavuzz_gossip_exchange_nanos",
+                "One gossip publish+drain+import exchange in nanoseconds",
+            ),
+            gossip_frames_in_total: r.counter(
+                "dejavuzz_gossip_frames_in_total",
+                "Peer gossip frames imported (self-echoes excluded)",
+            ),
+            gossip_points_out_total: r.counter(
+                "dejavuzz_gossip_points_out_total",
+                "Coverage points published to gossip peers",
+            ),
+            gossip_points_in_total: r.counter(
+                "dejavuzz_gossip_points_in_total",
+                "Globally fresh coverage points imported from gossip peers",
+            ),
+            iterations_total: r.counter("dejavuzz_iterations_total", "Slots committed"),
+            sim_runs_total: r.counter("dejavuzz_sim_runs_total", "Backend simulator invocations"),
+            coverage_points: r.gauge(
+                "dejavuzz_coverage_points",
+                "Global coverage points (last committing run wins)",
+            ),
+            busy_nanos: r.gauge(
+                "dejavuzz_busy_nanos",
+                "Sum of per-slot backend run time across completed runs, nanoseconds",
+            ),
+            barrier_idle_nanos: r.gauge(
+                "dejavuzz_barrier_idle_nanos",
+                "Modelled worker idle time at round barriers across completed runs, nanoseconds",
+            ),
+            report_view_setup_nanos: r.gauge(
+                "dejavuzz_report_view_setup_nanos",
+                "Per-slot view setup time across completed runs, nanoseconds",
+            ),
+            modelled_makespan_nanos: r.gauge(
+                "dejavuzz_modelled_makespan_nanos",
+                "Modelled campaign makespan across completed runs, nanoseconds",
+            ),
+            runs_total: r.counter("dejavuzz_runs_total", "Campaign runs completed"),
+        }
+    })
+}
+
+/// The process registry rendered as the `dejavuzz-fuzz --metrics-out`
+/// JSON dump: one object, newline-terminated. The engine's instruments
+/// are registered first so the dump's family set is stable even for a
+/// campaign that never exercised some of them.
+pub fn registry_json() -> String {
+    let _ = handles();
+    format!("{}\n", global().render_json())
+}
+
+/// Folds a finished run's [`crate::ExecutorReport`] timing fields into
+/// the registry, so `/metrics` and `throughput_json` report from the
+/// same source of truth (the report's accumulators). Accumulating
+/// (`Gauge::add`) rather than last-write-wins: shards of a
+/// `dejavuzz-serve` fleet share one process registry and their totals
+/// should sum.
+pub fn record_report(report: &crate::ExecutorReport) {
+    let m = handles();
+    m.busy_nanos.add(report.busy_nanos);
+    m.barrier_idle_nanos.add(report.barrier_idle_nanos);
+    m.report_view_setup_nanos.add(report.view_setup_nanos);
+    m.modelled_makespan_nanos
+        .add(report.modelled_makespan_nanos);
+    m.runs_total.inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_register_once_and_render() {
+        let a = handles();
+        let b = handles();
+        assert!(std::ptr::eq(a, b));
+        let text = global().render_prometheus();
+        assert!(text.contains("# TYPE dejavuzz_plan_nanos histogram"));
+        assert!(text.contains("# TYPE dejavuzz_iterations_total counter"));
+        assert!(text.contains("# TYPE dejavuzz_busy_nanos gauge"));
+    }
+}

@@ -195,7 +195,14 @@ pub fn phase2<B: SimBackend + ?Sized, C: TaintCoverage + ?Sized>(
                 .taint_increased_in(w.start_cycle as usize, w.end_cycle as usize + 1)
         })
         .unwrap_or(false);
-    let coverage_gain = coverage.observe_log(&run.taint_log);
+    let coverage_gain = {
+        // The DIFT census: folding the run's taint log into the coverage
+        // matrix. Timed off the commit path — the gain value itself never
+        // depends on the instrument.
+        let _census_span =
+            dejavuzz_telemetry::Timer::start(&crate::metrics::handles().census_nanos);
+        coverage.observe_log(&run.taint_log)
+    };
     Ok(Phase2Result {
         body,
         schedule,

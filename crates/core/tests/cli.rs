@@ -130,6 +130,59 @@ fn solo_gossip_every_warns_and_leaves_stdout_untouched() {
     );
 }
 
+/// `--metrics-out` followed by another flag is a missing value, not a
+/// value: the dump must never land in a file literally named "--iters".
+#[test]
+fn metrics_out_requires_a_value() {
+    let (code, _, stderr) = fuzz(&["--metrics-out", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--metrics-out requires a value"),
+        "stderr: {stderr}"
+    );
+}
+
+/// `--metrics-out` writes a JSON metrics dump at campaign end without
+/// perturbing campaign output: stdout is byte-identical to a run
+/// without the flag, the dump announces itself on stderr only, and the
+/// file holds the registry's three top-level sections.
+#[test]
+fn metrics_out_writes_json_and_leaves_stdout_untouched() {
+    let dir = std::env::temp_dir().join(format!("djvz-cli-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let plain = fuzz(&["--iters", "2", "--telemetry", "json"]);
+    let dumped = fuzz(&[
+        "--iters",
+        "2",
+        "--telemetry",
+        "json",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(plain.0, Some(0));
+    assert_eq!(dumped.0, Some(0), "stderr: {}", dumped.2);
+    assert_eq!(
+        plain.1, dumped.1,
+        "stdout is byte-identical with and without --metrics-out"
+    );
+    assert!(
+        dumped.2.contains("metrics written to"),
+        "stderr: {}",
+        dumped.2
+    );
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.starts_with("{\"counters\":{"), "dump: {json}");
+    assert!(json.contains("\"gauges\":{"), "dump: {json}");
+    assert!(json.contains("\"histograms\":{"), "dump: {json}");
+    assert!(
+        json.contains("\"dejavuzz_iterations_total\":2"),
+        "2 iters x 1 worker = 2 committed slots recorded: {json}"
+    );
+    assert!(json.ends_with("}\n"), "newline-terminated object");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The supported combination actually runs: steal + lag completes a tiny
 /// campaign and announces the lag on stderr (stdout stays report-only).
 #[test]

@@ -7,6 +7,8 @@
 //! # Query it (from anywhere):
 //! dejavuzz-serve --socket /tmp/fleet.sock --query status
 //! dejavuzz-serve --socket /tmp/fleet.sock --query coverage
+//! dejavuzz-serve --socket /tmp/fleet.sock --query metrics     # Prometheus text
+//! dejavuzz-serve --socket /tmp/fleet.sock --query 'series 0'  # coverage over time
 //! dejavuzz-serve --socket /tmp/fleet.sock --query shutdown
 //! # External shards join the same mesh over the socket:
 //! dejavuzz-fuzz --shard 9 --peers unix:/tmp/fleet.sock --iters 50
@@ -75,8 +77,15 @@ fn main() {
              \u{20}                        DIR/shard<i>.snap (mergeable by dejavuzz-merge)\n\
              --query CMD             client mode: send CMD to --socket, print the\n\
              \u{20}                        response on stdout and exit. CMD is one of\n\
-             \u{20}                        status | shards | coverage |\n\
-             \u{20}                        'telemetry <shard>' | shutdown\n\n\
+             \u{20}                        status | shards | coverage | metrics |\n\
+             \u{20}                        'telemetry <shard>' | 'series <shard>' |\n\
+             \u{20}                        shutdown\n\
+             \u{20}                        metrics = Prometheus text exposition for the\n\
+             \u{20}                        whole fleet (executor, gossip and transport\n\
+             \u{20}                        instruments plus dejavuzz_fleet_* aggregates);\n\
+             \u{20}                        series = the shard's downsampled coverage-over-\n\
+             \u{20}                        time curve, final point exact (EXPERIMENTS.md\n\
+             \u{20}                        \"Observability\")\n\n\
              The daemon serves until a shutdown query arrives; campaigns that\n\
              are still running finish first. Flag values that fail to parse\n\
              are an error (exit 2), never a silent fallback to the default.\n"

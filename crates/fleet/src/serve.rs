@@ -17,9 +17,21 @@
 //! | `status`             | one JSON object, fleet totals              |
 //! | `shards`             | one JSON object, per-shard summaries       |
 //! | `coverage`           | one JSON object, union vs summed points    |
+//! | `metrics`            | Prometheus text exposition, whole fleet    |
 //! | `telemetry <shard>`  | the shard's recent JSON event lines        |
+//! | `series <shard>`     | the shard's coverage-over-time series      |
 //! | `shutdown`           | `{"ok":"shutting down"}`, then the hub exits |
 //! | `gossip <shard>`     | switches the connection into relay mode    |
+//!
+//! `metrics` concatenates the process-global
+//! [`dejavuzz_telemetry::global`] registry (every instrument the
+//! in-process shards' executors wrote) with fleet-level
+//! `dejavuzz_fleet_*` families rendered from [`FleetState`] — the
+//! distinct prefix guarantees the two sections can never emit duplicate
+//! families. `series <shard>` answers from a fixed-budget
+//! [`CoverageSeries`] ring per shard that halves its resolution as the
+//! campaign grows (ROADMAP item 5's downsampled telemetry series); its
+//! final point is always the shard's exact latest reported coverage.
 //!
 //! `gossip <shard>` is the handshake
 //! [`dejavuzz::gossip::UnixGossipLink::connect`] sends: the connection
@@ -39,12 +51,19 @@ use std::time::Duration;
 use dejavuzz::gossip::{GossipLink, UnixGossipLink};
 use dejavuzz::observer::json_str;
 use dejavuzz_ift::CoverageMatrix;
+use dejavuzz_telemetry::CoverageSeries;
 
 use crate::gossip::Bus;
 use crate::transport::CampaignEvent;
 
 /// Telemetry lines retained per shard (oldest evicted first).
 pub const TELEMETRY_RING: usize = 256;
+
+/// Point budget of each per-shard coverage-over-time series: beyond
+/// this many kept samples the ring halves its resolution (and keeps
+/// halving), so a shard's series costs O(budget) memory for any
+/// campaign length.
+pub const SERIES_BUDGET: usize = 128;
 
 /// One shard's aggregated progress.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -70,6 +89,7 @@ pub struct ShardStatus {
 pub struct FleetState {
     shards: BTreeMap<u32, ShardStatus>,
     telemetry: BTreeMap<u32, VecDeque<String>>,
+    series: BTreeMap<u32, CoverageSeries>,
     union: CoverageMatrix,
 }
 
@@ -84,6 +104,9 @@ impl FleetState {
     pub fn register(&mut self, shard: u32) {
         self.shards.entry(shard).or_default();
         self.telemetry.entry(shard).or_default();
+        self.series
+            .entry(shard)
+            .or_insert_with(|| CoverageSeries::new(SERIES_BUDGET));
     }
 
     /// Folds one shard event into the aggregate.
@@ -118,16 +141,40 @@ impl FleetState {
                 ..
             } => {
                 status.iterations = *iterations;
-                status.points = *coverage_points;
+                // The finish summary reports the coverage *curve*'s last
+                // value, which a gossip import at the final round boundary
+                // postdates (imports raise the global union without
+                // committing a slot) — never let the summary walk an
+                // already-counted import back.
+                status.points = status.points.max(*coverage_points);
                 status.bugs = *bugs;
                 status.finished = true;
             }
         }
+        let points = status.points;
         let ring = self.telemetry.entry(shard).or_default();
         if ring.len() == TELEMETRY_RING {
             ring.pop_front();
         }
         ring.push_back(ev.to_json());
+        // Coverage-over-time: every event that reports the shard's total
+        // coverage next to a progress coordinate extends the series. The
+        // coordinate is committed iterations, which never decreases, so
+        // the series stays monotone in x; y is the shard status total
+        // updated above, monotone across commits, imports and the finish
+        // summary alike.
+        let sample = match ev {
+            CampaignEvent::SlotCommitted(e) => Some(e.slot as u64 + 1),
+            CampaignEvent::PeerDeltaImported(e) => Some(e.boundary as u64),
+            CampaignEvent::CampaignFinished { iterations, .. } => Some(*iterations as u64),
+            _ => None,
+        };
+        if let Some(x) = sample {
+            self.series
+                .entry(shard)
+                .or_insert_with(|| CoverageSeries::new(SERIES_BUDGET))
+                .push(x, points as u64);
+        }
     }
 
     /// The fleet-wide coverage union.
@@ -187,12 +234,105 @@ impl FleetState {
     }
 
     /// The `telemetry <shard>` response: the shard's retained JSON
-    /// lines, newest last (empty for an unknown shard).
+    /// lines, newest last. An unknown shard gets a structured
+    /// `{"error":...}` like every other malformed query — not an empty
+    /// response a client cannot tell apart from "registered but quiet".
     pub fn render_telemetry(&self, shard: u32) -> String {
         match self.telemetry.get(&shard) {
             Some(ring) => ring.iter().cloned().collect::<Vec<_>>().join("\n"),
-            None => String::new(),
+            None => format!(
+                "{{\"error\":{}}}",
+                json_str(&format!("unknown shard {shard}"))
+            ),
         }
+    }
+
+    /// The `series <shard>` response: the shard's downsampled
+    /// coverage-over-time points as
+    /// `{"shard":N,"samples":S,"points":[[iterations,coverage],…]}`
+    /// (`samples` is how many raw observations the ring folded). The
+    /// final point is the shard's exact latest reported coverage.
+    /// Unknown shards get `{"error":...}`, like `telemetry`.
+    pub fn render_series(&self, shard: u32) -> String {
+        match self.series.get(&shard) {
+            Some(series) => format!(
+                "{{\"shard\":{shard},\"samples\":{},\"points\":{}}}",
+                series.seen(),
+                series.render_json_points()
+            ),
+            None => format!(
+                "{{\"error\":{}}}",
+                json_str(&format!("unknown shard {shard}"))
+            ),
+        }
+    }
+
+    /// The `metrics` response: Prometheus text exposition for the whole
+    /// fleet — the process-global registry (executor, gossip and
+    /// transport instruments of every in-process shard) followed by
+    /// fleet-level `dejavuzz_fleet_*` families aggregated here from the
+    /// shards' event streams, with per-shard samples labelled
+    /// `{shard="N"}`. The distinct prefix keeps the two sections from
+    /// ever emitting a duplicate family.
+    pub fn render_metrics(&self) -> String {
+        fn family(out: &mut String, name: &str, help: &str) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        }
+        let mut out = dejavuzz_telemetry::global().render_prometheus();
+        family(&mut out, "dejavuzz_fleet_shards", "Shards known to the hub");
+        out.push_str(&format!("dejavuzz_fleet_shards {}\n", self.shards.len()));
+        family(
+            &mut out,
+            "dejavuzz_fleet_union_points",
+            "Exact fleet-wide coverage union",
+        );
+        out.push_str(&format!(
+            "dejavuzz_fleet_union_points {}\n",
+            self.union.points()
+        ));
+        family(
+            &mut out,
+            "dejavuzz_fleet_shard_iterations",
+            "Iterations committed per shard",
+        );
+        for (id, s) in &self.shards {
+            out.push_str(&format!(
+                "dejavuzz_fleet_shard_iterations{{shard=\"{id}\"}} {}\n",
+                s.iterations
+            ));
+        }
+        family(
+            &mut out,
+            "dejavuzz_fleet_shard_points",
+            "Coverage points per shard",
+        );
+        for (id, s) in &self.shards {
+            out.push_str(&format!(
+                "dejavuzz_fleet_shard_points{{shard=\"{id}\"}} {}\n",
+                s.points
+            ));
+        }
+        family(
+            &mut out,
+            "dejavuzz_fleet_shard_bugs",
+            "Bugs found per shard",
+        );
+        for (id, s) in &self.shards {
+            out.push_str(&format!(
+                "dejavuzz_fleet_shard_bugs{{shard=\"{id}\"}} {}\n",
+                s.bugs
+            ));
+        }
+        family(
+            &mut out,
+            "dejavuzz_fleet_shards_finished",
+            "Shards whose campaign completed",
+        );
+        out.push_str(&format!(
+            "dejavuzz_fleet_shards_finished {}\n",
+            self.shards.values().filter(|s| s.finished).count()
+        ));
+        out
     }
 }
 
@@ -320,23 +460,31 @@ fn handle_connection(
             .lock()
             .expect("fleet state poisoned")
             .render_coverage(),
+        "metrics" => state.lock().expect("fleet state poisoned").render_metrics(),
         "shutdown" => {
             shutdown.store(true, Ordering::Relaxed);
             "{\"ok\":\"shutting down\"}".to_string()
         }
-        _ => match line.strip_prefix("telemetry ") {
-            Some(shard) => match shard.trim().parse::<u32>() {
+        _ => match line.split_once(' ') {
+            Some(("telemetry", shard)) => match shard.trim().parse::<u32>() {
                 Ok(shard) => state
                     .lock()
                     .expect("fleet state poisoned")
                     .render_telemetry(shard),
                 Err(_) => format!("{{\"error\":{}}}", json_str("telemetry needs a shard id")),
             },
-            None => format!(
+            Some(("series", shard)) => match shard.trim().parse::<u32>() {
+                Ok(shard) => state
+                    .lock()
+                    .expect("fleet state poisoned")
+                    .render_series(shard),
+                Err(_) => format!("{{\"error\":{}}}", json_str("series needs a shard id")),
+            },
+            _ => format!(
                 "{{\"error\":{}}}",
                 json_str(&format!(
-                    "unknown request {line:?} (expected status|shards|coverage|\
-                     telemetry <shard>|shutdown|gossip <shard>)"
+                    "unknown request {line:?} (expected status|shards|coverage|metrics|\
+                     telemetry <shard>|series <shard>|shutdown|gossip <shard>)"
                 ))
             ),
         },
@@ -457,6 +605,47 @@ mod tests {
         );
     }
 
+    /// A gossip import at the *final* round boundary postdates the
+    /// coverage curve, so the finish summary's `coverage_points` can be
+    /// stale — neither the shard total nor the series may walk the
+    /// import back.
+    #[test]
+    fn stale_finish_summary_never_regresses_points_or_series() {
+        let mut state = FleetState::new();
+        state.register(0);
+        state.apply(
+            0,
+            &CampaignEvent::PeerDeltaImported(PeerDeltaImported {
+                from_shard: 1,
+                peer_iterations: 8,
+                boundary: 4,
+                points: 3,
+                fresh_points: 2,
+                total_points: 7,
+            }),
+        );
+        state.apply(
+            0,
+            &CampaignEvent::CampaignFinished {
+                iterations: 4,
+                sim_runs: 16,
+                sim_cycles: 512,
+                coverage_points: 5, // the curve's last value, pre-import
+                corpus_retained: 3,
+                corpus_evicted: 0,
+                failed_runs: 0,
+                bugs: 0,
+                first_bug: None,
+            },
+        );
+        assert_eq!(state.shards()[&0].points, 7, "import is not walked back");
+        assert!(
+            state.render_series(0).contains("\"points\":[[4,7],[4,7]]"),
+            "series ends on the import total: {}",
+            state.render_series(0)
+        );
+    }
+
     #[test]
     fn telemetry_ring_is_bounded() {
         let mut state = FleetState::new();
@@ -480,7 +669,124 @@ mod tests {
                 .contains(&format!("\"first_slot\":{}", TELEMETRY_RING + 9)),
             "newest line retained"
         );
-        assert_eq!(state.render_telemetry(9), "", "unknown shard is empty");
+    }
+
+    /// Both shard-addressed queries answer an unknown shard with the
+    /// same structured error a malformed id gets — never an empty
+    /// string a client cannot tell apart from "registered but quiet".
+    #[test]
+    fn unknown_shard_is_a_structured_error() {
+        let mut state = FleetState::new();
+        state.register(0);
+        assert_eq!(state.render_telemetry(9), "{\"error\":\"unknown shard 9\"}");
+        assert_eq!(state.render_series(9), "{\"error\":\"unknown shard 9\"}");
+        // A registered-but-quiet shard is distinguishable: empty data,
+        // not an error.
+        assert_eq!(state.render_telemetry(0), "");
+        assert_eq!(
+            state.render_series(0),
+            "{\"shard\":0,\"samples\":0,\"points\":[]}"
+        );
+    }
+
+    #[test]
+    fn series_tracks_coverage_over_time_and_ends_exact() {
+        let mut state = FleetState::new();
+        state.register(0);
+        let mut total = 0usize;
+        for slot in 0..1000usize {
+            if slot % 7 == 0 {
+                total += 1;
+            }
+            state.apply(
+                0,
+                &CampaignEvent::SlotCommitted(SlotCommitted {
+                    slot,
+                    stream: 0,
+                    window_type: WindowType::ALL[0],
+                    triggered: false,
+                    to: 0,
+                    eto: 0,
+                    sim_runs: 1,
+                    final_gain: 0,
+                    fresh_points: 0,
+                    total_points: total,
+                    error: None,
+                }),
+            );
+        }
+        let rendered = state.render_series(0);
+        assert!(
+            rendered.starts_with("{\"shard\":0,\"samples\":1000,\"points\":[["),
+            "{rendered}"
+        );
+        // Parse the [[x,y],...] pairs back out and check the acceptance
+        // properties: bounded, monotone, exact final value.
+        let points: Vec<(u64, u64)> = rendered
+            .split_once("\"points\":[")
+            .unwrap()
+            .1
+            .trim_end_matches("]}")
+            .trim_matches(|c| c == '[' || c == ']')
+            .split("],[")
+            .map(|pair| {
+                let (x, y) = pair.split_once(',').unwrap();
+                (x.parse().unwrap(), y.parse().unwrap())
+            })
+            .collect();
+        assert!(points.len() <= SERIES_BUDGET + 1, "got {}", points.len());
+        assert!(points.len() >= SERIES_BUDGET / 2, "got {}", points.len());
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0), "x monotone");
+        assert!(points.windows(2).all(|w| w[0].1 <= w[1].1), "y monotone");
+        assert_eq!(
+            *points.last().unwrap(),
+            (1000, total as u64),
+            "final point is the shard's exact latest total"
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_covers_registry_and_fleet_families() {
+        let mut state = FleetState::new();
+        state.register(0);
+        state.register(3);
+        state.apply(0, &gained(0, vec![pt("rob", 1)], 1));
+        // Touch the core engine's instruments so the registry section is
+        // provably present alongside the fleet section.
+        let _ = dejavuzz::metrics::handles();
+        let text = state.render_metrics();
+        // Registry families (executor + gossip instruments).
+        assert!(text.contains("# TYPE dejavuzz_iterations_total counter"));
+        assert!(text.contains("# TYPE dejavuzz_plan_nanos histogram"));
+        assert!(text.contains("# TYPE dejavuzz_gossip_exchange_nanos histogram"));
+        // Fleet families with per-shard labels.
+        assert!(text.contains("# TYPE dejavuzz_fleet_shards gauge\ndejavuzz_fleet_shards 2\n"));
+        assert!(text.contains("dejavuzz_fleet_union_points 1\n"));
+        assert!(text.contains("dejavuzz_fleet_shard_points{shard=\"0\"} 1\n"));
+        assert!(text.contains("dejavuzz_fleet_shard_points{shard=\"3\"} 0\n"));
+        // Exposition validity: every family has exactly one TYPE line
+        // (no duplicates across the two sections), and every sample line
+        // belongs to a declared family.
+        let mut seen = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap();
+                assert!(seen.insert(family.to_string()), "duplicate family {family}");
+            }
+        }
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .unwrap()
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            assert!(
+                seen.contains(name) || seen.contains(&format!("{name}_count")),
+                "sample {line:?} has no family"
+            );
+        }
     }
 
     fn temp_socket(tag: &str) -> std::path::PathBuf {

@@ -17,6 +17,7 @@
 
 use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, OnceLock};
 
 use dejavuzz::observer::{
     json_str, BugFound, CampaignFinished, CampaignObserver, CoverageGained, PeerDeltaImported,
@@ -216,8 +217,43 @@ impl ChannelObserver {
     }
 
     fn forward(&self, ev: CampaignEvent) {
+        // The send blocks when the bounded channel is full, i.e. when
+        // the consumer lags the campaign — that blocked time *is* the
+        // observer fan-out lag, so time exactly it. Off the commit
+        // path's state: the instrument is write-only.
+        let (lag, events) = fanout_instruments();
+        let span = dejavuzz_telemetry::Timer::start(lag);
         let _ = self.tx.send(ev);
+        span.finish();
+        events.inc();
     }
+}
+
+/// The transport's instruments in the process-global registry:
+/// `(fan-out lag histogram, events-forwarded counter)`.
+fn fanout_instruments() -> (
+    &'static dejavuzz_telemetry::Histogram,
+    &'static dejavuzz_telemetry::Counter,
+) {
+    static INSTRUMENTS: OnceLock<(
+        Arc<dejavuzz_telemetry::Histogram>,
+        Arc<dejavuzz_telemetry::Counter>,
+    )> = OnceLock::new();
+    let (lag, events) = INSTRUMENTS.get_or_init(|| {
+        let r = dejavuzz_telemetry::global();
+        (
+            r.histogram(
+                "dejavuzz_observer_fanout_nanos",
+                "Time the commit path spent handing one event to the observer channel \
+                 (blocked sends are consumer lag), nanoseconds",
+            ),
+            r.counter(
+                "dejavuzz_observer_events_total",
+                "Campaign events forwarded through the channel observer",
+            ),
+        )
+    });
+    (lag, events)
 }
 
 impl CampaignObserver for ChannelObserver {

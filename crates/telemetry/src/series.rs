@@ -1,0 +1,213 @@
+//! Fixed-budget coverage-over-time series.
+//!
+//! `dejavuzz-serve` keeps one of these per shard to answer the
+//! `series <shard>` query. A campaign can commit millions of slots; the
+//! series keeps a bounded number of `(x, y)` points by *stride
+//! doubling*: it records every `stride`-th pushed sample, and whenever
+//! the kept buffer hits its budget it drops every other kept point and
+//! doubles the stride — resolution halves as the run grows, memory
+//! never does. The most recent push is additionally tracked exactly, so
+//! the final point of the rendered series always equals the shard's
+//! latest reported value regardless of where the stride landed.
+
+/// A downsampled `(x, y)` series with a fixed point budget.
+///
+/// `x` is a monotone progress coordinate (committed iterations), `y`
+/// the value at that point (total coverage points). Pushing is O(1)
+/// amortised; rendering is O(budget).
+#[derive(Debug, Clone)]
+pub struct CoverageSeries {
+    /// Maximum kept points before a compaction halves resolution.
+    budget: usize,
+    /// Current sampling stride: every `stride`-th push is kept.
+    stride: u64,
+    /// Total pushes observed (kept or not).
+    seen: u64,
+    /// Kept points, oldest first. Point `k` is push number
+    /// `k * stride` (0-based), an invariant compaction preserves.
+    kept: Vec<(u64, u64)>,
+    /// The most recent push, tracked exactly so the rendered series
+    /// always ends on the true latest value.
+    last: Option<(u64, u64)>,
+}
+
+impl CoverageSeries {
+    /// A series keeping at most `budget` sampled points (plus the exact
+    /// final point). Budgets below 2 are clamped to 2 — a 1-point
+    /// "series" cannot show a curve.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget: budget.max(2),
+            stride: 1,
+            seen: 0,
+            kept: Vec::new(),
+            last: None,
+        }
+    }
+
+    /// Records a sample. `x` must be non-decreasing across pushes for
+    /// the rendered series to be monotone in `x` (callers push commit
+    /// progress, which is).
+    pub fn push(&mut self, x: u64, y: u64) {
+        let index = self.seen;
+        self.seen += 1;
+        self.last = Some((x, y));
+        if !index.is_multiple_of(self.stride) {
+            return;
+        }
+        self.kept.push((x, y));
+        if self.kept.len() >= self.budget {
+            // Halve resolution: keep points 0, 2, 4, … — each kept
+            // point k was push k*stride, so the survivors are pushes
+            // 0, 2*stride, 4*stride, …, i.e. every (2*stride)-th push.
+            let mut keep_even = 0usize;
+            self.kept.retain(|_| {
+                let keep = keep_even.is_multiple_of(2);
+                keep_even += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+
+    /// Total pushes observed, kept or not.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sampling stride (doubles at each compaction).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The rendered series: the kept downsampled points, with the exact
+    /// most recent push appended when the stride skipped it. Never more
+    /// than `budget + 1` points.
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        let mut out = self.kept.clone();
+        if let Some(last) = self.last {
+            if out.last() != Some(&last) {
+                out.push(last);
+            }
+        }
+        out
+    }
+
+    /// The exact most recent push, if any.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        self.last
+    }
+
+    /// Renders [`CoverageSeries::points`] as a JSON array of `[x, y]`
+    /// pairs: `[[0,1],[4,9],…]`.
+    pub fn render_json_points(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (x, y)) in self.points().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{x},{y}]"));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_renders_empty() {
+        let s = CoverageSeries::new(8);
+        assert_eq!(s.points(), vec![]);
+        assert_eq!(s.render_json_points(), "[]");
+        assert_eq!(s.last(), None);
+        assert_eq!(s.seen(), 0);
+    }
+
+    #[test]
+    fn small_series_keeps_every_point() {
+        let mut s = CoverageSeries::new(8);
+        for i in 0..5u64 {
+            s.push(i, i * 10);
+        }
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.points(), vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert_eq!(
+            s.render_json_points(),
+            "[[0,0],[1,10],[2,20],[3,30],[4,40]]"
+        );
+    }
+
+    #[test]
+    fn compaction_halves_resolution_and_doubles_stride() {
+        let mut s = CoverageSeries::new(4);
+        for i in 0..4u64 {
+            s.push(i, i);
+        }
+        // Hitting the budget compacts to pushes 0 and 2, stride 2.
+        assert_eq!(s.stride(), 2);
+        assert_eq!(s.kept, vec![(0, 0), (2, 2)]);
+        // Exact last (push 3) still closes the rendered series.
+        assert_eq!(s.points(), vec![(0, 0), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn final_point_is_exact_regardless_of_stride() {
+        let mut s = CoverageSeries::new(8);
+        for i in 0..1000u64 {
+            s.push(i, i * 3);
+        }
+        let points = s.points();
+        assert_eq!(*points.last().unwrap(), (999, 2997), "exact last value");
+        assert!(
+            points.len() <= 9,
+            "budget + exact last, got {}",
+            points.len()
+        );
+    }
+
+    #[test]
+    fn long_series_stays_within_budget_and_monotone() {
+        let mut s = CoverageSeries::new(16);
+        let mut y = 0u64;
+        for i in 0..100_000u64 {
+            if i % 97 == 0 {
+                y += 1;
+            }
+            s.push(i, y);
+        }
+        let points = s.points();
+        assert!(points.len() <= 17, "got {} points", points.len());
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "x strictly grows"
+        );
+        assert!(points.windows(2).all(|w| w[0].1 <= w[1].1), "y monotone");
+        assert_eq!(points.last().unwrap().1, y, "ends on the true total");
+        // The stride doubled several times getting here.
+        assert!(s.stride() >= 4096, "stride {}", s.stride());
+    }
+
+    #[test]
+    fn kept_points_remain_aligned_to_stride_after_compactions() {
+        let mut s = CoverageSeries::new(4);
+        for i in 0..64u64 {
+            s.push(i, i);
+        }
+        // Invariant: kept point k is push k * stride.
+        for (k, &(x, _)) in s.kept.iter().enumerate() {
+            assert_eq!(x, k as u64 * s.stride(), "point {k} off-stride");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_is_clamped() {
+        let mut s = CoverageSeries::new(0);
+        for i in 0..10u64 {
+            s.push(i, i);
+        }
+        assert!(s.points().len() >= 2, "clamped budget still yields a curve");
+    }
+}
