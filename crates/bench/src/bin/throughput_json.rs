@@ -43,8 +43,30 @@ fn main() {
         (SchedulerSpec::WorkStealing, 1),
     ];
 
+    // Process-pool rows (steal scheduling — pool scaling needs claiming
+    // threads): pool sizes 1/2/4 against the same inner backend, so the
+    // artifact tracks protocol overhead (M=1 vs in-process) and scaling
+    // (M=2, M=4). Skipped with a note when the worker binary is not
+    // built alongside (`cargo build --release` first).
+    let pool_backends: Vec<dejavuzz::BackendSpec> =
+        if dejavuzz::procbackend::worker_binary().is_some() {
+            [1usize, 2, 4]
+                .iter()
+                .map(|m| {
+                    dejavuzz::BackendSpec::parse(&format!("proc:netlist:small:{m}"), boom_small())
+                        .expect("a valid proc spec")
+                })
+                .collect()
+        } else {
+            eprintln!(
+                "throughput_json: dejavuzz-simd not found next to this binary; \
+                 skipping the process-pool rows"
+            );
+            Vec::new()
+        };
+
     let mut samples = Vec::new();
-    for backend in &backends {
+    for backend in backends.iter().chain(&pool_backends) {
         for (scheduler, lag) in &configs {
             let s =
                 throughput_sample_lagged(backend, scheduler.clone(), workers, iters, seed, *lag);

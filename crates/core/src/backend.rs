@@ -69,6 +69,14 @@ pub enum BackendError {
         /// Number of input ports the netlist declares.
         inputs: usize,
     },
+    /// A worker process of a [`crate::procbackend::ProcBackend`] pool failed this run after
+    /// crash recovery was exhausted (the process died twice in a row, or
+    /// kept replying with malformed frames).
+    Worker {
+        /// The transport's diagnosis, including the worker's exit status
+        /// when it died.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -85,6 +93,9 @@ impl fmt::Display for BackendError {
                 f,
                 "stimulus role {role:?} mapped to input {index}, but the netlist has {inputs} input port(s)"
             ),
+            BackendError::Worker { detail } => {
+                write!(f, "worker process failed: {detail}")
+            }
         }
     }
 }
@@ -605,6 +616,28 @@ pub enum BackendSpec {
     /// so a campaign run on a custom backend can only be resumed by a
     /// process that registered the same id.
     Extension(String),
+    /// A crash-isolated pool of `dejavuzz-simd` worker processes, each
+    /// serving the *inner* backend over the framed stdio protocol of
+    /// [`crate::procproto`]. Labelled `proc:<inner>:<M>`, so snapshots
+    /// echo the pool geometry.
+    Proc(ProcSpec),
+}
+
+/// Configuration of a [`BackendSpec::Proc`] worker pool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcSpec {
+    /// The inner backend argument as the worker will re-parse it
+    /// (e.g. `"netlist:boom"`).
+    pub inner_arg: String,
+    /// The locally-parsed inner spec (validates the argument up front;
+    /// the worker parses `inner_arg` itself and must agree).
+    pub inner: Box<BackendSpec>,
+    /// Worker process count `M` (>= 1).
+    pub pool: usize,
+    /// Behavioural core configuration name sent in the handshake, so a
+    /// `proc:behavioural:M` worker builds the same core the embedder
+    /// would have built in-process.
+    pub core: String,
 }
 
 impl Default for BackendSpec {
@@ -630,9 +663,33 @@ impl BackendSpec {
     }
 
     /// Parses a `--backend` CLI value: `behavioural` (using
-    /// `behavioural_cfg`), `netlist[:small|boom|xiangshan]`, or
-    /// `ext:<id>` for a registered extension backend.
+    /// `behavioural_cfg`), `netlist[:small|boom|xiangshan]`, `ext:<id>`
+    /// for a registered extension backend, or `proc:<inner>:<M>` for a
+    /// worker-process pool of `M` processes each serving `<inner>`.
     pub fn parse(s: &str, behavioural_cfg: CoreConfig) -> Result<Self, String> {
+        if let Some(rest) = s.strip_prefix("proc:") {
+            let Some((inner_arg, pool_str)) = rest.rsplit_once(':') else {
+                return Err(format!(
+                    "unknown proc backend {s:?} (expected proc:<inner>:<M>, e.g. proc:netlist:small:4)"
+                ));
+            };
+            let pool: usize = pool_str
+                .parse()
+                .map_err(|_| format!("invalid proc pool size {pool_str:?} in {s:?}"))?;
+            if pool == 0 {
+                return Err(format!("proc pool size must be >= 1 in {s:?}"));
+            }
+            if inner_arg.starts_with("proc:") {
+                return Err(format!("proc pools do not nest: {s:?}"));
+            }
+            let inner = BackendSpec::parse(inner_arg, behavioural_cfg)?;
+            return Ok(BackendSpec::Proc(ProcSpec {
+                inner_arg: inner_arg.to_string(),
+                inner: Box::new(inner),
+                pool,
+                core: behavioural_cfg.name.to_string(),
+            }));
+        }
         match s {
             "behavioural" | "behavioral" => Ok(BackendSpec::Behavioural(behavioural_cfg)),
             "netlist" => Ok(BackendSpec::Netlist(SMALL_SCALE)),
@@ -653,7 +710,7 @@ impl BackendSpec {
                         Err(e) => Err(e.to_string()),
                     },
                     None => Err(format!(
-                        "unknown backend {s:?} (expected behavioural, netlist:<scale> or ext:<id>)"
+                        "unknown backend {s:?} (expected behavioural, netlist:<scale>, ext:<id> or proc:<inner>:<M>)"
                     )),
                 },
             },
@@ -668,6 +725,7 @@ impl BackendSpec {
             BackendSpec::Behavioural(cfg) => format!("behavioural:{}", cfg.name),
             BackendSpec::Netlist(scale) => format!("netlist:{}", scale.name),
             BackendSpec::Extension(id) => format!("ext:{id}"),
+            BackendSpec::Proc(spec) => format!("proc:{}:{}", spec.inner_arg, spec.pool),
         }
     }
 
@@ -696,6 +754,21 @@ impl BackendSpec {
                 Some(ctor) => Ok(ctor()),
                 None => Err(crate::builder::BuildError::UnknownBackend { id: id.clone() }),
             },
+            // Direct embedding path: a dedicated pool owned by this one
+            // backend value. Campaigns built through the
+            // `CampaignBuilder` instead spawn one pool at `build()` and
+            // share it across all worker threads.
+            BackendSpec::Proc(spec) => {
+                let shared = crate::procbackend::spawn_shared(spec).map_err(|detail| {
+                    crate::builder::BuildError::ProcPool {
+                        spec: self.label(),
+                        detail,
+                    }
+                })?;
+                Ok(Box::new(crate::procbackend::ProcBackend::from_shared(
+                    shared,
+                )))
+            }
         }
     }
 }
@@ -705,6 +778,45 @@ mod tests {
     use super::*;
     use crate::gen::{self, Seed, WindowFill};
     use crate::phases::PhaseOptions;
+
+    #[test]
+    fn proc_specs_parse_with_pinned_errors() {
+        let spec = BackendSpec::parse("proc:netlist:boom:4", boom_small()).unwrap();
+        match &spec {
+            BackendSpec::Proc(p) => {
+                assert_eq!(p.inner_arg, "netlist:boom");
+                assert_eq!(*p.inner, BackendSpec::Netlist(BOOM_SCALE));
+                assert_eq!(p.pool, 4);
+                assert_eq!(p.core, "BOOM");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert_eq!(spec.label(), "proc:netlist:boom:4");
+
+        // The behavioural core config threads through to the inner spec.
+        let spec = BackendSpec::parse("proc:behavioural:2", boom_small()).unwrap();
+        assert_eq!(spec.label(), "proc:behavioural:2");
+
+        let err = BackendSpec::parse("proc:netlist", boom_small()).unwrap_err();
+        assert!(err.contains("expected proc:<inner>:<M>"), "{err}");
+        let err = BackendSpec::parse("proc:netlist:boom:0", boom_small()).unwrap_err();
+        assert_eq!(
+            err,
+            "proc pool size must be >= 1 in \"proc:netlist:boom:0\""
+        );
+        let err = BackendSpec::parse("proc:netlist:boom:x", boom_small()).unwrap_err();
+        assert_eq!(
+            err,
+            "invalid proc pool size \"x\" in \"proc:netlist:boom:x\""
+        );
+        let err = BackendSpec::parse("proc:bogus:2", boom_small()).unwrap_err();
+        assert!(err.contains("unknown backend \"bogus\""), "{err}");
+        let err = BackendSpec::parse("proc:proc:netlist:small:2:2", boom_small()).unwrap_err();
+        assert_eq!(
+            err,
+            "proc pools do not nest: \"proc:proc:netlist:small:2:2\""
+        );
+    }
 
     fn schedule_for(seed: &Seed) -> (TransientPlan, Vec<SwapPacket>) {
         let plan = gen::plan(seed);

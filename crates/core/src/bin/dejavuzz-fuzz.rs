@@ -60,8 +60,14 @@ fn main() {
         println!(
             "dejavuzz-fuzz — transient-execution-bug fuzzing campaign\n\n\
              --core boom|xiangshan   behavioural DUT model (default boom)\n\
-             --backend behavioural|netlist[:small|boom|xiangshan]\n\
-             \u{20}                        simulation backend (default behavioural)\n\
+             --backend behavioural|netlist[:small|boom|xiangshan]|proc:<inner>:<M>\n\
+             \u{20}                        simulation backend (default behavioural).\n\
+             \u{20}                        proc:<inner>:<M> runs <inner> (e.g.\n\
+             \u{20}                        netlist:boom) in a crash-isolated pool of M\n\
+             \u{20}                        dejavuzz-simd worker processes; results stay\n\
+             \u{20}                        byte-identical to in-process per (seed,\n\
+             \u{20}                        workers, batch, lag), and a worker crash\n\
+             \u{20}                        fails one run, never the campaign\n\
              --iters N               iterations per worker (default 50)\n\
              --workers N             pipeline workers sharing one corpus (default 1)\n\
              --threads N             alias for --workers (historical name)\n\

@@ -31,6 +31,10 @@ fn main() {
              max over shards (a lower bound; the union curve is unknowable\n\
              after the fact). Decode failures (truncated, corrupted or\n\
              wrong-version snapshots) exit non-zero naming the file.\n\n\
+             Shards fuzzed on a worker-process pool echo the pool geometry\n\
+             in their backend label (proc:<inner>:<M>); shards differing\n\
+             only in M merge with the usual backend-mismatch warning, since\n\
+             pool size never changes results.\n\n\
              --json   one machine-readable JSON object on stdout (per-shard\n\
              \u{20}        summaries plus the merged report) instead of the text\n\
              \u{20}        report\n"

@@ -1,0 +1,32 @@
+//! `dejavuzz-simd` — the process-pool simulator worker.
+//!
+//! Spawned (never run by hand) by a `proc:<inner>:<M>` backend: speaks
+//! the framed request/response protocol of `dejavuzz::procproto` on
+//! stdin/stdout, building the inner backend named by the handshake and
+//! serving one simulation per request until the embedder closes the
+//! pipe. Diagnostics go to stderr, which the embedder inherits.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "dejavuzz-simd: worker process for the proc:<inner>:<M> backend.\n\
+                     Speaks framed simulation requests on stdin/stdout; spawned by\n\
+                     dejavuzz-fuzz (or any embedder of dejavuzz::ProcBackend), not run\n\
+                     by hand. It takes no arguments."
+                );
+                return;
+            }
+            other => {
+                eprintln!("dejavuzz-simd: unexpected argument {other:?} (takes none)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = dejavuzz::procbackend::serve_stdio() {
+        eprintln!("dejavuzz-simd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -116,6 +116,15 @@ pub enum BuildError {
     /// A supplied extension id is unusable (empty, non-ASCII, contains
     /// `:`), wrapping the registry's diagnosis.
     InvalidExtensionId(registry::RegistryError),
+    /// A `proc:<inner>:<M>` backend's worker pool could not be started:
+    /// missing `dejavuzz-simd` binary, spawn failure, or the workers
+    /// refused the configuration at handshake.
+    ProcPool {
+        /// The backend label (`proc:<inner>:<M>`).
+        spec: String,
+        /// The spawn or handshake diagnosis.
+        detail: String,
+    },
     /// The snapshot handed to [`CampaignBuilder::resume`] cannot continue
     /// under this configuration.
     Resume(ResumeError),
@@ -156,6 +165,9 @@ impl fmt::Display for BuildError {
                 )
             }
             BuildError::InvalidExtensionId(e) => write!(f, "{e}"),
+            BuildError::ProcPool { spec, detail } => {
+                write!(f, "cannot start worker pool for backend {spec:?}: {detail}")
+            }
             BuildError::Resume(e) => write!(f, "cannot resume: {e}"),
         }
     }
@@ -587,9 +599,25 @@ impl CampaignBuilder {
                 });
             }
         }
+        // Spawn (and handshake) the worker-process pool last, after all
+        // cheap validation: every other misconfiguration is reported
+        // without ever forking. The one pool is shared by every executor
+        // worker thread of this orchestrator.
+        let proc = match &self.backend {
+            BackendSpec::Proc(spec) => {
+                Some(crate::procbackend::spawn_shared(spec).map_err(|detail| {
+                    BuildError::ProcPool {
+                        spec: self.backend.label(),
+                        detail,
+                    }
+                })?)
+            }
+            _ => None,
+        };
         Ok(Orchestrator {
             backend: self.backend,
             backend_ctor,
+            proc,
             opts: self.opts,
             workers: self.workers,
             seed: self.seed,

@@ -774,6 +774,10 @@ struct GossipState {
 pub struct Orchestrator {
     pub(crate) backend: BackendSpec,
     pub(crate) backend_ctor: Option<BackendCtor>,
+    /// The worker-process pool a `proc:<inner>:<M>` backend's threads
+    /// share, spawned (and handshaked) once by the builder. `None` for
+    /// in-process backends.
+    pub(crate) proc: Option<crate::procbackend::ProcShared>,
     pub(crate) opts: FuzzerOptions,
     pub(crate) workers: usize,
     pub(crate) seed: u64,
@@ -826,11 +830,31 @@ impl Orchestrator {
     }
 
     /// One simulator instance (one per worker thread), through the
-    /// captured extension constructor when the spec names one.
+    /// captured extension constructor when the spec names one. For proc
+    /// backends every instance is a cheap handle onto the one shared
+    /// worker-process pool — `BackendSpec::build` would spawn a fresh
+    /// pool per thread.
     fn build_backend(&self) -> Box<dyn SimBackend> {
+        if let Some(shared) = &self.proc {
+            return Box::new(crate::procbackend::ProcBackend::from_shared(shared.clone()));
+        }
         match &self.backend_ctor {
             Some(ctor) => ctor(),
             None => self.backend.build(),
+        }
+    }
+
+    /// How many executor threads to spawn: at least the logical worker
+    /// count, and for a proc backend at least the pool size, so `M`
+    /// worker processes all get a claiming thread even when the campaign
+    /// geometry says fewer logical workers. The extra threads never draw
+    /// from a logical RNG stream and never commit under their own id —
+    /// under steal scheduling they only claim pre-drawn slots, so
+    /// results stay those of the *logical* geometry.
+    fn physical_workers(&self) -> usize {
+        match &self.backend {
+            BackendSpec::Proc(spec) => self.workers.max(spec.pool),
+            _ => self.workers,
         }
     }
 
@@ -1157,20 +1181,33 @@ impl Orchestrator {
         }
 
         let (from_tx, from_rx) = mpsc::channel();
-        let mut to_workers = Vec::with_capacity(self.workers);
-        let mut handles = Vec::with_capacity(self.workers);
-        for id in 0..self.workers {
+        let physical = self.physical_workers();
+        let mut to_workers = Vec::with_capacity(physical);
+        let mut handles = Vec::with_capacity(physical);
+        for id in 0..physical {
             let (to_tx, to_rx) = mpsc::channel();
             let worker = Worker {
                 id,
                 backend: self.build_backend(),
                 opts: self.opts,
-                rng: StdRng::from_raw_state(s.worker_rngs[id]),
+                // Extra proc-pool claimer threads (id >= workers) get a
+                // decorrelated stream of their own; it is never drawn —
+                // steal work runs entirely on pre-drawn slot state — so
+                // it exists only to satisfy the Worker shape.
+                rng: if id < self.workers {
+                    StdRng::from_raw_state(s.worker_rngs[id])
+                } else {
+                    StdRng::seed_from_u64(self.stream_seed(1 + id as u64))
+                },
                 // At a round boundary every worker's view equals the
                 // global union (see the module docs), so seeding the view
                 // with it restores the exact mid-campaign state.
                 view: s.global.matrix().clone(),
-                observed: s.worker_observed[id].clone(),
+                observed: if id < self.workers {
+                    s.worker_observed[id].clone()
+                } else {
+                    CoverageMatrix::new()
+                },
                 shared: Arc::clone(&shared),
             };
             let from_tx = from_tx.clone();
@@ -1184,7 +1221,7 @@ impl Orchestrator {
         // (`CoverageLog::seeded`): every worker's view already holds the
         // full restored union, so only post-resume points need
         // broadcasting.
-        let mut synced = vec![0usize; self.workers];
+        let mut synced = vec![0usize; physical];
         let mut gossip_state = GossipState::default();
         let halt = self.halt_after.unwrap_or(usize::MAX);
         let feedback = self.opts.coverage_feedback;
@@ -1406,17 +1443,29 @@ impl Orchestrator {
         }
 
         let (from_tx, from_rx) = mpsc::channel();
-        let mut to_workers = Vec::with_capacity(self.workers);
-        let mut handles = Vec::with_capacity(self.workers);
-        for id in 0..self.workers {
+        let physical = self.physical_workers();
+        let mut to_workers = Vec::with_capacity(physical);
+        let mut handles = Vec::with_capacity(physical);
+        for id in 0..physical {
             let (to_tx, to_rx) = mpsc::channel();
             let worker = Worker {
                 id,
                 backend: self.build_backend(),
                 opts: self.opts,
-                rng: StdRng::from_raw_state(s.worker_rngs[id]),
+                // Extra proc-pool claimer threads (id >= workers): see
+                // `run_observed` — the stream is never drawn, pipelined
+                // rounds are queue-shaped pre-drawn slots.
+                rng: if id < self.workers {
+                    StdRng::from_raw_state(s.worker_rngs[id])
+                } else {
+                    StdRng::seed_from_u64(self.stream_seed(1 + id as u64))
+                },
                 view: spawn_view.clone(),
-                observed: s.worker_observed[id].clone(),
+                observed: if id < self.workers {
+                    s.worker_observed[id].clone()
+                } else {
+                    CoverageMatrix::new()
+                },
                 shared: Arc::clone(&shared),
             };
             let from_tx = from_tx.clone();
@@ -1436,7 +1485,7 @@ impl Orchestrator {
         if let Some(p) = &resumed_pending {
             s.global.replay(&p.view_behind);
         }
-        let mut synced = vec![0usize; self.workers];
+        let mut synced = vec![0usize; physical];
         let mut gossip_state = GossipState {
             // Replayed points were already published before the halt;
             // start the export cursor past them.

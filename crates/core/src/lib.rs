@@ -87,6 +87,36 @@
 //! // Windows were triggered and coverage accumulated.
 //! assert!(report.stats.coverage() > 0);
 //! ```
+//!
+//! # Worker-process pools
+//!
+//! `--backend proc:<inner>:<M>` (or [`backend::ProcSpec`] through the
+//! builder) runs the inner simulator in `M` crash-isolated
+//! `dejavuzz-simd` worker processes ([`procbackend::ProcBackend`] over
+//! the `dejavuzz-procsim` transport): a worker segfault or corrupt
+//! reply is a per-run [`backend::BackendError::Worker`] — the pool
+//! respawns with bounded backoff and the campaign keeps its
+//! byte-determinism contract (pool-of-1 equals in-process, pool-of-M
+//! equals pool-of-1). Embedders parse the same spec string; the worker
+//! binary is discovered next to the current executable or pinned via
+//! `DEJAVUZZ_SIMD_BIN`:
+//!
+//! ```no_run
+//! use dejavuzz::builder::CampaignBuilder;
+//! use dejavuzz::BackendSpec;
+//! use dejavuzz_uarch::boom_small;
+//!
+//! let spec = BackendSpec::parse("proc:netlist:small:4", boom_small())
+//!     .expect("a valid pool spec");
+//! let orch = CampaignBuilder::new()
+//!     .backend(spec)
+//!     .workers(4)
+//!     .seed(42)
+//!     .build() // spawns + handshakes the pool; missing binary fails here
+//!     .expect("worker pool started");
+//! let report = orch.run(100);
+//! assert_eq!(report.stats.iterations, 100);
+//! ```
 
 /// The (vendored) `rand` crate, re-exported because trait signatures in
 /// the embedding API name its types (`StdRng` in
@@ -105,13 +135,15 @@ pub mod gossip;
 pub mod metrics;
 pub mod observer;
 pub mod phases;
+pub mod procbackend;
+pub mod procproto;
 pub mod registry;
 pub mod report;
 pub mod scheduler;
 pub mod snapshot;
 
 pub use backend::{
-    BackendError, BackendSpec, BehaviouralBackend, NetlistBackend, RunOutcome, SimBackend,
+    BackendError, BackendSpec, BehaviouralBackend, NetlistBackend, ProcSpec, RunOutcome, SimBackend,
 };
 pub use builder::{BuildError, CampaignBuilder};
 pub use campaign::{Campaign, CampaignStats, FuzzerOptions};
@@ -123,6 +155,7 @@ pub use observer::{
     BugFound, CampaignFinished, CampaignObserver, CoverageGained, JsonLinesObserver,
     PeerDeltaImported, RoundStarted, SeedImported, SlotCommitted, SnapshotWritten, TextObserver,
 };
+pub use procbackend::ProcBackend;
 pub use registry::{BackendCtor, PolicyCtor, RegistryError, SchedulerCtor};
 pub use report::{AttackType, BugReport, LeakChannel};
 pub use scheduler::{

@@ -70,6 +70,13 @@ pub struct CoreMetrics {
     pub modelled_makespan_nanos: Arc<Gauge>,
     /// Campaign runs completed in this process.
     pub runs_total: Arc<Counter>,
+    /// One worker-pool RPC round trip (encode + queue + worker simulate
+    /// + decode), as seen by the calling worker thread.
+    pub pool_rpc_nanos: Arc<Histogram>,
+    /// Worker-pool RPCs currently issued and not yet answered.
+    pub pool_in_flight: Arc<Gauge>,
+    /// Worker processes respawned after a crash or protocol error.
+    pub pool_respawns_total: Arc<Counter>,
 }
 
 /// The engine's instruments, registered on first use.
@@ -146,6 +153,18 @@ pub fn handles() -> &'static CoreMetrics {
                 "Modelled campaign makespan across completed runs, nanoseconds",
             ),
             runs_total: r.counter("dejavuzz_runs_total", "Campaign runs completed"),
+            pool_rpc_nanos: r.histogram(
+                "dejavuzz_pool_rpc_nanos",
+                "Worker-pool RPC round trip time in nanoseconds",
+            ),
+            pool_in_flight: r.gauge(
+                "dejavuzz_pool_in_flight",
+                "Worker-pool RPCs issued and not yet answered",
+            ),
+            pool_respawns_total: r.counter(
+                "dejavuzz_pool_respawns_total",
+                "Worker processes respawned after a crash or protocol error",
+            ),
         }
     })
 }

@@ -195,13 +195,20 @@ pub fn phase2<B: SimBackend + ?Sized, C: TaintCoverage + ?Sized>(
                 .taint_increased_in(w.start_cycle as usize, w.end_cycle as usize + 1)
         })
         .unwrap_or(false);
-    let coverage_gain = {
+    let coverage_gain = if backend.supports_taint() {
         // The DIFT census: folding the run's taint log into the coverage
         // matrix. Timed off the commit path — the gain value itself never
         // depends on the instrument.
         let _census_span =
             dejavuzz_telemetry::Timer::start(&crate::metrics::handles().census_nanos);
         coverage.observe_log(&run.taint_log)
+    } else {
+        // A backend without taint tracking produces an empty log; folding
+        // it would silently report zero gain forever, so say why once.
+        if opts.mode != IftMode::Base {
+            warn_taintless(backend.name());
+        }
+        0
     };
     Ok(Phase2Result {
         body,
@@ -210,6 +217,24 @@ pub fn phase2<B: SimBackend + ?Sized, C: TaintCoverage + ?Sized>(
         coverage_gain,
         taints_increased,
     })
+}
+
+/// The structured warning [`phase2`] emits when a DIFT-capable mode runs
+/// on a backend whose [`SimBackend::supports_taint`] is false: the
+/// campaign proceeds, but coverage feedback is inert. Exposed so tests
+/// (and log scrapers) can pin the exact text.
+pub fn taintless_warning(backend: &'static str) -> String {
+    format!(
+        "warning: backend {backend:?} does not support taint tracking; \
+         skipping the DIFT census (coverage feedback is inert for this campaign)"
+    )
+}
+
+/// Emits [`taintless_warning`] on stderr, once per process — every slot
+/// of every worker hits this path, and one line says it all.
+fn warn_taintless(backend: &'static str) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| eprintln!("{}", taintless_warning(backend)));
 }
 
 /// Phase 3 output.
@@ -385,6 +410,54 @@ mod tests {
         assert!(p2.coverage_gain > 0, "fresh coverage from the first run");
         assert!(p2.taints_increased, "the window must propagate the secret");
         assert!(cov.points() > 0);
+    }
+
+    /// A backend that simulates normally but reports no taint support —
+    /// the external trace-replay shape `SimBackend::supports_taint`
+    /// exists for.
+    #[derive(Debug)]
+    struct Taintless(BehaviouralBackend);
+
+    impl SimBackend for Taintless {
+        fn name(&self) -> &'static str {
+            "taintless-test"
+        }
+        fn dut_name(&self) -> &'static str {
+            self.0.dut_name()
+        }
+        fn supports_taint(&self) -> bool {
+            false
+        }
+        fn run(
+            &mut self,
+            plan: &TransientPlan,
+            schedule: &[SwapPacket],
+            mode: IftMode,
+            max_cycles: u64,
+        ) -> Result<RunOutcome, BackendError> {
+            self.0.run(plan, schedule, mode, max_cycles)
+        }
+    }
+
+    #[test]
+    fn phase2_skips_the_census_for_taintless_backends() {
+        let mut probe = BehaviouralBackend::new(boom_small());
+        let opts = PhaseOptions::default();
+        let (seed, p1) = first_triggering_seed(&mut probe, WindowType::BranchMispredict, &opts);
+        let mut backend = Taintless(BehaviouralBackend::new(boom_small()));
+        let mut cov = CoverageMatrix::new();
+        let p2 = phase2(&mut backend, &seed, &p1, &mut cov, &opts).unwrap();
+        // The census is skipped wholesale: no gain, nothing folded into
+        // the matrix, and downstream phase 3 is therefore never entered
+        // (the campaign loop gates it on taints having increased).
+        assert_eq!(p2.coverage_gain, 0);
+        assert_eq!(cov.points(), 0);
+        // The structured warning has pinned text.
+        assert_eq!(
+            taintless_warning("taintless-test"),
+            "warning: backend \"taintless-test\" does not support taint tracking; \
+             skipping the DIFT census (coverage feedback is inert for this campaign)"
+        );
     }
 
     #[test]

@@ -17,6 +17,73 @@ fn fuzz(args: &[&str]) -> (Option<i32>, String, String) {
     )
 }
 
+/// A malformed proc backend spec is an exit-2 error naming the spec and
+/// the expected shape.
+#[test]
+fn malformed_proc_spec_exits_two_naming_the_spec() {
+    let (code, _, stderr) = fuzz(&["--backend", "proc:bogus", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("unknown proc backend \"proc:bogus\" (expected proc:<inner>:<M>"),
+        "stderr names the spec and shape: {stderr}"
+    );
+}
+
+/// A zero-size pool is refused at parse time with a pinned message.
+#[test]
+fn zero_proc_pool_exits_two() {
+    let (code, _, stderr) = fuzz(&["--backend", "proc:netlist:boom:0", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("proc pool size must be >= 1 in \"proc:netlist:boom:0\""),
+        "stderr: {stderr}"
+    );
+}
+
+/// A missing worker binary is the builder's structured `ProcPool` error
+/// (exit 2 naming the backend spec and the attempted path), reported at
+/// build time — before any campaign work.
+#[test]
+fn missing_worker_binary_exits_two_with_the_builder_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dejavuzz-fuzz"))
+        .args(["--backend", "proc:netlist:small:2", "--iters", "1"])
+        .env("DEJAVUZZ_SIMD_BIN", "/nonexistent/dejavuzz-simd")
+        .output()
+        .expect("spawn dejavuzz-fuzz");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr.contains("cannot start worker pool for backend \"proc:netlist:small:2\"")
+            && stderr.contains("/nonexistent/dejavuzz-simd"),
+        "stderr names spec and path: {stderr}"
+    );
+}
+
+/// The happy path: a pool-of-1 proc campaign produces the same stdout as
+/// the in-process backend it wraps, except for the backend label in the
+/// banner. The strongest CLI-level statement of the determinism
+/// contract, pinned cheaply here (CI diffs bigger runs).
+#[test]
+fn proc_pool_of_one_matches_in_process_stdout() {
+    let worker = env!("CARGO_BIN_EXE_dejavuzz-simd");
+    let run = |backend: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_dejavuzz-fuzz"))
+            .args(["--backend", backend, "--iters", "3", "--seed", "11"])
+            .env("DEJAVUZZ_SIMD_BIN", worker)
+            .output()
+            .expect("spawn dejavuzz-fuzz");
+        assert_eq!(out.status.code(), Some(0), "{backend} failed");
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| {
+                !l.starts_with("fuzzing ") && !l.contains("elapsed") && !l.contains("throughput")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run("netlist:small"), run("proc:netlist:small:1"));
+}
+
 /// A malformed `--pipeline-lag` value is an exit-2 error naming both the
 /// value and the flag — not a silent run with lag 0.
 #[test]

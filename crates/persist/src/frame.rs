@@ -59,15 +59,63 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a folded over four independent word lanes, for high-rate frame
+/// streams (the per-run RPC traffic of a worker-process pool). Plain
+/// [`fnv1a64`] is a serial multiply chain per *byte* — fine for
+/// occasional snapshot files, a measurable per-RPC tax at thousands of
+/// frames per second. The striped variant consumes 32 bytes per step
+/// with the four multiplies overlapping, roughly an order of magnitude
+/// faster, with the same guarantees (every single-bit flip changes the
+/// sum; not cryptographic). The value differs from [`fnv1a64`], so a
+/// format must pick one checksum and stay with it.
+pub fn fnv1a64_x4(bytes: &[u8]) -> u64 {
+    let mut lanes = [
+        FNV_SEED,
+        FNV_SEED.rotate_left(16),
+        FNV_SEED.rotate_left(32),
+        FNV_SEED.rotate_left(48),
+    ];
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        for (lane, word) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
+            let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            *lane = (*lane ^ w).wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut h = FNV_SEED ^ bytes.len() as u64;
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Wraps a payload in a framed envelope.
 pub fn seal(magic: [u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    seal_with(magic, version, payload, fnv1a64)
+}
+
+/// [`seal`] with a caller-chosen checksum (e.g. [`fnv1a64_x4`] for
+/// high-rate streams). The envelope layout is identical; [`open_with`]
+/// must be given the same function.
+pub fn seal_with(
+    magic: [u8; 8],
+    version: u32,
+    payload: &[u8],
+    checksum: fn(&[u8]) -> u64,
+) -> Vec<u8> {
     let mut enc = Encoder::new();
     for b in magic {
         enc.u8(b);
     }
     enc.u32(version);
     enc.u64(payload.len() as u64);
-    enc.u64(fnv1a64(payload));
+    enc.u64(checksum(payload));
     let mut out = enc.into_bytes();
     out.extend_from_slice(payload);
     out
@@ -78,7 +126,19 @@ pub fn seal(magic: [u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
 /// [`DecodeError::UnsupportedVersion`]. For formats that read a range of
 /// versions (migrating decoders), use [`open_versioned`].
 pub fn open(magic: [u8; 8], supported: u32, bytes: &[u8]) -> Result<&[u8], DecodeError> {
-    let (_, payload) = open_versioned(magic, supported..=supported, bytes)?;
+    let (_, payload) = open_checked(magic, supported..=supported, bytes, fnv1a64)?;
+    Ok(payload)
+}
+
+/// [`open`] for frames sealed with [`seal_with`]: validates with the
+/// caller's checksum function instead of [`fnv1a64`].
+pub fn open_with(
+    magic: [u8; 8],
+    supported: u32,
+    bytes: &[u8],
+    checksum: fn(&[u8]) -> u64,
+) -> Result<&[u8], DecodeError> {
+    let (_, payload) = open_checked(magic, supported..=supported, bytes, checksum)?;
     Ok(payload)
 }
 
@@ -92,6 +152,15 @@ pub fn open_versioned(
     magic: [u8; 8],
     supported: std::ops::RangeInclusive<u32>,
     bytes: &[u8],
+) -> Result<(u32, &[u8]), DecodeError> {
+    open_checked(magic, supported, bytes, fnv1a64)
+}
+
+fn open_checked(
+    magic: [u8; 8],
+    supported: std::ops::RangeInclusive<u32>,
+    bytes: &[u8],
+    checksum: fn(&[u8]) -> u64,
 ) -> Result<(u32, &[u8]), DecodeError> {
     let mut dec = Decoder::new(bytes);
     let mut found = [0u8; 8];
@@ -128,7 +197,7 @@ pub fn open_versioned(
         });
     }
     let payload = &bytes[start..start + len as usize];
-    let computed = fnv1a64(payload);
+    let computed = checksum(payload);
     if computed != stored {
         return Err(DecodeError::ChecksumMismatch { stored, computed });
     }
@@ -244,6 +313,45 @@ mod tests {
         let lb = framed_len(&stream[la..]).unwrap();
         assert_eq!(la + lb, stream.len());
         assert_eq!(open(MAGIC, 1, &stream[la..]).unwrap(), b"the second frame");
+    }
+
+    #[test]
+    fn striped_checksum_catches_every_single_bit_flip() {
+        // Long enough to cover whole 32-byte steps plus a remainder tail.
+        let payload: Vec<u8> = (0..77u8).collect();
+        let framed = seal_with(MAGIC, 1, &payload, fnv1a64_x4);
+        assert_eq!(
+            open_with(MAGIC, 1, &framed, fnv1a64_x4).unwrap(),
+            &payload[..]
+        );
+        let start = framed.len() - payload.len();
+        for byte in start..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        open_with(MAGIC, 1, &bad, fnv1a64_x4),
+                        Err(DecodeError::ChecksumMismatch { .. })
+                    ),
+                    "flip at byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn striped_checksum_separates_lengths_and_lane_swaps() {
+        // Same bytes, different lengths (trailing zeros) must differ, and
+        // swapping two 8-byte lane words within a step must differ.
+        assert_ne!(fnv1a64_x4(&[0u8; 32]), fnv1a64_x4(&[0u8; 40]));
+        let mut a = vec![0u8; 32];
+        a[0] = 1;
+        let mut b = vec![0u8; 32];
+        b[8] = 1;
+        assert_ne!(fnv1a64_x4(&a), fnv1a64_x4(&b));
+        // And it is not the plain checksum: formats must pick one.
+        assert_ne!(fnv1a64_x4(b"payload"), fnv1a64(b"payload"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! module hierarchy), so the leaked total is bounded by the vocabulary,
 //! not by how many snapshots are loaded.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Mutex, OnceLock};
 
 fn pool() -> &'static Mutex<HashSet<&'static str>> {
@@ -17,9 +18,29 @@ fn pool() -> &'static Mutex<HashSet<&'static str>> {
     POOL.get_or_init(|| Mutex::new(HashSet::new()))
 }
 
+thread_local! {
+    /// Per-thread read cache over the global pool. High-rate decode
+    /// paths (a worker pool's per-run RPC replies) intern the same few
+    /// module and cause names thousands of times per second; the cache
+    /// answers repeats without touching the global mutex. Bounded by the
+    /// same fixed vocabulary as the pool itself.
+    static SEEN: RefCell<HashMap<Box<str>, &'static str>> = RefCell::new(HashMap::new());
+}
+
 /// Returns a `'static` string equal to `s`, leaking at most once per
 /// distinct content.
 pub fn intern(s: &str) -> &'static str {
+    SEEN.with(|seen| {
+        if let Some(hit) = seen.borrow().get(s) {
+            return *hit;
+        }
+        let leaked = intern_global(s);
+        seen.borrow_mut().insert(Box::from(s), leaked);
+        leaked
+    })
+}
+
+fn intern_global(s: &str) -> &'static str {
     let mut pool = pool().lock().expect("intern pool poisoned");
     if let Some(hit) = pool.get(s) {
         return hit;
