@@ -371,7 +371,7 @@ impl NetlistBackend {
     /// control-transfer instruction sits at the trained address (derived
     /// trainings always do; DejaVuzz*'s random packets only by luck).
     fn trains(plan: &TransientPlan, p: &SwapPacket) -> bool {
-        match plan.window_type {
+        match plan.window_type.base() {
             WindowType::BranchMispredict => {
                 matches!(
                     Self::instr_at(p, plan.trigger_addr),

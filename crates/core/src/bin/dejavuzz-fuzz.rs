@@ -82,6 +82,16 @@ fn main() {
              \u{20}                        corpus pick policy: energy-decay roulette\n\
              \u{20}                        (default) or AFL-style favoured culling with\n\
              \u{20}                        per-window-type quotas\n\
+             --scenarios F[,F]       enable scenario-template window families next to\n\
+             \u{20}                        the eight built-in window types, each\n\
+             \u{20}                        optionally parameterised:\n\
+             \u{20}                        --scenarios zenbleed,nested-spec:depth=5\n\
+             \u{20}                        (see EXPERIMENTS.md \"Scenario library\" and\n\
+             \u{20}                        --list-extensions for the shipped families).\n\
+             \u{20}                        Part of the replay identity: persisted in\n\
+             \u{20}                        snapshots and adopted on --resume\n\
+             --list-extensions       print every selectable scheduler, seed policy,\n\
+             \u{20}                        backend and scenario family, then exit\n\
              --batch N               iteration slots per worker per round (default 4;\n\
              \u{20}                        at --batch 1 both schedulers are bit-identical)\n\
              --pipeline-lag N        cross-round steal pipeline (default 0 = barriered\n\
@@ -136,6 +146,37 @@ fn main() {
         );
         return;
     }
+    if args.iter().any(|a| a == "--list-extensions") {
+        // One line per selectable implementation, grouped; scenario
+        // families carry their description and parameter space. The
+        // format is pinned by tests/cli.rs — machine-grepable, stable.
+        println!("schedulers:");
+        for e in dejavuzz::registry::list_schedulers() {
+            println!("  {}", e.id);
+        }
+        println!("seed policies:");
+        for e in dejavuzz::registry::list_seed_policies() {
+            println!("  {}", e.id);
+        }
+        println!("backends:");
+        for e in dejavuzz::registry::list_backends() {
+            println!("  {}", e.id);
+        }
+        println!("scenarios:");
+        for t in dejavuzz::registry::list_scenarios() {
+            let params: Vec<String> = t
+                .params
+                .iter()
+                .map(|p| format!("{}={} in [{}, {}]", p.name, p.default, p.min, p.max))
+                .collect();
+            if params.is_empty() {
+                println!("  {} — {}", t.family, t.describe);
+            } else {
+                println!("  {} — {} ({})", t.family, t.describe, params.join(", "));
+            }
+        }
+        return;
+    }
     let core = arg::<String>(&args, "--core", "boom".into());
     let cfg = match core.as_str() {
         "xiangshan" => xiangshan_minimal(),
@@ -171,6 +212,22 @@ fn main() {
     let policy = match PolicySpec::parse(&arg::<String>(&args, "--policy", "energy".into())) {
         Ok(p) => p,
         Err(e) => die(format_args!("{e}")),
+    };
+    let scenarios: Vec<String> = match opt_arg::<String>(&args, "--scenarios") {
+        Some(list) => {
+            let specs: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if specs.is_empty() {
+                die(format_args!(
+                    "--scenarios requires at least one scenario family"
+                ));
+            }
+            specs
+        }
+        None => Vec::new(),
     };
     let pipeline_lag = arg(&args, "--pipeline-lag", 0usize);
     let shard = arg(&args, "--shard", 0u32);
@@ -252,6 +309,18 @@ fn main() {
                 snap.pipeline_lag
             );
         }
+        if explicit("--scenarios") && scenarios != snap.scenarios {
+            eprintln!(
+                "dejavuzz-fuzz: warning: --scenarios {} ignored; resume adopts the \
+                 snapshot's scenarios ({})",
+                scenarios.join(","),
+                if snap.scenarios.is_empty() {
+                    "none".to_string()
+                } else {
+                    snap.scenarios.join(",")
+                }
+            );
+        }
     } else if scheduler != SchedulerSpec::RoundRobin || policy != PolicySpec::EnergyDecay {
         let lag_note = if pipeline_lag > 0 {
             format!(", pipeline lag {pipeline_lag}")
@@ -263,6 +332,11 @@ fn main() {
             scheduler.label(),
             policy.label()
         );
+    }
+    // Scenario chatter likewise goes to stderr: a scenarios-off run's
+    // stdout stays byte-identical to one that never saw the flag.
+    if resume.is_none() && !scenarios.is_empty() {
+        eprintln!("dejavuzz-fuzz: scenarios {}", scenarios.join(","));
     }
 
     // Fleet wiring: one UnixGossipLink per peer spec, fanned out through
@@ -312,6 +386,7 @@ fn main() {
         .scheduler(scheduler)
         .seed_policy(policy)
         .shard_id(shard)
+        .scenarios(&scenarios)
         .snapshot_every(snapshot_every)
         .snapshot_keep(snapshot_keep);
     if let Some(path) = &snapshot_path {

@@ -14,6 +14,31 @@
 use dejavuzz::observer::json_str;
 use dejavuzz::snapshot::{merge_snapshots, CampaignSnapshot};
 
+/// Per-family rollup of the merged window stats: the Table-5 class of
+/// each window type (which for scenario windows is the scenario family
+/// id) with summed triggered/attempted counts and the deduplicated bugs
+/// attributed to that class.
+fn family_rollup(
+    stats: &dejavuzz::campaign::CampaignStats,
+) -> std::collections::BTreeMap<String, (usize, usize, usize)> {
+    let mut families: std::collections::BTreeMap<String, (usize, usize, usize)> =
+        std::collections::BTreeMap::new();
+    for (wt, ws) in &stats.windows {
+        let e = families.entry(wt.table5_class().to_string()).or_default();
+        e.0 += ws.triggered;
+        e.1 += ws.attempted;
+    }
+    for b in &stats.bugs {
+        // Bugs key by the same class; count them even when no shard's
+        // window table carries the class (merged heterogeneous runs).
+        families
+            .entry(b.window_type.table5_class().to_string())
+            .or_default()
+            .2 += 1;
+    }
+    families
+}
+
 fn die(msg: std::fmt::Arguments<'_>) -> ! {
     eprintln!("dejavuzz-merge: {msg}");
     std::process::exit(2);
@@ -31,6 +56,9 @@ fn main() {
              max over shards (a lower bound; the union curve is unknowable\n\
              after the fact). Decode failures (truncated, corrupted or\n\
              wrong-version snapshots) exit non-zero naming the file.\n\n\
+             The report breaks windows down twice: per window type, and per\n\
+             family (the Table-5 class — for scenario-template windows, the\n\
+             scenario family id) with triggered/attempted/bug counts.\n\n\
              Shards fuzzed on a worker-process pool echo the pool geometry\n\
              in their backend label (proc:<inner>:<M>); shards differing\n\
              only in M merge with the usual backend-mismatch warning, since\n\
@@ -127,6 +155,18 @@ fn main() {
                 )
             })
             .collect();
+        let families: Vec<String> = family_rollup(stats)
+            .iter()
+            .map(|(fam, (triggered, attempted, bugs))| {
+                format!(
+                    "{{\"family\":{},\"triggered\":{},\"attempted\":{},\"bugs\":{}}}",
+                    json_str(fam),
+                    triggered,
+                    attempted,
+                    bugs
+                )
+            })
+            .collect();
         let bugs: Vec<String> = stats
             .bugs
             .iter()
@@ -135,7 +175,7 @@ fn main() {
         println!(
             "{{\"shards\":[{}],\"merged\":{{\"iterations\":{},\"failed_runs\":{},\
              \"simulations\":{},\"simulated_cycles\":{},\"coverage_points\":{},\
-             \"summed_points\":{},\"windows\":[{}],\"bugs\":[{}]}}}}",
+             \"summed_points\":{},\"windows\":[{}],\"families\":[{}],\"bugs\":[{}]}}}}",
             shards.join(","),
             stats.iterations,
             stats.failed_runs,
@@ -144,6 +184,7 @@ fn main() {
             merged.coverage.points(),
             merged.summed_points,
             windows.join(","),
+            families.join(","),
             bugs.join(",")
         );
         return;
@@ -187,6 +228,10 @@ fn main() {
             ws.mean_to(),
             ws.mean_eto()
         );
+    }
+    println!("\nfamilies:");
+    for (fam, (triggered, attempted, bugs)) in &family_rollup(stats) {
+        println!("  {fam:<16} {triggered:>3}/{attempted:<3}  bugs {bugs:>2}");
     }
     println!("\nbugs ({}, deduplicated across shards):", stats.bugs.len());
     for b in &stats.bugs {

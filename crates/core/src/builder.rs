@@ -125,6 +125,16 @@ pub enum BuildError {
         /// The spawn or handshake diagnosis.
         detail: String,
     },
+    /// A scenario spec handed to [`CampaignBuilder::scenarios`] (or
+    /// adopted from a resumed snapshot) does not parse: unknown family,
+    /// malformed or out-of-range parameter. Wraps the scenario
+    /// registry's diagnosis verbatim.
+    InvalidScenario {
+        /// The offending spec as supplied.
+        spec: String,
+        /// The scenario registry's diagnosis.
+        detail: String,
+    },
     /// The snapshot handed to [`CampaignBuilder::resume`] cannot continue
     /// under this configuration.
     Resume(ResumeError),
@@ -168,6 +178,9 @@ impl fmt::Display for BuildError {
             BuildError::ProcPool { spec, detail } => {
                 write!(f, "cannot start worker pool for backend {spec:?}: {detail}")
             }
+            BuildError::InvalidScenario { spec, detail } => {
+                write!(f, "invalid scenario spec {spec:?}: {detail}")
+            }
             BuildError::Resume(e) => write!(f, "cannot resume: {e}"),
         }
     }
@@ -185,6 +198,30 @@ impl From<registry::RegistryError> for BuildError {
     fn from(e: registry::RegistryError) -> Self {
         BuildError::InvalidExtensionId(e)
     }
+}
+
+/// Interns a list of scenario specs and returns the campaign's canonical
+/// scenario set: `(canonical specs, intern indices)`, both sorted by the
+/// canonical spec *string* and deduplicated. Sorting by string (not by
+/// process-local intern index) is what makes the k-th fresh-seed draw
+/// map to the same scenario instance in every process — intern order
+/// differs between a fresh build and a resume.
+pub(crate) fn intern_scenarios<S: AsRef<str>>(
+    specs: &[S],
+) -> Result<(Vec<String>, Vec<u16>), BuildError> {
+    let mut interned: Vec<(String, u16)> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let spec = spec.as_ref();
+        let idx =
+            dejavuzz_scenarios::intern_spec(spec).map_err(|e| BuildError::InvalidScenario {
+                spec: spec.to_string(),
+                detail: e.to_string(),
+            })?;
+        interned.push((dejavuzz_scenarios::instance_spec(idx).to_string(), idx));
+    }
+    interned.sort_by(|a, b| a.0.cmp(&b.0));
+    interned.dedup_by(|a, b| a.0 == b.0);
+    Ok(interned.into_iter().unzip())
 }
 
 /// The typed campaign entry point. See the module docs; every method is
@@ -211,6 +248,7 @@ pub struct CampaignBuilder {
     resume: Option<Box<CampaignSnapshot>>,
     gossip_every: usize,
     gossip: Option<SharedGossipLink>,
+    scenarios: Vec<String>,
     /// An id supplied through a `*_ctor` convenience that failed registry
     /// validation; surfaced as a [`BuildError`] at build time so the
     /// convenience methods stay chainable.
@@ -231,6 +269,7 @@ impl fmt::Debug for CampaignBuilder {
             .field("scheduler", &self.scheduler)
             .field("policy", &self.policy)
             .field("shard_id", &self.shard_id)
+            .field("scenarios", &self.scenarios)
             .field("gossip_every", &self.gossip_every)
             .field("gossip", &self.gossip.as_ref().map(|_| "<link>"))
             .finish_non_exhaustive()
@@ -261,6 +300,7 @@ impl CampaignBuilder {
             resume: None,
             gossip_every: 0,
             gossip: None,
+            scenarios: Vec::new(),
             bad_id: None,
         }
     }
@@ -483,6 +523,22 @@ impl CampaignBuilder {
         self
     }
 
+    /// Enables scenario-template window families on top of the eight
+    /// built-in [`crate::gen::WindowType`]s. Each spec names a family
+    /// registered in [`crate::scenarios`] (`dejavuzz-scenarios`),
+    /// optionally with `name=value` parameter overrides:
+    /// `"nested-spec:depth=5"`. Specs are canonicalised (every declared
+    /// parameter spelled out in declaration order) and deduplicated, so
+    /// `"nested-spec"` and `"nested-spec:depth=3"` select the same
+    /// instance. The enabled set is part of the campaign's replay
+    /// identity: it is persisted in snapshots and adopted back on
+    /// resume. Unknown families and malformed parameters surface from
+    /// [`CampaignBuilder::build`] as [`BuildError::InvalidScenario`].
+    pub fn scenarios<S: AsRef<str>>(mut self, specs: &[S]) -> Self {
+        self.scenarios = specs.iter().map(|s| s.as_ref().to_string()).collect();
+        self
+    }
+
     /// Continues a snapshotted campaign: the built orchestrator's next
     /// run picks up where the snapshot stopped, bit-identically to a run
     /// that was never interrupted.
@@ -533,7 +589,9 @@ impl CampaignBuilder {
             self.scheduler = snap.scheduler.clone();
             self.policy = snap.policy.clone();
             self.pipeline_lag = snap.pipeline_lag;
+            self.scenarios = snap.scenarios.clone();
         }
+        let (scenario_specs, scenarios) = intern_scenarios(&self.scenarios)?;
         if self.workers == 0 {
             return Err(BuildError::ZeroWorkers);
         }
@@ -637,6 +695,8 @@ impl CampaignBuilder {
             resume: self.resume,
             gossip_every: self.gossip_every,
             gossip: self.gossip,
+            scenario_specs,
+            scenarios,
         })
     }
 }

@@ -214,6 +214,9 @@ pub struct Campaign {
     stats: CampaignStats,
     /// Running average of coverage gain (the mutation threshold of §4.2.2).
     gain: GainAverage,
+    /// Active scenario-instance indices for fresh-seed draws (sorted by
+    /// canonical spec; empty by default).
+    scenarios: Vec<u16>,
 }
 
 impl Campaign {
@@ -255,7 +258,18 @@ impl Campaign {
             coverage: CoverageMatrix::new(),
             stats: CampaignStats::default(),
             gain: GainAverage::default(),
+            scenarios: Vec::new(),
         }
+    }
+
+    /// Enables scenario-template window families for fresh-seed draws:
+    /// each spec is `family` or `family:param=val`, parsed and interned
+    /// through [`dejavuzz_scenarios::intern_spec`]. Call before the
+    /// first iteration (the scenario pool is part of the campaign's
+    /// replay identity, like the RNG seed).
+    pub fn with_scenarios<S: AsRef<str>>(mut self, specs: &[S]) -> Result<Self, BuildError> {
+        self.scenarios = crate::builder::intern_scenarios(specs)?.1;
+        Ok(self)
     }
 
     /// Swaps the corpus seed policy (default
@@ -306,6 +320,7 @@ impl Campaign {
             &self.opts,
             slot,
             scheduled.as_ref(),
+            &self.scenarios,
             &mut self.rng,
             &mut self.coverage,
             None, // the view IS the only matrix — no separate accounting

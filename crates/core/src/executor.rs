@@ -243,6 +243,7 @@ pub(crate) fn run_iteration<V: CoverageView>(
     opts: &FuzzerOptions,
     slot: usize,
     scheduled: Option<&Seed>,
+    scenarios: &[u16],
     rng: &mut StdRng,
     view: &mut V,
     mut observed: Option<&mut CoverageMatrix>,
@@ -256,7 +257,7 @@ pub(crate) fn run_iteration<V: CoverageView>(
     let mut seed: Cow<'_, Seed> = match scheduled {
         Some(s) => Cow::Borrowed(s),
         None => {
-            let window_type = WindowType::ALL[rng.gen_range(0..WindowType::ALL.len())];
+            let window_type = crate::gen::draw_window_type(rng, scenarios);
             Cow::Owned(Seed::new(window_type, rng.gen()))
         }
     };
@@ -406,6 +407,9 @@ fn commit_outcome(
     }
     metrics.iterations_total.inc();
     metrics.sim_runs_total.add(o.sim_runs as u64);
+    if matches!(o.window_type, WindowType::Scenario(_)) {
+        metrics.scenario_slots_total.inc();
+    }
     s.worker_iterations[o.stream] += 1;
     for p in &o.observed_fresh {
         s.worker_observed[o.stream].insert(*p);
@@ -552,6 +556,9 @@ struct Worker {
     view: CoverageMatrix,
     observed: CoverageMatrix,
     shared: Arc<SharedCoverage>,
+    /// Active scenario-instance indices for fresh-seed draws (sorted by
+    /// canonical spec; empty without `--scenarios`).
+    scenarios: Vec<u16>,
 }
 
 impl Worker {
@@ -593,6 +600,7 @@ impl Worker {
                 &self.opts,
                 item.slot,
                 item.scheduled.as_ref(),
+                &self.scenarios,
                 &mut self.rng,
                 &mut self.view,
                 Some(&mut self.observed),
@@ -661,6 +669,7 @@ impl Worker {
                 &self.opts,
                 item.slot,
                 Some(&item.seed),
+                &self.scenarios,
                 &mut self.rng, // never drawn from: the seed is pre-drawn
                 &mut slot_view,
                 Some(&mut slot_observed),
@@ -791,6 +800,11 @@ pub struct Orchestrator {
     pub(crate) corpus_exploit: f64,
     pub(crate) shard_id: u32,
     pub(crate) snapshot_every: usize,
+    /// Active scenario specs, canonical and sorted (the cross-process
+    /// identity persisted in snapshots), and their process-local intern
+    /// indices in the same order (what the hot paths carry).
+    pub(crate) scenario_specs: Vec<String>,
+    pub(crate) scenarios: Vec<u16>,
     pub(crate) snapshot_path: Option<PathBuf>,
     pub(crate) snapshot_keep: usize,
     pub(crate) halt_after: Option<usize>,
@@ -951,6 +965,7 @@ impl Orchestrator {
             batch: self.batch,
             pipeline_lag: self.pipeline_lag,
             pending,
+            scenarios: self.scenario_specs.clone(),
             scheduler: self.scheduler.clone(),
             scheduler_state: s.scheduler.state(),
             policy: self.policy.clone(),
@@ -1209,6 +1224,7 @@ impl Orchestrator {
                     CoverageMatrix::new()
                 },
                 shared: Arc::clone(&shared),
+                scenarios: self.scenarios.clone(),
             };
             let from_tx = from_tx.clone();
             handles.push(thread::spawn(move || worker.run(to_rx, from_tx)));
@@ -1256,6 +1272,7 @@ impl Orchestrator {
                     workers: self.workers,
                     batch: self.batch,
                     lag: 0,
+                    scenarios: &self.scenarios,
                 };
                 scheduler.plan_round(next_slot..next_slot + span, &mut ctx)
             };
@@ -1467,6 +1484,7 @@ impl Orchestrator {
                     CoverageMatrix::new()
                 },
                 shared: Arc::clone(&shared),
+                scenarios: self.scenarios.clone(),
             };
             let from_tx = from_tx.clone();
             handles.push(thread::spawn(move || worker.run(to_rx, from_tx)));
@@ -1593,6 +1611,7 @@ impl Orchestrator {
                         workers: self.workers,
                         batch: self.batch,
                         lag: self.pipeline_lag,
+                        scenarios: &self.scenarios,
                     };
                     scheduler.plan_round(next_slot..next_slot + span, &mut ctx)
                 };

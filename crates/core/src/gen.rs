@@ -8,11 +8,12 @@ use dejavuzz_isa::asm::ProgramBuilder;
 use dejavuzz_isa::instr::{AluOp, BranchOp, Instr, LoadOp, Reg, StoreOp};
 use dejavuzz_swapmem::{PacketKind, SecretPolicy, SwapPacket, DEFAULT_LAYOUT};
 
-/// The transient-window categories of Table 3.
+/// The transient-window categories of Table 3, plus scenario-template
+/// instances from `dejavuzz-scenarios`.
 ///
 /// `expected_cause` names the squash mechanism Phase 1 demands from the
 /// RoB IO trace before declaring the window triggered.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WindowType {
     /// Load/store access fault.
     MemAccessFault,
@@ -30,6 +31,41 @@ pub enum WindowType {
     IndirectMispredict,
     /// Return address misprediction.
     ReturnMispredict,
+    /// A scenario-template instance, by process-local intern index
+    /// ([`dejavuzz_scenarios::intern_spec`]). Its trigger mechanism is a
+    /// base window type ([`WindowType::base`]); its window body comes
+    /// from the template. Cross-process identity is the canonical spec
+    /// string, never this index.
+    Scenario(u16),
+}
+
+// Ordering is deliberately manual: base types order by `ALL` position
+// (before every scenario), scenario instances by canonical *spec string*.
+// Intern indices are process-local — a resumed process interns in
+// snapshot-encounter order, a fresh build in sorted order — so ordering
+// by raw index would make `BTreeMap` iteration (stats tables, reports)
+// process-dependent and break byte-identical halt→resume.
+impl Ord for WindowType {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(wt: WindowType) -> usize {
+            WindowType::ALL
+                .iter()
+                .position(|w| *w == wt)
+                .unwrap_or(usize::MAX)
+        }
+        match (self, other) {
+            (WindowType::Scenario(a), WindowType::Scenario(b)) => {
+                dejavuzz_scenarios::instance_spec(*a).cmp(dejavuzz_scenarios::instance_spec(*b))
+            }
+            _ => rank(*self).cmp(&rank(*other)),
+        }
+    }
+}
+
+impl PartialOrd for WindowType {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl WindowType {
@@ -45,7 +81,21 @@ impl WindowType {
         WindowType::ReturnMispredict,
     ];
 
-    /// Table-3 column header.
+    /// The base (Table 3) window type carrying this window's trigger
+    /// mechanism: scenario instances map to the mechanism their template
+    /// declares; base types map to themselves. Never returns
+    /// [`WindowType::Scenario`].
+    pub fn base(self) -> WindowType {
+        match self {
+            WindowType::Scenario(i) => {
+                WindowType::ALL[dejavuzz_scenarios::instance_mechanism(i) as usize]
+            }
+            other => other,
+        }
+    }
+
+    /// Table-3 column header; scenario instances display as
+    /// `scenario:` + their canonical spec.
     pub fn name(self) -> &'static str {
         match self {
             WindowType::MemAccessFault => "Load/Store Access Fault",
@@ -56,13 +106,14 @@ impl WindowType {
             WindowType::BranchMispredict => "Branch Misprediction",
             WindowType::IndirectMispredict => "Indirect Jump Misprediction",
             WindowType::ReturnMispredict => "Return Address Misprediction",
+            WindowType::Scenario(i) => dejavuzz_scenarios::instance_label(i),
         }
     }
 
     /// True for the misprediction family (requires predictor training).
     pub fn is_mispredict(self) -> bool {
         matches!(
-            self,
+            self.base(),
             WindowType::BranchMispredict
                 | WindowType::IndirectMispredict
                 | WindowType::ReturnMispredict
@@ -71,7 +122,7 @@ impl WindowType {
 
     /// The squash cause Phase 1 requires in the trace for this category.
     pub fn expected_cause(self) -> &'static str {
-        match self {
+        match self.base() {
             WindowType::MemAccessFault => "load-access-fault",
             WindowType::MemPageFault => "load-page-fault",
             WindowType::MemMisalign => "load-misalign",
@@ -80,10 +131,12 @@ impl WindowType {
             WindowType::BranchMispredict => "branch-mispredict",
             WindowType::IndirectMispredict => "jump-mispredict",
             WindowType::ReturnMispredict => "return-mispredict",
+            WindowType::Scenario(_) => unreachable!("base() never returns Scenario"),
         }
     }
 
-    /// Mnemonic matching Table 5's window classes.
+    /// Mnemonic matching Table 5's window classes; scenario instances
+    /// class by family id so bug dedup is per-family.
     pub fn table5_class(self) -> &'static str {
         match self {
             WindowType::MemAccessFault | WindowType::MemPageFault | WindowType::MemMisalign => {
@@ -91,8 +144,22 @@ impl WindowType {
             }
             WindowType::IllegalInstr => "illegal",
             WindowType::MemDisambiguation => "mem-disamb",
+            WindowType::Scenario(i) => dejavuzz_scenarios::instance_family(i),
             _ => "mispred",
         }
+    }
+}
+
+/// Draws a fresh-seed window type uniformly over the base families plus
+/// the active scenario instances. Both fresh-seed sites (the worker's
+/// in-iteration draw and the work-stealing pre-draw) use this, so the
+/// two stay in lockstep; with no scenarios active the draw is exactly
+/// the historical `gen_range(0..WindowType::ALL.len())`.
+pub fn draw_window_type(rng: &mut StdRng, scenarios: &[u16]) -> WindowType {
+    let k = rng.gen_range(0..WindowType::ALL.len() + scenarios.len());
+    match WindowType::ALL.get(k) {
+        Some(wt) => *wt,
+        None => WindowType::Scenario(scenarios[k - WindowType::ALL.len()]),
     }
 }
 
@@ -212,8 +279,13 @@ pub fn plan(seed: &Seed) -> TransientPlan {
     // Random trigger placement: the alignment nops this costs are exactly
     // the TO-vs-ETO gap of Table 3.
     let trigger_addr = s + 0x60 + 4 * rng.gen_range(0..32) as u64;
-    let window_slots = rng.gen_range(8..16);
-    let (window_addr, exit_addr) = match seed.window_type {
+    let mut window_slots = rng.gen_range(8..16);
+    // Scenario windows widen to the template's minimum *after* the draw,
+    // so the RNG sequence matches the base families exactly.
+    if let WindowType::Scenario(i) = seed.window_type {
+        window_slots = window_slots.max(dejavuzz_scenarios::instance_min_slots(i));
+    }
+    let (window_addr, exit_addr) = match seed.window_type.base() {
         // Exception/disambiguation windows follow the trigger directly.
         WindowType::MemAccessFault
         | WindowType::MemPageFault
@@ -240,7 +312,7 @@ pub fn plan(seed: &Seed) -> TransientPlan {
     // Masking high address bits turns the access into an *access* fault
     // (the MDS/B1 bait), so only access-fault seeds roll for it.
     let uses_mask = seed.window_type == WindowType::MemAccessFault && rng.gen_bool(0.5);
-    let secret_policy = match seed.window_type {
+    let secret_policy = match seed.window_type.base() {
         WindowType::MemPageFault => SecretPolicy::ProtectBeforeTransient,
         _ => SecretPolicy::AlwaysReadable,
     };
@@ -281,7 +353,7 @@ pub fn build_transient(plan: &TransientPlan, fill: &WindowFill) -> SwapPacket {
             rs2: Reg::T4,
         });
     }
-    match plan.window_type {
+    match plan.window_type.base() {
         WindowType::MemAccessFault => {
             if !plan.uses_mask {
                 // A plainly unmapped address.
@@ -401,6 +473,7 @@ pub fn build_transient(plan: &TransientPlan, fill: &WindowFill) -> SwapPacket {
             });
             b.push(Instr::ret());
         }
+        WindowType::Scenario(_) => unreachable!("base() never returns Scenario"),
     }
     // Window body.
     b.pad_to(plan.window_addr);
@@ -475,7 +548,7 @@ pub fn derive_trainings(seed: &Seed, plan: &TransientPlan, decoys: usize) -> Vec
     let mut rng = seed.rng();
     let l = DEFAULT_LAYOUT;
     let mut out = Vec::new();
-    match plan.window_type {
+    match plan.window_type.base() {
         WindowType::BranchMispredict => {
             // Train the shared-address branch in the *opposite* direction
             // of the transient outcome, with the control flow adjusted to
@@ -622,6 +695,13 @@ pub fn complete_window(seed: &Seed, plan: &TransientPlan) -> WindowBody {
     // The secret access: for fault-trigger windows the trigger *is* the
     // access (s0 already holds the secret); for the others, load it here.
     match plan.window_type {
+        // Scenario instances supply their whole access block, drawn from
+        // the trigger-configuration stream (stable across mutations, like
+        // the base families' access op).
+        WindowType::Scenario(i) => {
+            let mut access_rng = seed.rng();
+            access = dejavuzz_scenarios::instance_access_block(i, &mut access_rng);
+        }
         WindowType::MemAccessFault | WindowType::MemPageFault => {}
         WindowType::MemDisambiguation => {
             // t0 was speculatively loaded with &secret by the trigger.
@@ -757,6 +837,11 @@ pub fn complete_window(seed: &Seed, plan: &TransientPlan) -> WindowBody {
                 });
             }
         }
+    }
+    // Scenario mutation bias: template-chosen encode-side instructions,
+    // redrawn per mutation like the gadgets above.
+    if let WindowType::Scenario(i) = plan.window_type {
+        encode.extend(dejavuzz_scenarios::instance_encode_bias(i, &mut rng));
     }
     WindowBody { access, encode }
 }

@@ -73,7 +73,49 @@
 //!   scheduler/seed-policy/backend constructors, so user-supplied
 //!   implementations are selectable by id *and* survive
 //!   snapshot→resume (the snapshot persists the id plus an opaque state
-//!   blob).
+//!   blob); [`registry::list_schedulers`] and friends enumerate
+//!   everything selectable (`dejavuzz-fuzz --list-extensions`);
+//! * [`scenarios`] (the `dejavuzz-scenarios` crate) — templated
+//!   attack-experiment window families: a
+//!   [`scenarios::ScenarioTemplate`] contributes a parameterised
+//!   secret-access block, an encode-side mutation bias and a sink
+//!   classification hook, and enabled families
+//!   ([`builder::CampaignBuilder::scenarios`], `--scenarios`) join the
+//!   eight built-in [`gen::WindowType`]s in fresh-seed draws, scheduler
+//!   quotas, per-family stats and snapshots.
+//!
+//! # Scenario templates
+//!
+//! Registering a custom family makes it selectable by id next to the
+//! shipped templates (Zenbleed-shaped register-file leak, double-fetch
+//! TOCTOU, nested-speculation depth stress, sibling-unit contention):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dejavuzz::builder::CampaignBuilder;
+//! use dejavuzz::scenarios::{self, Mechanism, Params, ScenarioTemplate};
+//! use dejavuzz_isa::{Instr, LoadOp, Reg};
+//!
+//! struct PrefetchProbe;
+//! impl ScenarioTemplate for PrefetchProbe {
+//!     fn family(&self) -> &'static str { "prefetch-probe" }
+//!     fn describe(&self) -> &'static str { "prefetcher side-channel probe" }
+//!     fn mechanism(&self, _p: &Params) -> Mechanism { Mechanism::BranchMispredict }
+//!     fn access_block(&self, _p: &Params, _rng: &mut dejavuzz::rand::rngs::StdRng) -> Vec<Instr> {
+//!         // T0 holds the secret address; S0 is the secret destination.
+//!         vec![Instr::Load { op: LoadOp::Lb, rd: Reg::S0, rs1: Reg::T0, offset: 0 }]
+//!     }
+//! }
+//!
+//! scenarios::register_template(Arc::new(PrefetchProbe)).unwrap();
+//! let orch = CampaignBuilder::new()
+//!     .seed(7)
+//!     .scenarios(&["prefetch-probe", "nested-spec:depth=2"])
+//!     .build()
+//!     .expect("registered families build");
+//! let report = orch.run(12);
+//! assert_eq!(report.stats.iterations, 12);
+//! ```
 //!
 //! # Quickstart
 //!
@@ -124,6 +166,11 @@
 /// this workspace must be able to spell them without depending on the
 /// vendored crate directly.
 pub use rand;
+
+/// The scenario-template library (the `dejavuzz-scenarios` crate),
+/// re-exported so embedders can register custom
+/// [`scenarios::ScenarioTemplate`]s without naming a second dependency.
+pub use dejavuzz_scenarios as scenarios;
 
 pub mod backend;
 pub mod builder;

@@ -52,6 +52,9 @@ pub struct CoreMetrics {
     pub gossip_points_out_total: Arc<Counter>,
     /// Globally fresh coverage points imported from peers.
     pub gossip_points_in_total: Arc<Counter>,
+    /// Slots committed whose window was a scenario-template family
+    /// ([`crate::gen::WindowType::Scenario`]).
+    pub scenario_slots_total: Arc<Counter>,
     /// Slots committed.
     pub iterations_total: Arc<Counter>,
     /// Backend simulator invocations (a slot runs several).
@@ -129,6 +132,10 @@ pub fn handles() -> &'static CoreMetrics {
             gossip_points_in_total: r.counter(
                 "dejavuzz_gossip_points_in_total",
                 "Globally fresh coverage points imported from gossip peers",
+            ),
+            scenario_slots_total: r.counter(
+                "dejavuzz_scenario_slots_total",
+                "Slots committed under a scenario-template window family",
             ),
             iterations_total: r.counter("dejavuzz_iterations_total", "Slots committed"),
             sim_runs_total: r.counter("dejavuzz_sim_runs_total", "Backend simulator invocations"),

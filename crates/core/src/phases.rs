@@ -314,13 +314,21 @@ pub fn phase3<B: SimBackend + ?Sized>(
             rejected_residue += 1;
             continue;
         }
+        // Scenario windows may refine the raw sink module into a
+        // family-specific channel label (e.g. `regfile` under the
+        // Zenbleed template is stale-register readout, not a generic
+        // regfile taint) — the template's classification hook decides.
+        let mut module = sink.module;
+        if let gen::WindowType::Scenario(i) = p1.plan.window_type {
+            if let Some(label) = dejavuzz_scenarios::instance_classify_sink(i, module) {
+                module = label;
+            }
+        }
         leaks.push(BugReport {
             core,
             attack,
             window_type: p1.plan.window_type,
-            channel: LeakChannel::Encoded {
-                module: sink.module,
-            },
+            channel: LeakChannel::Encoded { module },
             iteration,
         });
     }

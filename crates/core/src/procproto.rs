@@ -37,8 +37,10 @@ use crate::gen::TransientPlan;
 
 /// Wire protocol version, checked by the handshake (on top of the frame
 /// envelope's own version byte, which guards the *framing*). Bump on any
-/// change to the message encodings below.
-pub const PROTO_VERSION: u32 = 1;
+/// change to the message encodings below — v2: [`crate::gen::
+/// WindowType`] gained the variable-length scenario encoding, which
+/// rides in every [`TransientPlan`] crossing the pipe.
+pub const PROTO_VERSION: u32 = 2;
 
 /// The handshake request: who the embedder is and what it wants served.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -212,6 +212,69 @@ pub fn registered_backends() -> Vec<String> {
     reg.backends.keys().cloned().collect()
 }
 
+/// One selectable implementation in an introspection listing
+/// ([`list_schedulers`] and friends; `dejavuzz-fuzz --list-extensions`
+/// prints these). The id is spelled exactly as the CLI accepts it:
+/// built-ins by their canonical short name, extensions as `ext:<id>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtensionInfo {
+    /// The CLI spelling that selects this implementation.
+    pub id: String,
+    /// True for the closed built-ins, false for registry extensions.
+    pub builtin: bool,
+}
+
+fn catalogue(builtins: &[&str], registered: Vec<String>) -> Vec<ExtensionInfo> {
+    let mut out: Vec<ExtensionInfo> = builtins
+        .iter()
+        .map(|id| ExtensionInfo {
+            id: (*id).to_string(),
+            builtin: true,
+        })
+        .collect();
+    out.extend(registered.into_iter().map(|id| ExtensionInfo {
+        id: format!("ext:{id}"),
+        builtin: false,
+    }));
+    out
+}
+
+/// Every selectable slot scheduler: the built-ins (`round`, `steal`)
+/// followed by the registered extensions as `ext:<id>`, sorted within
+/// each group.
+pub fn list_schedulers() -> Vec<ExtensionInfo> {
+    catalogue(&["round", "steal"], registered_schedulers())
+}
+
+/// Every selectable corpus seed policy: the built-ins (`energy`,
+/// `favoured`) followed by the registered extensions as `ext:<id>`.
+pub fn list_seed_policies() -> Vec<ExtensionInfo> {
+    catalogue(&["energy", "favoured"], registered_seed_policies())
+}
+
+/// Every selectable simulation backend: the built-in spellings
+/// (including the `proc:<inner>:<M>` pool wrapper template) followed by
+/// the registered extensions as `ext:<id>`.
+pub fn list_backends() -> Vec<ExtensionInfo> {
+    catalogue(
+        &[
+            "behavioural",
+            "netlist:small",
+            "netlist:boom",
+            "netlist:xiangshan",
+            "proc:<inner>:<M>",
+        ],
+        registered_backends(),
+    )
+}
+
+/// Every registered scenario template family, sorted by family id —
+/// the built-ins ship pre-registered, embedder templates appear once
+/// [`dejavuzz_scenarios::register_template`]ed.
+pub fn list_scenarios() -> Vec<dejavuzz_scenarios::TemplateInfo> {
+    dejavuzz_scenarios::list_templates()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

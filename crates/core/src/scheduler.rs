@@ -180,6 +180,11 @@ pub struct PlanCtx<'a> {
     /// extensions may use it to, e.g., widen exploration under stale
     /// feedback.
     pub lag: usize,
+    /// Active scenario-instance indices (sorted by canonical spec,
+    /// deduped). Fresh-seed draws sample uniformly over
+    /// `WindowType::ALL` plus these; empty keeps the historical
+    /// base-only draw byte-identical.
+    pub scenarios: &'a [u16],
 }
 
 /// How iteration slots are partitioned and claimed across workers, round
@@ -284,7 +289,7 @@ impl Scheduler for WorkStealing {
                     // itself would (`executor::run_iteration`'s fresh
                     // path), from the stream's mirrored position.
                     let mut rng = StdRng::from_raw_state(ctx.worker_rngs[stream]);
-                    let window_type = WindowType::ALL[rng.gen_range(0..WindowType::ALL.len())];
+                    let window_type = crate::gen::draw_window_type(&mut rng, ctx.scenarios);
                     let seed = Seed::new(window_type, rng.gen());
                     ctx.worker_rngs[stream] = rng.state();
                     seed
@@ -532,13 +537,20 @@ impl SeedPolicy for FavouredQuota {
             return None;
         }
         // Quota: serve the represented window type with the fewest
-        // exploit picks so far (ties resolve in `WindowType::ALL` order),
-        // so cheap mispredict lineages cannot starve exception windows.
-        let target = WindowType::ALL
+        // exploit picks so far (ties resolve in `WindowType` order: base
+        // families first, then scenario families by canonical spec), so
+        // cheap mispredict lineages cannot starve exception windows —
+        // and scenario families get the same fairness guarantee.
+        let mut represented: Vec<WindowType> = corpus
+            .entries()
             .iter()
-            .filter(|wt| corpus.entries().iter().any(|e| e.seed.window_type == **wt))
-            .min_by_key(|wt| self.picks.get(wt).copied().unwrap_or(0))
-            .copied()?;
+            .map(|e| e.seed.window_type)
+            .collect();
+        represented.sort_unstable();
+        represented.dedup();
+        let target = represented
+            .into_iter()
+            .min_by_key(|wt| self.picks.get(wt).copied().unwrap_or(0))?;
         // Energy-weighted roulette over the target type's entries, with
         // non-favoured entries culled to a fraction of their weight.
         // Weights are computed once per candidate (the favoured probe is
@@ -769,6 +781,7 @@ mod tests {
             workers: 2,
             batch: 3,
             lag: 0,
+            scenarios: &[],
         };
         let RoundPlan::Batches(batches) = RoundRobin.plan_round(10..15, &mut ctx) else {
             panic!("round robin plans batches");
@@ -802,6 +815,7 @@ mod tests {
             workers: 2,
             batch: 2,
             lag: 0,
+            scenarios: &[],
         };
         let RoundPlan::Queue(queue) = WorkStealing.plan_round(0..4, &mut ctx) else {
             panic!("work stealing plans a queue");

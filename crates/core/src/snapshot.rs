@@ -63,7 +63,16 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DJVZSNAP";
 ///   scheduler RNG and double-decay the corpus). Barriered campaigns
 ///   write `lag = 0` and no pending round, so their v4 files carry nine
 ///   extra bytes and decode exactly as before.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// * **v5** — the scenario library: the campaign's enabled scenario
+///   specs (canonical `family:param=value` strings, part of the replay
+///   identity and adopted on resume), and [`WindowType`] gains a
+///   variable-length tag-8 encoding for [`WindowType::Scenario`]
+///   windows carrying the instance's canonical spec — cross-process
+///   identity is the spec *string*, never the process-local intern
+///   index. Campaigns with no scenarios enabled write an empty list, so
+///   their v5 files carry eight extra bytes and decode exactly as
+///   before; pre-v5 files decode with no scenarios (none existed).
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Oldest snapshot version this build still reads. v1 files decode with
 /// scheduling defaults (round-robin, energy decay, stateless policy, a
@@ -75,15 +84,37 @@ pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 impl Persist for WindowType {
     fn encode(&self, enc: &mut Encoder) {
-        let tag = WindowType::ALL
-            .iter()
-            .position(|w| w == self)
-            .expect("every WindowType is in ALL") as u32;
-        enc.u32(tag);
+        // Base windows keep their historical fixed u32 position in ALL;
+        // scenario windows travel as tag 8 plus the instance's canonical
+        // spec string — the intern index is process-local and means
+        // nothing on the wire.
+        match self {
+            WindowType::Scenario(i) => {
+                enc.u32(WindowType::ALL.len() as u32);
+                enc.str(dejavuzz_scenarios::instance_spec(*i));
+            }
+            base => {
+                let tag = WindowType::ALL
+                    .iter()
+                    .position(|w| w == base)
+                    .expect("every base WindowType is in ALL") as u32;
+                enc.u32(tag);
+            }
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let tag = dec.u32()?;
+        if tag as usize == WindowType::ALL.len() {
+            let spec = dec.string()?;
+            return match dejavuzz_scenarios::intern_spec(&spec) {
+                Ok(idx) => Ok(WindowType::Scenario(idx)),
+                Err(e) => Err(DecodeError::InvalidValue {
+                    what: "WindowType::scenario",
+                    detail: e.to_string(),
+                }),
+            };
+        }
         WindowType::ALL
             .get(tag as usize)
             .copied()
@@ -554,6 +585,11 @@ pub struct CampaignSnapshot {
     pub pipeline_lag: usize,
     /// The in-flight pipelined round at checkpoint time, if any (v4).
     pub pending: Option<PendingRound>,
+    /// The campaign's enabled scenario-template specs, canonical and
+    /// sorted (v5; part of the replay identity — resume adopts them and
+    /// fails the build if a named family is not registered). Empty for
+    /// campaigns that never enabled scenarios.
+    pub scenarios: Vec<String>,
 }
 
 impl Persist for CampaignSnapshot {
@@ -582,6 +618,8 @@ impl Persist for CampaignSnapshot {
         // v4 tail: the cross-round pipeline.
         enc.usize(self.pipeline_lag);
         self.pending.encode(enc);
+        // v5 tail: the enabled scenario specs.
+        self.scenarios.encode(enc);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -619,6 +657,7 @@ impl CampaignSnapshot {
             worker_states: Vec::<WorkerState>::decode(dec)?,
             pipeline_lag: 0,
             pending: None,
+            scenarios: Vec::new(),
         };
         if version >= 2 {
             snap.scheduler = SchedulerSpec::decode(dec)?;
@@ -652,6 +691,9 @@ impl CampaignSnapshot {
         if version >= 4 {
             snap.pipeline_lag = dec.usize()?;
             snap.pending = Option::<PendingRound>::decode(dec)?;
+        }
+        if version >= 5 {
+            snap.scenarios = Vec::<String>::decode(dec)?;
         }
         if let Some(p) = &snap.pending {
             // A pending round is the in-flight round at the committed
@@ -961,6 +1003,7 @@ mod tests {
             ],
             pipeline_lag: 0,
             pending: None,
+            scenarios: Vec::new(),
         }
     }
 
@@ -1077,6 +1120,102 @@ mod tests {
         assert_eq!(decoded, snap, "every v3 field survives");
     }
 
+    /// Version skew one more step back: a v4 file (pipelining tail, no
+    /// scenario tail) decodes with an empty scenario list — no pre-v5
+    /// campaign ever enabled scenarios.
+    #[test]
+    fn v4_snapshots_decode_with_no_scenarios() {
+        let snap = sample_snapshot();
+        // Exactly what the v4 writer produced: everything through the
+        // pipelining tail, and nothing after.
+        let mut enc = Encoder::new();
+        enc.u32(snap.shard_id);
+        enc.str(&snap.backend);
+        enc.usize(snap.workers);
+        enc.u64(snap.seed);
+        enc.usize(snap.batch);
+        snap.opts.encode(&mut enc);
+        enc.usize(snap.completed);
+        enc.f64(snap.gain_avg);
+        enc.usize(snap.gain_samples);
+        snap.sched_rng.encode(&mut enc);
+        snap.corpus.encode(&mut enc);
+        snap.coverage.encode(&mut enc);
+        snap.stats.encode(&mut enc);
+        snap.worker_states.encode(&mut enc);
+        snap.scheduler.encode(&mut enc);
+        snap.policy.encode(&mut enc);
+        snap.policy_state.encode(&mut enc);
+        enc.f64(snap.corpus.energy_cache());
+        enc.bytes(&snap.scheduler_state);
+        enc.usize(snap.pipeline_lag);
+        snap.pending.encode(&mut enc);
+        let bytes = frame::seal(SNAPSHOT_MAGIC, 4, &enc.into_bytes());
+
+        let decoded = CampaignSnapshot::from_bytes(&bytes).unwrap();
+        assert!(decoded.scenarios.is_empty());
+        assert_eq!(decoded, snap, "every v4 field survives");
+    }
+
+    /// Scenario windows round-trip by canonical spec string: the decoded
+    /// variant compares equal (same interned instance) even though the
+    /// index itself is process-local, and the same family spelled with
+    /// explicit default parameters lands on the same instance.
+    #[test]
+    fn scenario_window_types_round_trip_by_spec() {
+        let idx = dejavuzz_scenarios::intern_spec("nested-spec:depth=4").unwrap();
+        let wt = WindowType::Scenario(idx);
+        let bytes = dejavuzz_persist::to_bytes(&wt);
+        assert_eq!(
+            dejavuzz_persist::from_bytes::<WindowType>(&bytes).unwrap(),
+            wt
+        );
+        // A Seed carrying a scenario window survives too (the corpus and
+        // planned-slot paths both go through Seed).
+        let seed = Seed::new(wt, 77);
+        let bytes = dejavuzz_persist::to_bytes(&seed);
+        assert_eq!(dejavuzz_persist::from_bytes::<Seed>(&bytes).unwrap(), seed);
+    }
+
+    /// A snapshot naming a scenario family this build has never heard of
+    /// must fail structurally with the registry's diagnosis — resuming
+    /// it would draw windows no template can generate.
+    #[test]
+    fn unknown_scenario_family_fails_decode_structurally() {
+        let mut enc = Encoder::new();
+        enc.u32(WindowType::ALL.len() as u32);
+        enc.str("ghost-fam");
+        let bytes = enc.into_bytes();
+        let err = {
+            let mut dec = Decoder::new(&bytes);
+            WindowType::decode(&mut dec).unwrap_err()
+        };
+        match err {
+            DecodeError::InvalidValue { what, detail } => {
+                assert_eq!(what, "WindowType::scenario");
+                assert_eq!(detail, "unknown scenario family \"ghost-fam\"");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+    }
+
+    /// The v5 tail round-trips: enabled scenario specs survive the wire
+    /// format, and a snapshot whose corpus carries scenario seeds
+    /// round-trips value-equal.
+    #[test]
+    fn v5_scenarios_survive_a_round_trip() {
+        let mut snap = sample_snapshot();
+        snap.scenarios = vec![
+            "double-fetch:gap=2".to_string(),
+            "nested-spec:depth=3".to_string(),
+        ];
+        let idx = dejavuzz_scenarios::intern_spec("double-fetch:gap=2").unwrap();
+        snap.corpus
+            .record(&Seed::new(WindowType::Scenario(idx), 21), 4);
+        let decoded = CampaignSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap, "scenario specs and seeds survive");
+    }
+
     fn sample_pending(first_slot: usize) -> PendingRound {
         PendingRound {
             first_slot,
@@ -1157,12 +1296,14 @@ mod tests {
 
         // Re-encode with a bogus energy (the f64 sits right before the
         // length-prefixed v3 scheduler-state blob, which is followed only
-        // by the v4 tail: the lag u64 plus the pending-round Option tag,
-        // a lone byte here since the sample has no pending round).
+        // by the v4 tail — the lag u64 plus the pending-round Option tag,
+        // a lone byte here since the sample has no pending round — and
+        // the v5 tail, an empty scenario-spec list).
         let payload_start = 8 + 4 + 8 + 8; // magic + version + len + checksum
         let mut payload = honest[payload_start..].to_vec();
         let v4_tail = 8 + 1; // usize lag + None tag
-        let energy_at = payload.len() - v4_tail - 8 - (8 + snap.scheduler_state.len());
+        let v5_tail = 8; // empty Vec<String> length prefix
+        let energy_at = payload.len() - v5_tail - v4_tail - 8 - (8 + snap.scheduler_state.len());
         payload[energy_at..energy_at + 8].copy_from_slice(&1e9f64.to_bits().to_le_bytes());
         let forged = frame::seal(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &payload);
         assert!(matches!(

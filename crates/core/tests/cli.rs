@@ -271,3 +271,103 @@ fn pipelined_steal_campaign_runs() {
         "stderr: {stderr}"
     );
 }
+
+/// An unknown scenario family is an exit-2 error naming the offending
+/// spec and the family, before any campaign work.
+#[test]
+fn unknown_scenario_family_exits_two_naming_the_family() {
+    let (code, _, stderr) = fuzz(&["--scenarios", "ghost", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains(
+            "dejavuzz-fuzz: invalid scenario spec \"ghost\": unknown scenario family \"ghost\""
+        ),
+        "stderr names the family: {stderr}"
+    );
+}
+
+/// A malformed scenario parameter is an exit-2 error naming the item,
+/// the family and the expected shape.
+#[test]
+fn malformed_scenario_param_exits_two_naming_the_item() {
+    let (code, _, stderr) = fuzz(&["--scenarios", "zenbleed:zero_idiom=x", "--iters", "1"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains(
+            "invalid scenario spec \"zenbleed:zero_idiom=x\": malformed parameter \
+             \"zero_idiom=x\" for scenario family \"zenbleed\" (expected name=integer)"
+        ),
+        "stderr: {stderr}"
+    );
+}
+
+/// An empty scenario list (empty string, or only separators) is refused:
+/// "no scenarios" is spelled by omitting the flag, never by passing it
+/// an empty value.
+#[test]
+fn empty_scenario_list_exits_two() {
+    for value in ["", ",", " , "] {
+        let (code, _, stderr) = fuzz(&["--scenarios", value, "--iters", "1"]);
+        assert_eq!(code, Some(2), "--scenarios {value:?}");
+        assert!(
+            stderr.contains("dejavuzz-fuzz: --scenarios requires at least one scenario family"),
+            "stderr for {value:?}: {stderr}"
+        );
+    }
+}
+
+/// `--scenarios` as the last argument is a missing-value error.
+#[test]
+fn scenarios_flag_requires_a_value() {
+    let (code, _, stderr) = fuzz(&["--iters", "1", "--scenarios"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("dejavuzz-fuzz: --scenarios requires a value"),
+        "stderr: {stderr}"
+    );
+}
+
+/// The scenario note is stderr chatter: enabling scenarios never leaks
+/// configuration lines into the stdout report stream.
+#[test]
+fn scenario_note_goes_to_stderr_not_stdout() {
+    let (code, stdout, stderr) = fuzz(&["--scenarios", "zenbleed", "--iters", "2", "--seed", "5"]);
+    assert_eq!(code, Some(0));
+    assert!(
+        stderr.contains("dejavuzz-fuzz: scenarios zenbleed"),
+        "stderr carries the note: {stderr}"
+    );
+    assert!(
+        !stdout.contains("dejavuzz-fuzz: scenarios"),
+        "stdout stays a pure report: {stdout}"
+    );
+}
+
+/// `--list-extensions` output is pinned verbatim: scripts parse it, and
+/// the shipped scenario templates (with their parameter spaces) are part
+/// of the surface.
+#[test]
+fn list_extensions_output_is_pinned() {
+    let (code, stdout, _) = fuzz(&["--list-extensions"]);
+    assert_eq!(code, Some(0));
+    let expected = "\
+schedulers:
+  round
+  steal
+seed policies:
+  energy
+  favoured
+backends:
+  behavioural
+  netlist:small
+  netlist:boom
+  netlist:xiangshan
+  proc:<inner>:<M>
+scenarios:
+  double-fetch \u{2014} double-fetch TOCTOU window over the memory-disambiguation squash (gap=2 in [0, 8])
+  nested-spec \u{2014} nested-speculation depth stress: depth data-dependent branches in-window (depth=3 in [1, 8])
+  sibling-leak \u{2014} sibling-unit contention sweep (div/mul/fpu) with secret-dependent bursts (unit=0 in [0, 2], bursts=2 in [1, 4])
+  zenbleed \u{2014} move-elimination / register-file stale-data leak (Zenbleed-shaped) (zero_idiom=0 in [0, 2])
+";
+    assert_eq!(stdout, expected);
+}
